@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Ablation: auto-scaler aggressiveness f (§3.4.2 sets f = 1.05). Sweeps
+ * the multiplier and the scaling buffer to expose the provisioning-cost
+ * vs migration-frequency trade-off.
+ */
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace nbos;
+    workload::WorkloadGenerator generator{sim::Rng(bench::kSeed)};
+    workload::GeneratorOptions options;
+    options.makespan = 6 * sim::kHour;
+    options.max_sessions = 40;
+    options.sessions_survive_trace = true;
+    const auto trace =
+        generator.generate(workload::TraceProfile::adobe(), options);
+
+    bench::banner("Ablation: auto-scaler multiplier f (6 h, 40 sessions)");
+    std::printf("%-6s %-8s %-12s %-12s %-12s %-12s\n", "f", "buffer",
+                "gpu-hours", "delay-p99-s", "migrations", "scale-outs");
+    for (const double f : {1.0, 1.05, 1.25, 1.5}) {
+        for (const std::int32_t buffer : {0, 2}) {
+            core::PlatformConfig config =
+                core::PlatformConfig::prototype_defaults();
+            config.policy = core::Policy::kNotebookOS;
+            config.seed = bench::kSeed;
+            config.scheduler.autoscaler.multiplier = f;
+            config.scheduler.autoscaler.buffer_servers = buffer;
+            core::Platform platform(config);
+            const auto results = platform.run(trace);
+            std::printf("%-6.2f %-8d %-12.1f %-12.3f %-12llu %-12llu\n", f,
+                        buffer, results.gpu_hours_provisioned(),
+                        results.interactivity_delays_seconds().percentile(
+                            99),
+                        static_cast<unsigned long long>(
+                            results.sched_stats.migrations),
+                        static_cast<unsigned long long>(
+                            results.sched_stats.scale_outs));
+        }
+    }
+    std::printf("\nExpectation: larger f / buffer -> more GPU-hours but "
+                "fewer migrations and shorter tails.\n");
+    return 0;
+}

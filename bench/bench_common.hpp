@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: canonical workloads,
+ * policy runners, and table printers. Each bench binary regenerates the
+ * rows/series of one paper table or figure (see DESIGN.md §3 for the
+ * experiment index and EXPERIMENTS.md for paper-vs-measured results).
+ */
+#ifndef NBOS_BENCH_COMMON_HPP
+#define NBOS_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "core/results.hpp"
+#include "workload/generator.hpp"
+
+namespace nbos::bench {
+
+/** Fixed seed so every bench is reproducible run-to-run. */
+inline constexpr std::uint64_t kSeed = 2026;
+
+/** The 17.5-hour AdobeTrace excerpt used by the prototype evaluation. */
+inline workload::Trace
+excerpt_trace()
+{
+    workload::WorkloadGenerator generator{sim::Rng(kSeed)};
+    return generator.adobe_excerpt_17_5h();
+}
+
+/** The 90-day summer trace used by the simulation studies. */
+inline workload::Trace
+summer_trace()
+{
+    workload::WorkloadGenerator generator{sim::Rng(kSeed)};
+    return generator.adobe_summer_90d();
+}
+
+/** Run one policy over a trace with canonical settings. */
+inline core::ExperimentResults
+run_policy(core::Policy policy, const workload::Trace& trace,
+           bool fast_mode = false)
+{
+    core::PlatformConfig config = core::PlatformConfig::prototype_defaults();
+    config.policy = policy;
+    config.fast_mode = fast_mode;
+    config.seed = kSeed;
+    core::Platform platform(config);
+    return platform.run(trace);
+}
+
+/** Print a header banner. */
+inline void
+banner(const std::string& title)
+{
+    std::printf("\n================================================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("================================================================\n");
+}
+
+/** Print percentile rows of a distribution. */
+inline void
+print_percentiles(const std::string& label,
+                  const metrics::Percentiles& dist,
+                  const std::string& unit)
+{
+    std::printf("%-24s n=%-7zu", label.c_str(), dist.count());
+    for (const double p : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0}) {
+        std::printf(" p%-2.0f=%-10.3f", p, dist.percentile(p));
+    }
+    std::printf(" max=%-10.3f [%s]\n", dist.max(), unit.c_str());
+}
+
+/** Print a CDF as value/fraction rows (gnuplot-ready). */
+inline void
+print_cdf(const std::string& label, const metrics::Percentiles& dist,
+          std::size_t points = 20)
+{
+    std::printf("# CDF %s (value fraction)\n", label.c_str());
+    for (const auto& point : dist.cdf(points)) {
+        std::printf("%-14.4f %.4f\n", point.value, point.fraction);
+    }
+}
+
+/** Print a timeline series resampled to @p buckets rows. */
+inline void
+print_series(const std::string& label, const metrics::TimeSeries& series,
+             sim::Time t0, sim::Time t1, std::size_t buckets,
+             const std::string& time_unit = "hour")
+{
+    const double divisor = time_unit == "day"
+                               ? static_cast<double>(sim::kDay)
+                               : static_cast<double>(sim::kHour);
+    std::printf("# SERIES %s (time[%s] value)\n", label.c_str(),
+                time_unit.c_str());
+    for (const auto& sample : series.resample(t0, t1, buckets)) {
+        std::printf("%-10.3f %.3f\n",
+                    static_cast<double>(sample.time) / divisor,
+                    sample.value);
+    }
+}
+
+}  // namespace nbos::bench
+
+#endif  // NBOS_BENCH_COMMON_HPP

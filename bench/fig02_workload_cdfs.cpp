@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Fig. 2: workload characteristics of the three traces.
+ *  (a) task-duration CDFs    — Adobe p50 ~120 s vs Philly 621 s / Alibaba 957 s
+ *  (b) inter-arrival-time CDFs — Adobe p50 ~300 s vs Philly 44 s / Alibaba 38 s
+ *  (c) GPU utilization CDFs (Adobe)
+ *  (d) reserved vs utilized GPUs over the 90-day window
+ */
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace nbos;
+    using workload::TraceProfile;
+
+    workload::WorkloadGenerator generator{sim::Rng(bench::kSeed)};
+    workload::GeneratorOptions options;
+    options.makespan = 40 * sim::kHour;
+    options.max_sessions = 250;
+    options.sessions_survive_trace = true;
+
+    const auto adobe = generator.generate(TraceProfile::adobe(), options);
+    const auto philly = generator.generate(TraceProfile::philly(), options);
+    const auto alibaba =
+        generator.generate(TraceProfile::alibaba(), options);
+
+    bench::banner("Fig. 2(a): task duration CDFs (seconds)");
+    bench::print_percentiles("adobe", adobe.durations_seconds(), "s");
+    bench::print_percentiles("philly", philly.durations_seconds(), "s");
+    bench::print_percentiles("alibaba", alibaba.durations_seconds(), "s");
+    bench::print_cdf("adobe-duration", adobe.durations_seconds());
+
+    bench::banner("Fig. 2(b): within-session IAT CDFs (seconds)");
+    bench::print_percentiles("adobe", adobe.iats_seconds(), "s");
+    bench::print_percentiles("philly", philly.iats_seconds(), "s");
+    bench::print_percentiles("alibaba", alibaba.iats_seconds(), "s");
+    bench::print_cdf("adobe-iat", adobe.iats_seconds());
+
+    bench::banner("Fig. 2(c): Adobe GPU utilization (Reservation platform)");
+    const auto summer = bench::summer_trace();
+    // Fraction of each session's lifetime with GPUs actively used.
+    const auto busy = summer.session_busy_fractions();
+    bench::print_percentiles("session active fraction", busy, "fraction");
+    std::printf("sessions using GPUs <=5%% of lifetime: %.1f%% "
+                "(paper: 74-75%%)\n",
+                busy.cdf_at(0.05) * 100.0);
+    // Cluster-wide utilization of reserved GPUs sampled over the trace.
+    const auto reserved = core::reserved_gpu_series(summer);
+    const auto oracle = core::oracle_gpu_series(summer);
+    metrics::Percentiles cluster_util;
+    for (sim::Time t = sim::kHour; t < summer.makespan;
+         t += 6 * sim::kHour) {
+        const double res = reserved.value_at(t);
+        if (res > 0) {
+            cluster_util.add(oracle.value_at(t) / res);
+        }
+    }
+    bench::print_percentiles("cluster GPU util", cluster_util, "fraction");
+    std::printf("mean reserved-GPU idleness: %.1f%% (paper: >81%% idle)\n",
+                (1.0 - cluster_util.mean()) * 100.0);
+
+    bench::banner("Fig. 2(d): reserved vs utilized GPUs (90-day window)");
+    std::printf("%-8s %-14s %-14s %-12s\n", "day", "reserved-gpus",
+                "utilized-gpus", "util-ratio");
+    for (int day = 0; day <= 90; day += 6) {
+        const sim::Time t = day * sim::kDay;
+        const double res = reserved.value_at(t);
+        const double used = oracle.value_at(t);
+        std::printf("%-8d %-14.0f %-14.0f %-12.3f\n", day, res, used,
+                    res > 0 ? used / res : 0.0);
+    }
+    const double reserved_hours =
+        reserved.integrate_hours(0, summer.makespan);
+    const double used_hours = oracle.integrate_hours(0, summer.makespan);
+    std::printf("\nGPU-hours reserved=%.0f utilized=%.0f -> %.1f%% of "
+                "reserved GPUs actively utilized (paper: ~15%%)\n",
+                reserved_hours, used_hours,
+                100.0 * used_hours / reserved_hours);
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fig. 7: number of active user sessions and active user-submitted
+ * training tasks during the 17.5-hour AdobeTrace excerpt running on
+ * NotebookOS.
+ */
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace nbos;
+    const auto trace = bench::excerpt_trace();
+    const auto results =
+        bench::run_policy(core::Policy::kNotebookOS, trace);
+
+    const auto sessions = core::active_sessions_series(trace);
+    const auto trainings = results.active_trainings_series();
+
+    bench::banner("Fig. 7: active sessions & trainings (17.5 h excerpt)");
+    std::printf("%-8s %-10s %-10s\n", "hour", "trainings", "sessions");
+    for (double hour = 0.0; hour <= 17.5; hour += 0.5) {
+        const sim::Time t = sim::from_seconds(hour * 3600.0);
+        std::printf("%-8.1f %-10.0f %-10.0f\n", hour,
+                    trainings.value_at(t), sessions.value_at(t));
+    }
+
+    metrics::Percentiles training_samples;
+    for (sim::Time t = 0; t < trace.makespan; t += 5 * sim::kMinute) {
+        training_samples.add(trainings.value_at(t));
+    }
+    std::printf("\nactive trainings: mean=%.1f median=%.0f max=%.0f "
+                "(paper: mean 19.5, median 19, max 34)\n",
+                training_samples.mean(), training_samples.median(),
+                trainings.max_value());
+    std::printf("active sessions at end: %.0f (paper: 87; max 90)\n",
+                sessions.value_at(trace.makespan - 1));
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fig. 9: (a) interactivity-delay CDFs and (b) task-completion-time CDFs
+ * across the four policies, plus the §5.3.2 headline statistics
+ * (GPUs committed immediately 89.6% of the time; executor reused for
+ * 89.45% of consecutive executions).
+ */
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace nbos;
+    const auto trace = bench::excerpt_trace();
+
+    const auto reservation =
+        bench::run_policy(core::Policy::kReservation, trace);
+    const auto batch = bench::run_policy(core::Policy::kBatch, trace);
+    const auto nbos = bench::run_policy(core::Policy::kNotebookOS, trace);
+    const auto lcp = bench::run_policy(core::Policy::kNotebookOSLCP, trace);
+
+    bench::banner("Fig. 9(a): interactivity delay (seconds)");
+    bench::print_percentiles("reservation",
+                             reservation.interactivity_delays_seconds(),
+                             "s");
+    bench::print_percentiles("batch", batch.interactivity_delays_seconds(),
+                             "s");
+    bench::print_percentiles("notebookos",
+                             nbos.interactivity_delays_seconds(), "s");
+    bench::print_percentiles("nbos-lcp",
+                             lcp.interactivity_delays_seconds(), "s");
+    bench::print_cdf("notebookos-delay",
+                     nbos.interactivity_delays_seconds());
+
+    bench::banner("Fig. 9(b): task completion time (milliseconds)");
+    bench::print_percentiles("reservation", reservation.tct_ms(), "ms");
+    bench::print_percentiles("batch", batch.tct_ms(), "ms");
+    bench::print_percentiles("notebookos", nbos.tct_ms(), "ms");
+    bench::print_percentiles("nbos-lcp", lcp.tct_ms(), "ms");
+
+    bench::banner("§5.3.2 statistics (NotebookOS)");
+    const auto& stats = nbos.sched_stats;
+    std::printf("GPU executions:            %llu\n",
+                static_cast<unsigned long long>(stats.gpu_executions));
+    std::printf("immediate GPU commits:     %.2f%%  (paper: 89.6%%)\n",
+                100.0 * static_cast<double>(stats.immediate_commits) /
+                    static_cast<double>(stats.gpu_executions));
+    std::printf("executor reused:           %.2f%%  (paper: 89.45%%)\n",
+                100.0 * static_cast<double>(stats.executor_reuses) /
+                    static_cast<double>(stats.gpu_executions));
+    std::printf("failed elections:          %llu\n",
+                static_cast<unsigned long long>(stats.elections_failed));
+    std::printf("migrations:                %llu (aborted %llu)\n",
+                static_cast<unsigned long long>(stats.migrations),
+                static_cast<unsigned long long>(stats.migrations_aborted));
+    std::printf("yield conversions:         %llu\n",
+                static_cast<unsigned long long>(stats.yield_conversions));
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 10: timeline of major scheduler events (kernel creations,
+ * migrations, scale-outs) against the cluster-wide subscription ratio
+ * while executing the 17.5-hour workload on NotebookOS.
+ */
+#include "bench_common.hpp"
+
+int
+main()
+{
+    using namespace nbos;
+    const auto trace = bench::excerpt_trace();
+    const auto results =
+        bench::run_policy(core::Policy::kNotebookOS, trace);
+
+    bench::banner("Fig. 10: events vs subscription ratio (hourly buckets)");
+    std::printf("%-6s %-10s %-11s %-10s %-9s %-6s\n", "hour", "creations",
+                "migrations", "scaleouts", "scaleins", "SR");
+    const int buckets = 18;
+    int creations[buckets] = {};
+    int migrations[buckets] = {};
+    int scale_outs[buckets] = {};
+    int scale_ins[buckets] = {};
+    for (const auto& event : results.events) {
+        const int bucket = static_cast<int>(sim::to_hours(event.time));
+        if (bucket < 0 || bucket >= buckets) {
+            continue;
+        }
+        switch (event.kind) {
+          case sched::SchedulerEvent::Kind::kKernelCreated:
+            ++creations[bucket];
+            break;
+          case sched::SchedulerEvent::Kind::kMigration:
+            ++migrations[bucket];
+            break;
+          case sched::SchedulerEvent::Kind::kScaleOut:
+            ++scale_outs[bucket];
+            break;
+          case sched::SchedulerEvent::Kind::kScaleIn:
+            ++scale_ins[bucket];
+            break;
+        }
+    }
+    for (int hour = 0; hour < buckets; ++hour) {
+        const sim::Time t = (hour + 1) * sim::kHour;
+        std::printf("%-6d %-10d %-11d %-10d %-9d %-6.2f\n", hour,
+                    creations[hour], migrations[hour], scale_outs[hour],
+                    scale_ins[hour],
+                    results.subscription_ratio.value_at(t));
+    }
+    std::printf("\nSR max=%.2f (paper peaks near 3.0); total events: "
+                "%zu creations, %llu migrations, %llu scale-outs\n",
+                results.subscription_ratio.max_value(),
+                static_cast<std::size_t>(
+                    results.sched_stats.kernels_created),
+                static_cast<unsigned long long>(
+                    results.sched_stats.migrations),
+                static_cast<unsigned long long>(
+                    results.sched_stats.scale_outs));
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the Raft substrate: election
+ * convergence, proposal-commit latency, and replication throughput at
+ * different cluster sizes.
+ */
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "raft/raft.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace nbos;
+
+struct Group
+{
+    sim::Simulation simulation;
+    net::Network network{simulation, sim::Rng(7)};
+    std::vector<std::unique_ptr<raft::RaftNode>> nodes;
+    std::uint64_t applied = 0;
+
+    explicit Group(int n)
+    {
+        std::vector<net::NodeId> members;
+        for (int i = 0; i < n; ++i) {
+            members.push_back(i + 1);
+        }
+        for (int i = 0; i < n; ++i) {
+            auto node = std::make_unique<raft::RaftNode>(
+                simulation, network, members[i], members,
+                raft::RaftConfig{}, sim::Rng(100 + i));
+            node->set_apply([this](const raft::LogEntry&) { ++applied; });
+            nodes.push_back(std::move(node));
+        }
+        for (auto& node : nodes) {
+            node->start();
+        }
+    }
+
+    raft::RaftNode*
+    leader()
+    {
+        for (auto& node : nodes) {
+            if (node->role() == raft::Role::kLeader) {
+                return node.get();
+            }
+        }
+        return nullptr;
+    }
+};
+
+void
+BM_RaftElection(benchmark::State& state)
+{
+    for (auto _ : state) {
+        Group group(static_cast<int>(state.range(0)));
+        group.simulation.run_until(5 * sim::kSecond);
+        benchmark::DoNotOptimize(group.leader());
+    }
+}
+BENCHMARK(BM_RaftElection)->Arg(3)->Arg(5)->Arg(7);
+
+void
+BM_RaftProposalCommit(benchmark::State& state)
+{
+    Group group(static_cast<int>(state.range(0)));
+    group.simulation.run_until(5 * sim::kSecond);
+    for (auto _ : state) {
+        raft::RaftNode* leader = group.leader();
+        const std::uint64_t before = group.applied;
+        leader->propose("x");
+        // Advance simulated time until every node applied the entry.
+        while (group.applied <
+               before + static_cast<std::uint64_t>(state.range(0))) {
+            group.simulation.step();
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RaftProposalCommit)->Arg(3)->Arg(5);
+
+void
+BM_RaftReplicationThroughput(benchmark::State& state)
+{
+    for (auto _ : state) {
+        Group group(3);
+        group.simulation.run_until(5 * sim::kSecond);
+        raft::RaftNode* leader = group.leader();
+        const int batch = 1000;
+        for (int i = 0; i < batch; ++i) {
+            leader->propose("payload-" + std::to_string(i));
+        }
+        group.simulation.run_until(group.simulation.now() +
+                                   30 * sim::kSecond);
+        if (group.applied < static_cast<std::uint64_t>(batch) * 3) {
+            state.SkipWithError("entries not fully replicated");
+        }
+        state.SetItemsProcessed(state.items_processed() + batch);
+    }
+}
+BENCHMARK(BM_RaftReplicationThroughput)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the simulation substrate: event
+ * queue throughput, RNG sampling, percentile extraction, and NbLang
+ * parse/execute cost (these bound how fast whole-trace experiments run).
+ */
+#include <benchmark/benchmark.h>
+
+#include "metrics/percentiles.hpp"
+#include "nblang/interpreter.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace nbos;
+
+void
+BM_EventQueueThroughput(benchmark::State& state)
+{
+    for (auto _ : state) {
+        sim::Simulation simulation;
+        const int events = static_cast<int>(state.range(0));
+        for (int i = 0; i < events; ++i) {
+            simulation.schedule_at(i, [] {});
+        }
+        simulation.run();
+        benchmark::DoNotOptimize(simulation.events_executed());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1000)->Arg(100000);
+
+void
+BM_SelfSchedulingChain(benchmark::State& state)
+{
+    for (auto _ : state) {
+        sim::Simulation simulation;
+        int remaining = static_cast<int>(state.range(0));
+        std::function<void()> hop = [&] {
+            if (--remaining > 0) {
+                simulation.schedule_after(1, hop);
+            }
+        };
+        simulation.schedule_at(0, hop);
+        simulation.run();
+        benchmark::DoNotOptimize(remaining);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SelfSchedulingChain)->Arg(10000);
+
+void
+BM_RngLognormal(benchmark::State& state)
+{
+    sim::Rng rng(11);
+    double sum = 0.0;
+    for (auto _ : state) {
+        sum += rng.lognormal(4.787, 1.7);
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngLognormal);
+
+void
+BM_PercentileExtraction(benchmark::State& state)
+{
+    sim::Rng rng(13);
+    metrics::Percentiles dist;
+    for (int i = 0; i < state.range(0); ++i) {
+        dist.add(rng.lognormal(4.0, 1.5));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dist.percentile(99));
+        dist.add(1.0);  // force re-sort each iteration
+    }
+}
+BENCHMARK(BM_PercentileExtraction)->Arg(100000);
+
+void
+BM_NbLangParseExecute(benchmark::State& state)
+{
+    const std::string cell =
+        "step = step + 1\n"
+        "loss_7 = 0.125\n"
+        "gpu_compute(120.0, vram_mb=2048)\n"
+        "weights = tensor(45.0)\n";
+    for (auto _ : state) {
+        nblang::Namespace ns;
+        ns["step"] = nblang::Value::number_of(6);
+        const auto effect = nblang::execute_source(cell, ns);
+        benchmark::DoNotOptimize(effect.gpu_seconds);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NbLangParseExecute);
+
+}  // namespace
+
+BENCHMARK_MAIN();

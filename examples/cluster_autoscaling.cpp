@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Auto-scaling under a burst of new sessions (§3.4.2): the cluster grows
+ * as kernels arrive and training demand rises (scale-out, f = 1.05 with a
+ * scaling buffer), then shrinks back once sessions end (gradual 1-2
+ * server scale-in).
+ *
+ * Build & run:  ./build/examples/cluster_autoscaling
+ */
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "workload/generator.hpp"
+
+using namespace nbos;
+
+int
+main()
+{
+    // A bursty day: 60 sessions arrive in the first hours, run trainings,
+    // and most end before the day is over.
+    workload::TraceProfile profile = workload::TraceProfile::adobe();
+    profile.session_arrival_per_hour = 20.0;
+    profile.session_lifetime_mu = std::log(4.0 * 3600.0);  // ~4 h median
+    profile.session_lifetime_sigma = 0.6;
+
+    workload::WorkloadGenerator generator{sim::Rng(3)};
+    workload::GeneratorOptions options;
+    options.makespan = 24 * sim::kHour;
+    options.max_sessions = 60;
+    options.sessions_survive_trace = false;
+    const workload::Trace trace = generator.generate(profile, options);
+
+    core::PlatformConfig config = core::PlatformConfig::prototype_defaults();
+    config.policy = core::Policy::kNotebookOS;
+    config.fast_mode = true;  // analytic engine, instant run
+    config.seed = 3;
+    config.scheduler.initial_servers = 2;
+    const auto results = core::Platform(config).run(trace);
+
+    const auto sessions = core::active_sessions_series(trace);
+    std::printf("burst day: %zu sessions, %zu tasks\n\n",
+                trace.sessions.size(), trace.task_count());
+    std::printf("%-6s %-10s %-14s %-12s\n", "hour", "sessions",
+                "provisioned", "committed");
+    for (int hour = 0; hour <= 24; hour += 2) {
+        const sim::Time t = hour * sim::kHour;
+        std::printf("%-6d %-10.0f %-14.0f %-12.0f\n", hour,
+                    sessions.value_at(t),
+                    results.provisioned_gpus.value_at(t),
+                    results.committed_gpus.value_at(t));
+    }
+
+    int scale_outs = 0;
+    int scale_ins = 0;
+    for (const auto& event : results.events) {
+        scale_outs +=
+            event.kind == sched::SchedulerEvent::Kind::kScaleOut ? 1 : 0;
+        scale_ins +=
+            event.kind == sched::SchedulerEvent::Kind::kScaleIn ? 1 : 0;
+    }
+    std::printf("\nscale-outs: %d, scale-ins: %d, migrations: %llu\n",
+                scale_outs, scale_ins,
+                static_cast<unsigned long long>(
+                    results.sched_stats.migrations));
+    std::printf("GPU-hours provisioned: %.1f (peak %.0f GPUs); the fleet "
+                "followed the burst up and back down.\n",
+                results.gpu_hours_provisioned(),
+                results.provisioned_gpus.max_value());
+    return 0;
+}

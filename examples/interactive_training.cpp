@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Interactive deep-learning-training session (the paper's IDLT motivating
+ * workload, §2.2): a user iterates on a model — edit, train, evaluate —
+ * with realistic think-time gaps while GPUs bind only during cell
+ * execution. Demonstrates why Reservation-style platforms waste GPUs and
+ * how NotebookOS's dynamic binding recovers them.
+ *
+ * Build & run:  ./build/examples/interactive_training
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "workload/generator.hpp"
+
+using namespace nbos;
+
+int
+main()
+{
+    // One user session synthesized from the Adobe IDLT profile: short
+    // trainings separated by minutes of debugging (§2.3).
+    workload::WorkloadGenerator generator{sim::Rng(7)};
+    workload::GeneratorOptions options;
+    options.makespan = 8 * sim::kHour;
+    options.max_sessions = 12;
+    options.sessions_survive_trace = true;
+    const workload::Trace trace =
+        generator.generate(workload::TraceProfile::adobe(), options);
+
+    std::printf("IDLT workload: %zu sessions, %zu cell tasks over 8 h\n\n",
+                trace.sessions.size(), trace.task_count());
+    const auto& first = trace.sessions.front();
+    std::printf("session 1 trains %s on %s with %d GPUs; first cells:\n",
+                first.model.c_str(), first.dataset.c_str(),
+                first.resources.gpus);
+    for (std::size_t i = 0; i < 2 && i < first.tasks.size(); ++i) {
+        std::printf("--- cell %zu (t=%s, %.0f s of GPU work) ---\n%s", i,
+                    sim::format_time(first.tasks[i].submit_time).c_str(),
+                    sim::to_seconds(first.tasks[i].duration),
+                    first.tasks[i].code.c_str());
+    }
+
+    // Run the same session stream under Reservation and NotebookOS.
+    core::PlatformConfig config = core::PlatformConfig::prototype_defaults();
+    config.seed = 7;
+
+    config.policy = core::Policy::kReservation;
+    const auto reservation = core::Platform(config).run(trace);
+    config.policy = core::Policy::kNotebookOS;
+    const auto nbos = core::Platform(config).run(trace);
+
+    std::printf("\n%-14s %14s %14s %14s\n", "policy", "GPU-hours",
+                "delay-p50(s)", "tct-p50(s)");
+    for (const auto* results : {&reservation, &nbos}) {
+        std::printf("%-14s %14.1f %14.3f %14.1f\n",
+                    core::to_string(results->policy),
+                    results->gpu_hours_committed(),
+                    results->interactivity_delays_seconds().percentile(50),
+                    results->tct_ms().percentile(50) / 1000.0);
+    }
+    const double saved = reservation.gpu_hours_committed() -
+                         nbos.gpu_hours_committed();
+    std::printf("\nGPU-hours NotebookOS left unbound for other tenants: "
+                "%.1f (%.0f%% of the reservation)\n",
+                saved,
+                100.0 * saved / reservation.gpu_hours_committed());
+    std::printf("...at nearly identical interactivity (both sub-second "
+                "p50 delay).\n");
+    return 0;
+}

@@ -1,0 +1,52 @@
+#include "billing/billing.hpp"
+
+namespace nbos::billing {
+
+BillingSeries
+compute_billing(const BillingConfig& config,
+                const metrics::TimeSeries& provisioned_gpus,
+                const metrics::TimeSeries& reserved_or_standby_gpus,
+                const metrics::TimeSeries& active_gpus, bool standby_rate,
+                sim::Time until, sim::Time step)
+{
+    BillingSeries series;
+    if (step <= 0 || until <= 0) {
+        return series;
+    }
+    const double base = config.server_hour_cost;
+    const double mult = config.user_multiplier;
+    const double per_gpu = base / static_cast<double>(config.gpus_per_server);
+
+    double cost = 0.0;
+    double revenue = 0.0;
+    for (sim::Time t = 0; t <= until; t += step) {
+        const sim::Time next = std::min(t + step, until);
+        const double dt_hours = sim::to_hours(next - t);
+        if (dt_hours <= 0.0) {
+            break;
+        }
+        // Provider pays for every provisioned GPU (server fraction).
+        cost += provisioned_gpus.value_at(t) * per_gpu * dt_hours;
+        if (standby_rate) {
+            // NotebookOS: standby replicas pay the 12.5% flat rate; the
+            // active executor pays proportional to the GPUs in use.
+            revenue += reserved_or_standby_gpus.value_at(t) * base * mult *
+                       config.standby_fraction * dt_hours;
+            revenue += active_gpus.value_at(t) * per_gpu * mult * dt_hours;
+        } else {
+            // Reservation: sessions pay 1.15x on every reserved GPU for
+            // their whole lifetime (usage is already covered).
+            revenue += reserved_or_standby_gpus.value_at(t) * per_gpu *
+                       mult * dt_hours;
+            revenue += active_gpus.value_at(t) * per_gpu * mult * dt_hours;
+        }
+        series.provider_cost.record(next, cost);
+        series.revenue.record(next, revenue);
+        const double margin =
+            revenue > 0.0 ? (revenue - cost) / revenue * 100.0 : 0.0;
+        series.profit_margin_pct.record(next, margin);
+    }
+    return series;
+}
+
+}  // namespace nbos::billing

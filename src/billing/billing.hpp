@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The provider-side billing model of §5.5.1.
+ *
+ * The provider pays for EC2 VMs (one rate per 8-GPU server). Users pay
+ * 1.15x the provider's rate, proportional to resource usage. Standby
+ * distributed-kernel replicas are charged 12.5% of the base rate; an
+ * active replica running a task with g GPUs is charged g/8 of the base
+ * rate. Reservation users pay the same 1.15x multiplier on the GPUs they
+ * reserve for the whole session lifetime.
+ */
+#ifndef NBOS_BILLING_BILLING_HPP
+#define NBOS_BILLING_BILLING_HPP
+
+#include "metrics/timeseries.hpp"
+#include "sim/time.hpp"
+
+namespace nbos::billing {
+
+/** Pricing knobs (defaults follow the paper's example). */
+struct BillingConfig
+{
+    /** Provider's hourly cost for one 8-GPU server (p3.16xlarge-like). */
+    double server_hour_cost = 24.48;
+    /** User price multiplier over the provider rate. */
+    double user_multiplier = 1.15;
+    /** Standby replica rate as a fraction of the base server rate. */
+    double standby_fraction = 0.125;
+    /** GPUs per server. */
+    std::int32_t gpus_per_server = 8;
+};
+
+/** Cumulative cost/revenue series (Fig. 12). */
+struct BillingSeries
+{
+    /** Cumulative provider cost in dollars. */
+    metrics::TimeSeries provider_cost;
+    /** Cumulative revenue in dollars. */
+    metrics::TimeSeries revenue;
+    /** Profit margin (revenue - cost) / revenue, in percent. */
+    metrics::TimeSeries profit_margin_pct;
+
+    double final_cost() const { return provider_cost.current(); }
+    double final_revenue() const { return revenue.current(); }
+    double final_margin_pct() const { return profit_margin_pct.current(); }
+};
+
+/**
+ * Integrate the billing model over experiment timelines.
+ *
+ * @param provisioned_gpus  provider-side capacity (GPUs on provisioned
+ *                          servers) over time; cost accrues on this.
+ * @param reserved_or_standby_gpus
+ *        For Reservation: GPUs reserved by active sessions (billed at the
+ *        full proportional rate). For NotebookOS: pass the *standby
+ *        replica-equivalent* series from standby_replica_series().
+ * @param active_gpus       GPUs actively used by running tasks (billed at
+ *                          the proportional rate; zero for Reservation,
+ *                          whose reservation already covers usage).
+ * @param standby_rate      true if the second series bills at the standby
+ *                          fraction instead of the proportional rate.
+ * @param until             end of the accounting window.
+ * @param step              sampling step for the cumulative series.
+ */
+BillingSeries compute_billing(const BillingConfig& config,
+                              const metrics::TimeSeries& provisioned_gpus,
+                              const metrics::TimeSeries&
+                                  reserved_or_standby_gpus,
+                              const metrics::TimeSeries& active_gpus,
+                              bool standby_rate, sim::Time until,
+                              sim::Time step);
+
+}  // namespace nbos::billing
+
+#endif  // NBOS_BILLING_BILLING_HPP

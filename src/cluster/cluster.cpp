@@ -1,0 +1,194 @@
+#include "cluster/cluster.hpp"
+
+namespace nbos::cluster {
+
+Cluster::Cluster(ResourceSpec server_shape) : server_shape_(server_shape)
+{
+}
+
+GpuServer&
+Cluster::add_server()
+{
+    return add_server(server_shape_);
+}
+
+GpuServer&
+Cluster::add_server(const ResourceSpec& shape)
+{
+    const ServerId id = next_id_++;
+    auto server = std::make_unique<GpuServer>(id, shape);
+    GpuServer& ref = *server;
+    servers_.emplace(id, std::move(server));
+    return ref;
+}
+
+bool
+Cluster::remove_server(ServerId id)
+{
+    return servers_.erase(id) > 0;
+}
+
+GpuServer*
+Cluster::find(ServerId id)
+{
+    const auto it = servers_.find(id);
+    return it == servers_.end() ? nullptr : it->second.get();
+}
+
+const GpuServer*
+Cluster::find(ServerId id) const
+{
+    const auto it = servers_.find(id);
+    return it == servers_.end() ? nullptr : it->second.get();
+}
+
+std::vector<ServerId>
+Cluster::server_ids() const
+{
+    std::vector<ServerId> ids;
+    ids.reserve(servers_.size());
+    for (const auto& [id, server] : servers_) {
+        ids.push_back(id);
+    }
+    return ids;
+}
+
+std::int32_t
+Cluster::total_gpus() const
+{
+    std::int32_t total = 0;
+    for (const auto& [id, server] : servers_) {
+        total += server->capacity().gpus;
+    }
+    return total;
+}
+
+std::int32_t
+Cluster::total_subscribed_gpus() const
+{
+    std::int32_t total = 0;
+    for (const auto& [id, server] : servers_) {
+        total += server->subscribed_gpus();
+    }
+    return total;
+}
+
+std::int32_t
+Cluster::total_committed_gpus() const
+{
+    std::int32_t total = 0;
+    for (const auto& [id, server] : servers_) {
+        total += server->committed_gpus();
+    }
+    return total;
+}
+
+std::int64_t
+Cluster::total_committed_millicpus() const
+{
+    std::int64_t total = 0;
+    for (const auto& [id, server] : servers_) {
+        total += server->committed().millicpus;
+    }
+    return total;
+}
+
+double
+Cluster::cluster_subscription_ratio(std::int32_t replicas_per_kernel) const
+{
+    const std::int32_t gpus = total_gpus();
+    if (gpus <= 0 || replicas_per_kernel <= 0) {
+        return 0.0;
+    }
+    return static_cast<double>(total_subscribed_gpus()) /
+           (static_cast<double>(gpus) *
+            static_cast<double>(replicas_per_kernel));
+}
+
+PrewarmPool::PrewarmPool(std::int32_t target_per_server)
+    : target_per_server_(target_per_server)
+{
+}
+
+void
+PrewarmPool::register_server(ServerId id)
+{
+    pools_.emplace(id, State{});
+}
+
+void
+PrewarmPool::unregister_server(ServerId id)
+{
+    pools_.erase(id);
+}
+
+std::int32_t
+PrewarmPool::available(ServerId server) const
+{
+    const auto it = pools_.find(server);
+    return it == pools_.end() ? 0 : it->second.available;
+}
+
+std::int32_t
+PrewarmPool::pending(ServerId server) const
+{
+    const auto it = pools_.find(server);
+    return it == pools_.end() ? 0 : it->second.pending;
+}
+
+bool
+PrewarmPool::acquire(ServerId server)
+{
+    const auto it = pools_.find(server);
+    if (it == pools_.end() || it->second.available <= 0) {
+        ++total_misses_;
+        return false;
+    }
+    --it->second.available;
+    ++total_acquired_;
+    return true;
+}
+
+void
+PrewarmPool::begin_refill(ServerId server)
+{
+    const auto it = pools_.find(server);
+    if (it != pools_.end()) {
+        ++it->second.pending;
+    }
+}
+
+void
+PrewarmPool::complete_refill(ServerId server)
+{
+    const auto it = pools_.find(server);
+    if (it != pools_.end()) {
+        if (it->second.pending > 0) {
+            --it->second.pending;
+        }
+        ++it->second.available;
+    }
+}
+
+void
+PrewarmPool::release(ServerId server)
+{
+    const auto it = pools_.find(server);
+    if (it != pools_.end()) {
+        ++it->second.available;
+    }
+}
+
+std::int32_t
+PrewarmPool::deficit(ServerId server) const
+{
+    const auto it = pools_.find(server);
+    if (it == pools_.end()) {
+        return 0;
+    }
+    const std::int32_t shortfall =
+        target_per_server_ - it->second.available - it->second.pending;
+    return shortfall > 0 ? shortfall : 0;
+}
+
+}  // namespace nbos::cluster

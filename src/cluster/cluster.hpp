@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The elastic server fleet: server registry plus cluster-wide aggregates
+ * used by placement (dynamic SR cap, §3.4.1) and the auto-scaler (§3.4.2).
+ */
+#ifndef NBOS_CLUSTER_CLUSTER_HPP
+#define NBOS_CLUSTER_CLUSTER_HPP
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cluster/server.hpp"
+
+namespace nbos::cluster {
+
+/**
+ * Registry of GPU servers. Servers can be added (scale-out) and removed
+ * (scale-in) at runtime.
+ */
+class Cluster
+{
+  public:
+    explicit Cluster(ResourceSpec server_shape = ResourceSpec::server_8gpu());
+
+    /** Provision one server of the default shape. */
+    GpuServer& add_server();
+
+    /** Provision one server of a custom shape. */
+    GpuServer& add_server(const ResourceSpec& shape);
+
+    /**
+     * Remove a server.
+     * @return false if the id is unknown.
+     */
+    bool remove_server(ServerId id);
+
+    GpuServer* find(ServerId id);
+    const GpuServer* find(ServerId id) const;
+
+    /** Number of provisioned servers. */
+    std::size_t size() const { return servers_.size(); }
+
+    /** Iterate over servers in id order. */
+    const std::map<ServerId, std::unique_ptr<GpuServer>>& servers() const
+    {
+        return servers_;
+    }
+
+    /** All server ids in id order. */
+    std::vector<ServerId> server_ids() const;
+
+    /** Total GPUs across all servers (sum G). */
+    std::int32_t total_gpus() const;
+
+    /** Total subscribed GPUs across all servers (sum S). */
+    std::int32_t total_subscribed_gpus() const;
+
+    /** Total exclusively committed GPUs across all servers (sum C). */
+    std::int32_t total_committed_gpus() const;
+
+    /** Total committed millicpus across all servers. */
+    std::int64_t total_committed_millicpus() const;
+
+    /**
+     * Cluster-wide subscription-ratio limit, sum(S) / (sum(G) * R)
+     * (§3.4.1); 0 when the cluster is empty.
+     */
+    double cluster_subscription_ratio(std::int32_t replicas_per_kernel) const;
+
+    /** The default server shape for scale-out. */
+    const ResourceSpec& server_shape() const { return server_shape_; }
+
+  private:
+    ResourceSpec server_shape_;
+    ServerId next_id_ = 1;
+    std::map<ServerId, std::unique_ptr<GpuServer>> servers_;
+};
+
+/**
+ * Bookkeeping for the pre-warmed container pool (§3.2.3). The Container
+ * Prewarmer component in the Global Scheduler refills it; this class only
+ * tracks availability per server.
+ */
+class PrewarmPool
+{
+  public:
+    /** @param target_per_server warm containers to maintain per server. */
+    explicit PrewarmPool(std::int32_t target_per_server);
+
+    /** Track a newly provisioned server (starts with zero warm). */
+    void register_server(ServerId id);
+
+    /** Forget a removed server. */
+    void unregister_server(ServerId id);
+
+    /** Warm containers currently available on @p server. */
+    std::int32_t available(ServerId server) const;
+
+    /** Warm containers being provisioned for @p server. */
+    std::int32_t pending(ServerId server) const;
+
+    /** Take one warm container; false if none available. */
+    bool acquire(ServerId server);
+
+    /** Record the start of a warm-container provisioning. */
+    void begin_refill(ServerId server);
+
+    /** Record a completed warm-container provisioning. */
+    void complete_refill(ServerId server);
+
+    /** Return a container to the pool (LCP policy returns after use). */
+    void release(ServerId server);
+
+    /** How many refills @p server needs to reach the target. */
+    std::int32_t deficit(ServerId server) const;
+
+    std::int32_t target_per_server() const { return target_per_server_; }
+
+    /** Pool-wide counters. */
+    std::uint64_t total_acquired() const { return total_acquired_; }
+    std::uint64_t total_misses() const { return total_misses_; }
+
+  private:
+    struct State
+    {
+        std::int32_t available = 0;
+        std::int32_t pending = 0;
+    };
+
+    std::int32_t target_per_server_;
+    std::map<ServerId, State> pools_;
+    std::uint64_t total_acquired_ = 0;
+    std::uint64_t total_misses_ = 0;
+};
+
+}  // namespace nbos::cluster
+
+#endif  // NBOS_CLUSTER_CLUSTER_HPP

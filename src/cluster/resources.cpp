@@ -1,0 +1,47 @@
+#include "cluster/resources.hpp"
+
+#include <cstdio>
+
+namespace nbos::cluster {
+
+bool
+ResourceSpec::fits_within(const ResourceSpec& capacity) const
+{
+    return millicpus <= capacity.millicpus &&
+           memory_mb <= capacity.memory_mb && gpus <= capacity.gpus &&
+           vram_gb <= capacity.vram_gb;
+}
+
+ResourceSpec
+ResourceSpec::operator+(const ResourceSpec& other) const
+{
+    return ResourceSpec{millicpus + other.millicpus,
+                        memory_mb + other.memory_mb, gpus + other.gpus,
+                        vram_gb + other.vram_gb};
+}
+
+ResourceSpec
+ResourceSpec::operator-(const ResourceSpec& other) const
+{
+    return ResourceSpec{millicpus - other.millicpus,
+                        memory_mb - other.memory_mb, gpus - other.gpus,
+                        vram_gb - other.vram_gb};
+}
+
+std::string
+ResourceSpec::to_string() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "cpus=%dm mem=%lldMB gpus=%d vram=%.1fGB", millicpus,
+                  static_cast<long long>(memory_mb), gpus, vram_gb);
+    return buf;
+}
+
+ResourceSpec
+ResourceSpec::server_8gpu()
+{
+    return ResourceSpec{64000, 488 * 1024, 8, 8 * 16.0};
+}
+
+}  // namespace nbos::cluster

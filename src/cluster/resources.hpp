@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Resource vocabulary shared by the schedulers and the kernel layer.
+ *
+ * Matches the paper's resource-request argument (§3.2.1): millicpus
+ * (1/1000 vCPU), memory in MB, whole GPUs, and VRAM in GB.
+ */
+#ifndef NBOS_CLUSTER_RESOURCES_HPP
+#define NBOS_CLUSTER_RESOURCES_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace nbos::cluster {
+
+/** A resource request or capacity vector. */
+struct ResourceSpec
+{
+    std::int32_t millicpus = 1000;
+    std::int64_t memory_mb = 4096;
+    std::int32_t gpus = 1;
+    double vram_gb = 16.0;
+
+    /** True if every dimension of *this fits within @p capacity. */
+    bool fits_within(const ResourceSpec& capacity) const;
+
+    /** Component-wise sum. */
+    ResourceSpec operator+(const ResourceSpec& other) const;
+
+    /** Component-wise difference (may go negative; callers guard). */
+    ResourceSpec operator-(const ResourceSpec& other) const;
+
+    bool operator==(const ResourceSpec& other) const = default;
+
+    /** Render as "cpus=.../mem=.../gpus=.../vram=...". */
+    std::string to_string() const;
+
+    /** The 8-GPU server shape used throughout the evaluation
+     *  (p3.16xlarge-like: 64 vCPUs, 488 GB, 8 GPUs with 16 GB VRAM). */
+    static ResourceSpec server_8gpu();
+};
+
+}  // namespace nbos::cluster
+
+#endif  // NBOS_CLUSTER_RESOURCES_HPP

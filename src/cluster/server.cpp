@@ -1,0 +1,169 @@
+#include "cluster/server.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nbos::cluster {
+
+const char*
+to_string(ContainerState state)
+{
+    switch (state) {
+      case ContainerState::kProvisioning:
+        return "provisioning";
+      case ContainerState::kWarm:
+        return "warm";
+      case ContainerState::kIdle:
+        return "idle";
+      case ContainerState::kRunning:
+        return "running";
+      case ContainerState::kTerminated:
+        return "terminated";
+    }
+    return "unknown";
+}
+
+GpuServer::GpuServer(ServerId id, ResourceSpec capacity)
+    : id_(id),
+      capacity_(capacity),
+      device_busy_(static_cast<std::size_t>(
+                       capacity.gpus > 0 ? capacity.gpus : 0),
+                   false)
+{
+}
+
+void
+GpuServer::subscribe(const ResourceSpec& spec)
+{
+    subscribed_ = subscribed_ + spec;
+}
+
+void
+GpuServer::unsubscribe(const ResourceSpec& spec)
+{
+    subscribed_ = subscribed_ - spec;
+    assert(subscribed_.gpus >= 0 && subscribed_.millicpus >= 0 &&
+           subscribed_.memory_mb >= 0);
+}
+
+double
+GpuServer::subscription_ratio(std::int32_t replicas_per_kernel) const
+{
+    if (capacity_.gpus <= 0 || replicas_per_kernel <= 0) {
+        return 0.0;
+    }
+    return static_cast<double>(subscribed_.gpus) /
+           (static_cast<double>(capacity_.gpus) *
+            static_cast<double>(replicas_per_kernel));
+}
+
+bool
+GpuServer::can_commit(const ResourceSpec& spec) const
+{
+    return (committed_ + spec).fits_within(capacity_);
+}
+
+bool
+GpuServer::commit(const ResourceSpec& spec)
+{
+    if (!can_commit(spec)) {
+        return false;
+    }
+    committed_ = committed_ + spec;
+    return true;
+}
+
+void
+GpuServer::release(const ResourceSpec& spec)
+{
+    committed_ = committed_ - spec;
+    assert(committed_.gpus >= 0 && committed_.millicpus >= 0 &&
+           committed_.memory_mb >= 0);
+}
+
+std::optional<std::vector<std::int32_t>>
+GpuServer::commit_devices(const ResourceSpec& spec)
+{
+    if (!commit(spec)) {
+        return std::nullopt;
+    }
+    std::vector<std::int32_t> devices;
+    devices.reserve(static_cast<std::size_t>(spec.gpus));
+    for (std::size_t i = 0;
+         i < device_busy_.size() &&
+         devices.size() < static_cast<std::size_t>(spec.gpus);
+         ++i) {
+        if (!device_busy_[i]) {
+            device_busy_[i] = true;
+            devices.push_back(static_cast<std::int32_t>(i));
+        }
+    }
+    // commit() succeeded, so enough free devices must exist.
+    assert(devices.size() == static_cast<std::size_t>(spec.gpus));
+    return devices;
+}
+
+void
+GpuServer::release_devices(const ResourceSpec& spec,
+                           const std::vector<std::int32_t>& devices)
+{
+    release(spec);
+    for (const std::int32_t id : devices) {
+        if (id >= 0 &&
+            static_cast<std::size_t>(id) < device_busy_.size()) {
+            device_busy_[static_cast<std::size_t>(id)] = false;
+        }
+    }
+}
+
+bool
+GpuServer::device_in_use(std::int32_t id) const
+{
+    return id >= 0 && static_cast<std::size_t>(id) < device_busy_.size() &&
+           device_busy_[static_cast<std::size_t>(id)];
+}
+
+void
+GpuServer::add_container(const Container& container)
+{
+    assert(container.server == id_);
+    containers_[container.id] = container;
+}
+
+void
+GpuServer::remove_container(ContainerId id)
+{
+    containers_.erase(id);
+}
+
+Container*
+GpuServer::find_container(ContainerId id)
+{
+    const auto it = containers_.find(id);
+    return it == containers_.end() ? nullptr : &it->second;
+}
+
+std::size_t
+GpuServer::count_replicas_of(KernelId kernel) const
+{
+    std::size_t count = 0;
+    for (const auto& [id, container] : containers_) {
+        if (container.kernel == kernel &&
+            container.state != ContainerState::kTerminated) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+bool
+GpuServer::is_idle() const
+{
+    return std::none_of(containers_.begin(), containers_.end(),
+                        [](const auto& kv) {
+                            return kv.second.state ==
+                                   ContainerState::kRunning;
+                        });
+}
+
+}  // namespace nbos::cluster

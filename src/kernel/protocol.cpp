@@ -1,0 +1,78 @@
+#include "kernel/protocol.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace nbos::kernel {
+
+const char*
+to_string(EntryKind kind)
+{
+    switch (kind) {
+      case EntryKind::kLead:
+        return "LEAD";
+      case EntryKind::kYield:
+        return "YIELD";
+      case EntryKind::kVote:
+        return "VOTE";
+      case EntryKind::kDone:
+        return "DONE";
+      case EntryKind::kSync:
+        return "SYNC";
+    }
+    return "?";
+}
+
+std::string
+encode_entry(const KernelLogEntry& entry)
+{
+    char head[96];
+    std::snprintf(head, sizeof(head), "NBK %s %llu %d %d ",
+                  to_string(entry.kind),
+                  static_cast<unsigned long long>(entry.election),
+                  entry.replica, entry.target);
+    return std::string(head) + entry.payload;
+}
+
+std::optional<KernelLogEntry>
+decode_entry(const std::string& data)
+{
+    if (data.rfind("NBK ", 0) != 0) {
+        return std::nullopt;
+    }
+    KernelLogEntry entry;
+    char kind[16] = {0};
+    unsigned long long election = 0;
+    int replica = -1;
+    int target = -1;
+    int consumed = 0;
+    const int matched =
+        std::sscanf(data.c_str(), "NBK %15s %llu %d %d %n", kind, &election,
+                    &replica, &target, &consumed);
+    if (matched < 4) {
+        return std::nullopt;
+    }
+    if (std::strcmp(kind, "LEAD") == 0) {
+        entry.kind = EntryKind::kLead;
+    } else if (std::strcmp(kind, "YIELD") == 0) {
+        entry.kind = EntryKind::kYield;
+    } else if (std::strcmp(kind, "VOTE") == 0) {
+        entry.kind = EntryKind::kVote;
+    } else if (std::strcmp(kind, "DONE") == 0) {
+        entry.kind = EntryKind::kDone;
+    } else if (std::strcmp(kind, "SYNC") == 0) {
+        entry.kind = EntryKind::kSync;
+    } else {
+        return std::nullopt;
+    }
+    entry.election = election;
+    entry.replica = replica;
+    entry.target = target;
+    if (consumed > 0 && static_cast<std::size_t>(consumed) <= data.size()) {
+        entry.payload = data.substr(static_cast<std::size_t>(consumed));
+    }
+    return entry;
+}
+
+}  // namespace nbos::kernel

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Wire/log protocol of the distributed kernel (§3.2.2, Fig. 5).
+ *
+ * The executor-election protocol and the state-synchronization protocol are
+ * layered on the Raft log: every protocol action is a log entry, so all
+ * replicas observe an identical total order. Entries are encoded as compact
+ * strings (the Raft substrate is payload-agnostic).
+ */
+#ifndef NBOS_KERNEL_PROTOCOL_HPP
+#define NBOS_KERNEL_PROTOCOL_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "cluster/resources.hpp"
+#include "sim/time.hpp"
+
+namespace nbos::kernel {
+
+/** Identifier of one cell-execution election (monotonic per kernel). */
+using ElectionId = std::uint64_t;
+
+/** Kinds of entries the kernel appends to its Raft log. */
+enum class EntryKind
+{
+    kLead,   ///< Replica proposes to execute (has GPUs reserved).
+    kYield,  ///< Replica defers (no GPUs, or converted by the scheduler).
+    kVote,   ///< Vote for the first committed LEAD proposer.
+    kDone,   ///< Executor announces execution completion.
+    kSync,   ///< Serialized namespace delta (small vars + large pointers).
+};
+
+/** Human-readable entry-kind name. */
+const char* to_string(EntryKind kind);
+
+/** One decoded kernel log entry. */
+struct KernelLogEntry
+{
+    EntryKind kind = EntryKind::kLead;
+    ElectionId election = 0;
+    /** Proposing replica index (0-based). */
+    std::int32_t replica = -1;
+    /** For kVote: the replica being voted for. */
+    std::int32_t target = -1;
+    /** For kSync: the serialized state delta. */
+    std::string payload;
+};
+
+/** Encode a kernel entry into a Raft log payload. */
+std::string encode_entry(const KernelLogEntry& entry);
+
+/**
+ * Decode a Raft log payload.
+ * @return nullopt if the payload is not a kernel protocol entry.
+ */
+std::optional<KernelLogEntry> decode_entry(const std::string& data);
+
+/** An execute_request as delivered to one kernel replica. */
+struct ExecuteRequest
+{
+    ElectionId election = 0;
+    /** NbLang source of the cell. */
+    std::string code;
+    /** Resources to bind during execution (the session's request). */
+    cluster::ResourceSpec resources{};
+    /** True if the cell is an IDLT (GPU) task; CPU-only cells skip the
+     *  dynamic GPU binding. */
+    bool is_gpu = true;
+    /** True if the scheduler converted this to a yield_request for this
+     *  replica (§3.2.2: the scheduler can pre-select the executor). */
+    bool yield_converted = false;
+    /** Client-side submission time (for interactivity accounting). */
+    sim::Time submitted_at = 0;
+};
+
+/** Why an execution finished. */
+enum class ExecutionStatus
+{
+    kOk,
+    kError,  ///< NbLang raised (syntax/runtime error in user code).
+};
+
+/** Executor-side result of a cell execution. */
+struct ExecutionResult
+{
+    ElectionId election = 0;
+    std::int32_t executor_replica = -1;
+    ExecutionStatus status = ExecutionStatus::kOk;
+    std::string error;
+    std::string output;
+    /** When the replica received the request. */
+    sim::Time received_at = 0;
+    /** When user code actually started running (end of delay window). */
+    sim::Time execution_started_at = 0;
+    /** When user code finished. */
+    sim::Time execution_finished_at = 0;
+    /** When the reply left the replica (after GPU unbind). */
+    sim::Time replied_at = 0;
+    /** Raft election-protocol latency (steps 2-5 of Fig. 5). */
+    sim::Time election_latency = 0;
+    /** Data-store reads needed to page in referenced large objects. */
+    std::int32_t restore_reads = 0;
+    /** True if this replica also executed the previous cell. */
+    bool executor_reused = false;
+    /** True if GPUs were committed immediately at request receipt. */
+    bool gpus_committed_immediately = false;
+};
+
+}  // namespace nbos::kernel
+
+#endif  // NBOS_KERNEL_PROTOCOL_HPP

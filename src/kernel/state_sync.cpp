@@ -1,0 +1,194 @@
+#include "kernel/state_sync.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "nblang/token.hpp"
+
+namespace nbos::kernel {
+
+namespace {
+
+constexpr char kFieldSep = '\x1f';
+constexpr char kRecordSep = '\x1e';
+
+/** Strip separator bytes from user strings so records stay parseable. */
+std::string
+sanitize(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        if (c != kFieldSep && c != kRecordSep) {
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+split(const std::string& text, char sep)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t end = text.find(sep, start);
+        if (end == std::string::npos) {
+            parts.push_back(text.substr(start));
+            break;
+        }
+        parts.push_back(text.substr(start, end - start));
+        start = end + 1;
+    }
+    return parts;
+}
+
+}  // namespace
+
+std::uint64_t
+StateDelta::inline_bytes() const
+{
+    std::uint64_t total = 0;
+    for (const VarRecord& var : vars) {
+        if (!var.is_pointer) {
+            // Inline payload: metadata plus the value's own footprint.
+            total += 64 + var.value.text.size() +
+                     (var.value.kind == nblang::ValueKind::kTensor
+                          ? var.value.size_bytes
+                          : 0);
+        } else {
+            total += 64 + var.value.text.size();  // pointer metadata only
+        }
+    }
+    return total;
+}
+
+std::string
+serialize_delta(const StateDelta& delta)
+{
+    std::string out;
+    for (const VarRecord& var : delta.vars) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "%d%c%.17g%c%llu%c%llu%c%d",
+                      static_cast<int>(var.value.kind), kFieldSep,
+                      var.value.number, kFieldSep,
+                      static_cast<unsigned long long>(var.value.size_bytes),
+                      kFieldSep,
+                      static_cast<unsigned long long>(var.value.version),
+                      kFieldSep, var.is_pointer ? 1 : 0);
+        out += sanitize(var.name);
+        out += kFieldSep;
+        out += buf;
+        out += kFieldSep;
+        out += sanitize(var.value.text);
+        out += kRecordSep;
+    }
+    for (const std::string& name : delta.deleted) {
+        out += "!";
+        out += sanitize(name);
+        out += kRecordSep;
+    }
+    return out;
+}
+
+StateDelta
+deserialize_delta(const std::string& data)
+{
+    StateDelta delta;
+    for (const std::string& record : split(data, kRecordSep)) {
+        if (record.empty()) {
+            continue;
+        }
+        if (record[0] == '!') {
+            delta.deleted.push_back(record.substr(1));
+            continue;
+        }
+        const auto fields = split(record, kFieldSep);
+        if (fields.size() != 7) {
+            throw nblang::Error("malformed state record: '" + record + "'");
+        }
+        VarRecord var;
+        var.name = fields[0];
+        var.value.kind =
+            static_cast<nblang::ValueKind>(std::atoi(fields[1].c_str()));
+        var.value.number = std::strtod(fields[2].c_str(), nullptr);
+        var.value.size_bytes = std::strtoull(fields[3].c_str(), nullptr, 10);
+        var.value.version = std::strtoull(fields[4].c_str(), nullptr, 10);
+        var.is_pointer = fields[5] == "1";
+        var.value.text = fields[6];
+        delta.vars.push_back(std::move(var));
+    }
+    return delta;
+}
+
+void
+apply_delta(const StateDelta& delta, nblang::Namespace& ns,
+            std::set<std::string>& non_resident)
+{
+    for (const VarRecord& var : delta.vars) {
+        ns[var.name] = var.value;
+        if (var.is_pointer) {
+            non_resident.insert(var.name);
+        } else {
+            non_resident.erase(var.name);
+        }
+    }
+    for (const std::string& name : delta.deleted) {
+        ns.erase(name);
+        non_resident.erase(name);
+    }
+}
+
+StateDelta
+build_delta(const nblang::Namespace& ns,
+            const std::vector<std::string>& names,
+            const std::vector<std::string>& deleted,
+            std::uint64_t large_threshold)
+{
+    StateDelta delta;
+    std::set<std::string> seen;
+    for (const std::string& name : names) {
+        if (!seen.insert(name).second) {
+            continue;  // assigned multiple times in one cell
+        }
+        const auto it = ns.find(name);
+        if (it == ns.end()) {
+            continue;  // assigned then deleted within the cell
+        }
+        VarRecord var;
+        var.name = name;
+        var.value = it->second;
+        var.is_pointer = it->second.size_bytes >= large_threshold;
+        delta.vars.push_back(std::move(var));
+    }
+    std::set<std::string> deleted_seen;
+    for (const std::string& name : deleted) {
+        if (ns.find(name) == ns.end() && deleted_seen.insert(name).second) {
+            delta.deleted.push_back(name);
+        }
+    }
+    return delta;
+}
+
+std::string
+checkpoint_namespace(const nblang::Namespace& ns,
+                     std::uint64_t large_threshold)
+{
+    StateDelta delta;
+    for (const auto& [name, value] : ns) {
+        VarRecord var;
+        var.name = name;
+        var.value = value;
+        var.is_pointer = value.size_bytes >= large_threshold;
+        delta.vars.push_back(std::move(var));
+    }
+    return serialize_delta(delta);
+}
+
+std::string
+object_key(std::int64_t kernel_id, const std::string& var_name)
+{
+    return "kernel/" + std::to_string(kernel_id) + "/var/" + var_name;
+}
+
+}  // namespace nbos::kernel

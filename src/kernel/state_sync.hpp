@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Namespace (kernel state) serialization for the replication protocol
+ * (§3.2.4) and for migration checkpoints (§3.2.3).
+ *
+ * Small variables are serialized inline and travel in the Raft log; large
+ * variables are represented as *pointers* — the value's metadata plus a
+ * data-store key — while the bytes go to the Distributed Data Store.
+ */
+#ifndef NBOS_KERNEL_STATE_SYNC_HPP
+#define NBOS_KERNEL_STATE_SYNC_HPP
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "nblang/interpreter.hpp"
+
+namespace nbos::kernel {
+
+/** One replicated variable. */
+struct VarRecord
+{
+    std::string name;
+    nblang::Value value;
+    /** True if the bytes live in the data store (large object). */
+    bool is_pointer = false;
+};
+
+/** A namespace delta: updated variables plus deletions. */
+struct StateDelta
+{
+    std::vector<VarRecord> vars;
+    std::vector<std::string> deleted;
+
+    /** Total inline payload bytes (what actually travels through Raft). */
+    std::uint64_t inline_bytes() const;
+};
+
+/** Serialize a delta for a SYNC log entry or a checkpoint object. */
+std::string serialize_delta(const StateDelta& delta);
+
+/**
+ * Parse a serialized delta.
+ * @throws nblang::Error on malformed input.
+ */
+StateDelta deserialize_delta(const std::string& data);
+
+/**
+ * Apply @p delta to @p ns. Pointer variables are installed with their
+ * metadata and recorded in @p non_resident (their bytes must be fetched
+ * from the data store before first use).
+ */
+void apply_delta(const StateDelta& delta, nblang::Namespace& ns,
+                 std::set<std::string>& non_resident);
+
+/**
+ * Build a delta covering @p names from @p ns; values whose footprint is at
+ * least @p large_threshold become pointers.
+ */
+StateDelta build_delta(const nblang::Namespace& ns,
+                       const std::vector<std::string>& names,
+                       const std::vector<std::string>& deleted,
+                       std::uint64_t large_threshold);
+
+/** Full-namespace checkpoint (every variable, large ones as pointers). */
+std::string checkpoint_namespace(const nblang::Namespace& ns,
+                                 std::uint64_t large_threshold);
+
+/** Data-store key for a kernel variable's bytes. */
+std::string object_key(std::int64_t kernel_id, const std::string& var_name);
+
+}  // namespace nbos::kernel
+
+#endif  // NBOS_KERNEL_STATE_SYNC_HPP

@@ -1,0 +1,143 @@
+#include "metrics/percentiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace nbos::metrics {
+
+void
+Percentiles::add(double value)
+{
+    samples_.push_back(value);
+    sorted_ = false;
+}
+
+void
+Percentiles::add_all(const std::vector<double>& values)
+{
+    samples_.insert(samples_.end(), values.begin(), values.end());
+    sorted_ = false;
+}
+
+void
+Percentiles::ensure_sorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+Percentiles::min() const
+{
+    if (samples_.empty()) {
+        return 0.0;
+    }
+    ensure_sorted();
+    return samples_.front();
+}
+
+double
+Percentiles::max() const
+{
+    if (samples_.empty()) {
+        return 0.0;
+    }
+    ensure_sorted();
+    return samples_.back();
+}
+
+double
+Percentiles::mean() const
+{
+    if (samples_.empty()) {
+        return 0.0;
+    }
+    return sum() / static_cast<double>(samples_.size());
+}
+
+double
+Percentiles::sum() const
+{
+    return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double
+Percentiles::percentile(double p) const
+{
+    if (samples_.empty()) {
+        return 0.0;
+    }
+    ensure_sorted();
+    p = std::clamp(p, 0.0, 100.0);
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = static_cast<std::size_t>(std::ceil(rank));
+    if (lo == hi) {
+        return samples_[lo];
+    }
+    const double frac = rank - static_cast<double>(lo);
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double
+Percentiles::cdf_at(double value) const
+{
+    if (samples_.empty()) {
+        return 0.0;
+    }
+    ensure_sorted();
+    const auto it =
+        std::upper_bound(samples_.begin(), samples_.end(), value);
+    return static_cast<double>(it - samples_.begin()) /
+           static_cast<double>(samples_.size());
+}
+
+std::vector<CdfPoint>
+Percentiles::cdf(std::size_t points) const
+{
+    std::vector<CdfPoint> out;
+    if (samples_.empty()) {
+        return out;
+    }
+    ensure_sorted();
+    if (points < 2) {
+        points = 2;
+    }
+    out.reserve(points);
+    const auto n = samples_.size();
+    for (std::size_t i = 0; i < points; ++i) {
+        const double frac =
+            static_cast<double>(i) / static_cast<double>(points - 1);
+        auto idx = static_cast<std::size_t>(
+            frac * static_cast<double>(n - 1));
+        out.push_back(CdfPoint{samples_[idx],
+                               static_cast<double>(idx + 1) /
+                                   static_cast<double>(n)});
+    }
+    return out;
+}
+
+std::vector<double>
+Percentiles::sorted() const
+{
+    ensure_sorted();
+    return samples_;
+}
+
+std::string
+Percentiles::summary(const std::string& label) const
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "%-28s n=%8zu mean=%12.3f p50=%12.3f p90=%12.3f "
+                  "p99=%12.3f max=%12.3f",
+                  label.c_str(), count(), mean(), percentile(50),
+                  percentile(90), percentile(99), max());
+    return buf;
+}
+
+}  // namespace nbos::metrics

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Percentile / CDF accumulator used for every distribution the paper plots
+ * (task durations, IATs, interactivity delays, TCTs, sync latencies, ...).
+ */
+#ifndef NBOS_METRICS_PERCENTILES_HPP
+#define NBOS_METRICS_PERCENTILES_HPP
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nbos::metrics {
+
+/** One (value, cumulative-fraction) point of an empirical CDF. */
+struct CdfPoint
+{
+    double value;
+    double fraction;
+};
+
+/**
+ * Exact sample accumulator with percentile and CDF extraction.
+ *
+ * Samples are kept verbatim (experiments produce at most a few million
+ * samples) and sorted lazily, so add() is O(1).
+ */
+class Percentiles
+{
+  public:
+    /** Record one sample. */
+    void add(double value);
+
+    /** Record many samples. */
+    void add_all(const std::vector<double>& values);
+
+    /** Number of recorded samples. */
+    std::size_t count() const { return samples_.size(); }
+
+    /** True if no samples recorded. */
+    bool empty() const { return samples_.empty(); }
+
+    /** Smallest sample (0 if empty). */
+    double min() const;
+
+    /** Largest sample (0 if empty). */
+    double max() const;
+
+    /** Arithmetic mean (0 if empty). */
+    double mean() const;
+
+    /** Sum of all samples. */
+    double sum() const;
+
+    /**
+     * Linear-interpolated percentile.
+     * @param p percentile in [0, 100].
+     */
+    double percentile(double p) const;
+
+    /** Median (percentile 50). */
+    double median() const { return percentile(50.0); }
+
+    /** Fraction of samples <= @p value (empirical CDF evaluated at value). */
+    double cdf_at(double value) const;
+
+    /**
+     * Evenly spaced CDF points for plotting.
+     * @param points number of points (>= 2).
+     */
+    std::vector<CdfPoint> cdf(std::size_t points = 100) const;
+
+    /** Sorted copy of the samples. */
+    std::vector<double> sorted() const;
+
+    /**
+     * One-line summary ("n=... p50=... p90=... p99=... max=...") for
+     * experiment logs.
+     */
+    std::string summary(const std::string& label) const;
+
+  private:
+    void ensure_sorted() const;
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+};
+
+}  // namespace nbos::metrics
+
+#endif  // NBOS_METRICS_PERCENTILES_HPP

@@ -1,0 +1,114 @@
+#include "metrics/timeseries.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nbos::metrics {
+
+void
+TimeSeries::record(sim::Time t, double value)
+{
+    if (!samples_.empty()) {
+        assert(t >= samples_.back().time && "timestamps must not decrease");
+        if (samples_.back().time == t) {
+            samples_.back().value = value;
+            return;
+        }
+    }
+    samples_.push_back(Sample{t, value});
+}
+
+void
+TimeSeries::add(sim::Time t, double delta)
+{
+    record(t, current() + delta);
+}
+
+double
+TimeSeries::value_at(sim::Time t) const
+{
+    if (samples_.empty() || t < samples_.front().time) {
+        return 0.0;
+    }
+    // Last sample with time <= t.
+    auto it = std::upper_bound(
+        samples_.begin(), samples_.end(), t,
+        [](sim::Time lhs, const Sample& s) { return lhs < s.time; });
+    return (it - 1)->value;
+}
+
+double
+TimeSeries::current() const
+{
+    return samples_.empty() ? 0.0 : samples_.back().value;
+}
+
+double
+TimeSeries::integrate_seconds(sim::Time t0, sim::Time t1) const
+{
+    if (samples_.empty() || t1 <= t0) {
+        return 0.0;
+    }
+    double area_us = 0.0;
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+        const sim::Time seg_start = std::max(samples_[i].time, t0);
+        const sim::Time seg_end_raw = (i + 1 < samples_.size())
+                                          ? samples_[i + 1].time
+                                          : t1;
+        const sim::Time seg_end = std::min(seg_end_raw, t1);
+        if (seg_end > seg_start) {
+            area_us += samples_[i].value *
+                       static_cast<double>(seg_end - seg_start);
+        }
+        if (samples_[i].time >= t1) {
+            break;
+        }
+    }
+    return area_us / static_cast<double>(sim::kSecond);
+}
+
+double
+TimeSeries::integrate_hours(sim::Time t0, sim::Time t1) const
+{
+    return integrate_seconds(t0, t1) / 3600.0;
+}
+
+double
+TimeSeries::max_value() const
+{
+    double best = 0.0;
+    for (const auto& s : samples_) {
+        best = std::max(best, s.value);
+    }
+    return best;
+}
+
+double
+TimeSeries::mean_over(sim::Time t0, sim::Time t1) const
+{
+    if (t1 <= t0) {
+        return 0.0;
+    }
+    return integrate_seconds(t0, t1) /
+           (static_cast<double>(t1 - t0) / static_cast<double>(sim::kSecond));
+}
+
+std::vector<Sample>
+TimeSeries::resample(sim::Time t0, sim::Time t1, std::size_t buckets) const
+{
+    std::vector<Sample> out;
+    if (buckets == 0 || t1 <= t0) {
+        return out;
+    }
+    out.reserve(buckets);
+    for (std::size_t i = 0; i < buckets; ++i) {
+        const sim::Time t =
+            t0 + static_cast<sim::Time>(
+                     (static_cast<double>(t1 - t0) * static_cast<double>(i)) /
+                     static_cast<double>(buckets));
+        out.push_back(Sample{t, value_at(t)});
+    }
+    return out;
+}
+
+}  // namespace nbos::metrics

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Step-function time series used for the paper's timeline plots
+ * (provisioned GPUs, committed GPUs, subscription ratio, active sessions,
+ * billing) and for GPU-hour integration.
+ */
+#ifndef NBOS_METRICS_TIMESERIES_HPP
+#define NBOS_METRICS_TIMESERIES_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace nbos::metrics {
+
+/** One (time, value) observation. */
+struct Sample
+{
+    sim::Time time;
+    double value;
+};
+
+/**
+ * Right-continuous step function: the recorded value holds until the next
+ * observation. Observations must be recorded with non-decreasing timestamps.
+ */
+class TimeSeries
+{
+  public:
+    /** Record the new value at @p t (t must be >= the last recorded time). */
+    void record(sim::Time t, double value);
+
+    /** Add @p delta to the current value at time @p t. */
+    void add(sim::Time t, double delta);
+
+    /** Value at time @p t (0 before the first observation). */
+    double value_at(sim::Time t) const;
+
+    /** Latest recorded value (0 if empty). */
+    double current() const;
+
+    /** Number of recorded observations. */
+    std::size_t size() const { return samples_.size(); }
+
+    /** True if no observations recorded. */
+    bool empty() const { return samples_.empty(); }
+
+    /** Raw observations. */
+    const std::vector<Sample>& samples() const { return samples_; }
+
+    /**
+     * Integrate the step function over [t0, t1].
+     * @return area in value-seconds (divide by 3600 for value-hours).
+     */
+    double integrate_seconds(sim::Time t0, sim::Time t1) const;
+
+    /** Integrate over [t0, t1] and express the area in value-hours. */
+    double integrate_hours(sim::Time t0, sim::Time t1) const;
+
+    /** Maximum recorded value (0 if empty). */
+    double max_value() const;
+
+    /** Time-weighted mean over [t0, t1]. */
+    double mean_over(sim::Time t0, sim::Time t1) const;
+
+    /**
+     * Down-sample to at most @p buckets evenly spaced points over [t0, t1]
+     * for plotting (each point is the value at the bucket start).
+     */
+    std::vector<Sample> resample(sim::Time t0, sim::Time t1,
+                                 std::size_t buckets) const;
+
+  private:
+    std::vector<Sample> samples_;
+};
+
+}  // namespace nbos::metrics
+
+#endif  // NBOS_METRICS_TIMESERIES_HPP

@@ -1,0 +1,116 @@
+#include "nblang/analysis.hpp"
+
+#include "nblang/parser.hpp"
+
+namespace nbos::nblang {
+
+namespace {
+
+/** Builtins whose invocation marks the cell as a GPU task. */
+bool
+is_gpu_builtin(const std::string& callee)
+{
+    return callee == "train" || callee == "evaluate" ||
+           callee == "gpu_compute";
+}
+
+class Analyzer
+{
+  public:
+    explicit Analyzer(CellAnalysis& result) : result_(result) {}
+
+    void
+    visit(const Program& program)
+    {
+        for (const Stmt& stmt : program.statements) {
+            std::visit([this](const auto& node) { visit_stmt(node); },
+                       stmt.node);
+        }
+    }
+
+  private:
+    void
+    visit_stmt(const AssignStmt& assign)
+    {
+        // Augmented assignment reads the target first.
+        if (assign.op != '=') {
+            note_read(assign.target);
+        }
+        visit_expr(*assign.value);
+        result_.assigned.insert(assign.target);
+    }
+
+    void visit_stmt(const ExprStmt& stmt) { visit_expr(*stmt.expr); }
+
+    void
+    visit_stmt(const DelStmt& del)
+    {
+        result_.deleted.insert(del.name);
+        result_.assigned.erase(del.name);
+    }
+
+    void
+    visit_expr(const Expr& expr)
+    {
+        std::visit([this](const auto& node) { visit_node(node); }, expr.node);
+    }
+
+    void visit_node(const NumberLit&) {}
+    void visit_node(const StringLit&) {}
+
+    void visit_node(const NameRef& ref) { note_read(ref.name); }
+
+    void visit_node(const UnaryOp& unary) { visit_expr(*unary.operand); }
+
+    void
+    visit_node(const BinaryOp& bin)
+    {
+        visit_expr(*bin.lhs);
+        visit_expr(*bin.rhs);
+    }
+
+    void
+    visit_node(const CallExpr& call)
+    {
+        if (is_gpu_builtin(call.callee)) {
+            result_.calls_gpu = true;
+        }
+        for (const ExprPtr& arg : call.args) {
+            visit_expr(*arg);
+        }
+        for (const auto& [key, arg] : call.kwargs) {
+            visit_expr(*arg);
+        }
+    }
+
+    void
+    note_read(const std::string& name)
+    {
+        // Only names not already (re)bound by this cell count as external
+        // references.
+        if (result_.assigned.find(name) == result_.assigned.end()) {
+            result_.referenced.insert(name);
+        }
+    }
+
+    CellAnalysis& result_;
+};
+
+}  // namespace
+
+CellAnalysis
+analyze(const Program& program)
+{
+    CellAnalysis result;
+    Analyzer analyzer(result);
+    analyzer.visit(program);
+    return result;
+}
+
+CellAnalysis
+analyze_source(const std::string& source)
+{
+    return analyze(parse(source));
+}
+
+}  // namespace nbos::nblang

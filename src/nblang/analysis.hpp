@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Static AST analysis used by the state-replication protocol (§3.2.4).
+ *
+ * The executor replica analyzes the cell's AST to determine which globals
+ * the cell (re)binds — those must be synchronized to the standby replicas —
+ * and which it merely reads. Combined with the post-execution namespace,
+ * the kernel then size-classifies each synchronized variable: small values
+ * travel in the Raft log, large values go to the Distributed Data Store
+ * with only a pointer in the log.
+ */
+#ifndef NBOS_NBLANG_ANALYSIS_HPP
+#define NBOS_NBLANG_ANALYSIS_HPP
+
+#include <set>
+#include <string>
+
+#include "nblang/ast.hpp"
+
+namespace nbos::nblang {
+
+/** Result of statically analyzing one cell. */
+struct CellAnalysis
+{
+    /** Globals the cell assigns (must be replicated after execution). */
+    std::set<std::string> assigned;
+    /** Globals the cell reads before (or without) assigning. */
+    std::set<std::string> referenced;
+    /** Globals the cell deletes. */
+    std::set<std::string> deleted;
+    /** True if the cell syntactically contains a GPU builtin call. */
+    bool calls_gpu = false;
+};
+
+/** Analyze a parsed cell. */
+CellAnalysis analyze(const Program& program);
+
+/** Convenience: parse then analyze source text. */
+CellAnalysis analyze_source(const std::string& source);
+
+}  // namespace nbos::nblang
+
+#endif  // NBOS_NBLANG_ANALYSIS_HPP

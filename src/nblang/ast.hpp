@@ -1,0 +1,107 @@
+/**
+ * @file
+ * NbLang abstract syntax tree.
+ *
+ * The AST is the artifact the paper's state-replication protocol analyzes
+ * (Fig. 6): the executor replica converts submitted code to an AST, executes
+ * it, then inspects the AST to find mutated globals for synchronization.
+ */
+#ifndef NBOS_NBLANG_AST_HPP
+#define NBOS_NBLANG_AST_HPP
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace nbos::nblang {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** Numeric literal. */
+struct NumberLit
+{
+    double value = 0.0;
+};
+
+/** String literal. */
+struct StringLit
+{
+    std::string value;
+};
+
+/** Reference to a global variable. */
+struct NameRef
+{
+    std::string name;
+};
+
+/** Unary operation (only '-'). */
+struct UnaryOp
+{
+    char op = '-';
+    ExprPtr operand;
+};
+
+/** Binary arithmetic. */
+struct BinaryOp
+{
+    char op = '+';
+    ExprPtr lhs;
+    ExprPtr rhs;
+};
+
+/** Builtin call with positional and keyword arguments. */
+struct CallExpr
+{
+    std::string callee;
+    std::vector<ExprPtr> args;
+    std::vector<std::pair<std::string, ExprPtr>> kwargs;
+};
+
+/** Expression node (sum type). */
+struct Expr
+{
+    std::variant<NumberLit, StringLit, NameRef, UnaryOp, BinaryOp, CallExpr>
+        node;
+    std::size_t line = 1;
+};
+
+/** `target = expr` (op is '=', or '+', '-', '*' for augmented forms). */
+struct AssignStmt
+{
+    std::string target;
+    char op = '=';
+    ExprPtr value;
+};
+
+/** Bare expression evaluated for its effects (e.g. `train(m, d)`). */
+struct ExprStmt
+{
+    ExprPtr expr;
+};
+
+/** `del name`. */
+struct DelStmt
+{
+    std::string name;
+};
+
+/** Statement node (sum type). */
+struct Stmt
+{
+    std::variant<AssignStmt, ExprStmt, DelStmt> node;
+    std::size_t line = 1;
+};
+
+/** A parsed notebook cell. */
+struct Program
+{
+    std::vector<Stmt> statements;
+};
+
+}  // namespace nbos::nblang
+
+#endif  // NBOS_NBLANG_AST_HPP

@@ -1,0 +1,100 @@
+#include "nblang/catalog.hpp"
+
+namespace nbos::nblang {
+
+namespace {
+
+constexpr std::uint64_t kMB = 1024ULL * 1024ULL;
+constexpr std::uint64_t kGB = 1024ULL * kMB;
+
+}  // namespace
+
+const char*
+to_string(Domain domain)
+{
+    switch (domain) {
+      case Domain::kComputerVision:
+        return "computer-vision";
+      case Domain::kNaturalLanguage:
+        return "natural-language-processing";
+      case Domain::kSpeechRecognition:
+        return "speech-recognition";
+    }
+    return "unknown";
+}
+
+const std::vector<ModelInfo>&
+model_catalog()
+{
+    static const std::vector<ModelInfo> kModels = {
+        {"vgg16", Domain::kComputerVision, 528 * kMB, 2.5},
+        {"resnet18", Domain::kComputerVision, 45 * kMB, 1.0},
+        {"inception_v3", Domain::kComputerVision, 104 * kMB, 1.8},
+        {"bert", Domain::kNaturalLanguage, 440 * kMB, 3.0},
+        {"gpt2", Domain::kNaturalLanguage, 548 * kMB, 3.5},
+        {"deepspeech2", Domain::kSpeechRecognition, 350 * kMB, 2.8},
+    };
+    return kModels;
+}
+
+const std::vector<DatasetInfo>&
+dataset_catalog()
+{
+    static const std::vector<DatasetInfo> kDatasets = {
+        {"cifar10", Domain::kComputerVision, 170 * kMB, 40.0},
+        {"cifar100", Domain::kComputerVision, 170 * kMB, 40.0},
+        {"tiny_imagenet", Domain::kComputerVision, 237 * kMB, 120.0},
+        {"imdb", Domain::kNaturalLanguage, 80 * kMB, 90.0},
+        {"cola", Domain::kNaturalLanguage, 10 * kMB, 20.0},
+        {"librispeech", Domain::kSpeechRecognition, 6 * kGB, 300.0},
+    };
+    return kDatasets;
+}
+
+std::optional<ModelInfo>
+find_model(const std::string& name)
+{
+    for (const auto& model : model_catalog()) {
+        if (model.name == name) {
+            return model;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<DatasetInfo>
+find_dataset(const std::string& name)
+{
+    for (const auto& dataset : dataset_catalog()) {
+        if (dataset.name == name) {
+            return dataset;
+        }
+    }
+    return std::nullopt;
+}
+
+std::vector<ModelInfo>
+models_in_domain(Domain domain)
+{
+    std::vector<ModelInfo> out;
+    for (const auto& model : model_catalog()) {
+        if (model.domain == domain) {
+            out.push_back(model);
+        }
+    }
+    return out;
+}
+
+std::vector<DatasetInfo>
+datasets_in_domain(Domain domain)
+{
+    std::vector<DatasetInfo> out;
+    for (const auto& dataset : dataset_catalog()) {
+        if (dataset.domain == domain) {
+            out.push_back(dataset);
+        }
+    }
+    return out;
+}
+
+}  // namespace nbos::nblang

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Model/dataset catalog from Table 1 of the paper.
+ *
+ * Sizes are real published artifact sizes (parameter files / dataset
+ * archives); per-epoch GPU seconds are rough single-V100 magnitudes used to
+ * derive deterministic training costs in NbLang's `train()` builtin.
+ */
+#ifndef NBOS_NBLANG_CATALOG_HPP
+#define NBOS_NBLANG_CATALOG_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nbos::nblang {
+
+/** Application domains from Table 1. */
+enum class Domain
+{
+    kComputerVision,
+    kNaturalLanguage,
+    kSpeechRecognition,
+};
+
+/** Human-readable domain name. */
+const char* to_string(Domain domain);
+
+/** One model entry. */
+struct ModelInfo
+{
+    std::string name;
+    Domain domain = Domain::kComputerVision;
+    /** Parameter-file footprint in bytes. */
+    std::uint64_t param_bytes = 0;
+    /** Relative compute cost multiplier for one epoch. */
+    double compute_factor = 1.0;
+};
+
+/** One dataset entry. */
+struct DatasetInfo
+{
+    std::string name;
+    Domain domain = Domain::kComputerVision;
+    /** On-disk footprint in bytes. */
+    std::uint64_t bytes = 0;
+    /** Baseline GPU-seconds per epoch at compute_factor 1.0. */
+    double epoch_gpu_seconds = 60.0;
+};
+
+/** All models of Table 1. */
+const std::vector<ModelInfo>& model_catalog();
+
+/** All datasets of Table 1. */
+const std::vector<DatasetInfo>& dataset_catalog();
+
+/** Look up a model by (case-sensitive) name. */
+std::optional<ModelInfo> find_model(const std::string& name);
+
+/** Look up a dataset by name. */
+std::optional<DatasetInfo> find_dataset(const std::string& name);
+
+/** Models belonging to @p domain. */
+std::vector<ModelInfo> models_in_domain(Domain domain);
+
+/** Datasets belonging to @p domain. */
+std::vector<DatasetInfo> datasets_in_domain(Domain domain);
+
+}  // namespace nbos::nblang
+
+#endif  // NBOS_NBLANG_CATALOG_HPP

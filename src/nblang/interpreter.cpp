@@ -1,0 +1,431 @@
+#include "nblang/interpreter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "nblang/catalog.hpp"
+#include "nblang/parser.hpp"
+#include "nblang/token.hpp"
+
+namespace nbos::nblang {
+
+namespace {
+
+constexpr std::uint64_t kMB = 1024ULL * 1024ULL;
+
+}  // namespace
+
+const char*
+to_string(ValueKind kind)
+{
+    switch (kind) {
+      case ValueKind::kNone:
+        return "none";
+      case ValueKind::kNumber:
+        return "number";
+      case ValueKind::kString:
+        return "string";
+      case ValueKind::kTensor:
+        return "tensor";
+      case ValueKind::kModel:
+        return "model";
+      case ValueKind::kDataset:
+        return "dataset";
+    }
+    return "unknown";
+}
+
+Value
+Value::none()
+{
+    return Value{};
+}
+
+Value
+Value::number_of(double v)
+{
+    Value value;
+    value.kind = ValueKind::kNumber;
+    value.number = v;
+    return value;
+}
+
+Value
+Value::string_of(std::string v)
+{
+    Value value;
+    value.kind = ValueKind::kString;
+    value.text = std::move(v);
+    return value;
+}
+
+Value
+Value::tensor_of(std::uint64_t bytes)
+{
+    Value value;
+    value.kind = ValueKind::kTensor;
+    value.size_bytes = bytes;
+    return value;
+}
+
+std::string
+Value::repr() const
+{
+    char buf[128];
+    switch (kind) {
+      case ValueKind::kNone:
+        return "none";
+      case ValueKind::kNumber: {
+        std::snprintf(buf, sizeof(buf), "%g", number);
+        return buf;
+      }
+      case ValueKind::kString:
+        return text;
+      case ValueKind::kTensor:
+        std::snprintf(buf, sizeof(buf), "tensor(%.1fMB)",
+                      static_cast<double>(size_bytes) /
+                          static_cast<double>(kMB));
+        return buf;
+      case ValueKind::kModel:
+        std::snprintf(buf, sizeof(buf), "model:%s(v%llu)", text.c_str(),
+                      static_cast<unsigned long long>(version));
+        return buf;
+      case ValueKind::kDataset:
+        std::snprintf(buf, sizeof(buf), "dataset:%s", text.c_str());
+        return buf;
+    }
+    return "?";
+}
+
+namespace {
+
+/** Tree-walking evaluator carrying the namespace and the effect record. */
+class Evaluator
+{
+  public:
+    Evaluator(Namespace& ns, Effect& effect) : ns_(ns), effect_(effect) {}
+
+    void
+    run(const Program& program)
+    {
+        for (const Stmt& stmt : program.statements) {
+            std::visit([this, &stmt](const auto& node) { exec(node, stmt); },
+                       stmt.node);
+        }
+    }
+
+  private:
+    void
+    exec(const AssignStmt& assign, const Stmt& stmt)
+    {
+        Value value = eval(*assign.value);
+        if (assign.op != '=') {
+            const auto it = ns_.find(assign.target);
+            if (it == ns_.end()) {
+                throw Error("augmented assignment to undefined variable '" +
+                                assign.target + "'",
+                            stmt.line, 0);
+            }
+            value = binary(assign.op, it->second, value, stmt.line);
+        }
+        const auto it = ns_.find(assign.target);
+        if (it != ns_.end()) {
+            value.version = it->second.version + 1;
+        }
+        ns_[assign.target] = std::move(value);
+        effect_.assigned.push_back(assign.target);
+    }
+
+    void
+    exec(const ExprStmt& expr_stmt, const Stmt&)
+    {
+        eval(*expr_stmt.expr);
+    }
+
+    void
+    exec(const DelStmt& del, const Stmt& stmt)
+    {
+        if (ns_.erase(del.name) == 0) {
+            throw Error("del of undefined variable '" + del.name + "'",
+                        stmt.line, 0);
+        }
+        effect_.deleted.push_back(del.name);
+    }
+
+    Value
+    eval(const Expr& expr)
+    {
+        return std::visit(
+            [this, &expr](const auto& node) { return eval_node(node, expr); },
+            expr.node);
+    }
+
+    Value eval_node(const NumberLit& lit, const Expr&)
+    {
+        return Value::number_of(lit.value);
+    }
+
+    Value eval_node(const StringLit& lit, const Expr&)
+    {
+        return Value::string_of(lit.value);
+    }
+
+    Value
+    eval_node(const NameRef& ref, const Expr& expr)
+    {
+        const auto it = ns_.find(ref.name);
+        if (it == ns_.end()) {
+            throw Error("undefined variable '" + ref.name + "'", expr.line,
+                        0);
+        }
+        return it->second;
+    }
+
+    Value
+    eval_node(const UnaryOp& unary, const Expr& expr)
+    {
+        Value operand = eval(*unary.operand);
+        if (operand.kind != ValueKind::kNumber) {
+            throw Error("unary '-' requires a number", expr.line, 0);
+        }
+        operand.number = -operand.number;
+        return operand;
+    }
+
+    Value
+    eval_node(const BinaryOp& bin, const Expr& expr)
+    {
+        const Value lhs = eval(*bin.lhs);
+        const Value rhs = eval(*bin.rhs);
+        return binary(bin.op, lhs, rhs, expr.line);
+    }
+
+    Value
+    binary(char op, const Value& lhs, const Value& rhs, std::size_t line)
+    {
+        if (lhs.kind == ValueKind::kNumber &&
+            rhs.kind == ValueKind::kNumber) {
+            switch (op) {
+              case '+':
+                return Value::number_of(lhs.number + rhs.number);
+              case '-':
+                return Value::number_of(lhs.number - rhs.number);
+              case '*':
+                return Value::number_of(lhs.number * rhs.number);
+              case '/':
+                if (rhs.number == 0.0) {
+                    throw Error("division by zero", line, 0);
+                }
+                return Value::number_of(lhs.number / rhs.number);
+            }
+        }
+        if (lhs.kind == ValueKind::kString &&
+            rhs.kind == ValueKind::kString && op == '+') {
+            return Value::string_of(lhs.text + rhs.text);
+        }
+        if (lhs.kind == ValueKind::kTensor &&
+            rhs.kind == ValueKind::kTensor && (op == '+' || op == '-')) {
+            // Elementwise combine: footprint is the larger operand.
+            return Value::tensor_of(std::max(lhs.size_bytes, rhs.size_bytes));
+        }
+        if (lhs.kind == ValueKind::kTensor &&
+            rhs.kind == ValueKind::kNumber && (op == '*' || op == '/')) {
+            return Value::tensor_of(lhs.size_bytes);
+        }
+        throw Error(std::string("unsupported operand types for '") + op +
+                        "': " + to_string(lhs.kind) + " and " +
+                        to_string(rhs.kind),
+                    line, 0);
+    }
+
+    Value
+    eval_node(const CallExpr& call, const Expr& expr)
+    {
+        std::vector<Value> args;
+        args.reserve(call.args.size());
+        for (const ExprPtr& arg : call.args) {
+            args.push_back(eval(*arg));
+        }
+        std::map<std::string, Value> kwargs;
+        for (const auto& [key, arg] : call.kwargs) {
+            kwargs[key] = eval(*arg);
+        }
+        return dispatch(call.callee, args, kwargs, expr.line);
+    }
+
+    static double
+    number_arg(const std::vector<Value>& args, std::size_t index,
+               const std::string& callee, std::size_t line)
+    {
+        if (index >= args.size() ||
+            args[index].kind != ValueKind::kNumber) {
+            throw Error(callee + "() expects a number argument", line, 0);
+        }
+        return args[index].number;
+    }
+
+    Value
+    dispatch(const std::string& callee, const std::vector<Value>& args,
+             const std::map<std::string, Value>& kwargs, std::size_t line)
+    {
+        if (callee == "tensor" || callee == "zeros") {
+            const double mb = number_arg(args, 0, callee, line);
+            if (mb < 0) {
+                throw Error("tensor size must be non-negative", line, 0);
+            }
+            return Value::tensor_of(
+                static_cast<std::uint64_t>(mb * static_cast<double>(kMB)));
+        }
+        if (callee == "load_model") {
+            if (args.empty() || args[0].kind != ValueKind::kString) {
+                throw Error("load_model() expects a model name", line, 0);
+            }
+            const auto info = find_model(args[0].text);
+            if (!info) {
+                throw Error("unknown model '" + args[0].text + "'", line, 0);
+            }
+            Value value;
+            value.kind = ValueKind::kModel;
+            value.text = info->name;
+            value.size_bytes = info->param_bytes;
+            return value;
+        }
+        if (callee == "load_dataset") {
+            if (args.empty() || args[0].kind != ValueKind::kString) {
+                throw Error("load_dataset() expects a dataset name", line, 0);
+            }
+            const auto info = find_dataset(args[0].text);
+            if (!info) {
+                throw Error("unknown dataset '" + args[0].text + "'", line,
+                            0);
+            }
+            Value value;
+            value.kind = ValueKind::kDataset;
+            value.text = info->name;
+            value.size_bytes = info->bytes;
+            return value;
+        }
+        if (callee == "train") {
+            if (args.size() < 2 || args[0].kind != ValueKind::kModel ||
+                args[1].kind != ValueKind::kDataset) {
+                throw Error("train(model, dataset) argument mismatch", line,
+                            0);
+            }
+            double epochs = 1.0;
+            if (const auto it = kwargs.find("epochs"); it != kwargs.end()) {
+                if (it->second.kind != ValueKind::kNumber ||
+                    it->second.number <= 0) {
+                    throw Error("train() epochs must be a positive number",
+                                line, 0);
+                }
+                epochs = it->second.number;
+            } else if (args.size() >= 3 &&
+                       args[2].kind == ValueKind::kNumber) {
+                epochs = args[2].number;
+            }
+            const auto model = find_model(args[0].text);
+            const auto dataset = find_dataset(args[1].text);
+            const double compute = model ? model->compute_factor : 1.0;
+            const double epoch_s = dataset ? dataset->epoch_gpu_seconds
+                                           : 60.0;
+            effect_.gpu_seconds += epochs * epoch_s * compute;
+            effect_.gpu_bytes =
+                std::max(effect_.gpu_bytes,
+                         args[0].size_bytes + args[1].size_bytes);
+            Value updated = args[0];
+            updated.version += 1;
+            return updated;
+        }
+        if (callee == "evaluate") {
+            if (args.size() < 2 || args[0].kind != ValueKind::kModel ||
+                args[1].kind != ValueKind::kDataset) {
+                throw Error("evaluate(model, dataset) argument mismatch",
+                            line, 0);
+            }
+            const auto model = find_model(args[0].text);
+            const auto dataset = find_dataset(args[1].text);
+            const double compute = model ? model->compute_factor : 1.0;
+            const double epoch_s = dataset ? dataset->epoch_gpu_seconds
+                                           : 60.0;
+            effect_.gpu_seconds += 0.1 * epoch_s * compute;
+            effect_.gpu_bytes =
+                std::max(effect_.gpu_bytes,
+                         args[0].size_bytes + args[1].size_bytes);
+            // Deterministic pseudo-accuracy from the model version.
+            const double accuracy =
+                0.5 + 0.5 * (1.0 - 1.0 / (2.0 +
+                                          static_cast<double>(
+                                              args[0].version)));
+            return Value::number_of(accuracy);
+        }
+        if (callee == "gpu_compute") {
+            const double seconds = number_arg(args, 0, callee, line);
+            if (seconds < 0) {
+                throw Error("gpu_compute() seconds must be non-negative",
+                            line, 0);
+            }
+            effect_.gpu_seconds += seconds;
+            double vram_mb = 1024.0;
+            if (const auto it = kwargs.find("vram_mb"); it != kwargs.end() &&
+                it->second.kind == ValueKind::kNumber) {
+                vram_mb = it->second.number;
+            }
+            effect_.gpu_bytes =
+                std::max(effect_.gpu_bytes,
+                         static_cast<std::uint64_t>(
+                             vram_mb * static_cast<double>(kMB)));
+            return Value::none();
+        }
+        if (callee == "cpu_compute" || callee == "sleep") {
+            const double seconds = number_arg(args, 0, callee, line);
+            if (seconds < 0) {
+                throw Error(callee + "() seconds must be non-negative", line,
+                            0);
+            }
+            effect_.cpu_seconds += seconds;
+            return Value::none();
+        }
+        if (callee == "print") {
+            std::string rendered;
+            for (std::size_t i = 0; i < args.size(); ++i) {
+                if (i > 0) {
+                    rendered += " ";
+                }
+                rendered += args[i].repr();
+            }
+            effect_.output += rendered + "\n";
+            return Value::none();
+        }
+        if (callee == "size_mb") {
+            if (args.empty()) {
+                throw Error("size_mb() expects one argument", line, 0);
+            }
+            return Value::number_of(static_cast<double>(args[0].size_bytes) /
+                                    static_cast<double>(kMB));
+        }
+        throw Error("unknown function '" + callee + "'", line, 0);
+    }
+
+    Namespace& ns_;
+    Effect& effect_;
+};
+
+}  // namespace
+
+Effect
+execute(const Program& program, Namespace& ns)
+{
+    Effect effect;
+    Evaluator evaluator(ns, effect);
+    evaluator.run(program);
+    return effect;
+}
+
+Effect
+execute_source(const std::string& source, Namespace& ns)
+{
+    return execute(parse(source), ns);
+}
+
+}  // namespace nbos::nblang

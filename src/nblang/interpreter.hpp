@@ -1,0 +1,91 @@
+/**
+ * @file
+ * NbLang values and interpreter.
+ *
+ * The interpreter executes a parsed cell against a kernel namespace (the
+ * per-session global variables) and reports the *effects* the NotebookOS
+ * control plane cares about: GPU compute requested, VRAM touched, which
+ * globals were assigned/deleted (for state replication), and printed output.
+ */
+#ifndef NBOS_NBLANG_INTERPRETER_HPP
+#define NBOS_NBLANG_INTERPRETER_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nblang/ast.hpp"
+
+namespace nbos::nblang {
+
+/** Runtime value categories. */
+enum class ValueKind
+{
+    kNone,
+    kNumber,
+    kString,
+    kTensor,
+    kModel,
+    kDataset,
+};
+
+/** Human-readable value-kind name. */
+const char* to_string(ValueKind kind);
+
+/** A runtime value in the kernel namespace. */
+struct Value
+{
+    ValueKind kind = ValueKind::kNone;
+    double number = 0.0;
+    /** String payload, or model/dataset name for those kinds. */
+    std::string text;
+    /** Memory footprint of tensor/model/dataset values. */
+    std::uint64_t size_bytes = 0;
+    /** Bumped whenever the value is mutated (e.g. by train()). */
+    std::uint64_t version = 0;
+
+    static Value none();
+    static Value number_of(double v);
+    static Value string_of(std::string v);
+    static Value tensor_of(std::uint64_t bytes);
+
+    /** Render for print()/debugging. */
+    std::string repr() const;
+};
+
+/** The kernel namespace: user-defined globals. */
+using Namespace = std::map<std::string, Value>;
+
+/** Effects of executing one cell; consumed by the kernel replica. */
+struct Effect
+{
+    /** GPU compute requested by train()/evaluate() calls, in seconds. */
+    double gpu_seconds = 0.0;
+    /** CPU-only compute requested via cpu_compute()/sleep(), in seconds. */
+    double cpu_seconds = 0.0;
+    /** Peak VRAM footprint touched by GPU calls. */
+    std::uint64_t gpu_bytes = 0;
+    /** Globals assigned (created or overwritten), in execution order. */
+    std::vector<std::string> assigned;
+    /** Globals deleted via `del`. */
+    std::vector<std::string> deleted;
+    /** Accumulated print() output. */
+    std::string output;
+    /** True if any GPU builtin was invoked. */
+    bool used_gpu() const { return gpu_seconds > 0.0; }
+};
+
+/**
+ * Execute @p program against @p ns, mutating it in place.
+ * @return the execution effects.
+ * @throws Error on runtime failures (undefined names, type mismatch, ...).
+ */
+Effect execute(const Program& program, Namespace& ns);
+
+/** Convenience: parse then execute source text. */
+Effect execute_source(const std::string& source, Namespace& ns);
+
+}  // namespace nbos::nblang
+
+#endif  // NBOS_NBLANG_INTERPRETER_HPP

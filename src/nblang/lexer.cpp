@@ -1,0 +1,193 @@
+#include "nblang/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace nbos::nblang {
+
+namespace {
+
+bool
+is_ident_start(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+is_ident_char(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token>
+tokenize(const std::string& source)
+{
+    std::vector<Token> tokens;
+    std::size_t line = 1;
+    std::size_t column = 1;
+    std::size_t i = 0;
+
+    auto push = [&](TokenType type, std::string text = "",
+                    double number = 0.0) {
+        // Collapse consecutive separators and drop leading ones.
+        if (type == TokenType::kNewline &&
+            (tokens.empty() || tokens.back().type == TokenType::kNewline)) {
+            return;
+        }
+        tokens.push_back(Token{type, std::move(text), number, line, column});
+    };
+
+    while (i < source.size()) {
+        const char c = source[i];
+        if (c == '\n') {
+            push(TokenType::kNewline);
+            ++i;
+            ++line;
+            column = 1;
+            continue;
+        }
+        if (c == ';') {
+            push(TokenType::kNewline);
+            ++i;
+            ++column;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r') {
+            ++i;
+            ++column;
+            continue;
+        }
+        if (c == '#') {
+            while (i < source.size() && source[i] != '\n') {
+                ++i;
+            }
+            continue;
+        }
+        if (is_ident_start(c)) {
+            std::size_t start = i;
+            while (i < source.size() && is_ident_char(source[i])) {
+                ++i;
+            }
+            std::string word = source.substr(start, i - start);
+            if (word == "del") {
+                push(TokenType::kDel, word);
+            } else {
+                push(TokenType::kIdent, word);
+            }
+            column += i - start;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+            std::size_t start = i;
+            while (i < source.size() &&
+                   (std::isdigit(static_cast<unsigned char>(source[i])) ||
+                    source[i] == '.' || source[i] == 'e' || source[i] == 'E' ||
+                    ((source[i] == '+' || source[i] == '-') && i > start &&
+                     (source[i - 1] == 'e' || source[i - 1] == 'E')))) {
+                ++i;
+            }
+            const std::string text = source.substr(start, i - start);
+            char* end = nullptr;
+            const double value = std::strtod(text.c_str(), &end);
+            if (end == nullptr || *end != '\0') {
+                throw Error("malformed number '" + text + "'", line, column);
+            }
+            push(TokenType::kNumber, text, value);
+            column += i - start;
+            continue;
+        }
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            std::size_t start = ++i;
+            while (i < source.size() && source[i] != quote &&
+                   source[i] != '\n') {
+                ++i;
+            }
+            if (i >= source.size() || source[i] != quote) {
+                throw Error("unterminated string", line, column);
+            }
+            push(TokenType::kString, source.substr(start, i - start));
+            column += i - start + 2;
+            ++i;
+            continue;
+        }
+        auto two_char = [&](char next) {
+            return i + 1 < source.size() && source[i + 1] == next;
+        };
+        switch (c) {
+          case '+':
+            if (two_char('=')) {
+                push(TokenType::kPlusAssign, "+=");
+                i += 2;
+                column += 2;
+            } else {
+                push(TokenType::kPlus, "+");
+                ++i;
+                ++column;
+            }
+            continue;
+          case '-':
+            if (two_char('=')) {
+                push(TokenType::kMinusAssign, "-=");
+                i += 2;
+                column += 2;
+            } else {
+                push(TokenType::kMinus, "-");
+                ++i;
+                ++column;
+            }
+            continue;
+          case '*':
+            if (two_char('=')) {
+                push(TokenType::kStarAssign, "*=");
+                i += 2;
+                column += 2;
+            } else {
+                push(TokenType::kStar, "*");
+                ++i;
+                ++column;
+            }
+            continue;
+          case '/':
+            push(TokenType::kSlash, "/");
+            ++i;
+            ++column;
+            continue;
+          case '=':
+            push(TokenType::kAssign, "=");
+            ++i;
+            ++column;
+            continue;
+          case '(':
+            push(TokenType::kLParen, "(");
+            ++i;
+            ++column;
+            continue;
+          case ')':
+            push(TokenType::kRParen, ")");
+            ++i;
+            ++column;
+            continue;
+          case ',':
+            push(TokenType::kComma, ",");
+            ++i;
+            ++column;
+            continue;
+          default:
+            throw Error(std::string("unexpected character '") + c + "'",
+                        line, column);
+        }
+    }
+    // Trailing separator simplifies the parser's statement loop.
+    if (!tokens.empty() && tokens.back().type != TokenType::kNewline) {
+        tokens.push_back(Token{TokenType::kNewline, "", 0.0, line, column});
+    }
+    tokens.push_back(Token{TokenType::kEnd, "", 0.0, line, column});
+    return tokens;
+}
+
+}  // namespace nbos::nblang

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * NbLang lexer: source text to token stream.
+ */
+#ifndef NBOS_NBLANG_LEXER_HPP
+#define NBOS_NBLANG_LEXER_HPP
+
+#include <string>
+#include <vector>
+
+#include "nblang/token.hpp"
+
+namespace nbos::nblang {
+
+/**
+ * Tokenize NbLang source.
+ *
+ * Comments start with '#' and run to end of line. Newlines and ';' both
+ * produce kNewline separators; consecutive separators are collapsed.
+ * @throws Error on unrecognized characters or unterminated strings.
+ */
+std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace nbos::nblang
+
+#endif  // NBOS_NBLANG_LEXER_HPP

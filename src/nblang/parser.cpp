@@ -1,0 +1,243 @@
+#include "nblang/parser.hpp"
+
+#include <utility>
+
+#include "nblang/lexer.hpp"
+
+namespace nbos::nblang {
+
+namespace {
+
+/** Recursive-descent parser over the token vector. */
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+    Program
+    parse_program()
+    {
+        Program program;
+        skip_separators();
+        while (!check(TokenType::kEnd)) {
+            program.statements.push_back(parse_statement());
+            expect_separator();
+            skip_separators();
+        }
+        return program;
+    }
+
+  private:
+    const Token& peek(std::size_t ahead = 0) const
+    {
+        const std::size_t idx =
+            std::min(pos_ + ahead, tokens_.size() - 1);
+        return tokens_[idx];
+    }
+
+    bool check(TokenType type) const { return peek().type == type; }
+
+    const Token&
+    advance()
+    {
+        const Token& t = tokens_[pos_];
+        if (pos_ + 1 < tokens_.size()) {
+            ++pos_;
+        }
+        return t;
+    }
+
+    const Token&
+    expect(TokenType type, const std::string& what)
+    {
+        if (!check(type)) {
+            const Token& t = peek();
+            throw Error("expected " + what + " but found '" + t.text + "'",
+                        t.line, t.column);
+        }
+        return advance();
+    }
+
+    void
+    skip_separators()
+    {
+        while (check(TokenType::kNewline)) {
+            advance();
+        }
+    }
+
+    void
+    expect_separator()
+    {
+        if (check(TokenType::kEnd)) {
+            return;
+        }
+        expect(TokenType::kNewline, "end of statement");
+    }
+
+    Stmt
+    parse_statement()
+    {
+        const Token& first = peek();
+        Stmt stmt;
+        stmt.line = first.line;
+        if (check(TokenType::kDel)) {
+            advance();
+            const Token& name = expect(TokenType::kIdent, "variable name");
+            stmt.node = DelStmt{name.text};
+            return stmt;
+        }
+        if (check(TokenType::kIdent)) {
+            const TokenType next = peek(1).type;
+            if (next == TokenType::kAssign ||
+                next == TokenType::kPlusAssign ||
+                next == TokenType::kMinusAssign ||
+                next == TokenType::kStarAssign) {
+                const Token& target = advance();
+                const Token& op = advance();
+                AssignStmt assign;
+                assign.target = target.text;
+                switch (op.type) {
+                  case TokenType::kAssign:
+                    assign.op = '=';
+                    break;
+                  case TokenType::kPlusAssign:
+                    assign.op = '+';
+                    break;
+                  case TokenType::kMinusAssign:
+                    assign.op = '-';
+                    break;
+                  default:
+                    assign.op = '*';
+                    break;
+                }
+                assign.value = parse_expression();
+                stmt.node = std::move(assign);
+                return stmt;
+            }
+        }
+        ExprStmt expr_stmt;
+        expr_stmt.expr = parse_expression();
+        stmt.node = std::move(expr_stmt);
+        return stmt;
+    }
+
+    ExprPtr
+    parse_expression()
+    {
+        ExprPtr lhs = parse_term();
+        while (check(TokenType::kPlus) || check(TokenType::kMinus)) {
+            const Token& op = advance();
+            ExprPtr rhs = parse_term();
+            auto expr = std::make_unique<Expr>();
+            expr->line = op.line;
+            expr->node = BinaryOp{op.type == TokenType::kPlus ? '+' : '-',
+                                  std::move(lhs), std::move(rhs)};
+            lhs = std::move(expr);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parse_term()
+    {
+        ExprPtr lhs = parse_factor();
+        while (check(TokenType::kStar) || check(TokenType::kSlash)) {
+            const Token& op = advance();
+            ExprPtr rhs = parse_factor();
+            auto expr = std::make_unique<Expr>();
+            expr->line = op.line;
+            expr->node = BinaryOp{op.type == TokenType::kStar ? '*' : '/',
+                                  std::move(lhs), std::move(rhs)};
+            lhs = std::move(expr);
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parse_factor()
+    {
+        const Token& t = peek();
+        auto expr = std::make_unique<Expr>();
+        expr->line = t.line;
+        switch (t.type) {
+          case TokenType::kNumber:
+            advance();
+            expr->node = NumberLit{t.number};
+            return expr;
+          case TokenType::kString:
+            advance();
+            expr->node = StringLit{t.text};
+            return expr;
+          case TokenType::kMinus: {
+            advance();
+            UnaryOp unary;
+            unary.op = '-';
+            unary.operand = parse_factor();
+            expr->node = std::move(unary);
+            return expr;
+          }
+          case TokenType::kLParen: {
+            advance();
+            ExprPtr inner = parse_expression();
+            expect(TokenType::kRParen, "')'");
+            return inner;
+          }
+          case TokenType::kIdent: {
+            advance();
+            if (check(TokenType::kLParen)) {
+                expr->node = parse_call(t.text);
+                return expr;
+            }
+            expr->node = NameRef{t.text};
+            return expr;
+          }
+          default:
+            throw Error("unexpected token '" + t.text + "'", t.line,
+                        t.column);
+        }
+    }
+
+    CallExpr
+    parse_call(const std::string& callee)
+    {
+        expect(TokenType::kLParen, "'('");
+        CallExpr call;
+        call.callee = callee;
+        if (!check(TokenType::kRParen)) {
+            while (true) {
+                // kwarg: IDENT '=' expr (but not IDENT '==', which we do
+                // not support anyway).
+                if (check(TokenType::kIdent) &&
+                    peek(1).type == TokenType::kAssign) {
+                    const Token& key = advance();
+                    advance();  // '='
+                    call.kwargs.emplace_back(key.text, parse_expression());
+                } else {
+                    call.args.push_back(parse_expression());
+                }
+                if (check(TokenType::kComma)) {
+                    advance();
+                    continue;
+                }
+                break;
+            }
+        }
+        expect(TokenType::kRParen, "')'");
+        return call;
+    }
+
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program
+parse(const std::string& source)
+{
+    Parser parser(tokenize(source));
+    return parser.parse_program();
+}
+
+}  // namespace nbos::nblang

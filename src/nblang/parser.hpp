@@ -1,0 +1,22 @@
+/**
+ * @file
+ * NbLang recursive-descent parser: token stream to Program AST.
+ */
+#ifndef NBOS_NBLANG_PARSER_HPP
+#define NBOS_NBLANG_PARSER_HPP
+
+#include <string>
+
+#include "nblang/ast.hpp"
+
+namespace nbos::nblang {
+
+/**
+ * Parse NbLang source into a Program.
+ * @throws Error on syntax errors, with line/column positions.
+ */
+Program parse(const std::string& source);
+
+}  // namespace nbos::nblang
+
+#endif  // NBOS_NBLANG_PARSER_HPP

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Token definitions for NbLang, the mini notebook-cell language.
+ *
+ * NbLang stands in for the Python cells of the paper's IPython kernels: it
+ * supports assignments, arithmetic, and calls to training builtins, which is
+ * exactly the surface the AST-based state-replication protocol (§3.2.4)
+ * needs to analyze.
+ */
+#ifndef NBOS_NBLANG_TOKEN_HPP
+#define NBOS_NBLANG_TOKEN_HPP
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace nbos::nblang {
+
+/** Lexical token categories. */
+enum class TokenType
+{
+    kIdent,
+    kNumber,
+    kString,
+    kPlus,
+    kMinus,
+    kStar,
+    kSlash,
+    kAssign,       ///< =
+    kPlusAssign,   ///< +=
+    kMinusAssign,  ///< -=
+    kStarAssign,   ///< *=
+    kLParen,
+    kRParen,
+    kComma,
+    kNewline,  ///< statement separator (newline or ';')
+    kDel,      ///< 'del' keyword
+    kEnd,
+};
+
+/** One lexical token. */
+struct Token
+{
+    TokenType type = TokenType::kEnd;
+    std::string text;
+    double number = 0.0;
+    std::size_t line = 1;
+    std::size_t column = 1;
+};
+
+/** Error thrown on malformed source or failed execution. */
+class Error : public std::runtime_error
+{
+  public:
+    Error(std::string message, std::size_t line, std::size_t column)
+        : std::runtime_error("line " + std::to_string(line) + ":" +
+                             std::to_string(column) + ": " + message),
+          line_(line),
+          column_(column)
+    {
+    }
+
+    explicit Error(std::string message)
+        : std::runtime_error(std::move(message))
+    {
+    }
+
+    std::size_t line() const { return line_; }
+    std::size_t column() const { return column_; }
+
+  private:
+    std::size_t line_ = 0;
+    std::size_t column_ = 0;
+};
+
+}  // namespace nbos::nblang
+
+#endif  // NBOS_NBLANG_TOKEN_HPP

@@ -1,0 +1,130 @@
+#include "net/network.hpp"
+
+#include <cassert>
+
+namespace nbos::net {
+
+sim::Time
+LatencyModel::sample(sim::Rng& rng) const
+{
+    sim::Time latency = base;
+    if (jitter > 0) {
+        latency += rng.uniform_int(0, jitter);
+    }
+    return latency;
+}
+
+Network::Network(sim::Simulation& simulation, sim::Rng rng)
+    : simulation_(simulation), rng_(rng)
+{
+}
+
+NodeId
+Network::register_node(Handler handler)
+{
+    const NodeId id = next_id_++;
+    handlers_.emplace(id, std::move(handler));
+    return id;
+}
+
+void
+Network::register_node_with_id(NodeId id, Handler handler)
+{
+    assert(handlers_.find(id) == handlers_.end());
+    handlers_.emplace(id, std::move(handler));
+    if (id >= next_id_) {
+        next_id_ = id + 1;
+    }
+}
+
+void
+Network::unregister_node(NodeId id)
+{
+    handlers_.erase(id);
+}
+
+bool
+Network::is_registered(NodeId id) const
+{
+    return handlers_.find(id) != handlers_.end();
+}
+
+void
+Network::send(NodeId src, NodeId dst, std::any payload)
+{
+    ++stats_.sent;
+    if (is_partitioned(src, dst)) {
+        ++stats_.blocked_partition;
+        return;
+    }
+    if (drop_probability_ > 0.0 && rng_.bernoulli(drop_probability_)) {
+        ++stats_.dropped;
+        return;
+    }
+    LatencyModel model = default_latency_;
+    if (const auto it = link_latency_.find({src, dst});
+        it != link_latency_.end()) {
+        model = it->second;
+    }
+    Message message{src, dst, std::move(payload)};
+    simulation_.schedule_after(
+        model.sample(rng_),
+        [this, message = std::move(message)]() mutable {
+            deliver(std::move(message));
+        });
+}
+
+void
+Network::set_link_latency(NodeId src, NodeId dst, LatencyModel model)
+{
+    link_latency_[{src, dst}] = model;
+}
+
+void
+Network::set_partitioned(NodeId a, NodeId b, bool partitioned)
+{
+    if (partitioned) {
+        partitions_.insert({a, b});
+        partitions_.insert({b, a});
+    } else {
+        partitions_.erase({a, b});
+        partitions_.erase({b, a});
+    }
+}
+
+void
+Network::isolate(NodeId id, bool isolated)
+{
+    for (const auto& [other, handler] : handlers_) {
+        if (other != id) {
+            set_partitioned(id, other, isolated);
+        }
+    }
+}
+
+bool
+Network::is_partitioned(NodeId src, NodeId dst) const
+{
+    return partitions_.count({src, dst}) > 0;
+}
+
+void
+Network::deliver(Message message)
+{
+    const auto it = handlers_.find(message.dst);
+    if (it == handlers_.end()) {
+        // Endpoint disappeared (e.g. crashed replica) while in flight.
+        ++stats_.dead_destination;
+        return;
+    }
+    // Re-check partitions at delivery time so a cut made after send() still
+    // blocks in-flight traffic, matching the usual partition test model.
+    if (is_partitioned(message.src, message.dst)) {
+        ++stats_.blocked_partition;
+        return;
+    }
+    ++stats_.delivered;
+    it->second(message);
+}
+
+}  // namespace nbos::net

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Simulated message-passing network connecting NotebookOS components.
+ *
+ * Models per-link latency (base + jitter), message drops, and partitions so
+ * the Raft layer and the schedulers can be exercised under the failure modes
+ * §3.2.2 and §3.2.5 of the paper describe ("progress occurs even when
+ * messages ... are dropped or delayed").
+ */
+#ifndef NBOS_NET_NETWORK_HPP
+#define NBOS_NET_NETWORK_HPP
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace nbos::net {
+
+/** Identifier of a network endpoint. */
+using NodeId = std::int64_t;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId kNoNode = -1;
+
+/** A message in flight; payload is opaque to the network. */
+struct Message
+{
+    NodeId src = kNoNode;
+    NodeId dst = kNoNode;
+    std::any payload;
+};
+
+/** Latency model applied to a delivery: base plus uniform jitter. */
+struct LatencyModel
+{
+    sim::Time base = 200 * sim::kMicrosecond;
+    sim::Time jitter = 100 * sim::kMicrosecond;
+
+    /** Sample one delivery latency. */
+    sim::Time sample(sim::Rng& rng) const;
+};
+
+/** Delivery statistics for tests and experiment reports. */
+struct NetworkStats
+{
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t blocked_partition = 0;
+    std::uint64_t dead_destination = 0;
+};
+
+/**
+ * The cluster network. Endpoints register a handler and exchange opaque
+ * payloads; delivery happens through the simulation's event queue.
+ */
+class Network
+{
+  public:
+    using Handler = std::function<void(const Message&)>;
+
+    Network(sim::Simulation& simulation, sim::Rng rng);
+
+    /** Register a handler and obtain a fresh endpoint id. */
+    NodeId register_node(Handler handler);
+
+    /** Register a handler under a caller-chosen id (must be unused). */
+    void register_node_with_id(NodeId id, Handler handler);
+
+    /** Remove an endpoint; in-flight messages to it are dropped. */
+    void unregister_node(NodeId id);
+
+    /** True if @p id currently has a registered handler. */
+    bool is_registered(NodeId id) const;
+
+    /**
+     * Send @p payload from @p src to @p dst. The message is delivered after
+     * a sampled latency unless dropped or blocked by a partition.
+     */
+    void send(NodeId src, NodeId dst, std::any payload);
+
+    /** Set the default latency model for all links. */
+    void set_default_latency(LatencyModel model) { default_latency_ = model; }
+
+    /** Override the latency model for one directed link. */
+    void set_link_latency(NodeId src, NodeId dst, LatencyModel model);
+
+    /** Probability in [0,1] that any message is silently dropped. */
+    void set_drop_probability(double p) { drop_probability_ = p; }
+
+    /** Cut (or heal) the bidirectional link between two endpoints. */
+    void set_partitioned(NodeId a, NodeId b, bool partitioned);
+
+    /** Isolate @p id from every current endpoint (or undo the isolation). */
+    void isolate(NodeId id, bool isolated);
+
+    /** True if the directed link src->dst is currently cut. */
+    bool is_partitioned(NodeId src, NodeId dst) const;
+
+    /** Delivery statistics so far. */
+    const NetworkStats& stats() const { return stats_; }
+
+  private:
+    void deliver(Message message);
+
+    sim::Simulation& simulation_;
+    sim::Rng rng_;
+    NodeId next_id_ = 1;
+    LatencyModel default_latency_{};
+    double drop_probability_ = 0.0;
+    std::unordered_map<NodeId, Handler> handlers_;
+    std::map<std::pair<NodeId, NodeId>, LatencyModel> link_latency_;
+    std::set<std::pair<NodeId, NodeId>> partitions_;
+    NetworkStats stats_{};
+};
+
+}  // namespace nbos::net
+
+#endif  // NBOS_NET_NETWORK_HPP

@@ -1,0 +1,1249 @@
+#include "sched/global_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nbos::sched {
+
+namespace {
+
+/** Checkpoint object key for a kernel (§3.2.3 migration persistence). */
+std::string
+checkpoint_key(cluster::KernelId kernel_id)
+{
+    return "kernel/" + std::to_string(kernel_id) + "/checkpoint";
+}
+
+/** Approximate checkpoint footprint: metadata plus large-object bytes. */
+std::uint64_t
+checkpoint_bytes(const nblang::Namespace& ns)
+{
+    std::uint64_t total = 1024;
+    for (const auto& [name, value] : ns) {
+        total += 128 + value.text.size();
+        // Large objects referenced by the checkpoint are already in the
+        // data store; the checkpoint itself carries small values inline.
+        if (value.size_bytes < 1024ULL * 1024ULL) {
+            total += value.size_bytes;
+        }
+    }
+    return total;
+}
+
+}  // namespace
+
+GlobalScheduler::GlobalScheduler(sim::Simulation& simulation,
+                                 SchedulerConfig config, std::uint64_t seed)
+    : simulation_(simulation),
+      config_(config),
+      rng_(seed),
+      network_(simulation, sim::Rng(seed ^ 0x5bd1e995)),
+      cluster_(config.server_shape),
+      prewarm_(config.prewarm_per_server),
+      store_(std::make_unique<storage::DataStore>(
+          simulation, config.store_backend, sim::Rng(seed ^ 0x9e3779b9))),
+      placement_(std::make_unique<LeastLoadedPolicy>(config.sr_watermark))
+{
+    // Keep the kernel-level replica count and the scheduler's R in sync.
+    assert(config_.kernel.replica_count >= 1);
+}
+
+GlobalScheduler::~GlobalScheduler() = default;
+
+sim::Time
+GlobalScheduler::sample(sim::Time lo, sim::Time hi)
+{
+    if (hi <= lo) {
+        return lo;
+    }
+    return lo + rng_.uniform_int(0, hi - lo);
+}
+
+void
+GlobalScheduler::record_event(SchedulerEvent::Kind kind)
+{
+    events_.push_back(SchedulerEvent{kind, simulation_.now()});
+}
+
+void
+GlobalScheduler::start()
+{
+    if (started_) {
+        return;
+    }
+    started_ = true;
+    // The initial fleet exists from t=0 (experiments begin with a cluster).
+    for (std::int32_t i = 0; i < config_.initial_servers; ++i) {
+        cluster::GpuServer& server = cluster_.add_server();
+        prewarm_.register_server(server.id());
+    }
+    run_prewarmer();
+    if (config_.enable_autoscaler) {
+        simulation_.schedule_after(config_.autoscale_interval,
+                                   [this] { run_autoscaler(); });
+    }
+    simulation_.schedule_after(config_.health_check_interval,
+                               [this] { run_health_check(); });
+}
+
+double
+GlobalScheduler::cluster_sr() const
+{
+    return cluster_.cluster_subscription_ratio(
+        config_.kernel.replica_count);
+}
+
+std::vector<std::int32_t>
+GlobalScheduler::bound_devices(cluster::KernelId kernel_id,
+                               std::int32_t index)
+{
+    const auto it = kernels_.find(kernel_id);
+    if (it == kernels_.end() || index < 0 ||
+        static_cast<std::size_t>(index) >= it->second.slots.size()) {
+        return {};
+    }
+    return it->second.slots[index].bound_devices;
+}
+
+std::size_t
+GlobalScheduler::live_kernels() const
+{
+    std::size_t count = 0;
+    for (const auto& [id, record] : kernels_) {
+        if (record.alive) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+kernel::KernelReplica*
+GlobalScheduler::replica(cluster::KernelId kernel_id, std::int32_t index)
+{
+    const auto it = kernels_.find(kernel_id);
+    if (it == kernels_.end() || index < 0 ||
+        static_cast<std::size_t>(index) >= it->second.slots.size()) {
+        return nullptr;
+    }
+    return it->second.slots[index].replica.get();
+}
+
+void
+GlobalScheduler::inject_replica_failure(cluster::KernelId kernel_id,
+                                        std::int32_t index)
+{
+    kernel::KernelReplica* target = replica(kernel_id, index);
+    if (target != nullptr) {
+        target->stop();
+    }
+}
+
+void
+GlobalScheduler::provision_server(SchedulerEvent::Kind reason)
+{
+    ++servers_provisioning_;
+    record_event(reason);
+    if (reason == SchedulerEvent::Kind::kScaleOut) {
+        ++stats_.scale_outs;
+    }
+    const sim::Time delay =
+        sample(config_.server_provision_min, config_.server_provision_max);
+    simulation_.schedule_after(delay, [this] {
+        --servers_provisioning_;
+        cluster::GpuServer& server = cluster_.add_server();
+        prewarm_.register_server(server.id());
+        on_server_ready(server.id());
+    });
+}
+
+void
+GlobalScheduler::on_server_ready(cluster::ServerId id)
+{
+    (void)id;
+    try_place_pending_kernels();
+}
+
+void
+GlobalScheduler::start_kernel(const cluster::ResourceSpec& spec,
+                              StartKernelCallback callback)
+{
+    PendingKernel pending;
+    pending.id = next_kernel_id_++;
+    pending.spec = spec;
+    pending.callback = std::move(callback);
+    pending_kernels_.push_back(std::move(pending));
+    simulation_.schedule_after(config_.gs_processing,
+                               [this] { try_place_pending_kernels(); });
+}
+
+void
+GlobalScheduler::try_place_pending_kernels()
+{
+    while (!pending_kernels_.empty()) {
+        PendingKernel& front = pending_kernels_.front();
+        const std::size_t replicas =
+            static_cast<std::size_t>(config_.kernel.replica_count);
+        const std::vector<cluster::ServerId> servers = placement_->pick(
+            cluster_, front.spec, replicas, config_.kernel.replica_count);
+        if (servers.size() < replicas) {
+            // §3.4.2: failed placement triggers a scale-out; placement is
+            // paused and resumes when the new servers register.
+            if (!front.scale_out_requested || servers_provisioning_ == 0) {
+                const std::size_t missing = replicas - servers.size();
+                for (std::size_t i = 0; i < missing; ++i) {
+                    provision_server(SchedulerEvent::Kind::kScaleOut);
+                }
+                front.scale_out_requested = true;
+            }
+            return;
+        }
+        PendingKernel pending = std::move(front);
+        pending_kernels_.pop_front();
+        place_kernel(std::move(pending), servers);
+    }
+}
+
+void
+GlobalScheduler::place_kernel(PendingKernel pending,
+                              const std::vector<cluster::ServerId>& servers)
+{
+    KernelRecord& record = kernels_[pending.id];
+    record.id = pending.id;
+    record.spec = pending.spec;
+    record.slots.resize(servers.size());
+
+    auto remaining = std::make_shared<std::size_t>(servers.size());
+    auto callback = std::make_shared<StartKernelCallback>(
+        std::move(pending.callback));
+    for (std::size_t i = 0; i < servers.size(); ++i) {
+        cluster::GpuServer* server = cluster_.find(servers[i]);
+        assert(server != nullptr);
+        server->subscribe(record.spec);
+        record.slots[i].server = servers[i];
+
+        cluster::Container container;
+        container.id = next_container_id_++;
+        container.server = servers[i];
+        container.kernel = record.id;
+        container.replica_index = static_cast<std::int32_t>(i);
+        container.subscribed = record.spec;
+        container.state = cluster::ContainerState::kProvisioning;
+        record.slots[i].container = container.id;
+        server->add_container(container);
+
+        ++stats_.cold_starts;
+        const sim::Time cold = sample(config_.timings.cold_start_min,
+                                      config_.timings.cold_start_max);
+        const cluster::KernelId kernel_id = record.id;
+        const auto index = static_cast<std::int32_t>(i);
+        simulation_.schedule_after(
+            cold, [this, kernel_id, index, remaining, callback] {
+                const auto it = kernels_.find(kernel_id);
+                if (it == kernels_.end() || !it->second.alive) {
+                    return;
+                }
+                KernelRecord& rec = it->second;
+                cluster::GpuServer* host =
+                    cluster_.find(rec.slots[index].server);
+                if (host != nullptr) {
+                    if (cluster::Container* c = host->find_container(
+                            rec.slots[index].container)) {
+                        c->state = cluster::ContainerState::kIdle;
+                        c->ready_at = simulation_.now();
+                    }
+                }
+                if (--*remaining == 0) {
+                    // All containers provisioned: start the replicas and
+                    // wait for their Raft group to elect a leader.
+                    for (std::size_t j = 0; j < rec.slots.size(); ++j) {
+                        create_replica(rec, static_cast<std::int32_t>(j),
+                                       rec.slots[j].server,
+                                       /*passive=*/false);
+                    }
+                    const cluster::KernelId kid = rec.id;
+                    auto tries = std::make_shared<int>(0);
+                    // Poll every 200 ms until a Raft leader emerges.
+                    auto poller = std::make_shared<std::function<void()>>();
+                    *poller = [this, kid, callback, tries, poller] {
+                        const auto kit = kernels_.find(kid);
+                        if (kit == kernels_.end() || !kit->second.alive) {
+                            (*callback)(kid, false);
+                            return;
+                        }
+                        bool has_leader = false;
+                        for (const auto& slot : kit->second.slots) {
+                            if (slot.alive &&
+                                slot.replica->raft().role() ==
+                                    raft::Role::kLeader) {
+                                has_leader = true;
+                                break;
+                            }
+                        }
+                        if (has_leader || ++*tries > 300) {
+                            ++stats_.kernels_created;
+                            kit->second.created = true;
+                            record_event(
+                                SchedulerEvent::Kind::kKernelCreated);
+                            (*callback)(kid, true);
+                            return;
+                        }
+                        simulation_.schedule_after(200 * sim::kMillisecond,
+                                                   *poller);
+                    };
+                    (*poller)();
+                }
+            });
+    }
+}
+
+void
+GlobalScheduler::create_replica(KernelRecord& record, std::int32_t index,
+                                cluster::ServerId server, bool passive)
+{
+    // Allocate Raft endpoints lazily but deterministically: founding
+    // replicas of a kernel share one member list.
+    if (!passive) {
+        // Founding path: allocate ids for the whole group on first call.
+        bool any_started = false;
+        for (const auto& slot : record.slots) {
+            if (slot.replica) {
+                any_started = true;
+                break;
+            }
+        }
+        if (!any_started) {
+            std::vector<net::NodeId> members;
+            for (std::size_t i = 0; i < record.slots.size(); ++i) {
+                members.push_back(next_raft_id_++);
+            }
+            for (std::size_t i = 0; i < record.slots.size(); ++i) {
+                record.slots[i].replica =
+                    std::make_unique<kernel::KernelReplica>(
+                        simulation_, network_, *store_, config_.kernel,
+                        record.id, static_cast<std::int32_t>(i), members[i],
+                        members, sim::Rng(rng_.next_u64()));
+                install_hooks(record, static_cast<std::int32_t>(i));
+            }
+        }
+        record.slots[index].alive = true;
+        record.slots[index].server = server;
+        record.slots[index].replica->start();
+        return;
+    }
+    // Migration path: join an existing group passively. The member list is
+    // taken from a surviving replica.
+    std::vector<net::NodeId> members;
+    for (const auto& slot : record.slots) {
+        if (slot.alive && slot.replica) {
+            members = slot.replica->raft().members();
+            break;
+        }
+    }
+    const net::NodeId new_id = next_raft_id_++;
+    members.push_back(new_id);
+    record.slots[index].replica = std::make_unique<kernel::KernelReplica>(
+        simulation_, network_, *store_, config_.kernel, record.id, index,
+        new_id, members, sim::Rng(rng_.next_u64()));
+    install_hooks(record, index);
+    record.slots[index].alive = true;
+    record.slots[index].server = server;
+    record.slots[index].replica->start_passive();
+}
+
+void
+GlobalScheduler::install_hooks(KernelRecord& record, std::int32_t index)
+{
+    const cluster::KernelId kernel_id = record.id;
+    kernel::KernelReplica::Hooks hooks;
+    hooks.try_commit = [this, kernel_id,
+                        index](const cluster::ResourceSpec& spec) {
+        const auto it = kernels_.find(kernel_id);
+        if (it == kernels_.end()) {
+            return false;
+        }
+        cluster::GpuServer* server =
+            cluster_.find(it->second.slots[index].server);
+        if (server == nullptr) {
+            return false;
+        }
+        // §3.3: bind concrete GPU devices; their ids accompany the
+        // execute_request metadata to the replica.
+        auto devices = server->commit_devices(spec);
+        if (!devices) {
+            return false;
+        }
+        it->second.slots[index].bound_devices = std::move(*devices);
+        return true;
+    };
+    hooks.release = [this, kernel_id,
+                     index](const cluster::ResourceSpec& spec) {
+        const auto it = kernels_.find(kernel_id);
+        if (it == kernels_.end()) {
+            return;
+        }
+        ReplicaSlot& slot = it->second.slots[index];
+        cluster::GpuServer* server = cluster_.find(slot.server);
+        if (server != nullptr) {
+            server->release_devices(spec, slot.bound_devices);
+        }
+        slot.bound_devices.clear();
+    };
+    hooks.on_result = [this, kernel_id](const kernel::ExecutionResult& r) {
+        on_result(kernel_id, r);
+    };
+    hooks.on_election_failed = [this,
+                                kernel_id](kernel::ElectionId election) {
+        on_election_failed(kernel_id, election);
+    };
+    hooks.on_sync_latency = [this](sim::Time latency) {
+        sync_latencies_ms_.add(sim::to_millis(latency));
+    };
+    record.slots[index].replica->set_hooks(std::move(hooks));
+}
+
+void
+GlobalScheduler::stop_kernel(cluster::KernelId kernel_id)
+{
+    const auto it = kernels_.find(kernel_id);
+    if (it == kernels_.end() || !it->second.alive) {
+        return;
+    }
+    KernelRecord& record = it->second;
+    record.alive = false;
+    for (ReplicaSlot& slot : record.slots) {
+        if (slot.replica) {
+            slot.replica->stop();
+            graveyard_.push_back(std::move(slot.replica));
+        }
+        if (slot.alive) {
+            if (cluster::GpuServer* server = cluster_.find(slot.server)) {
+                server->unsubscribe(record.spec);
+                server->remove_container(slot.container);
+            }
+            slot.alive = false;
+        }
+    }
+    record.pending.clear();
+}
+
+std::int32_t
+GlobalScheduler::pick_designated(const KernelRecord& record) const
+{
+    std::int32_t last_executor = -1;
+    for (const auto& slot : record.slots) {
+        if (slot.alive && slot.replica) {
+            last_executor = slot.replica->last_executor();
+            break;
+        }
+    }
+    std::int32_t best = -1;
+    std::int32_t best_idle = -1;
+    for (std::size_t i = 0; i < record.slots.size(); ++i) {
+        const ReplicaSlot& slot = record.slots[i];
+        if (!slot.alive || slot.replica == nullptr ||
+            slot.replica->busy()) {
+            continue;
+        }
+        const cluster::GpuServer* server = cluster_.find(slot.server);
+        if (server == nullptr || !server->can_commit(record.spec)) {
+            continue;
+        }
+        // Prefer the previous executor (its state is resident), then the
+        // server with the most idle GPUs.
+        if (static_cast<std::int32_t>(i) == last_executor) {
+            return static_cast<std::int32_t>(i);
+        }
+        if (server->idle_gpus() > best_idle) {
+            best_idle = server->idle_gpus();
+            best = static_cast<std::int32_t>(i);
+        }
+    }
+    return best;
+}
+
+void
+GlobalScheduler::submit_execute(cluster::KernelId kernel_id,
+                                std::string code, bool is_gpu,
+                                sim::Time submitted_at,
+                                ExecuteCallback callback)
+{
+    const auto it = kernels_.find(kernel_id);
+    if (it == kernels_.end() || !it->second.alive) {
+        kernel::ExecutionResult result;
+        result.status = kernel::ExecutionStatus::kError;
+        result.error = "unknown kernel";
+        RequestTrace trace;
+        trace.submitted_at = submitted_at;
+        trace.aborted = true;
+        callback(result, trace);
+        return;
+    }
+    KernelRecord& record = it->second;
+    const kernel::ElectionId election = record.next_election++;
+    PendingExecution pending;
+    pending.code = std::move(code);
+    pending.is_gpu = is_gpu;
+    pending.callback = std::move(callback);
+    pending.trace.submitted_at = submitted_at;
+    record.pending.emplace(election, std::move(pending));
+
+    const sim::Time to_gs = sample(config_.hops.client_to_gs_min,
+                                   config_.hops.client_to_gs_max);
+    simulation_.schedule_after(to_gs, [this, kernel_id, election] {
+        const auto kit = kernels_.find(kernel_id);
+        if (kit == kernels_.end() || !kit->second.alive) {
+            return;
+        }
+        KernelRecord& rec = kit->second;
+        const auto pit = rec.pending.find(election);
+        if (pit == rec.pending.end()) {
+            return;
+        }
+        pit->second.trace.gs_received = simulation_.now();
+        simulation_.schedule_after(
+            config_.gs_processing, [this, kernel_id, election] {
+                const auto kit2 = kernels_.find(kernel_id);
+                if (kit2 == kernels_.end() || !kit2->second.alive) {
+                    return;
+                }
+                KernelRecord& rec2 = kit2->second;
+                const auto pit2 = rec2.pending.find(election);
+                if (pit2 == rec2.pending.end()) {
+                    return;
+                }
+                pit2->second.trace.gs_dispatched = simulation_.now();
+                std::int32_t designated = -1;
+                if (config_.yield_conversion && pit2->second.is_gpu) {
+                    designated = pick_designated(rec2);
+                    if (designated >= 0) {
+                        ++stats_.yield_conversions;
+                    }
+                }
+                dispatch_execution(rec2, election, designated);
+            });
+    });
+}
+
+void
+GlobalScheduler::dispatch_execution(KernelRecord& record,
+                                    kernel::ElectionId election,
+                                    std::int32_t designated)
+{
+    const auto pit = record.pending.find(election);
+    if (pit == record.pending.end()) {
+        return;
+    }
+    PendingExecution& pending = pit->second;
+    const sim::Time to_ls =
+        sample(config_.hops.gs_to_ls_min, config_.hops.gs_to_ls_max);
+    const sim::Time to_replica = sample(config_.hops.ls_to_replica_min,
+                                        config_.hops.ls_to_replica_max);
+    pending.trace.ls_received = simulation_.now() + to_ls;
+    pending.trace.replica_received =
+        pending.trace.ls_received + config_.ls_processing + to_replica;
+
+    for (std::size_t i = 0; i < record.slots.size(); ++i) {
+        ReplicaSlot& slot = record.slots[i];
+        if (!slot.alive || slot.replica == nullptr) {
+            continue;
+        }
+        kernel::ExecuteRequest request;
+        request.election = election;
+        request.code = pending.code;
+        request.is_gpu = pending.is_gpu;
+        request.resources = record.spec;
+        request.submitted_at = pending.trace.submitted_at;
+        request.yield_converted =
+            designated >= 0 && static_cast<std::int32_t>(i) != designated;
+        kernel::KernelReplica* replica_ptr = slot.replica.get();
+        simulation_.schedule_after(
+            to_ls + config_.ls_processing + to_replica,
+            [replica_ptr, request] {
+                replica_ptr->handle_execute_request(request);
+            });
+    }
+}
+
+void
+GlobalScheduler::on_result(cluster::KernelId kernel_id,
+                           const kernel::ExecutionResult& result)
+{
+    const auto it = kernels_.find(kernel_id);
+    if (it == kernels_.end()) {
+        return;
+    }
+    KernelRecord& record = it->second;
+    const auto pit = record.pending.find(result.election);
+    if (pit == record.pending.end()) {
+        return;
+    }
+    PendingExecution pending = std::move(pit->second);
+    record.pending.erase(pit);
+
+    pending.trace.execution_started = result.execution_started_at;
+    pending.trace.execution_finished = result.execution_finished_at;
+    pending.trace.replica_replied = result.replied_at;
+    pending.trace.election_latency = result.election_latency;
+
+    ++stats_.executions_completed;
+    if (pending.is_gpu) {
+        ++stats_.gpu_executions;
+        if (result.gpus_committed_immediately) {
+            ++stats_.immediate_commits;
+        }
+        if (result.executor_reused) {
+            ++stats_.executor_reuses;
+        }
+    }
+
+    // Reply path: replica -> LS -> GS -> client (§3.2.2 steps 9-10; the
+    // replies of the standby replicas are aggregated away by the GS).
+    const sim::Time back =
+        sample(config_.hops.ls_to_replica_min,
+               config_.hops.ls_to_replica_max) +
+        config_.ls_processing +
+        sample(config_.hops.gs_to_ls_min, config_.hops.gs_to_ls_max) +
+        sample(config_.hops.client_to_gs_min, config_.hops.client_to_gs_max);
+    simulation_.schedule_after(
+        back, [this, result, pending = std::move(pending)]() mutable {
+            pending.trace.client_replied = simulation_.now();
+            if (pending.callback) {
+                pending.callback(result, pending.trace);
+            }
+        });
+}
+
+void
+GlobalScheduler::on_election_failed(cluster::KernelId kernel_id,
+                                    kernel::ElectionId election)
+{
+    const auto it = kernels_.find(kernel_id);
+    if (it == kernels_.end() || !it->second.alive) {
+        return;
+    }
+    KernelRecord& record = it->second;
+    if (!record.failed_seen.insert(election).second) {
+        return;  // Each replica reports the failure; act once.
+    }
+    if (record.pending.find(election) == record.pending.end()) {
+        return;
+    }
+    ++stats_.elections_failed;
+    begin_migration(kernel_id, election);
+}
+
+void
+GlobalScheduler::begin_migration(cluster::KernelId kernel_id,
+                                 kernel::ElectionId election)
+{
+    const auto it = kernels_.find(kernel_id);
+    if (it == kernels_.end() || !it->second.alive) {
+        return;
+    }
+    KernelRecord& record = it->second;
+    if (record.migrating) {
+        simulation_.schedule_after(config_.migration_retry,
+                                   [this, kernel_id, election] {
+                                       begin_migration(kernel_id, election);
+                                   });
+        return;
+    }
+    record.migrating = true;
+    ++stats_.migrations;
+    record_event(SchedulerEvent::Kind::kMigration);
+
+    // Victim: the replica on the most GPU-saturated server.
+    std::int32_t victim = -1;
+    std::int32_t worst_idle = 1 << 30;
+    for (std::size_t i = 0; i < record.slots.size(); ++i) {
+        const ReplicaSlot& slot = record.slots[i];
+        if (!slot.alive || slot.replica == nullptr) {
+            continue;
+        }
+        const cluster::GpuServer* server = cluster_.find(slot.server);
+        const std::int32_t idle =
+            server != nullptr ? server->idle_gpus() : 0;
+        if (idle < worst_idle) {
+            worst_idle = idle;
+            victim = static_cast<std::int32_t>(i);
+        }
+    }
+    if (victim < 0) {
+        record.migrating = false;
+        abort_execution(kernel_id, election, "no replica to migrate");
+        return;
+    }
+    // §3.2.3: the selected replica persists its state to the data store
+    // before migrating.
+    const std::string checkpoint =
+        record.slots[victim].replica->checkpoint_state();
+    store_->write(checkpoint_key(kernel_id),
+                  checkpoint_bytes(record.slots[victim].replica->ns()),
+                  [this, kernel_id, election, victim,
+                   checkpoint](sim::Time) {
+                      continue_migration(kernel_id, election, victim,
+                                         checkpoint);
+                  });
+}
+
+cluster::ServerId
+GlobalScheduler::pick_migration_target(const KernelRecord& record)
+{
+    std::set<cluster::ServerId> occupied;
+    for (const ReplicaSlot& slot : record.slots) {
+        if (slot.alive) {
+            occupied.insert(slot.server);
+        }
+    }
+    cluster::ServerId best = cluster::kNoServer;
+    std::int32_t best_idle = -1;
+    for (const auto& [id, server] : cluster_.servers()) {
+        if (server->draining() || occupied.count(id) > 0 ||
+            !server->can_commit(record.spec)) {
+            continue;
+        }
+        if (server->idle_gpus() > best_idle) {
+            best_idle = server->idle_gpus();
+            best = id;
+        }
+    }
+    return best;
+}
+
+void
+GlobalScheduler::continue_migration(cluster::KernelId kernel_id,
+                                    kernel::ElectionId election,
+                                    std::int32_t victim_index,
+                                    const std::string& checkpoint)
+{
+    const auto it = kernels_.find(kernel_id);
+    if (it == kernels_.end() || !it->second.alive) {
+        return;
+    }
+    KernelRecord& record = it->second;
+    const cluster::ServerId target = pick_migration_target(record);
+    if (target == cluster::kNoServer) {
+        const auto pit = record.pending.find(election);
+        // While a scale-out is in flight the retry clock pauses: the
+        // migration is enqueued until the new server registers (§3.4.2
+        // reserves resources for paused replicas on incoming servers).
+        const bool provisioning = servers_provisioning_ > 0;
+        if (pit != record.pending.end() &&
+            (provisioning || pit->second.migration_retries++ <
+                                 config_.migration_max_retries)) {
+            if (config_.scale_out_on_failed_placement && !provisioning) {
+                provision_server(SchedulerEvent::Kind::kScaleOut);
+            }
+            simulation_.schedule_after(
+                config_.migration_retry,
+                [this, kernel_id, election, victim_index, checkpoint] {
+                    continue_migration(kernel_id, election, victim_index,
+                                       checkpoint);
+                });
+        } else {
+            ++stats_.migrations_aborted;
+            record.migrating = false;
+            abort_execution(kernel_id, election,
+                            "migration aborted: no viable server");
+        }
+        return;
+    }
+    // Release the victim's container/subscription on its old server now
+    // (the replica object itself is stopped in finish_migration), then
+    // reserve the target with a placeholder container so the auto-scaler
+    // cannot release that server while the migration is in flight.
+    {
+        ReplicaSlot& victim_slot = record.slots[victim_index];
+        if (!victim_released_.insert({kernel_id, election}).second) {
+            // retry path: already released
+        } else if (cluster::GpuServer* old_server =
+                       cluster_.find(victim_slot.server)) {
+            old_server->unsubscribe(record.spec);
+            old_server->remove_container(victim_slot.container);
+        }
+    }
+    {
+        cluster::GpuServer* reserve = cluster_.find(target);
+        cluster::Container placeholder;
+        placeholder.id = next_container_id_++;
+        placeholder.server = target;
+        placeholder.kernel = kernel_id;
+        placeholder.replica_index = victim_index;
+        placeholder.subscribed = record.spec;
+        placeholder.state = cluster::ContainerState::kProvisioning;
+        reserve->add_container(placeholder);
+        record.slots[victim_index].container = placeholder.id;
+    }
+    sim::Time container_delay;
+    bool used_prewarm = false;
+    if (prewarm_.acquire(target)) {
+        used_prewarm = true;
+        ++stats_.prewarm_hits;
+        container_delay = config_.timings.prewarm_assign;
+    } else {
+        ++stats_.cold_starts;
+        container_delay = sample(config_.timings.cold_start_min,
+                                 config_.timings.cold_start_max);
+    }
+    simulation_.schedule_after(
+        container_delay,
+        [this, kernel_id, election, victim_index, target, checkpoint,
+         used_prewarm] {
+            finish_migration(kernel_id, election, victim_index, target,
+                             checkpoint, used_prewarm);
+        });
+}
+
+void
+GlobalScheduler::finish_migration(cluster::KernelId kernel_id,
+                                  kernel::ElectionId election,
+                                  std::int32_t victim_index,
+                                  cluster::ServerId target,
+                                  const std::string& checkpoint,
+                                  bool used_prewarm)
+{
+    (void)used_prewarm;
+    const auto it = kernels_.find(kernel_id);
+    if (it == kernels_.end() || !it->second.alive) {
+        return;
+    }
+    KernelRecord& record = it->second;
+    ReplicaSlot& victim_slot = record.slots[victim_index];
+    const net::NodeId victim_raft_id = victim_slot.replica->raft().id();
+
+    // Terminate the original replica (its container/subscription were
+    // released when the target was reserved).
+    victim_slot.replica->stop();
+    graveyard_.push_back(std::move(victim_slot.replica));
+    victim_slot.alive = false;
+
+    // Ask the surviving majority to drop the old member.
+    auto try_remove = std::make_shared<std::function<void(int)>>();
+    *try_remove = [this, kernel_id, election, victim_index, target,
+                   checkpoint, victim_raft_id, try_remove](int tries) {
+        const auto kit = kernels_.find(kernel_id);
+        if (kit == kernels_.end() || !kit->second.alive) {
+            return;
+        }
+        KernelRecord& rec = kit->second;
+        bool removed = true;
+        raft::RaftNode* leader = nullptr;
+        for (const ReplicaSlot& slot : rec.slots) {
+            if (slot.alive && slot.replica) {
+                const auto& members = slot.replica->raft().members();
+                if (std::find(members.begin(), members.end(),
+                              victim_raft_id) != members.end()) {
+                    removed = false;
+                }
+                if (slot.replica->raft().role() == raft::Role::kLeader) {
+                    leader = &slot.replica->raft();
+                }
+            }
+        }
+        if (removed) {
+            // Membership updated: attach the new replica on the target.
+            const auto pit = rec.pending.find(election);
+            (void)pit;
+            cluster::GpuServer* server = cluster_.find(target);
+            if (server == nullptr) {
+                // Cannot happen: the placeholder container pins the
+                // server; guard anyway.
+                rec.migrating = false;
+                abort_execution(kernel_id, election,
+                                "migration target disappeared");
+                return;
+            }
+            server->subscribe(rec.spec);
+            if (cluster::Container* placeholder = server->find_container(
+                    rec.slots[victim_index].container)) {
+                placeholder->state = cluster::ContainerState::kIdle;
+                placeholder->ready_at = simulation_.now();
+            }
+            rec.slots[victim_index].server = target;
+            create_replica(rec, victim_index, target, /*passive=*/true);
+
+            // The new replica restores the persisted state (a data-store
+            // read) before joining the Raft group.
+            store_->read(
+                checkpoint_key(kernel_id),
+                [this, kernel_id, election, victim_index,
+                 checkpoint](const storage::ReadResult&) {
+                    const auto kit2 = kernels_.find(kernel_id);
+                    if (kit2 == kernels_.end() || !kit2->second.alive) {
+                        return;
+                    }
+                    KernelRecord& rec2 = kit2->second;
+                    rec2.slots[victim_index].replica->restore_state(
+                        checkpoint);
+                    const net::NodeId new_id =
+                        rec2.slots[victim_index].replica->raft().id();
+                    // Add the new member, then wait for the config commit.
+                    auto try_add =
+                        std::make_shared<std::function<void(int)>>();
+                    *try_add = [this, kernel_id, election, victim_index,
+                                new_id, try_add](int tries2) {
+                        const auto kit3 = kernels_.find(kernel_id);
+                        if (kit3 == kernels_.end() || !kit3->second.alive) {
+                            return;
+                        }
+                        KernelRecord& rec3 = kit3->second;
+                        bool added = false;
+                        raft::RaftNode* leader2 = nullptr;
+                        for (const ReplicaSlot& slot : rec3.slots) {
+                            if (!slot.alive || !slot.replica) {
+                                continue;
+                            }
+                            if (slot.replica->raft().role() ==
+                                raft::Role::kLeader) {
+                                leader2 = &slot.replica->raft();
+                                const auto& members =
+                                    slot.replica->raft().members();
+                                if (std::find(members.begin(), members.end(),
+                                              new_id) != members.end()) {
+                                    added = true;
+                                }
+                            }
+                        }
+                        if (added) {
+                            // Migration complete: resubmit the execution
+                            // with the migrated replica designated. A
+                            // fresh election id is required because the
+                            // replicas' logs already hold the failed
+                            // election's proposals.
+                            rec3.migrating = false;
+                            auto node = rec3.pending.extract(election);
+                            if (!node.empty()) {
+                                const kernel::ElectionId fresh =
+                                    rec3.next_election++;
+                                node.key() = fresh;
+                                rec3.pending.insert(std::move(node));
+                                auto& pending2 = rec3.pending.at(fresh);
+                                pending2.trace.migrated = true;
+                                dispatch_execution(rec3, fresh,
+                                                   victim_index);
+                            }
+                            return;
+                        }
+                        if (leader2 != nullptr) {
+                            leader2->propose_add_member(new_id);
+                        }
+                        if (tries2 > 300) {
+                            rec3.migrating = false;
+                            // Tear the half-joined replica back down; the
+                            // health checker repairs the slot.
+                            ReplicaSlot& broken =
+                                rec3.slots[victim_index];
+                            if (broken.replica) {
+                                broken.replica->stop();
+                                graveyard_.push_back(
+                                    std::move(broken.replica));
+                            }
+                            broken.alive = false;
+                            if (cluster::GpuServer* tserver =
+                                    cluster_.find(broken.server)) {
+                                if (tserver->find_container(
+                                        broken.container) != nullptr) {
+                                    tserver->unsubscribe(rec3.spec);
+                                    tserver->remove_container(
+                                        broken.container);
+                                }
+                            }
+                            abort_execution(kernel_id, election,
+                                            "migration: add-member timeout");
+                            return;
+                        }
+                        simulation_.schedule_after(
+                            200 * sim::kMillisecond,
+                            [try_add, tries2] { (*try_add)(tries2 + 1); });
+                    };
+                    (*try_add)(0);
+                });
+            return;
+        }
+        if (leader != nullptr) {
+            leader->propose_remove_member(victim_raft_id);
+        }
+        if (tries > 300) {
+            const auto kit4 = kernels_.find(kernel_id);
+            if (kit4 != kernels_.end()) {
+                KernelRecord& rec4 = kit4->second;
+                rec4.migrating = false;
+                // Drop the target placeholder; the health checker will
+                // repair the dead slot later.
+                if (cluster::GpuServer* tserver = cluster_.find(target)) {
+                    tserver->remove_container(
+                        rec4.slots[victim_index].container);
+                }
+            }
+            abort_execution(kernel_id, election,
+                            "migration: remove-member timeout");
+            return;
+        }
+        simulation_.schedule_after(
+            200 * sim::kMillisecond,
+            [try_remove, tries] { (*try_remove)(tries + 1); });
+    };
+    (*try_remove)(0);
+}
+
+void
+GlobalScheduler::abort_execution(cluster::KernelId kernel_id,
+                                 kernel::ElectionId election,
+                                 const std::string& reason)
+{
+    const auto it = kernels_.find(kernel_id);
+    if (it == kernels_.end()) {
+        return;
+    }
+    KernelRecord& record = it->second;
+    const auto pit = record.pending.find(election);
+    if (pit == record.pending.end()) {
+        return;
+    }
+    PendingExecution pending = std::move(pit->second);
+    record.pending.erase(pit);
+    ++stats_.executions_aborted;
+
+    kernel::ExecutionResult result;
+    result.election = election;
+    result.status = kernel::ExecutionStatus::kError;
+    result.error = reason;
+    pending.trace.aborted = true;
+    const sim::Time back = sample(config_.hops.client_to_gs_min,
+                                  config_.hops.client_to_gs_max);
+    simulation_.schedule_after(
+        back, [this, result, pending = std::move(pending)]() mutable {
+            pending.trace.client_replied = simulation_.now();
+            if (pending.callback) {
+                pending.callback(result, pending.trace);
+            }
+        });
+}
+
+void
+GlobalScheduler::run_autoscaler()
+{
+    AutoScalerInputs inputs;
+    inputs.committed_gpus = cluster_.total_committed_gpus();
+    inputs.total_gpus = cluster_.total_gpus();
+    inputs.gpus_per_server = config_.server_shape.gpus;
+    inputs.current_servers = static_cast<std::int32_t>(cluster_.size()) +
+                             servers_provisioning_;
+    std::vector<cluster::ServerId> idle;
+    for (const auto& [id, server] : cluster_.servers()) {
+        if (server->containers().empty() && !server->draining()) {
+            idle.push_back(id);
+        }
+    }
+    inputs.idle_servers = static_cast<std::int32_t>(idle.size());
+
+    AutoScaleDecision decision =
+        evaluate_autoscaler(inputs, config_.autoscaler);
+    // Never shrink while placements are waiting for capacity: the pending
+    // kernel (or in-flight provisioning) needs those servers.
+    if (!pending_kernels_.empty() || servers_provisioning_ > 0) {
+        decision.remove_servers = 0;
+    }
+    for (std::int32_t i = 0; i < decision.add_servers; ++i) {
+        provision_server(SchedulerEvent::Kind::kScaleOut);
+    }
+    for (std::int32_t i = 0;
+         i < decision.remove_servers &&
+         i < static_cast<std::int32_t>(idle.size());
+         ++i) {
+        prewarm_.unregister_server(idle[i]);
+        cluster_.remove_server(idle[i]);
+        ++stats_.scale_ins;
+        record_event(SchedulerEvent::Kind::kScaleIn);
+    }
+    simulation_.schedule_after(config_.autoscale_interval,
+                               [this] { run_autoscaler(); });
+}
+
+void
+GlobalScheduler::run_prewarmer()
+{
+    for (const auto& [id, server] : cluster_.servers()) {
+        const std::int32_t deficit = prewarm_.deficit(id);
+        for (std::int32_t i = 0; i < deficit; ++i) {
+            prewarm_.begin_refill(id);
+            const sim::Time cold = sample(config_.timings.cold_start_min,
+                                          config_.timings.cold_start_max);
+            const cluster::ServerId server_id = id;
+            simulation_.schedule_after(cold, [this, server_id] {
+                prewarm_.complete_refill(server_id);
+            });
+        }
+    }
+    simulation_.schedule_after(config_.prewarm_check_interval,
+                               [this] { run_prewarmer(); });
+}
+
+void
+GlobalScheduler::run_health_check()
+{
+    for (auto& [kernel_id, record] : kernels_) {
+        if (!record.alive) {
+            continue;
+        }
+        if (record.migrating || !record.created) {
+            continue;  // being created or reshaped; slots are in flux
+        }
+        for (std::size_t i = 0; i < record.slots.size(); ++i) {
+            ReplicaSlot& slot = record.slots[i];
+            if (slot.alive && slot.replica && !slot.replica->running()) {
+                // Fail-stop failure detected via missed heartbeats
+                // (§3.2.5): replace the dead replica.
+                slot.alive = false;
+                ++stats_.replica_failovers;
+                replace_replica(kernel_id, static_cast<std::int32_t>(i));
+            } else if (!slot.alive && slot.replica == nullptr &&
+                       !record.slots.empty()) {
+                // Slot orphaned by an aborted migration: repair it so the
+                // kernel regains full replication.
+                ++stats_.replica_failovers;
+                replace_replica(kernel_id, static_cast<std::int32_t>(i));
+            }
+        }
+    }
+    simulation_.schedule_after(config_.health_check_interval,
+                               [this] { run_health_check(); });
+}
+
+void
+GlobalScheduler::replace_replica(cluster::KernelId kernel_id,
+                                 std::int32_t index)
+{
+    const auto it = kernels_.find(kernel_id);
+    if (it == kernels_.end() || !it->second.alive) {
+        return;
+    }
+    KernelRecord& record = it->second;
+    ReplicaSlot& slot = record.slots[index];
+    const net::NodeId dead_raft_id =
+        slot.replica ? slot.replica->raft().id() : net::kNoNode;
+
+    // Release the dead replica's resources; the container check guards
+    // against slots already cleaned up by an aborted migration.
+    if (cluster::GpuServer* server = cluster_.find(slot.server)) {
+        if (server->find_container(slot.container) != nullptr) {
+            server->unsubscribe(record.spec);
+            server->remove_container(slot.container);
+        }
+    }
+    if (slot.replica) {
+        graveyard_.push_back(std::move(slot.replica));
+    }
+
+    // Target: any server able to host the subscription (GPUs need not be
+    // idle; a standby replica binds GPUs only when it executes).
+    cluster::ServerId target = cluster::kNoServer;
+    std::set<cluster::ServerId> occupied;
+    for (const ReplicaSlot& other : record.slots) {
+        if (other.alive) {
+            occupied.insert(other.server);
+        }
+    }
+    std::int32_t best_idle = -1;
+    for (const auto& [id, server] : cluster_.servers()) {
+        if (server->draining() || occupied.count(id) > 0 ||
+            !record.spec.fits_within(server->capacity())) {
+            continue;
+        }
+        if (server->idle_gpus() > best_idle) {
+            best_idle = server->idle_gpus();
+            target = id;
+        }
+    }
+    if (target == cluster::kNoServer) {
+        return;  // Next health check retries.
+    }
+
+    // Checkpoint from a surviving replica (they hold the synced state).
+    std::string checkpoint;
+    for (const ReplicaSlot& other : record.slots) {
+        if (other.alive && other.replica) {
+            checkpoint = other.replica->checkpoint_state();
+            break;
+        }
+    }
+    store_->write(checkpoint_key(kernel_id), checkpoint_bytes({}), nullptr);
+
+    const sim::Time container_delay =
+        prewarm_.acquire(target)
+            ? (++stats_.prewarm_hits, config_.timings.prewarm_assign)
+            : (++stats_.cold_starts,
+               sample(config_.timings.cold_start_min,
+                      config_.timings.cold_start_max));
+    simulation_.schedule_after(container_delay, [this, kernel_id, index,
+                                                 target, dead_raft_id,
+                                                 checkpoint] {
+        const auto kit = kernels_.find(kernel_id);
+        if (kit == kernels_.end() || !kit->second.alive) {
+            return;
+        }
+        KernelRecord& rec = kit->second;
+        cluster::GpuServer* server = cluster_.find(target);
+        if (server == nullptr) {
+            return;
+        }
+        server->subscribe(rec.spec);
+        cluster::Container container;
+        container.id = next_container_id_++;
+        container.server = target;
+        container.kernel = kernel_id;
+        container.replica_index = index;
+        container.subscribed = rec.spec;
+        container.state = cluster::ContainerState::kIdle;
+        server->add_container(container);
+        rec.slots[index].server = target;
+        rec.slots[index].container = container.id;
+        create_replica(rec, index, target, /*passive=*/true);
+        rec.slots[index].replica->restore_state(checkpoint);
+
+        const net::NodeId new_id = rec.slots[index].replica->raft().id();
+        auto reconfig = std::make_shared<std::function<void(int)>>();
+        *reconfig = [this, kernel_id, dead_raft_id, new_id,
+                     reconfig](int tries) {
+            const auto kit2 = kernels_.find(kernel_id);
+            if (kit2 == kernels_.end() || !kit2->second.alive ||
+                tries > 600) {
+                return;
+            }
+            KernelRecord& rec2 = kit2->second;
+            raft::RaftNode* leader = nullptr;
+            bool removed = true;
+            bool added = false;
+            for (const ReplicaSlot& slot2 : rec2.slots) {
+                if (!slot2.alive || !slot2.replica) {
+                    continue;
+                }
+                const auto& members = slot2.replica->raft().members();
+                if (slot2.replica->raft().role() == raft::Role::kLeader) {
+                    leader = &slot2.replica->raft();
+                    removed = dead_raft_id == net::kNoNode ||
+                              std::find(members.begin(), members.end(),
+                                        dead_raft_id) == members.end();
+                    added = std::find(members.begin(), members.end(),
+                                      new_id) != members.end();
+                }
+            }
+            if (removed && added) {
+                return;  // Reconfiguration complete.
+            }
+            if (leader != nullptr) {
+                if (!removed) {
+                    leader->propose_remove_member(dead_raft_id);
+                } else if (!added) {
+                    leader->propose_add_member(new_id);
+                }
+            }
+            simulation_.schedule_after(
+                200 * sim::kMillisecond,
+                [reconfig, tries] { (*reconfig)(tries + 1); });
+        };
+        (*reconfig)(0);
+    });
+}
+
+}  // namespace nbos::sched

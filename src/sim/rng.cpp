@@ -1,0 +1,156 @@
+#include "sim/rng.hpp"
+
+#include <cmath>
+
+namespace nbos::sim {
+
+namespace {
+
+/** SplitMix64 step used to expand the seed into xoshiro state. */
+std::uint64_t
+splitmix64(std::uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+        word = splitmix64(s);
+    }
+}
+
+std::uint64_t
+Rng::next_u64()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t
+Rng::uniform_int(std::int64_t lo, std::int64_t hi)
+{
+    if (hi <= lo) {
+        return lo;
+    }
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_u64() % span);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+double
+Rng::exponential(double mean)
+{
+    double u = uniform();
+    // Guard against log(0).
+    if (u <= 0.0) {
+        u = 0x1.0p-53;
+    }
+    return -mean * std::log(u);
+}
+
+double
+Rng::normal()
+{
+    if (has_spare_) {
+        has_spare_ = false;
+        return spare_normal_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 <= 0.0) {
+        u1 = 0x1.0p-53;
+    }
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_normal_ = mag * std::sin(2.0 * M_PI * u2);
+    has_spare_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::lognormal(double mu, double sigma)
+{
+    return std::exp(normal(mu, sigma));
+}
+
+double
+Rng::pareto(double xm, double alpha)
+{
+    double u = uniform();
+    if (u <= 0.0) {
+        u = 0x1.0p-53;
+    }
+    return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t
+Rng::weighted_index(const std::vector<double>& weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        total += w;
+    }
+    if (total <= 0.0) {
+        return 0;
+    }
+    double target = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        target -= weights[i];
+        if (target <= 0.0) {
+            return i;
+        }
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next_u64() ^ 0xa0761d6478bd642fULL);
+}
+
+}  // namespace nbos::sim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Deterministic random-number generation for the simulation.
+ *
+ * A hand-rolled xoshiro256** keeps runs reproducible across standard-library
+ * implementations (std::mt19937 distributions are not portable between
+ * libstdc++ / libc++, which would make experiment output machine-dependent).
+ */
+#ifndef NBOS_SIM_RNG_HPP
+#define NBOS_SIM_RNG_HPP
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace nbos::sim {
+
+/**
+ * Deterministic pseudo-random generator (xoshiro256**) with the sampling
+ * helpers the workload generator and latency models need.
+ */
+class Rng
+{
+  public:
+    /** Seed the generator; equal seeds yield identical streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next_u64();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli trial with success probability p. */
+    bool bernoulli(double p);
+
+    /** Exponential variate with the given mean (mean > 0). */
+    double exponential(double mean);
+
+    /** Standard normal variate (Box-Muller, cached spare). */
+    double normal();
+
+    /** Normal variate with given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Log-normal variate: exp(N(mu, sigma)). */
+    double lognormal(double mu, double sigma);
+
+    /** Pareto variate with scale xm and shape alpha. */
+    double pareto(double xm, double alpha);
+
+    /**
+     * Sample an index according to the given non-negative weights.
+     * @return index in [0, weights.size()); 0 if all weights are zero.
+     */
+    std::size_t weighted_index(const std::vector<double>& weights);
+
+    /** Derive an independent child generator (for per-component streams). */
+    Rng split();
+
+  private:
+    std::array<std::uint64_t, 4> state_{};
+    double spare_normal_ = 0.0;
+    bool has_spare_ = false;
+};
+
+}  // namespace nbos::sim
+
+#endif  // NBOS_SIM_RNG_HPP

@@ -1,0 +1,118 @@
+#include "sim/simulation.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace nbos::sim {
+
+std::string
+format_time(Time t)
+{
+    const bool negative = t < 0;
+    if (negative) {
+        t = -t;
+    }
+    const std::int64_t total_ms = t / kMillisecond;
+    const std::int64_t ms = total_ms % 1000;
+    const std::int64_t total_s = total_ms / 1000;
+    const std::int64_t s = total_s % 60;
+    const std::int64_t m = (total_s / 60) % 60;
+    const std::int64_t h = total_s / 3600;
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%s%02lld:%02lld:%02lld.%03lld",
+                  negative ? "-" : "", static_cast<long long>(h),
+                  static_cast<long long>(m), static_cast<long long>(s),
+                  static_cast<long long>(ms));
+    return buf;
+}
+
+EventId
+Simulation::schedule_at(Time t, std::function<void()> fn)
+{
+    if (t < now_) {
+        t = now_;
+    }
+    const EventId id = next_id_++;
+    queue_.push(Event{t, id, std::move(fn)});
+    return id;
+}
+
+EventId
+Simulation::schedule_after(Time delay, std::function<void()> fn)
+{
+    if (delay < 0) {
+        delay = 0;
+    }
+    return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool
+Simulation::cancel(EventId id)
+{
+    if (id == 0 || id >= next_id_) {
+        return false;
+    }
+    // Tombstone; the queue discards it lazily in skim_cancelled().
+    return cancelled_.insert(id).second;
+}
+
+void
+Simulation::skim_cancelled()
+{
+    while (!queue_.empty()) {
+        auto it = cancelled_.find(queue_.top().id);
+        if (it == cancelled_.end()) {
+            return;
+        }
+        cancelled_.erase(it);
+        queue_.pop();
+    }
+}
+
+bool
+Simulation::empty() const
+{
+    // Count only non-cancelled events.
+    return queue_.size() == cancelled_.size();
+}
+
+bool
+Simulation::step()
+{
+    skim_cancelled();
+    if (queue_.empty()) {
+        return false;
+    }
+    // Move the callback out before popping so that the callback may schedule
+    // new events (which mutates the queue).
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.fn();
+    return true;
+}
+
+void
+Simulation::run()
+{
+    while (step()) {
+    }
+}
+
+void
+Simulation::run_until(Time t)
+{
+    while (true) {
+        skim_cancelled();
+        if (queue_.empty() || queue_.top().time > t) {
+            break;
+        }
+        step();
+    }
+    if (now_ < t) {
+        now_ = t;
+    }
+}
+
+}  // namespace nbos::sim

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The discrete-event simulation engine at the bottom of the NotebookOS stack.
+ *
+ * Every subsystem (network, Raft, schedulers, kernels) advances exclusively
+ * through events scheduled here, which makes whole-cluster runs deterministic
+ * for a given seed and cheap enough to replay 90-day traces in seconds.
+ */
+#ifndef NBOS_SIM_SIMULATION_HPP
+#define NBOS_SIM_SIMULATION_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace nbos::sim {
+
+/** Handle identifying a scheduled event (usable with Simulation::cancel). */
+using EventId = std::uint64_t;
+
+/**
+ * Deterministic discrete-event scheduler.
+ *
+ * Events at equal timestamps fire in scheduling order (FIFO), which removes
+ * all non-determinism from simultaneous events.
+ */
+class Simulation
+{
+  public:
+    Simulation() = default;
+
+    Simulation(const Simulation&) = delete;
+    Simulation& operator=(const Simulation&) = delete;
+
+    /** Current simulated time. */
+    Time now() const { return now_; }
+
+    /**
+     * Schedule @p fn at absolute time @p t (clamped to now()).
+     * @return a handle usable with cancel().
+     */
+    EventId schedule_at(Time t, std::function<void()> fn);
+
+    /** Schedule @p fn @p delay after now() (negative delays clamp to 0). */
+    EventId schedule_after(Time delay, std::function<void()> fn);
+
+    /**
+     * Cancel a pending event.
+     * @return true if the event was pending and is now cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** True if no runnable events remain. */
+    bool empty() const;
+
+    /**
+     * Run the next event.
+     * @return false if the queue was empty.
+     */
+    bool step();
+
+    /** Run events until the queue drains. */
+    void run();
+
+    /**
+     * Run all events with timestamp <= @p t, then set now() to @p t.
+     * Events scheduled past @p t remain pending.
+     */
+    void run_until(Time t);
+
+    /** Total number of events executed so far. */
+    std::uint64_t events_executed() const { return executed_; }
+
+    /** Number of events currently pending (including cancelled tombstones). */
+    std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+  private:
+    struct Event
+    {
+        Time time;
+        EventId id;
+        std::function<void()> fn;
+    };
+
+    struct EventOrder
+    {
+        bool operator()(const Event& a, const Event& b) const
+        {
+            // priority_queue is a max-heap; invert for earliest-first, and
+            // break timestamp ties by insertion order for determinism.
+            if (a.time != b.time) {
+                return a.time > b.time;
+            }
+            return a.id > b.id;
+        }
+    };
+
+    /** Pop cancelled tombstones off the top of the queue. */
+    void skim_cancelled();
+
+    Time now_ = 0;
+    EventId next_id_ = 1;
+    std::uint64_t executed_ = 0;
+    std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+    std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace nbos::sim
+
+#endif  // NBOS_SIM_SIMULATION_HPP

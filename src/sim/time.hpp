@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Simulated-time primitives shared by every NotebookOS subsystem.
+ *
+ * Simulation time is an integer count of microseconds so that event ordering
+ * is exact and runs are bit-for-bit reproducible across platforms.
+ */
+#ifndef NBOS_SIM_TIME_HPP
+#define NBOS_SIM_TIME_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace nbos::sim {
+
+/** Simulated time in microseconds since the start of the run. */
+using Time = std::int64_t;
+
+/** One microsecond (the base unit). */
+inline constexpr Time kMicrosecond = 1;
+/** One millisecond in simulated time. */
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+/** One second in simulated time. */
+inline constexpr Time kSecond = 1000 * kMillisecond;
+/** One minute in simulated time. */
+inline constexpr Time kMinute = 60 * kSecond;
+/** One hour in simulated time. */
+inline constexpr Time kHour = 60 * kMinute;
+/** One day in simulated time. */
+inline constexpr Time kDay = 24 * kHour;
+
+/** Convert a floating-point second count to simulated time (rounds down). */
+constexpr Time from_seconds(double seconds)
+{
+    return static_cast<Time>(seconds * static_cast<double>(kSecond));
+}
+
+/** Convert simulated time to floating-point seconds. */
+constexpr double to_seconds(Time t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/** Convert simulated time to floating-point milliseconds. */
+constexpr double to_millis(Time t)
+{
+    return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/** Convert simulated time to floating-point hours. */
+constexpr double to_hours(Time t)
+{
+    return static_cast<double>(t) / static_cast<double>(kHour);
+}
+
+/** Render a time as "HH:MM:SS.mmm" for logs and experiment output. */
+std::string format_time(Time t);
+
+}  // namespace nbos::sim
+
+#endif  // NBOS_SIM_TIME_HPP

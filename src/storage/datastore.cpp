@@ -1,0 +1,192 @@
+#include "storage/datastore.hpp"
+
+#include <utility>
+
+namespace nbos::storage {
+
+const char*
+to_string(Backend backend)
+{
+    switch (backend) {
+      case Backend::kS3:
+        return "s3";
+      case Backend::kRedis:
+        return "redis";
+      case Backend::kHdfs:
+        return "hdfs";
+    }
+    return "unknown";
+}
+
+BackendModel
+default_model(Backend backend)
+{
+    BackendModel model;
+    switch (backend) {
+      case Backend::kS3:
+        model.base_latency = 30 * sim::kMillisecond;
+        model.jitter = 20 * sim::kMillisecond;
+        model.bandwidth_bps = 600e6;  // multi-part GET/PUT
+        model.tail_probability = 0.01;
+        model.tail_multiplier = 4.0;
+        break;
+      case Backend::kRedis:
+        model.base_latency = 1 * sim::kMillisecond;
+        model.jitter = 1 * sim::kMillisecond;
+        model.bandwidth_bps = 1.2e9;
+        model.tail_probability = 0.005;
+        model.tail_multiplier = 3.0;
+        break;
+      case Backend::kHdfs:
+        model.base_latency = 10 * sim::kMillisecond;
+        model.jitter = 10 * sim::kMillisecond;
+        model.bandwidth_bps = 800e6;
+        model.tail_probability = 0.02;
+        model.tail_multiplier = 3.0;
+        break;
+    }
+    return model;
+}
+
+DataStore::DataStore(sim::Simulation& simulation, Backend backend,
+                     sim::Rng rng)
+    : DataStore(simulation, default_model(backend), backend, rng)
+{
+}
+
+DataStore::DataStore(sim::Simulation& simulation, BackendModel model,
+                     Backend backend, sim::Rng rng)
+    : simulation_(simulation), model_(model), backend_(backend), rng_(rng)
+{
+}
+
+sim::Time
+DataStore::sample_latency(std::uint64_t size_bytes)
+{
+    sim::Time latency = model_.base_latency;
+    if (model_.jitter > 0) {
+        latency += rng_.uniform_int(0, model_.jitter);
+    }
+    double transfer_s =
+        static_cast<double>(size_bytes) / model_.bandwidth_bps;
+    if (rng_.bernoulli(model_.tail_probability)) {
+        transfer_s *= model_.tail_multiplier;
+    }
+    latency += sim::from_seconds(transfer_s);
+    return latency;
+}
+
+void
+DataStore::write(const std::string& key, std::uint64_t size_bytes,
+                 WriteCallback on_done)
+{
+    const sim::Time latency = sample_latency(size_bytes);
+    writes_.add(sim::to_millis(latency));
+    bytes_written_ += size_bytes;
+    simulation_.schedule_after(
+        latency,
+        [this, key, size_bytes, latency, on_done = std::move(on_done)] {
+            if (const auto it = objects_.find(key); it != objects_.end()) {
+                total_bytes_ -= it->second;
+            }
+            objects_[key] = size_bytes;
+            total_bytes_ += size_bytes;
+            if (on_done) {
+                on_done(latency);
+            }
+        });
+}
+
+void
+DataStore::read(const std::string& key, ReadCallback on_done)
+{
+    ReadResult result;
+    const auto it = objects_.find(key);
+    if (it == objects_.end()) {
+        result.found = false;
+        result.latency = model_.base_latency;
+    } else {
+        result.found = true;
+        result.size_bytes = it->second;
+        result.latency = sample_latency(it->second);
+        reads_.add(sim::to_millis(result.latency));
+    }
+    simulation_.schedule_after(result.latency,
+                               [result, on_done = std::move(on_done)] {
+                                   if (on_done) {
+                                       on_done(result);
+                                   }
+                               });
+}
+
+void
+DataStore::erase(const std::string& key)
+{
+    if (const auto it = objects_.find(key); it != objects_.end()) {
+        total_bytes_ -= it->second;
+        objects_.erase(it);
+    }
+}
+
+bool
+DataStore::contains(const std::string& key) const
+{
+    return objects_.find(key) != objects_.end();
+}
+
+std::uint64_t
+DataStore::size_of(const std::string& key) const
+{
+    const auto it = objects_.find(key);
+    return it == objects_.end() ? 0 : it->second;
+}
+
+NodeCache::NodeCache(std::uint64_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes)
+{
+}
+
+void
+NodeCache::put(const std::string& key, std::uint64_t size_bytes)
+{
+    erase(key);
+    if (size_bytes > capacity_bytes_) {
+        return;  // Never cache objects larger than the whole cache.
+    }
+    while (used_bytes_ + size_bytes > capacity_bytes_ && !lru_.empty()) {
+        const Entry& victim = lru_.back();
+        used_bytes_ -= victim.size;
+        entries_.erase(victim.key);
+        lru_.pop_back();
+    }
+    lru_.push_front(Entry{key, size_bytes});
+    entries_[key] = lru_.begin();
+    used_bytes_ += size_bytes;
+}
+
+bool
+NodeCache::get(const std::string& key)
+{
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        ++misses_;
+        return false;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return true;
+}
+
+void
+NodeCache::erase(const std::string& key)
+{
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        return;
+    }
+    used_bytes_ -= it->second->size;
+    lru_.erase(it->second);
+    entries_.erase(it);
+}
+
+}  // namespace nbos::storage

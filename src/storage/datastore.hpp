@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The pluggable Distributed Data Store (§3.2.4) used for asynchronous
+ * replication of large objects (model parameters, datasets).
+ *
+ * NotebookOS supports AWS S3, Redis, and HDFS; each backend here is a
+ * latency + bandwidth model calibrated so the Fig. 11 magnitudes hold
+ * (99% of writes within ~7 s, reads within ~4 s for multi-GB objects).
+ */
+#ifndef NBOS_STORAGE_DATASTORE_HPP
+#define NBOS_STORAGE_DATASTORE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "metrics/percentiles.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+
+namespace nbos::storage {
+
+/** Supported data-store backends. */
+enum class Backend
+{
+    kS3,
+    kRedis,
+    kHdfs,
+};
+
+/** Human-readable backend name. */
+const char* to_string(Backend backend);
+
+/** Latency/bandwidth model for one backend. */
+struct BackendModel
+{
+    /** Fixed per-operation latency (request setup, metadata). */
+    sim::Time base_latency = 20 * sim::kMillisecond;
+    /** Uniform jitter added to the base latency. */
+    sim::Time jitter = 10 * sim::kMillisecond;
+    /** Sustained transfer bandwidth in bytes per second. */
+    double bandwidth_bps = 400e6;
+    /** Heavy-tail probability (slow replica / retry). */
+    double tail_probability = 0.01;
+    /** Multiplier applied to the transfer time on a tail event. */
+    double tail_multiplier = 4.0;
+};
+
+/** Default model for a backend (S3: high throughput, high base latency;
+ *  Redis: low latency, memory-speed; HDFS: in between). */
+BackendModel default_model(Backend backend);
+
+/** Result handed to read callbacks. */
+struct ReadResult
+{
+    bool found = false;
+    std::uint64_t size_bytes = 0;
+    sim::Time latency = 0;
+};
+
+/**
+ * Simulated distributed object store.
+ *
+ * Objects are tracked by key and size; payload bytes are never materialized
+ * (the control plane only needs sizes and timing). All operations complete
+ * asynchronously through the simulation, mirroring the paper's off-critical-
+ * path checkpointing.
+ */
+class DataStore
+{
+  public:
+    using WriteCallback = std::function<void(sim::Time latency)>;
+    using ReadCallback = std::function<void(const ReadResult&)>;
+
+    DataStore(sim::Simulation& simulation, Backend backend, sim::Rng rng);
+    DataStore(sim::Simulation& simulation, BackendModel model, Backend backend,
+              sim::Rng rng);
+
+    /** Store (or overwrite) an object; callback fires on completion. */
+    void write(const std::string& key, std::uint64_t size_bytes,
+               WriteCallback on_done);
+
+    /** Fetch an object; callback fires on completion (found=false if absent
+     *  — absence still costs the base latency, like a real GET miss). */
+    void read(const std::string& key, ReadCallback on_done);
+
+    /** Delete an object immediately (metadata operation, no callback). */
+    void erase(const std::string& key);
+
+    /** Synchronous existence check (metadata cached client-side). */
+    bool contains(const std::string& key) const;
+
+    /** Size of a stored object; 0 if absent. */
+    std::uint64_t size_of(const std::string& key) const;
+
+    /** Number of stored objects. */
+    std::size_t object_count() const { return objects_.size(); }
+
+    /** Total stored bytes. */
+    std::uint64_t total_bytes() const { return total_bytes_; }
+
+    /** Cumulative bytes ever written (traffic accounting). */
+    std::uint64_t bytes_written() const { return bytes_written_; }
+
+    /** Which backend this store models. */
+    Backend backend() const { return backend_; }
+
+    /** Latency distributions recorded so far (for Fig. 11). */
+    const metrics::Percentiles& write_latencies() const { return writes_; }
+    const metrics::Percentiles& read_latencies() const { return reads_; }
+
+  private:
+    sim::Time sample_latency(std::uint64_t size_bytes);
+
+    sim::Simulation& simulation_;
+    BackendModel model_;
+    Backend backend_;
+    sim::Rng rng_;
+    std::unordered_map<std::string, std::uint64_t> objects_;
+    std::uint64_t total_bytes_ = 0;
+    std::uint64_t bytes_written_ = 0;
+    metrics::Percentiles writes_;
+    metrics::Percentiles reads_;
+};
+
+/**
+ * Node-level LRU cache (§3.2.4: "NotebookOS also employs a simple node-level
+ * cache to limit storage and memory costs"). Tracks which large objects are
+ * already resident on a GPU server so a migrated/activated replica can skip
+ * the remote read.
+ */
+class NodeCache
+{
+  public:
+    /** @param capacity_bytes maximum resident bytes (evicts LRU beyond). */
+    explicit NodeCache(std::uint64_t capacity_bytes);
+
+    /** Insert/refresh an object; evicts least-recently-used as needed.
+     *  Objects larger than the capacity are not cached. */
+    void put(const std::string& key, std::uint64_t size_bytes);
+
+    /** Look up an object, refreshing its recency. */
+    bool get(const std::string& key);
+
+    /** Remove one object. */
+    void erase(const std::string& key);
+
+    /** Resident byte count. */
+    std::uint64_t used_bytes() const { return used_bytes_; }
+
+    /** Number of resident objects. */
+    std::size_t object_count() const { return entries_.size(); }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        std::uint64_t size = 0;
+    };
+
+    std::uint64_t capacity_bytes_;
+    std::uint64_t used_bytes_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::list<Entry> lru_;  ///< Front = most recent.
+    std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
+};
+
+}  // namespace nbos::storage
+
+#endif  // NBOS_STORAGE_DATASTORE_HPP

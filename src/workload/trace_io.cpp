@@ -1,0 +1,188 @@
+#include "workload/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "nblang/catalog.hpp"
+
+namespace nbos::workload {
+
+namespace {
+
+constexpr const char* kMagic = "#nbos-trace-v1";
+
+std::vector<std::string>
+split_csv(const std::string& line)
+{
+    std::vector<std::string> fields;
+    std::string field;
+    std::stringstream stream(line);
+    while (std::getline(stream, field, ',')) {
+        fields.push_back(field);
+    }
+    return fields;
+}
+
+/** Re-synthesize the deterministic cell code (mirrors the generator). */
+std::string
+resynthesize_code(const SessionSpec& session, const CellTask& task)
+{
+    const auto model = nblang::find_model(session.model);
+    const double model_mb =
+        model ? static_cast<double>(model->param_bytes) / (1024.0 * 1024.0)
+              : 100.0;
+    const double vram_mb =
+        std::min(16384.0 * session.resources.gpus, model_mb + 2048.0);
+    const double duration_s = sim::to_seconds(task.duration);
+    char buf[64];
+    std::string code;
+    if (!task.is_gpu) {
+        code += "note_" + std::to_string(task.seq) + " = \"edit\"\n";
+        std::snprintf(buf, sizeof(buf), "cpu_compute(%.3f)\n", duration_s);
+        code += buf;
+        return code;
+    }
+    if (task.seq == 0) {
+        code += "model = load_model(\"" + session.model + "\")\n";
+        code += "data = load_dataset(\"" + session.dataset + "\")\n";
+        code += "step = 0\n";
+    } else {
+        code += "step = step + 1\n";
+    }
+    std::snprintf(buf, sizeof(buf), "loss_%d = %.3f\n", task.seq,
+                  1.0 / (1.0 + task.seq));
+    code += buf;
+    std::snprintf(buf, sizeof(buf), "gpu_compute(%.3f, vram_mb=%.3f)\n",
+                  duration_s, vram_mb);
+    code += buf;
+    if (task.seq > 0 && task.seq % 7 == 3) {
+        std::snprintf(buf, sizeof(buf),
+                      "weights = weights + tensor(%.3f)\n", model_mb);
+    } else {
+        std::snprintf(buf, sizeof(buf), "weights = tensor(%.3f)\n",
+                      model_mb);
+    }
+    code += buf;
+    return code;
+}
+
+}  // namespace
+
+void
+save_trace(const Trace& trace, std::ostream& out)
+{
+    out << kMagic << "," << trace.name << "," << trace.makespan << ","
+        << trace.sessions.size() << "\n";
+    for (const SessionSpec& session : trace.sessions) {
+        out << "S," << session.id << "," << session.start_time << ","
+            << session.end_time << "," << session.resources.millicpus << ","
+            << session.resources.memory_mb << "," << session.resources.gpus
+            << "," << session.resources.vram_gb << ","
+            << static_cast<int>(session.domain) << "," << session.model
+            << "," << session.dataset << "," << session.tasks.size()
+            << "\n";
+        for (const CellTask& task : session.tasks) {
+            out << "T," << task.seq << "," << task.submit_time << ","
+                << task.duration << "," << (task.is_gpu ? 1 : 0) << "\n";
+        }
+    }
+}
+
+bool
+save_trace_file(const Trace& trace, const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        return false;
+    }
+    save_trace(trace, out);
+    return static_cast<bool>(out);
+}
+
+Trace
+load_trace(std::istream& in)
+{
+    std::string line;
+    if (!std::getline(in, line)) {
+        throw std::runtime_error("empty trace stream");
+    }
+    const auto header = split_csv(line);
+    if (header.size() < 4 || header[0] != kMagic) {
+        throw std::runtime_error("bad trace header: " + line);
+    }
+    Trace trace;
+    trace.name = header[1];
+    trace.makespan = std::stoll(header[2]);
+    const auto session_count = std::stoull(header[3]);
+    trace.sessions.reserve(session_count);
+
+    SessionSpec* current = nullptr;
+    std::size_t expected_tasks = 0;
+    while (std::getline(in, line)) {
+        if (line.empty()) {
+            continue;
+        }
+        const auto fields = split_csv(line);
+        if (fields[0] == "S") {
+            if (fields.size() != 12) {
+                throw std::runtime_error("bad session row: " + line);
+            }
+            if (current != nullptr &&
+                current->tasks.size() != expected_tasks) {
+                throw std::runtime_error("task count mismatch in session " +
+                                         std::to_string(current->id));
+            }
+            SessionSpec session;
+            session.id = std::stoll(fields[1]);
+            session.start_time = std::stoll(fields[2]);
+            session.end_time = std::stoll(fields[3]);
+            session.resources.millicpus =
+                static_cast<std::int32_t>(std::stol(fields[4]));
+            session.resources.memory_mb = std::stoll(fields[5]);
+            session.resources.gpus =
+                static_cast<std::int32_t>(std::stol(fields[6]));
+            session.resources.vram_gb = std::stod(fields[7]);
+            session.domain =
+                static_cast<nblang::Domain>(std::stoi(fields[8]));
+            session.model = fields[9];
+            session.dataset = fields[10];
+            expected_tasks = std::stoull(fields[11]);
+            trace.sessions.push_back(std::move(session));
+            current = &trace.sessions.back();
+        } else if (fields[0] == "T") {
+            if (current == nullptr || fields.size() != 5) {
+                throw std::runtime_error("orphan/bad task row: " + line);
+            }
+            CellTask task;
+            task.session = current->id;
+            task.seq = static_cast<std::int32_t>(std::stol(fields[1]));
+            task.submit_time = std::stoll(fields[2]);
+            task.duration = std::stoll(fields[3]);
+            task.is_gpu = fields[4] == "1";
+            task.code = resynthesize_code(*current, task);
+            current->tasks.push_back(std::move(task));
+        } else {
+            throw std::runtime_error("unknown row type: " + line);
+        }
+    }
+    if (current != nullptr && current->tasks.size() != expected_tasks) {
+        throw std::runtime_error("task count mismatch in final session");
+    }
+    if (trace.sessions.size() != session_count) {
+        throw std::runtime_error("session count mismatch");
+    }
+    return trace;
+}
+
+Trace
+load_trace_file(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        throw std::runtime_error("cannot open trace file: " + path);
+    }
+    return load_trace(in);
+}
+
+}  // namespace nbos::workload

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Trace serialization: save/load synthesized workloads as CSV so
+ * experiments can be archived, diffed, and replayed bit-for-bit (the
+ * paper's artifact ships its trace as files; this is our equivalent).
+ *
+ * Format: a header line, one `S` row per session, one `T` row per task.
+ * Cell code is not stored — it is re-synthesized deterministically from
+ * the session metadata on load.
+ */
+#ifndef NBOS_WORKLOAD_TRACE_IO_HPP
+#define NBOS_WORKLOAD_TRACE_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/trace.hpp"
+
+namespace nbos::workload {
+
+/** Serialize @p trace to @p out (CSV-ish, line oriented). */
+void save_trace(const Trace& trace, std::ostream& out);
+
+/** Save to a file. @return false on I/O failure. */
+bool save_trace_file(const Trace& trace, const std::string& path);
+
+/**
+ * Parse a trace previously written by save_trace.
+ * @throws std::runtime_error on malformed input.
+ */
+Trace load_trace(std::istream& in);
+
+/** Load from a file. @throws std::runtime_error if unreadable. */
+Trace load_trace_file(const std::string& path);
+
+}  // namespace nbos::workload
+
+#endif  // NBOS_WORKLOAD_TRACE_IO_HPP

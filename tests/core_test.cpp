@@ -1,0 +1,414 @@
+/**
+ * @file
+ * Tests for the core platform: result helpers, trace-derived series, the
+ * billing model, the baseline engines, and both NotebookOS engines.
+ */
+#include <gtest/gtest.h>
+
+#include "billing/billing.hpp"
+#include "core/baselines.hpp"
+#include "core/platform.hpp"
+#include "core/results.hpp"
+#include "workload/generator.hpp"
+
+namespace nbos::core {
+namespace {
+
+using sim::kHour;
+using sim::kMinute;
+using sim::kSecond;
+
+workload::Trace
+tiny_trace(int sessions = 8, sim::Time makespan = 3 * kHour,
+           std::uint64_t seed = 21)
+{
+    workload::WorkloadGenerator generator{sim::Rng(seed)};
+    workload::GeneratorOptions options;
+    options.makespan = makespan;
+    options.max_sessions = sessions;
+    options.sessions_survive_trace = true;
+    return generator.generate(workload::TraceProfile::adobe(), options);
+}
+
+TEST(ResultsTest, PolicyNames)
+{
+    EXPECT_STREQ(to_string(Policy::kReservation), "reservation");
+    EXPECT_STREQ(to_string(Policy::kBatch), "batch");
+    EXPECT_STREQ(to_string(Policy::kNotebookOS), "notebookos");
+    EXPECT_STREQ(to_string(Policy::kNotebookOSLCP), "notebookos-lcp");
+}
+
+TEST(ResultsTest, TaskOutcomeDerivedMetrics)
+{
+    TaskOutcome task;
+    task.submit = 10 * kSecond;
+    task.exec_start = 12 * kSecond;
+    task.exec_end = 60 * kSecond;
+    task.reply = 61 * kSecond;
+    EXPECT_EQ(task.interactivity_delay(), 2 * kSecond);
+    EXPECT_EQ(task.tct(), 51 * kSecond);
+}
+
+TEST(ResultsTest, SeriesFromDeltasAccumulates)
+{
+    auto series = series_from_deltas(
+        {{10, 2.0}, {5, 1.0}, {10, 3.0}, {20, -4.0}});
+    EXPECT_DOUBLE_EQ(series.value_at(5), 1.0);
+    EXPECT_DOUBLE_EQ(series.value_at(10), 6.0);
+    EXPECT_DOUBLE_EQ(series.value_at(25), 2.0);
+}
+
+TEST(ResultsTest, OracleSeriesTracksTaskDemand)
+{
+    workload::Trace trace;
+    trace.makespan = kHour;
+    workload::SessionSpec session;
+    session.id = 1;
+    session.start_time = 0;
+    session.end_time = kHour;
+    session.resources.gpus = 4;
+    workload::CellTask task;
+    task.session = 1;
+    task.submit_time = 10 * kMinute;
+    task.duration = 5 * kMinute;
+    session.tasks.push_back(task);
+    trace.sessions.push_back(session);
+
+    const auto oracle = oracle_gpu_series(trace);
+    EXPECT_DOUBLE_EQ(oracle.value_at(5 * kMinute), 0.0);
+    EXPECT_DOUBLE_EQ(oracle.value_at(12 * kMinute), 4.0);
+    EXPECT_DOUBLE_EQ(oracle.value_at(20 * kMinute), 0.0);
+}
+
+TEST(ResultsTest, ReservedSeriesTracksSessions)
+{
+    const auto trace = tiny_trace();
+    const auto reserved = reserved_gpu_series(trace);
+    // All sessions survive the trace: reserved GPUs only grow until the
+    // trace end (where the closing deltas land).
+    double total = 0.0;
+    for (const auto& session : trace.sessions) {
+        total += session.resources.gpus;
+    }
+    EXPECT_DOUBLE_EQ(reserved.value_at(trace.makespan - 1), total);
+    EXPECT_DOUBLE_EQ(reserved.value_at(0), 0.0);
+}
+
+TEST(ResultsTest, ActiveSessionsSeriesCountsSessions)
+{
+    const auto trace = tiny_trace(5);
+    const auto sessions = active_sessions_series(trace);
+    EXPECT_DOUBLE_EQ(sessions.value_at(trace.makespan - 1),
+                     static_cast<double>(trace.sessions.size()));
+}
+
+TEST(ResultsTest, ReexecutionSavedGrowsWithSmallerInterval)
+{
+    workload::WorkloadGenerator generator{sim::Rng(4)};
+    workload::GeneratorOptions options;
+    options.makespan = 24 * kHour;
+    options.max_sessions = 30;
+    options.sessions_survive_trace = true;
+    const auto trace =
+        generator.generate(workload::TraceProfile::adobe(), options);
+    const auto saved_15 =
+        reexecution_saved_series(trace, 15 * kMinute, kHour);
+    const auto saved_120 =
+        reexecution_saved_series(trace, 120 * kMinute, kHour);
+    // Fig. 13: shorter reclamation intervals reclaim more often, so
+    // NotebookOS saves more re-execution.
+    EXPECT_GE(saved_15.current(), saved_120.current());
+    EXPECT_GT(saved_15.current(), 0.0);
+    // Cumulative series are monotone.
+    double prev = 0.0;
+    for (const auto& sample : saved_15.samples()) {
+        EXPECT_GE(sample.value, prev);
+        prev = sample.value;
+    }
+}
+
+TEST(BillingTest, ReservationRevenueExceedsCost)
+{
+    billing::BillingConfig config;
+    metrics::TimeSeries provisioned;
+    provisioned.record(0, 80.0);  // 10 servers
+    metrics::TimeSeries reserved;
+    reserved.record(0, 80.0);  // fully reserved
+    metrics::TimeSeries active;  // unused for reservation
+    const auto series = billing::compute_billing(
+        config, provisioned, reserved, active, false, 10 * kHour, kHour);
+    // Users pay 1.15x the provider's cost for the same GPUs.
+    EXPECT_NEAR(series.final_revenue(), series.final_cost() * 1.15, 1e-6);
+    EXPECT_NEAR(series.final_margin_pct(), (1.0 - 1.0 / 1.15) * 100.0,
+                0.01);
+}
+
+TEST(BillingTest, StandbyRateMatchesPaperExample)
+{
+    // §5.5.1: $10/h 8-GPU VM -> standby replica $1.44/h (10*1.15*0.125),
+    // active 4-GPU replica $5.75/h (10*1.15*0.5).
+    billing::BillingConfig config;
+    config.server_hour_cost = 10.0;
+    metrics::TimeSeries provisioned;  // zero cost for this check
+    metrics::TimeSeries standby;
+    standby.record(0, 1.0);  // one standby replica
+    metrics::TimeSeries active;
+    const auto standby_only = billing::compute_billing(
+        config, provisioned, standby, active, true, kHour, kMinute);
+    EXPECT_NEAR(standby_only.final_revenue(), 1.4375, 1e-6);
+
+    metrics::TimeSeries none;
+    metrics::TimeSeries active4;
+    active4.record(0, 4.0);
+    const auto active_only = billing::compute_billing(
+        config, provisioned, none, active4, true, kHour, kMinute);
+    EXPECT_NEAR(active_only.final_revenue(), 5.75, 1e-6);
+}
+
+TEST(BillingTest, EmptyInputsSafe)
+{
+    billing::BillingConfig config;
+    metrics::TimeSeries empty;
+    const auto series = billing::compute_billing(config, empty, empty,
+                                                 empty, false, kHour,
+                                                 kMinute);
+    EXPECT_DOUBLE_EQ(series.final_cost(), 0.0);
+    EXPECT_DOUBLE_EQ(series.final_revenue(), 0.0);
+}
+
+struct EngineCase
+{
+    Policy policy;
+    bool fast = false;
+};
+
+class EngineParamTest : public ::testing::TestWithParam<EngineCase>
+{
+  protected:
+    ExperimentResults
+    run_tiny()
+    {
+        const auto trace = tiny_trace();
+        PlatformConfig config = PlatformConfig::prototype_defaults();
+        config.policy = GetParam().policy;
+        config.fast_mode = GetParam().fast;
+        config.seed = 5;
+        Platform platform(config);
+        return platform.run(trace);
+    }
+};
+
+TEST_P(EngineParamTest, AllTasksComplete)
+{
+    const auto results = run_tiny();
+    const auto trace = tiny_trace();
+    EXPECT_EQ(results.tasks.size(), trace.task_count());
+    EXPECT_EQ(results.aborted_count(), 0u);
+}
+
+TEST_P(EngineParamTest, TimingsAreOrdered)
+{
+    const auto results = run_tiny();
+    for (const TaskOutcome& task : results.tasks) {
+        if (task.aborted) {
+            continue;
+        }
+        EXPECT_LE(task.submit, task.exec_start);
+        EXPECT_LE(task.exec_start, task.exec_end);
+        EXPECT_LE(task.exec_end, task.reply);
+        // Execution duration is at least the trace duration.
+        EXPECT_GE(task.exec_end - task.exec_start, 0);
+    }
+}
+
+TEST_P(EngineParamTest, CommittedNeverExceedsProvisioned)
+{
+    const auto results = run_tiny();
+    for (const auto& sample : results.committed_gpus.samples()) {
+        EXPECT_LE(sample.value,
+                  results.provisioned_gpus.value_at(sample.time) + 1e-9)
+            << "at " << sim::format_time(sample.time);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, EngineParamTest,
+    ::testing::Values(EngineCase{Policy::kReservation, false},
+                      EngineCase{Policy::kBatch, false},
+                      EngineCase{Policy::kNotebookOSLCP, false},
+                      EngineCase{Policy::kNotebookOS, false},
+                      EngineCase{Policy::kNotebookOS, true}),
+    [](const ::testing::TestParamInfo<EngineCase>& info) {
+        std::string name = to_string(info.param.policy);
+        for (char& c : name) {
+            if (c == '-') {
+                c = '_';
+            }
+        }
+        return name + (info.param.fast ? "_fast" : "_proto");
+    });
+
+TEST(CrossPolicyTest, ReservationProvisionsMostNotebookOsSaves)
+{
+    // Needs enough sessions that the 3x replication overhead is amortized
+    // by oversubscription (the paper's savings regime).
+    const auto trace = tiny_trace(60, 10 * kHour);
+    PlatformConfig config = PlatformConfig::prototype_defaults();
+    config.seed = 9;
+    config.scheduler.initial_servers = 2;
+    config.scheduler.autoscaler.buffer_servers = 1;
+
+    config.policy = Policy::kReservation;
+    const auto reservation = Platform(config).run(trace);
+    config.policy = Policy::kNotebookOS;
+    const auto nbos = Platform(config).run(trace);
+    config.policy = Policy::kBatch;
+    const auto batch = Platform(config).run(trace);
+
+    // Fig. 8 shape: Batch provisions least, NotebookOS sits between Batch
+    // and Reservation.
+    EXPECT_LT(nbos.gpu_hours_provisioned(),
+              reservation.gpu_hours_provisioned());
+    EXPECT_LT(batch.gpu_hours_provisioned(),
+              nbos.gpu_hours_provisioned());
+}
+
+TEST(CrossPolicyTest, InteractivityOrdering)
+{
+    const auto trace = tiny_trace(10, 4 * kHour);
+    PlatformConfig config = PlatformConfig::prototype_defaults();
+    config.seed = 10;
+
+    config.policy = Policy::kReservation;
+    const auto reservation = Platform(config).run(trace);
+    config.policy = Policy::kNotebookOS;
+    const auto nbos = Platform(config).run(trace);
+    config.policy = Policy::kBatch;
+    const auto batch = Platform(config).run(trace);
+
+    const double res_p50 =
+        reservation.interactivity_delays_seconds().percentile(50);
+    const double nbos_p50 =
+        nbos.interactivity_delays_seconds().percentile(50);
+    const double batch_p50 =
+        batch.interactivity_delays_seconds().percentile(50);
+    // Fig. 9(a) shape: Reservation and NotebookOS are sub-second;
+    // Batch pays cold starts + data I/O on every submission.
+    EXPECT_LT(res_p50, 1.0);
+    EXPECT_LT(nbos_p50, 1.0);
+    EXPECT_GT(batch_p50, 5.0);
+}
+
+TEST(PrototypeEngineTest, StatsPopulated)
+{
+    const auto trace = tiny_trace();
+    PlatformConfig config = PlatformConfig::prototype_defaults();
+    config.policy = Policy::kNotebookOS;
+    const auto results = Platform(config).run(trace);
+    EXPECT_EQ(results.sched_stats.kernels_created, trace.sessions.size());
+    EXPECT_GT(results.sched_stats.executions_completed, 0u);
+    EXPECT_GT(results.sync_ms.count(), 0u);
+    EXPECT_GT(results.write_ms.count(), 0u);
+    EXPECT_FALSE(results.subscription_ratio.empty());
+    EXPECT_FALSE(results.events.empty());
+}
+
+TEST(PrototypeEngineTest, HighImmediateCommitFraction)
+{
+    // §5.3.2: NotebookOS commits GPUs immediately ~89.6% of the time and
+    // reuses the executor ~89.45% of the time.
+    const auto trace = tiny_trace(10, 6 * kHour);
+    PlatformConfig config = PlatformConfig::prototype_defaults();
+    config.policy = Policy::kNotebookOS;
+    const auto results = Platform(config).run(trace);
+    ASSERT_GT(results.sched_stats.gpu_executions, 0u);
+    const double immediate =
+        static_cast<double>(results.sched_stats.immediate_commits) /
+        static_cast<double>(results.sched_stats.gpu_executions);
+    EXPECT_GT(immediate, 0.7);
+    const double reuse =
+        static_cast<double>(results.sched_stats.executor_reuses) /
+        static_cast<double>(results.sched_stats.gpu_executions);
+    EXPECT_GT(reuse, 0.5);
+}
+
+TEST(FastEngineTest, MatchesPrototypeShape)
+{
+    const auto trace = tiny_trace(10, 4 * kHour);
+    PlatformConfig config = PlatformConfig::prototype_defaults();
+    config.policy = Policy::kNotebookOS;
+    config.seed = 11;
+    const auto proto = Platform(config).run(trace);
+    config.fast_mode = true;
+    const auto fast = Platform(config).run(trace);
+    // Same task population and comparable GPU-hour magnitudes.
+    EXPECT_EQ(proto.tasks.size(), fast.tasks.size());
+    EXPECT_GT(fast.gpu_hours_committed(), 0.0);
+    EXPECT_NEAR(fast.gpu_hours_committed(), proto.gpu_hours_committed(),
+                0.25 * proto.gpu_hours_committed() + 1.0);
+    // Fast mode is also sub-second interactive.
+    EXPECT_LT(fast.interactivity_delays_seconds().percentile(50), 1.0);
+}
+
+TEST(FastEngineTest, HandlesSessionsEndingMidTrace)
+{
+    workload::WorkloadGenerator generator{sim::Rng(31)};
+    workload::GeneratorOptions options;
+    options.makespan = 2 * sim::kDay;
+    options.max_sessions = 25;
+    options.sessions_survive_trace = false;  // sessions end and release
+    const auto trace =
+        generator.generate(workload::TraceProfile::adobe(), options);
+    PlatformConfig config = PlatformConfig::prototype_defaults();
+    config.policy = Policy::kNotebookOS;
+    config.fast_mode = true;
+    const auto results = Platform(config).run(trace);
+    EXPECT_GT(results.tasks.size(), 0u);
+    // Scale-in happens once sessions end (the auto-scaler reclaims).
+    bool scale_in = false;
+    for (const auto& event : results.events) {
+        if (event.kind == sched::SchedulerEvent::Kind::kScaleIn) {
+            scale_in = true;
+        }
+    }
+    EXPECT_TRUE(scale_in);
+}
+
+TEST(BatchEngineTest, ColdStartDominatesDelay)
+{
+    const auto trace = tiny_trace(6, 3 * kHour);
+    PlatformConfig config;
+    config.policy = Policy::kBatch;
+    const auto results = Platform(config).run(trace);
+    const auto delays = results.interactivity_delays_seconds();
+    // Every task pays at least the minimum container cold start (8 s).
+    EXPECT_GE(delays.min(), 8.0);
+}
+
+TEST(LcpEngineTest, WarmPoolBeatsBatchDelay)
+{
+    const auto trace = tiny_trace(6, 3 * kHour);
+    PlatformConfig config;
+    config.policy = Policy::kBatch;
+    const auto batch = Platform(config).run(trace);
+    config.policy = Policy::kNotebookOSLCP;
+    const auto lcp = Platform(config).run(trace);
+    EXPECT_LT(lcp.interactivity_delays_seconds().percentile(50),
+              batch.interactivity_delays_seconds().percentile(50));
+}
+
+TEST(ReservationEngineTest, CommittedEqualsReservedShape)
+{
+    const auto trace = tiny_trace(6, 3 * kHour);
+    PlatformConfig config;
+    config.policy = Policy::kReservation;
+    const auto results = Platform(config).run(trace);
+    // Reservation holds GPUs for whole sessions: committed GPU-hours
+    // substantially exceed the oracle's task demand.
+    const auto oracle = oracle_gpu_series(trace);
+    EXPECT_GT(results.gpu_hours_committed(),
+              1.5 * oracle.integrate_hours(0, trace.makespan));
+}
+
+}  // namespace
+}  // namespace nbos::core

@@ -1,0 +1,642 @@
+/**
+ * @file
+ * Tests for the distributed kernel: protocol encoding, state serialization,
+ * executor elections, state replication, failed elections, and failover.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "kernel/protocol.hpp"
+#include "kernel/replica.hpp"
+#include "kernel/state_sync.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+#include "storage/datastore.hpp"
+
+namespace nbos::kernel {
+namespace {
+
+TEST(ProtocolTest, EncodeDecodeRoundTrip)
+{
+    KernelLogEntry entry;
+    entry.kind = EntryKind::kLead;
+    entry.election = 42;
+    entry.replica = 2;
+    entry.target = -1;
+    const auto decoded = decode_entry(encode_entry(entry));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->kind, EntryKind::kLead);
+    EXPECT_EQ(decoded->election, 42u);
+    EXPECT_EQ(decoded->replica, 2);
+}
+
+TEST(ProtocolTest, PayloadPreserved)
+{
+    KernelLogEntry entry;
+    entry.kind = EntryKind::kSync;
+    entry.election = 7;
+    entry.replica = 0;
+    entry.payload = "some serialized state with spaces";
+    const auto decoded = decode_entry(encode_entry(entry));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->payload, entry.payload);
+}
+
+TEST(ProtocolTest, AllKindsRoundTrip)
+{
+    for (const EntryKind kind :
+         {EntryKind::kLead, EntryKind::kYield, EntryKind::kVote,
+          EntryKind::kDone, EntryKind::kSync}) {
+        KernelLogEntry entry;
+        entry.kind = kind;
+        entry.election = 1;
+        entry.replica = 1;
+        const auto decoded = decode_entry(encode_entry(entry));
+        ASSERT_TRUE(decoded.has_value()) << to_string(kind);
+        EXPECT_EQ(decoded->kind, kind);
+    }
+}
+
+TEST(ProtocolTest, NonKernelPayloadRejected)
+{
+    EXPECT_FALSE(decode_entry("hello world").has_value());
+    EXPECT_FALSE(decode_entry("").has_value());
+    EXPECT_FALSE(decode_entry("NBK BOGUS 1 2 3 ").has_value());
+}
+
+TEST(StateSyncTest, DeltaRoundTrip)
+{
+    nblang::Namespace ns;
+    ns["x"] = nblang::Value::number_of(3.25);
+    ns["s"] = nblang::Value::string_of("hello");
+    ns["t"] = nblang::Value::tensor_of(512ULL * 1024 * 1024);
+    const StateDelta delta =
+        build_delta(ns, {"x", "s", "t"}, {}, 1024 * 1024);
+    const StateDelta parsed = deserialize_delta(serialize_delta(delta));
+    ASSERT_EQ(parsed.vars.size(), 3u);
+    EXPECT_EQ(parsed.vars[0].name, "x");
+    EXPECT_DOUBLE_EQ(parsed.vars[0].value.number, 3.25);
+    EXPECT_FALSE(parsed.vars[0].is_pointer);
+    EXPECT_EQ(parsed.vars[1].value.text, "hello");
+    EXPECT_TRUE(parsed.vars[2].is_pointer);  // 512 MB >= 1 MB threshold
+    EXPECT_EQ(parsed.vars[2].value.size_bytes, 512ULL * 1024 * 1024);
+}
+
+TEST(StateSyncTest, DeletionsSerialized)
+{
+    nblang::Namespace ns;
+    const StateDelta delta = build_delta(ns, {}, {"gone"}, 1024);
+    const StateDelta parsed = deserialize_delta(serialize_delta(delta));
+    ASSERT_EQ(parsed.deleted.size(), 1u);
+    EXPECT_EQ(parsed.deleted[0], "gone");
+}
+
+TEST(StateSyncTest, ApplyDeltaTracksResidency)
+{
+    nblang::Namespace src;
+    src["big"] = nblang::Value::tensor_of(100 * 1024 * 1024);
+    src["small"] = nblang::Value::number_of(1.0);
+    const StateDelta delta =
+        build_delta(src, {"big", "small"}, {}, 1024 * 1024);
+
+    nblang::Namespace dst;
+    std::set<std::string> non_resident;
+    apply_delta(delta, dst, non_resident);
+    EXPECT_EQ(dst.size(), 2u);
+    EXPECT_TRUE(non_resident.count("big"));
+    EXPECT_FALSE(non_resident.count("small"));
+}
+
+TEST(StateSyncTest, DuplicateAssignmentsDeduplicated)
+{
+    nblang::Namespace ns;
+    ns["x"] = nblang::Value::number_of(2.0);
+    const StateDelta delta = build_delta(ns, {"x", "x", "x"}, {}, 1024);
+    EXPECT_EQ(delta.vars.size(), 1u);
+}
+
+TEST(StateSyncTest, AssignedThenDeletedSkipped)
+{
+    nblang::Namespace ns;  // variable no longer present
+    const StateDelta delta = build_delta(ns, {"temp"}, {"temp"}, 1024);
+    EXPECT_TRUE(delta.vars.empty());
+    ASSERT_EQ(delta.deleted.size(), 1u);
+}
+
+TEST(StateSyncTest, CheckpointCoversWholeNamespace)
+{
+    nblang::Namespace ns;
+    ns["a"] = nblang::Value::number_of(1);
+    ns["b"] = nblang::Value::tensor_of(64 * 1024 * 1024);
+    const std::string checkpoint = checkpoint_namespace(ns, 1024 * 1024);
+    nblang::Namespace restored;
+    std::set<std::string> non_resident;
+    apply_delta(deserialize_delta(checkpoint), restored, non_resident);
+    EXPECT_EQ(restored.size(), 2u);
+    EXPECT_TRUE(non_resident.count("b"));
+}
+
+TEST(StateSyncTest, ObjectKeysAreNamespaced)
+{
+    EXPECT_EQ(object_key(5, "weights"), "kernel/5/var/weights");
+    EXPECT_NE(object_key(5, "w"), object_key(6, "w"));
+}
+
+/**
+ * Harness: one distributed kernel with 3 replicas. GPU availability per
+ * replica is controlled by flags; events are recorded for assertions.
+ */
+class KernelHarness
+{
+  public:
+    explicit KernelHarness(KernelConfig config = KernelConfig{},
+                           std::uint64_t seed = 2024)
+        : network(simulation, sim::Rng(seed)),
+          store(simulation, storage::Backend::kS3, sim::Rng(seed + 1))
+    {
+        std::vector<net::NodeId> members{101, 102, 103};
+        sim::Rng seeder(seed + 2);
+        for (std::int32_t i = 0; i < 3; ++i) {
+            replicas.push_back(std::make_unique<KernelReplica>(
+                simulation, network, store, config, /*kernel_id=*/1, i,
+                members[i], members, sim::Rng(seeder.next_u64())));
+            install_hooks(i);
+            gpu_available[i] = true;
+        }
+        for (auto& replica : replicas) {
+            replica->start();
+        }
+        run_for(2 * sim::kSecond);  // elect a Raft leader
+    }
+
+    void
+    install_hooks(std::int32_t idx)
+    {
+        KernelReplica::Hooks hooks;
+        hooks.try_commit = [this, idx](const cluster::ResourceSpec&) {
+            if (gpu_available[idx]) {
+                ++commits[idx];
+                return true;
+            }
+            return false;
+        };
+        hooks.release = [this, idx](const cluster::ResourceSpec&) {
+            ++releases[idx];
+        };
+        hooks.on_result = [this](const ExecutionResult& result) {
+            results.push_back(result);
+        };
+        hooks.on_election_failed = [this](ElectionId id) {
+            failed_elections.push_back(id);
+        };
+        hooks.on_sync_latency = [this](sim::Time latency) {
+            sync_latencies.push_back(latency);
+        };
+        replicas[idx]->set_hooks(std::move(hooks));
+    }
+
+    /** Broadcast an execute request to all three replicas (step 1). */
+    void
+    submit(ElectionId election, const std::string& code, bool is_gpu = true)
+    {
+        for (auto& replica : replicas) {
+            ExecuteRequest request;
+            request.election = election;
+            request.code = code;
+            request.is_gpu = is_gpu;
+            request.resources = cluster::ResourceSpec{4000, 16384, 2, 32.0};
+            request.submitted_at = simulation.now();
+            replica->handle_execute_request(request);
+        }
+    }
+
+    void run_for(sim::Time t) { simulation.run_until(simulation.now() + t); }
+
+    sim::Simulation simulation;
+    net::Network network;
+    storage::DataStore store;
+    std::vector<std::unique_ptr<KernelReplica>> replicas;
+    bool gpu_available[3] = {true, true, true};
+    int commits[3] = {0, 0, 0};
+    int releases[3] = {0, 0, 0};
+    std::vector<ExecutionResult> results;
+    std::vector<ElectionId> failed_elections;
+    std::vector<sim::Time> sync_latencies;
+};
+
+TEST(KernelElectionTest, SingleExecutorElected)
+{
+    KernelHarness h;
+    h.submit(1, "x = 1\ngpu_compute(5)");
+    h.run_for(30 * sim::kSecond);
+    ASSERT_EQ(h.results.size(), 1u);
+    EXPECT_EQ(h.results[0].status, ExecutionStatus::kOk);
+    EXPECT_GE(h.results[0].executor_replica, 0);
+    EXPECT_LE(h.results[0].executor_replica, 2);
+}
+
+TEST(KernelElectionTest, LosersReleaseReservedGpus)
+{
+    KernelHarness h;
+    h.submit(1, "gpu_compute(5)");
+    h.run_for(30 * sim::kSecond);
+    ASSERT_EQ(h.results.size(), 1u);
+    // All three replicas reserved GPUs (all available), two must release.
+    int total_commits = h.commits[0] + h.commits[1] + h.commits[2];
+    int total_releases = h.releases[0] + h.releases[1] + h.releases[2];
+    EXPECT_EQ(total_commits, 3);
+    EXPECT_EQ(total_releases, 3);  // 2 losers + 1 executor at completion
+}
+
+TEST(KernelElectionTest, ReplicaWithoutGpusYields)
+{
+    KernelHarness h;
+    h.gpu_available[0] = false;
+    h.gpu_available[1] = false;
+    h.submit(1, "gpu_compute(5)");
+    h.run_for(30 * sim::kSecond);
+    ASSERT_EQ(h.results.size(), 1u);
+    EXPECT_EQ(h.results[0].executor_replica, 2);
+    EXPECT_TRUE(h.failed_elections.empty());
+}
+
+TEST(KernelElectionTest, AllYieldTriggersFailedElection)
+{
+    KernelHarness h;
+    h.gpu_available[0] = false;
+    h.gpu_available[1] = false;
+    h.gpu_available[2] = false;
+    h.submit(1, "gpu_compute(5)");
+    h.run_for(30 * sim::kSecond);
+    EXPECT_TRUE(h.results.empty());
+    // Every replica observes the failure (the scheduler deduplicates).
+    EXPECT_GE(h.failed_elections.size(), 1u);
+    for (const ElectionId id : h.failed_elections) {
+        EXPECT_EQ(id, 1u);
+    }
+}
+
+TEST(KernelElectionTest, YieldConversionForcesDesignatedExecutor)
+{
+    KernelHarness h;
+    // The Global Scheduler pre-selects replica 1: others get
+    // yield_requests.
+    for (std::int32_t i = 0; i < 3; ++i) {
+        ExecuteRequest request;
+        request.election = 1;
+        request.code = "gpu_compute(3)";
+        request.resources = cluster::ResourceSpec{4000, 16384, 2, 32.0};
+        request.yield_converted = (i != 1);
+        request.submitted_at = h.simulation.now();
+        h.replicas[i]->handle_execute_request(request);
+    }
+    h.run_for(30 * sim::kSecond);
+    ASSERT_EQ(h.results.size(), 1u);
+    EXPECT_EQ(h.results[0].executor_replica, 1);
+}
+
+TEST(KernelElectionTest, CpuCellNeedsNoGpuCommit)
+{
+    KernelHarness h;
+    h.gpu_available[0] = false;
+    h.gpu_available[1] = false;
+    h.gpu_available[2] = false;
+    h.submit(1, "x = 40 + 2\ncpu_compute(2)", /*is_gpu=*/false);
+    h.run_for(30 * sim::kSecond);
+    ASSERT_EQ(h.results.size(), 1u);
+    EXPECT_EQ(h.results[0].status, ExecutionStatus::kOk);
+    EXPECT_EQ(h.commits[0] + h.commits[1] + h.commits[2], 0);
+}
+
+TEST(KernelStateTest, SmallStateReplicatedToStandbys)
+{
+    KernelHarness h;
+    h.submit(1, "counter = 41\ngpu_compute(1)");
+    h.run_for(60 * sim::kSecond);
+    ASSERT_EQ(h.results.size(), 1u);
+    for (const auto& replica : h.replicas) {
+        ASSERT_TRUE(replica->ns().count("counter")) << "replica "
+                                                    << replica
+                                                           ->replica_index();
+        EXPECT_DOUBLE_EQ(replica->ns().at("counter").number, 41.0);
+    }
+    EXPECT_EQ(h.sync_latencies.size(), 1u);
+    EXPECT_GT(h.sync_latencies[0], 0);
+}
+
+TEST(KernelStateTest, LargeObjectsBecomePointersOnStandbys)
+{
+    KernelHarness h;
+    h.submit(1, "weights = tensor(256)\ngpu_compute(1)");
+    h.run_for(60 * sim::kSecond);
+    ASSERT_EQ(h.results.size(), 1u);
+    const std::int32_t executor = h.results[0].executor_replica;
+    for (const auto& replica : h.replicas) {
+        ASSERT_TRUE(replica->ns().count("weights"));
+        if (replica->replica_index() == executor) {
+            EXPECT_FALSE(replica->non_resident().count("weights"));
+        } else {
+            EXPECT_TRUE(replica->non_resident().count("weights"));
+        }
+    }
+    // The bytes landed in the data store.
+    EXPECT_TRUE(h.store.contains(object_key(1, "weights")));
+    EXPECT_EQ(h.store.size_of(object_key(1, "weights")),
+              256ULL * 1024 * 1024);
+}
+
+TEST(KernelStateTest, StateCarriesAcrossCellsOnDifferentExecutors)
+{
+    KernelHarness h;
+    h.submit(1, "step = 1\ngpu_compute(1)");
+    h.run_for(60 * sim::kSecond);
+    ASSERT_EQ(h.results.size(), 1u);
+    const std::int32_t first = h.results[0].executor_replica;
+    // Force a different executor for the second cell.
+    for (int i = 0; i < 3; ++i) {
+        h.gpu_available[i] = (i != first);
+    }
+    h.submit(2, "step = step + 1\ngpu_compute(1)");
+    h.run_for(60 * sim::kSecond);
+    ASSERT_EQ(h.results.size(), 2u);
+    EXPECT_NE(h.results[1].executor_replica, first);
+    EXPECT_EQ(h.results[1].status, ExecutionStatus::kOk)
+        << h.results[1].error;
+    // The new executor saw step == 1 and incremented it.
+    const auto& ns = h.replicas[h.results[1].executor_replica]->ns();
+    EXPECT_DOUBLE_EQ(ns.at("step").number, 2.0);
+}
+
+TEST(KernelStateTest, NonResidentObjectsPageInFromStore)
+{
+    KernelHarness h;
+    h.submit(1, "weights = tensor(128)\ngpu_compute(1)");
+    h.run_for(60 * sim::kSecond);
+    ASSERT_EQ(h.results.size(), 1u);
+    const std::int32_t first = h.results[0].executor_replica;
+    for (int i = 0; i < 3; ++i) {
+        h.gpu_available[i] = (i != first);
+    }
+    // The second cell *reads* weights, forcing a data-store page-in on the
+    // new executor.
+    h.submit(2, "weights = weights + tensor(1)\ngpu_compute(1)");
+    h.run_for(60 * sim::kSecond);
+    ASSERT_EQ(h.results.size(), 2u);
+    EXPECT_NE(h.results[1].executor_replica, first);
+    EXPECT_EQ(h.results[1].restore_reads, 1);
+    EXPECT_EQ(h.results[1].status, ExecutionStatus::kOk)
+        << h.results[1].error;
+}
+
+TEST(KernelStateTest, ExecutorReuseDetected)
+{
+    KernelHarness h;
+    h.submit(1, "gpu_compute(1)");
+    h.run_for(60 * sim::kSecond);
+    h.submit(2, "gpu_compute(1)");
+    h.run_for(60 * sim::kSecond);
+    ASSERT_EQ(h.results.size(), 2u);
+    EXPECT_FALSE(h.results[0].executor_reused);
+    if (h.results[1].executor_replica == h.results[0].executor_replica) {
+        EXPECT_TRUE(h.results[1].executor_reused);
+    }
+}
+
+TEST(KernelStateTest, UserErrorSurfacesInResult)
+{
+    KernelHarness h;
+    h.submit(1, "x = undefined_var + 1");
+    h.run_for(30 * sim::kSecond);
+    ASSERT_EQ(h.results.size(), 1u);
+    EXPECT_EQ(h.results[0].status, ExecutionStatus::kError);
+    EXPECT_NE(h.results[0].error.find("undefined"), std::string::npos);
+}
+
+TEST(KernelStateTest, PrintOutputReturned)
+{
+    KernelHarness h;
+    h.submit(1, "x = 6 * 7\nprint(x)\ngpu_compute(1)");
+    h.run_for(30 * sim::kSecond);
+    ASSERT_EQ(h.results.size(), 1u);
+    EXPECT_EQ(h.results[0].output, "42\n");
+}
+
+TEST(KernelQueueTest, BackToBackRequestsSerialized)
+{
+    KernelHarness h;
+    h.submit(1, "a = 1\ngpu_compute(5)");
+    h.submit(2, "b = 2\ngpu_compute(5)");
+    h.run_for(120 * sim::kSecond);
+    ASSERT_EQ(h.results.size(), 2u);
+    EXPECT_EQ(h.results[0].election, 1u);
+    EXPECT_EQ(h.results[1].election, 2u);
+    // Second execution started after the first finished.
+    EXPECT_GE(h.results[1].execution_started_at,
+              h.results[0].execution_finished_at);
+}
+
+TEST(KernelTimingTest, InteractivityDelayIsSmallWhenGpusFree)
+{
+    KernelHarness h;
+    ExecuteRequest request;
+    h.submit(1, "gpu_compute(10)");
+    h.run_for(60 * sim::kSecond);
+    ASSERT_EQ(h.results.size(), 1u);
+    const sim::Time delay =
+        h.results[0].execution_started_at - h.results[0].received_at;
+    // Election + GPU bind: well under a second.
+    EXPECT_LT(delay, sim::kSecond);
+    EXPECT_GT(delay, 0);
+}
+
+TEST(KernelTimingTest, ExecutionDurationMatchesRequestedCompute)
+{
+    KernelHarness h;
+    h.submit(1, "gpu_compute(30)");
+    h.run_for(120 * sim::kSecond);
+    ASSERT_EQ(h.results.size(), 1u);
+    const sim::Time run = h.results[0].execution_finished_at -
+                          h.results[0].execution_started_at;
+    EXPECT_EQ(run, 30 * sim::kSecond);
+}
+
+TEST(KernelFailoverTest, CheckpointRestoreRoundTrip)
+{
+    KernelHarness h;
+    h.submit(1, "x = 5\nweights = tensor(64)\ngpu_compute(1)");
+    h.run_for(60 * sim::kSecond);
+    ASSERT_EQ(h.results.size(), 1u);
+    const std::int32_t executor = h.results[0].executor_replica;
+    const std::string checkpoint =
+        h.replicas[executor]->checkpoint_state();
+    KernelConfig config;
+    KernelHarness other;  // fresh kernel to restore into
+    other.replicas[0]->restore_state(checkpoint);
+    EXPECT_DOUBLE_EQ(other.replicas[0]->ns().at("x").number, 5.0);
+    EXPECT_TRUE(other.replicas[0]->non_resident().count("weights"));
+}
+
+TEST(KernelFailoverTest, SurvivesStandbyCrash)
+{
+    KernelHarness h;
+    h.submit(1, "gpu_compute(1)");
+    h.run_for(60 * sim::kSecond);
+    ASSERT_EQ(h.results.size(), 1u);
+    const std::int32_t executor = h.results[0].executor_replica;
+    // Crash one standby replica.
+    const std::int32_t victim = (executor + 1) % 3;
+    h.replicas[victim]->stop();
+    h.gpu_available[victim] = false;
+    h.run_for(5 * sim::kSecond);
+    h.submit(2, "y = 2\ngpu_compute(1)");
+    h.run_for(60 * sim::kSecond);
+    ASSERT_EQ(h.results.size(), 2u);
+    EXPECT_EQ(h.results[1].status, ExecutionStatus::kOk);
+}
+
+TEST(KernelFailoverTest, ElectionLatencyRecorded)
+{
+    KernelHarness h;
+    h.submit(1, "gpu_compute(1)");
+    h.run_for(60 * sim::kSecond);
+    ASSERT_EQ(h.results.size(), 1u);
+    EXPECT_GT(h.results[0].election_latency, 0);
+    EXPECT_LT(h.results[0].election_latency, sim::kSecond);
+}
+
+}  // namespace
+}  // namespace nbos::kernel
+
+namespace nbos::kernel {
+namespace {
+
+TEST(KernelElectionTest, AllYieldConvertedFailsElection)
+{
+    // Degenerate scheduler bug guard: if the GS converts *every* replica
+    // to yield, the election must fail cleanly rather than hang.
+    KernelHarness h;
+    for (std::int32_t i = 0; i < 3; ++i) {
+        ExecuteRequest request;
+        request.election = 1;
+        request.code = "gpu_compute(1)";
+        request.yield_converted = true;
+        request.submitted_at = h.simulation.now();
+        h.replicas[i]->handle_execute_request(request);
+    }
+    h.run_for(30 * sim::kSecond);
+    EXPECT_TRUE(h.results.empty());
+    EXPECT_GE(h.failed_elections.size(), 1u);
+}
+
+TEST(KernelStateTest, ThresholdBoundaryClassification)
+{
+    KernelConfig config;
+    config.large_object_threshold = 2ULL * 1024 * 1024;  // 2 MB
+    KernelHarness h(config);
+    // 1 MB tensor stays inline; 4 MB tensor becomes a pointer.
+    h.submit(1, "small_t = tensor(1)\nbig_t = tensor(4)\ngpu_compute(1)");
+    h.run_for(60 * sim::kSecond);
+    ASSERT_EQ(h.results.size(), 1u);
+    const std::int32_t executor = h.results[0].executor_replica;
+    for (const auto& replica : h.replicas) {
+        if (replica->replica_index() == executor) {
+            continue;
+        }
+        EXPECT_FALSE(replica->non_resident().count("small_t"));
+        EXPECT_TRUE(replica->non_resident().count("big_t"));
+    }
+    EXPECT_FALSE(h.store.contains(object_key(1, "small_t")));
+    EXPECT_TRUE(h.store.contains(object_key(1, "big_t")));
+}
+
+TEST(KernelStateTest, DeletionsPropagateToStandbys)
+{
+    KernelHarness h;
+    h.submit(1, "temp = 123\ngpu_compute(1)");
+    h.run_for(60 * sim::kSecond);
+    h.submit(2, "del temp\ngpu_compute(1)");
+    h.run_for(60 * sim::kSecond);
+    ASSERT_EQ(h.results.size(), 2u);
+    for (const auto& replica : h.replicas) {
+        EXPECT_EQ(replica->ns().count("temp"), 0u)
+            << "replica " << replica->replica_index();
+    }
+}
+
+/** Property sweep: long cell sequences stay consistent across seeds. */
+class KernelSequenceProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(KernelSequenceProperty, TenCellsAllReplicasConverge)
+{
+    KernelHarness h(KernelConfig{}, GetParam());
+    for (ElectionId e = 1; e <= 10; ++e) {
+        h.submit(e, "x_" + std::to_string(e) + " = " + std::to_string(e) +
+                        "\ngpu_compute(1)");
+        h.run_for(60 * sim::kSecond);
+    }
+    ASSERT_EQ(h.results.size(), 10u);
+    h.run_for(60 * sim::kSecond);
+    for (const auto& replica : h.replicas) {
+        for (int e = 1; e <= 10; ++e) {
+            const std::string name = "x_" + std::to_string(e);
+            ASSERT_TRUE(replica->ns().count(name))
+                << "replica " << replica->replica_index() << " " << name;
+            EXPECT_DOUBLE_EQ(replica->ns().at(name).number,
+                             static_cast<double>(e));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelSequenceProperty,
+                         ::testing::Values(1u, 7u, 21u, 77u));
+
+}  // namespace
+}  // namespace nbos::kernel
+
+namespace nbos::kernel {
+namespace {
+
+TEST(KernelFailoverTest, SnapshotCatchUpDoesNotWedgeElections)
+{
+    // Regression: a replica that catches up via Raft snapshot install
+    // skips compacted DONE/SYNC entries; it must still clear its
+    // in-flight election and keep serving subsequent cells.
+    KernelConfig config;
+    config.raft.snapshot_threshold = 4;  // aggressive compaction
+    KernelHarness h(config);
+    h.submit(1, "a = 1\ngpu_compute(1)");
+    h.run_for(60 * sim::kSecond);
+    ASSERT_EQ(h.results.size(), 1u);
+    // Take one standby offline so it lags past the compaction horizon.
+    const std::int32_t executor = h.results[0].executor_replica;
+    const std::int32_t lagger = (executor + 1) % 3;
+    h.replicas[lagger]->stop();
+    h.gpu_available[lagger] = false;
+    for (ElectionId e = 2; e <= 8; ++e) {
+        h.submit(e, "a = a + 1\ngpu_compute(1)");
+        h.run_for(60 * sim::kSecond);
+    }
+    ASSERT_EQ(h.results.size(), 8u);
+    // The lagger returns and must catch up via snapshot install.
+    h.replicas[lagger]->restart();
+    h.gpu_available[lagger] = true;
+    h.run_for(30 * sim::kSecond);
+    EXPECT_GE(h.replicas[lagger]->raft().stats().snapshots_installed, 1u);
+    EXPECT_FALSE(h.replicas[lagger]->busy());
+    // All replicas keep serving cells afterwards.
+    for (ElectionId e = 9; e <= 12; ++e) {
+        h.submit(e, "a = a + 1\ngpu_compute(1)");
+        h.run_for(60 * sim::kSecond);
+    }
+    EXPECT_EQ(h.results.size(), 12u);
+    EXPECT_DOUBLE_EQ(
+        h.replicas[h.results.back().executor_replica]->ns().at("a").number,
+        12.0);
+}
+
+}  // namespace
+}  // namespace nbos::kernel

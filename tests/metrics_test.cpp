@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Tests for the percentile/CDF accumulator and the step-function time
+ * series (GPU-hour integration).
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "metrics/percentiles.hpp"
+#include "metrics/timeseries.hpp"
+#include "sim/time.hpp"
+
+namespace nbos::metrics {
+namespace {
+
+using sim::kHour;
+using sim::kSecond;
+
+TEST(PercentilesTest, EmptyIsSafe)
+{
+    Percentiles p;
+    EXPECT_TRUE(p.empty());
+    EXPECT_EQ(p.count(), 0u);
+    EXPECT_DOUBLE_EQ(p.percentile(50), 0.0);
+    EXPECT_DOUBLE_EQ(p.min(), 0.0);
+    EXPECT_DOUBLE_EQ(p.max(), 0.0);
+    EXPECT_DOUBLE_EQ(p.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(p.cdf_at(1.0), 0.0);
+    EXPECT_TRUE(p.cdf().empty());
+}
+
+TEST(PercentilesTest, SingleSample)
+{
+    Percentiles p;
+    p.add(42.0);
+    EXPECT_DOUBLE_EQ(p.percentile(0), 42.0);
+    EXPECT_DOUBLE_EQ(p.percentile(50), 42.0);
+    EXPECT_DOUBLE_EQ(p.percentile(100), 42.0);
+    EXPECT_DOUBLE_EQ(p.mean(), 42.0);
+}
+
+TEST(PercentilesTest, MedianOfKnownSet)
+{
+    Percentiles p;
+    p.add_all({1, 2, 3, 4, 5});
+    EXPECT_DOUBLE_EQ(p.median(), 3.0);
+    EXPECT_DOUBLE_EQ(p.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(p.percentile(100), 5.0);
+}
+
+TEST(PercentilesTest, InterpolatesBetweenSamples)
+{
+    Percentiles p;
+    p.add_all({0.0, 10.0});
+    EXPECT_DOUBLE_EQ(p.percentile(50), 5.0);
+    EXPECT_DOUBLE_EQ(p.percentile(25), 2.5);
+}
+
+TEST(PercentilesTest, OutOfRangePercentileClamps)
+{
+    Percentiles p;
+    p.add_all({1, 2, 3});
+    EXPECT_DOUBLE_EQ(p.percentile(-5), 1.0);
+    EXPECT_DOUBLE_EQ(p.percentile(150), 3.0);
+}
+
+TEST(PercentilesTest, UnsortedInsertionOrder)
+{
+    Percentiles p;
+    p.add_all({9, 1, 5, 3, 7});
+    EXPECT_DOUBLE_EQ(p.min(), 1.0);
+    EXPECT_DOUBLE_EQ(p.max(), 9.0);
+    EXPECT_DOUBLE_EQ(p.median(), 5.0);
+}
+
+TEST(PercentilesTest, CdfAtIsFractionAtOrBelow)
+{
+    Percentiles p;
+    p.add_all({1, 2, 3, 4});
+    EXPECT_DOUBLE_EQ(p.cdf_at(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(p.cdf_at(2.0), 0.5);
+    EXPECT_DOUBLE_EQ(p.cdf_at(2.5), 0.5);
+    EXPECT_DOUBLE_EQ(p.cdf_at(4.0), 1.0);
+    EXPECT_DOUBLE_EQ(p.cdf_at(100.0), 1.0);
+}
+
+TEST(PercentilesTest, CdfPointsMonotonic)
+{
+    Percentiles p;
+    for (int i = 0; i < 1000; ++i) {
+        p.add((i * 37) % 101);
+    }
+    const auto points = p.cdf(50);
+    ASSERT_EQ(points.size(), 50u);
+    for (std::size_t i = 1; i < points.size(); ++i) {
+        EXPECT_GE(points[i].value, points[i - 1].value);
+        EXPECT_GE(points[i].fraction, points[i - 1].fraction);
+    }
+    EXPECT_DOUBLE_EQ(points.back().fraction, 1.0);
+}
+
+TEST(PercentilesTest, AddAfterQueryResorts)
+{
+    Percentiles p;
+    p.add_all({1, 2, 3});
+    EXPECT_DOUBLE_EQ(p.median(), 2.0);
+    p.add(100.0);
+    EXPECT_DOUBLE_EQ(p.max(), 100.0);
+    EXPECT_DOUBLE_EQ(p.percentile(100), 100.0);
+}
+
+TEST(PercentilesTest, SummaryContainsLabel)
+{
+    Percentiles p;
+    p.add(1.0);
+    EXPECT_NE(p.summary("delays").find("delays"), std::string::npos);
+}
+
+TEST(PercentilesTest, SumAndMean)
+{
+    Percentiles p;
+    p.add_all({2, 4, 6});
+    EXPECT_DOUBLE_EQ(p.sum(), 12.0);
+    EXPECT_DOUBLE_EQ(p.mean(), 4.0);
+}
+
+TEST(TimeSeriesTest, EmptyDefaults)
+{
+    TimeSeries ts;
+    EXPECT_TRUE(ts.empty());
+    EXPECT_DOUBLE_EQ(ts.current(), 0.0);
+    EXPECT_DOUBLE_EQ(ts.value_at(100), 0.0);
+    EXPECT_DOUBLE_EQ(ts.integrate_hours(0, kHour), 0.0);
+}
+
+TEST(TimeSeriesTest, StepSemantics)
+{
+    TimeSeries ts;
+    ts.record(10 * kSecond, 5.0);
+    ts.record(20 * kSecond, 8.0);
+    EXPECT_DOUBLE_EQ(ts.value_at(5 * kSecond), 0.0);
+    EXPECT_DOUBLE_EQ(ts.value_at(10 * kSecond), 5.0);
+    EXPECT_DOUBLE_EQ(ts.value_at(15 * kSecond), 5.0);
+    EXPECT_DOUBLE_EQ(ts.value_at(20 * kSecond), 8.0);
+    EXPECT_DOUBLE_EQ(ts.value_at(100 * kSecond), 8.0);
+}
+
+TEST(TimeSeriesTest, SameTimestampOverwrites)
+{
+    TimeSeries ts;
+    ts.record(10, 1.0);
+    ts.record(10, 2.0);
+    EXPECT_EQ(ts.size(), 1u);
+    EXPECT_DOUBLE_EQ(ts.value_at(10), 2.0);
+}
+
+TEST(TimeSeriesTest, AddAccumulatesDelta)
+{
+    TimeSeries ts;
+    ts.add(0, 3.0);
+    ts.add(10, 2.0);
+    ts.add(20, -4.0);
+    EXPECT_DOUBLE_EQ(ts.value_at(0), 3.0);
+    EXPECT_DOUBLE_EQ(ts.value_at(10), 5.0);
+    EXPECT_DOUBLE_EQ(ts.value_at(25), 1.0);
+}
+
+TEST(TimeSeriesTest, IntegrationConstantValue)
+{
+    TimeSeries ts;
+    ts.record(0, 4.0);
+    // 4 GPUs held for 2 hours = 8 GPU-hours.
+    EXPECT_NEAR(ts.integrate_hours(0, 2 * kHour), 8.0, 1e-9);
+}
+
+TEST(TimeSeriesTest, IntegrationStepChange)
+{
+    TimeSeries ts;
+    ts.record(0, 2.0);
+    ts.record(kHour, 6.0);
+    EXPECT_NEAR(ts.integrate_hours(0, 2 * kHour), 2.0 + 6.0, 1e-9);
+}
+
+TEST(TimeSeriesTest, IntegrationPartialWindow)
+{
+    TimeSeries ts;
+    ts.record(0, 10.0);
+    ts.record(10 * kSecond, 0.0);
+    EXPECT_NEAR(ts.integrate_seconds(5 * kSecond, 20 * kSecond), 50.0, 1e-9);
+}
+
+TEST(TimeSeriesTest, IntegrationBeforeFirstSampleIsZero)
+{
+    TimeSeries ts;
+    ts.record(10 * kSecond, 3.0);
+    EXPECT_NEAR(ts.integrate_seconds(0, 10 * kSecond), 0.0, 1e-9);
+}
+
+TEST(TimeSeriesTest, IntegrationEmptyWindow)
+{
+    TimeSeries ts;
+    ts.record(0, 3.0);
+    EXPECT_DOUBLE_EQ(ts.integrate_seconds(50, 50), 0.0);
+    EXPECT_DOUBLE_EQ(ts.integrate_seconds(50, 10), 0.0);
+}
+
+TEST(TimeSeriesTest, MaxValue)
+{
+    TimeSeries ts;
+    ts.record(0, 1.0);
+    ts.record(10, 9.0);
+    ts.record(20, 4.0);
+    EXPECT_DOUBLE_EQ(ts.max_value(), 9.0);
+}
+
+TEST(TimeSeriesTest, MeanOverWindow)
+{
+    TimeSeries ts;
+    ts.record(0, 0.0);
+    ts.record(10 * kSecond, 10.0);
+    // First 10 s at 0, next 10 s at 10 -> mean 5 over 20 s.
+    EXPECT_NEAR(ts.mean_over(0, 20 * kSecond), 5.0, 1e-9);
+}
+
+TEST(TimeSeriesTest, ResampleProducesRequestedBuckets)
+{
+    TimeSeries ts;
+    ts.record(0, 1.0);
+    ts.record(50 * kSecond, 2.0);
+    const auto points = ts.resample(0, 100 * kSecond, 10);
+    ASSERT_EQ(points.size(), 10u);
+    EXPECT_DOUBLE_EQ(points.front().value, 1.0);
+    EXPECT_DOUBLE_EQ(points.back().value, 2.0);
+}
+
+TEST(TimeSeriesTest, ResampleDegenerateInputs)
+{
+    TimeSeries ts;
+    ts.record(0, 1.0);
+    EXPECT_TRUE(ts.resample(0, 100, 0).empty());
+    EXPECT_TRUE(ts.resample(100, 100, 5).empty());
+}
+
+/** Property: integrating a piecewise series equals the sum of its pieces. */
+class IntegrationProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(IntegrationProperty, PiecewiseSumMatches)
+{
+    const int steps = GetParam();
+    TimeSeries ts;
+    double expected_seconds = 0.0;
+    for (int i = 0; i < steps; ++i) {
+        ts.record(i * kSecond, static_cast<double>(i % 7));
+        expected_seconds += static_cast<double>(i % 7);
+    }
+    EXPECT_NEAR(ts.integrate_seconds(0, steps * kSecond), expected_seconds,
+                1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(StepCounts, IntegrationProperty,
+                         ::testing::Values(1, 2, 3, 10, 100, 1000));
+
+}  // namespace
+}  // namespace nbos::metrics

@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Tests for NbLang: lexer, parser, interpreter, AST analysis, catalog.
+ */
+#include <gtest/gtest.h>
+
+#include "nblang/analysis.hpp"
+#include "nblang/catalog.hpp"
+#include "nblang/interpreter.hpp"
+#include "nblang/lexer.hpp"
+#include "nblang/parser.hpp"
+
+namespace nbos::nblang {
+namespace {
+
+TEST(LexerTest, TokenizesAssignment)
+{
+    const auto tokens = tokenize("x = 42");
+    ASSERT_GE(tokens.size(), 4u);
+    EXPECT_EQ(tokens[0].type, TokenType::kIdent);
+    EXPECT_EQ(tokens[0].text, "x");
+    EXPECT_EQ(tokens[1].type, TokenType::kAssign);
+    EXPECT_EQ(tokens[2].type, TokenType::kNumber);
+    EXPECT_DOUBLE_EQ(tokens[2].number, 42.0);
+}
+
+TEST(LexerTest, RecognizesAugmentedOperators)
+{
+    const auto tokens = tokenize("x += 1; y -= 2; z *= 3");
+    EXPECT_EQ(tokens[1].type, TokenType::kPlusAssign);
+    EXPECT_EQ(tokens[5].type, TokenType::kMinusAssign);
+    EXPECT_EQ(tokens[9].type, TokenType::kStarAssign);
+}
+
+TEST(LexerTest, StringsBothQuoteStyles)
+{
+    const auto tokens = tokenize("a = \"hi\"\nb = 'there'");
+    EXPECT_EQ(tokens[2].type, TokenType::kString);
+    EXPECT_EQ(tokens[2].text, "hi");
+    EXPECT_EQ(tokens[6].text, "there");
+}
+
+TEST(LexerTest, CommentsIgnored)
+{
+    const auto tokens = tokenize("x = 1  # the answer\n# whole line\ny = 2");
+    int idents = 0;
+    for (const auto& t : tokens) {
+        if (t.type == TokenType::kIdent) {
+            ++idents;
+        }
+    }
+    EXPECT_EQ(idents, 2);
+}
+
+TEST(LexerTest, ScientificNotation)
+{
+    const auto tokens = tokenize("x = 1.5e3");
+    EXPECT_DOUBLE_EQ(tokens[2].number, 1500.0);
+}
+
+TEST(LexerTest, DelKeyword)
+{
+    const auto tokens = tokenize("del x");
+    EXPECT_EQ(tokens[0].type, TokenType::kDel);
+}
+
+TEST(LexerTest, UnterminatedStringThrows)
+{
+    EXPECT_THROW(tokenize("x = \"oops"), Error);
+}
+
+TEST(LexerTest, UnknownCharacterThrows)
+{
+    EXPECT_THROW(tokenize("x = 1 @ 2"), Error);
+}
+
+TEST(LexerTest, LineNumbersTracked)
+{
+    const auto tokens = tokenize("a = 1\nb = 2\nc = 3");
+    EXPECT_EQ(tokens[0].line, 1u);
+    EXPECT_EQ(tokens[4].line, 2u);
+    EXPECT_EQ(tokens[8].line, 3u);
+}
+
+TEST(ParserTest, ParsesMultipleStatements)
+{
+    const Program program = parse("x = 1\ny = 2\nprint(x)");
+    EXPECT_EQ(program.statements.size(), 3u);
+}
+
+TEST(ParserTest, EmptySourceYieldsEmptyProgram)
+{
+    EXPECT_TRUE(parse("").statements.empty());
+    EXPECT_TRUE(parse("\n\n  \n").statements.empty());
+    EXPECT_TRUE(parse("# only a comment\n").statements.empty());
+}
+
+TEST(ParserTest, OperatorPrecedence)
+{
+    Namespace ns;
+    execute_source("x = 2 + 3 * 4", ns);
+    EXPECT_DOUBLE_EQ(ns["x"].number, 14.0);
+    execute_source("y = (2 + 3) * 4", ns);
+    EXPECT_DOUBLE_EQ(ns["y"].number, 20.0);
+}
+
+TEST(ParserTest, KeywordArguments)
+{
+    const Program program = parse("gpu_compute(5, vram_mb=2048)");
+    ASSERT_EQ(program.statements.size(), 1u);
+    const auto& stmt =
+        std::get<ExprStmt>(program.statements[0].node);
+    const auto& call = std::get<CallExpr>(stmt.expr->node);
+    EXPECT_EQ(call.args.size(), 1u);
+    ASSERT_EQ(call.kwargs.size(), 1u);
+    EXPECT_EQ(call.kwargs[0].first, "vram_mb");
+}
+
+TEST(ParserTest, MissingParenThrows)
+{
+    EXPECT_THROW(parse("x = (1 + 2"), Error);
+    EXPECT_THROW(parse("print(1, 2"), Error);
+}
+
+TEST(ParserTest, DanglingOperatorThrows)
+{
+    EXPECT_THROW(parse("x = 1 +"), Error);
+}
+
+TEST(InterpreterTest, Arithmetic)
+{
+    Namespace ns;
+    execute_source("a = 10\nb = a / 4\nc = -b", ns);
+    EXPECT_DOUBLE_EQ(ns["b"].number, 2.5);
+    EXPECT_DOUBLE_EQ(ns["c"].number, -2.5);
+}
+
+TEST(InterpreterTest, DivisionByZeroThrows)
+{
+    Namespace ns;
+    EXPECT_THROW(execute_source("x = 1 / 0", ns), Error);
+}
+
+TEST(InterpreterTest, UndefinedVariableThrows)
+{
+    Namespace ns;
+    EXPECT_THROW(execute_source("x = ghost + 1", ns), Error);
+}
+
+TEST(InterpreterTest, StringConcat)
+{
+    Namespace ns;
+    execute_source("s = \"foo\" + \"bar\"", ns);
+    EXPECT_EQ(ns["s"].text, "foobar");
+}
+
+TEST(InterpreterTest, AugmentedAssignment)
+{
+    Namespace ns;
+    execute_source("x = 5\nx += 3\nx *= 2\nx -= 1", ns);
+    EXPECT_DOUBLE_EQ(ns["x"].number, 15.0);
+}
+
+TEST(InterpreterTest, AugmentedAssignmentToUndefinedThrows)
+{
+    Namespace ns;
+    EXPECT_THROW(execute_source("x += 1", ns), Error);
+}
+
+TEST(InterpreterTest, DelRemovesVariable)
+{
+    Namespace ns;
+    const Effect effect = execute_source("x = 1\ndel x", ns);
+    EXPECT_EQ(ns.count("x"), 0u);
+    ASSERT_EQ(effect.deleted.size(), 1u);
+    EXPECT_EQ(effect.deleted[0], "x");
+}
+
+TEST(InterpreterTest, DelUndefinedThrows)
+{
+    Namespace ns;
+    EXPECT_THROW(execute_source("del ghost", ns), Error);
+}
+
+TEST(InterpreterTest, TensorCreation)
+{
+    Namespace ns;
+    execute_source("t = tensor(256)", ns);
+    EXPECT_EQ(ns["t"].kind, ValueKind::kTensor);
+    EXPECT_EQ(ns["t"].size_bytes, 256ULL * 1024 * 1024);
+}
+
+TEST(InterpreterTest, TensorArithmeticKeepsFootprint)
+{
+    Namespace ns;
+    execute_source("a = tensor(100)\nb = tensor(50)\nc = a + b\nd = a * 2",
+                   ns);
+    EXPECT_EQ(ns["c"].size_bytes, 100ULL * 1024 * 1024);
+    EXPECT_EQ(ns["d"].size_bytes, 100ULL * 1024 * 1024);
+}
+
+TEST(InterpreterTest, LoadModelFromCatalog)
+{
+    Namespace ns;
+    execute_source("m = load_model(\"resnet18\")", ns);
+    EXPECT_EQ(ns["m"].kind, ValueKind::kModel);
+    EXPECT_EQ(ns["m"].text, "resnet18");
+    EXPECT_EQ(ns["m"].size_bytes, 45ULL * 1024 * 1024);
+}
+
+TEST(InterpreterTest, UnknownModelThrows)
+{
+    Namespace ns;
+    EXPECT_THROW(execute_source("m = load_model(\"alexnet9000\")", ns),
+                 Error);
+}
+
+TEST(InterpreterTest, TrainProducesGpuEffect)
+{
+    Namespace ns;
+    const Effect effect = execute_source(
+        "m = load_model(\"resnet18\")\n"
+        "d = load_dataset(\"cifar10\")\n"
+        "m = train(m, d, epochs=2)",
+        ns);
+    EXPECT_TRUE(effect.used_gpu());
+    // resnet18 compute factor 1.0 * cifar10 epoch 40 s * 2 epochs.
+    EXPECT_DOUBLE_EQ(effect.gpu_seconds, 80.0);
+    EXPECT_GT(effect.gpu_bytes, 0u);
+    // One version bump per assignment of the (re)trained model.
+    EXPECT_EQ(ns["m"].version, 1u);
+}
+
+TEST(InterpreterTest, TrainTypeMismatchThrows)
+{
+    Namespace ns;
+    EXPECT_THROW(execute_source("x = train(1, 2)", ns), Error);
+}
+
+TEST(InterpreterTest, EvaluateReturnsAccuracy)
+{
+    Namespace ns;
+    execute_source(
+        "m = load_model(\"bert\")\n"
+        "d = load_dataset(\"cola\")\n"
+        "acc = evaluate(m, d)",
+        ns);
+    EXPECT_EQ(ns["acc"].kind, ValueKind::kNumber);
+    EXPECT_GT(ns["acc"].number, 0.0);
+    EXPECT_LE(ns["acc"].number, 1.0);
+}
+
+TEST(InterpreterTest, GpuComputeAccumulates)
+{
+    Namespace ns;
+    const Effect effect =
+        execute_source("gpu_compute(10)\ngpu_compute(5, vram_mb=4096)", ns);
+    EXPECT_DOUBLE_EQ(effect.gpu_seconds, 15.0);
+    EXPECT_EQ(effect.gpu_bytes, 4096ULL * 1024 * 1024);
+}
+
+TEST(InterpreterTest, CpuComputeSeparateFromGpu)
+{
+    Namespace ns;
+    const Effect effect = execute_source("cpu_compute(30)\nsleep(15)", ns);
+    EXPECT_DOUBLE_EQ(effect.cpu_seconds, 45.0);
+    EXPECT_FALSE(effect.used_gpu());
+}
+
+TEST(InterpreterTest, PrintCapturesOutput)
+{
+    Namespace ns;
+    const Effect effect =
+        execute_source("x = 3\nprint(\"val\", x)\nprint(x * 2)", ns);
+    EXPECT_EQ(effect.output, "val 3\n6\n");
+}
+
+TEST(InterpreterTest, SizeMbBuiltin)
+{
+    Namespace ns;
+    execute_source("t = tensor(128)\ns = size_mb(t)", ns);
+    EXPECT_DOUBLE_EQ(ns["s"].number, 128.0);
+}
+
+TEST(InterpreterTest, AssignedNamesTracked)
+{
+    Namespace ns;
+    const Effect effect = execute_source("a = 1\nb = 2\na = 3", ns);
+    ASSERT_EQ(effect.assigned.size(), 3u);
+    EXPECT_EQ(effect.assigned[0], "a");
+    EXPECT_EQ(effect.assigned[1], "b");
+    EXPECT_EQ(effect.assigned[2], "a");
+}
+
+TEST(InterpreterTest, VersionBumpsOnReassign)
+{
+    Namespace ns;
+    execute_source("x = 1", ns);
+    EXPECT_EQ(ns["x"].version, 0u);
+    execute_source("x = 2", ns);
+    EXPECT_EQ(ns["x"].version, 1u);
+}
+
+TEST(InterpreterTest, NamespacePersistsAcrossCells)
+{
+    Namespace ns;
+    execute_source("counter = 0", ns);
+    execute_source("counter = counter + 1", ns);
+    execute_source("counter = counter + 1", ns);
+    EXPECT_DOUBLE_EQ(ns["counter"].number, 2.0);
+}
+
+TEST(InterpreterTest, UnknownFunctionThrows)
+{
+    Namespace ns;
+    EXPECT_THROW(execute_source("mystery(1)", ns), Error);
+}
+
+TEST(AnalysisTest, AssignedAndReferencedSets)
+{
+    const CellAnalysis analysis =
+        analyze_source("y = x + 1\nz = y * 2\nprint(w)");
+    EXPECT_TRUE(analysis.assigned.count("y"));
+    EXPECT_TRUE(analysis.assigned.count("z"));
+    EXPECT_TRUE(analysis.referenced.count("x"));
+    EXPECT_TRUE(analysis.referenced.count("w"));
+    // y is bound before its use in the second statement.
+    EXPECT_FALSE(analysis.referenced.count("y"));
+}
+
+TEST(AnalysisTest, AugmentedAssignmentReadsTarget)
+{
+    const CellAnalysis analysis = analyze_source("x += 1");
+    EXPECT_TRUE(analysis.assigned.count("x"));
+    EXPECT_TRUE(analysis.referenced.count("x"));
+}
+
+TEST(AnalysisTest, DeletedTracked)
+{
+    const CellAnalysis analysis = analyze_source("x = 1\ndel x");
+    EXPECT_TRUE(analysis.deleted.count("x"));
+    EXPECT_FALSE(analysis.assigned.count("x"));
+}
+
+TEST(AnalysisTest, GpuCallDetection)
+{
+    EXPECT_TRUE(analyze_source("gpu_compute(5)").calls_gpu);
+    EXPECT_TRUE(analyze_source("m = train(m, d)").calls_gpu);
+    EXPECT_TRUE(analyze_source("a = evaluate(m, d)").calls_gpu);
+    EXPECT_FALSE(analyze_source("x = 1 + 2\ncpu_compute(9)").calls_gpu);
+}
+
+TEST(AnalysisTest, KwargExpressionsVisited)
+{
+    const CellAnalysis analysis =
+        analyze_source("gpu_compute(5, vram_mb=budget)");
+    EXPECT_TRUE(analysis.referenced.count("budget"));
+}
+
+TEST(CatalogTest, TableOneComplete)
+{
+    EXPECT_EQ(model_catalog().size(), 6u);
+    EXPECT_EQ(dataset_catalog().size(), 6u);
+}
+
+TEST(CatalogTest, DomainsPartitionTableOne)
+{
+    // Table 1: CV has 3 models/3 datasets, NLP 2/2, Speech 1/1.
+    EXPECT_EQ(models_in_domain(Domain::kComputerVision).size(), 3u);
+    EXPECT_EQ(datasets_in_domain(Domain::kComputerVision).size(), 3u);
+    EXPECT_EQ(models_in_domain(Domain::kNaturalLanguage).size(), 2u);
+    EXPECT_EQ(datasets_in_domain(Domain::kNaturalLanguage).size(), 2u);
+    EXPECT_EQ(models_in_domain(Domain::kSpeechRecognition).size(), 1u);
+    EXPECT_EQ(datasets_in_domain(Domain::kSpeechRecognition).size(), 1u);
+}
+
+TEST(CatalogTest, LookupsWork)
+{
+    EXPECT_TRUE(find_model("gpt2").has_value());
+    EXPECT_FALSE(find_model("nonexistent").has_value());
+    EXPECT_TRUE(find_dataset("librispeech").has_value());
+    EXPECT_FALSE(find_dataset("nonexistent").has_value());
+}
+
+TEST(CatalogTest, AllEntriesHavePositiveSizes)
+{
+    for (const auto& model : model_catalog()) {
+        EXPECT_GT(model.param_bytes, 0u) << model.name;
+        EXPECT_GT(model.compute_factor, 0.0) << model.name;
+    }
+    for (const auto& dataset : dataset_catalog()) {
+        EXPECT_GT(dataset.bytes, 0u) << dataset.name;
+        EXPECT_GT(dataset.epoch_gpu_seconds, 0.0) << dataset.name;
+    }
+}
+
+/** Round-trip property: every catalog model trains on every same-domain
+ *  dataset without error. */
+class CatalogPairProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(CatalogPairProperty, SameDomainPairsTrain)
+{
+    const auto& model = model_catalog()[std::get<0>(GetParam())];
+    const auto& dataset = dataset_catalog()[std::get<1>(GetParam())];
+    if (model.domain != dataset.domain) {
+        GTEST_SKIP() << "cross-domain pair";
+    }
+    Namespace ns;
+    const Effect effect = execute_source(
+        "m = load_model(\"" + model.name + "\")\n" +
+            "d = load_dataset(\"" + dataset.name + "\")\n" +
+            "m = train(m, d)",
+        ns);
+    EXPECT_GT(effect.gpu_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, CatalogPairProperty,
+                         ::testing::Combine(::testing::Range(0, 6),
+                                            ::testing::Range(0, 6)));
+
+}  // namespace
+}  // namespace nbos::nblang

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Tests for the simulated network: delivery, latency, drops, partitions.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace nbos::net {
+namespace {
+
+struct Fixture
+{
+    sim::Simulation simulation;
+    Network network{simulation, sim::Rng(99)};
+};
+
+TEST(NetworkTest, RegisterAssignsDistinctIds)
+{
+    Fixture f;
+    const NodeId a = f.network.register_node([](const Message&) {});
+    const NodeId b = f.network.register_node([](const Message&) {});
+    EXPECT_NE(a, b);
+    EXPECT_TRUE(f.network.is_registered(a));
+    EXPECT_TRUE(f.network.is_registered(b));
+}
+
+TEST(NetworkTest, DeliversPayloadAndMetadata)
+{
+    Fixture f;
+    std::string received;
+    NodeId src_seen = kNoNode;
+    const NodeId a = f.network.register_node([](const Message&) {});
+    const NodeId b = f.network.register_node([&](const Message& m) {
+        received = std::any_cast<std::string>(m.payload);
+        src_seen = m.src;
+    });
+    f.network.send(a, b, std::string("hello"));
+    f.simulation.run();
+    EXPECT_EQ(received, "hello");
+    EXPECT_EQ(src_seen, a);
+    EXPECT_EQ(f.network.stats().delivered, 1u);
+}
+
+TEST(NetworkTest, DeliveryIncursLatency)
+{
+    Fixture f;
+    f.network.set_default_latency({5 * sim::kMillisecond,
+                                   0 * sim::kMicrosecond});
+    sim::Time delivered_at = -1;
+    const NodeId a = f.network.register_node([](const Message&) {});
+    const NodeId b = f.network.register_node(
+        [&](const Message&) { delivered_at = f.simulation.now(); });
+    f.network.send(a, b, 1);
+    f.simulation.run();
+    EXPECT_EQ(delivered_at, 5 * sim::kMillisecond);
+}
+
+TEST(NetworkTest, JitterBoundsLatency)
+{
+    Fixture f;
+    f.network.set_default_latency({sim::kMillisecond, sim::kMillisecond});
+    std::vector<sim::Time> arrivals;
+    const NodeId a = f.network.register_node([](const Message&) {});
+    const NodeId b = f.network.register_node(
+        [&](const Message&) { arrivals.push_back(f.simulation.now()); });
+    for (int i = 0; i < 200; ++i) {
+        f.network.send(a, b, i);
+    }
+    f.simulation.run();
+    ASSERT_EQ(arrivals.size(), 200u);
+    for (const sim::Time t : arrivals) {
+        EXPECT_GE(t, sim::kMillisecond);
+        EXPECT_LE(t, 2 * sim::kMillisecond);
+    }
+}
+
+TEST(NetworkTest, PerLinkLatencyOverride)
+{
+    Fixture f;
+    f.network.set_default_latency({sim::kMillisecond, 0});
+    sim::Time delivered_at = -1;
+    const NodeId a = f.network.register_node([](const Message&) {});
+    const NodeId b = f.network.register_node(
+        [&](const Message&) { delivered_at = f.simulation.now(); });
+    f.network.set_link_latency(a, b, {20 * sim::kMillisecond, 0});
+    f.network.send(a, b, 1);
+    f.simulation.run();
+    EXPECT_EQ(delivered_at, 20 * sim::kMillisecond);
+}
+
+TEST(NetworkTest, UnregisteredDestinationCounted)
+{
+    Fixture f;
+    const NodeId a = f.network.register_node([](const Message&) {});
+    f.network.send(a, 777, 1);
+    f.simulation.run();
+    EXPECT_EQ(f.network.stats().dead_destination, 1u);
+    EXPECT_EQ(f.network.stats().delivered, 0u);
+}
+
+TEST(NetworkTest, UnregisterDropsInFlight)
+{
+    Fixture f;
+    int received = 0;
+    const NodeId a = f.network.register_node([](const Message&) {});
+    const NodeId b =
+        f.network.register_node([&](const Message&) { ++received; });
+    f.network.send(a, b, 1);
+    f.network.unregister_node(b);
+    f.simulation.run();
+    EXPECT_EQ(received, 0);
+    EXPECT_EQ(f.network.stats().dead_destination, 1u);
+}
+
+TEST(NetworkTest, PartitionBlocksBothDirections)
+{
+    Fixture f;
+    int received = 0;
+    const NodeId a =
+        f.network.register_node([&](const Message&) { ++received; });
+    const NodeId b =
+        f.network.register_node([&](const Message&) { ++received; });
+    f.network.set_partitioned(a, b, true);
+    f.network.send(a, b, 1);
+    f.network.send(b, a, 2);
+    f.simulation.run();
+    EXPECT_EQ(received, 0);
+    EXPECT_EQ(f.network.stats().blocked_partition, 2u);
+}
+
+TEST(NetworkTest, HealedPartitionDelivers)
+{
+    Fixture f;
+    int received = 0;
+    const NodeId a = f.network.register_node([](const Message&) {});
+    const NodeId b =
+        f.network.register_node([&](const Message&) { ++received; });
+    f.network.set_partitioned(a, b, true);
+    f.network.send(a, b, 1);
+    f.simulation.run();
+    f.network.set_partitioned(a, b, false);
+    f.network.send(a, b, 2);
+    f.simulation.run();
+    EXPECT_EQ(received, 1);
+}
+
+TEST(NetworkTest, PartitionCutsInFlightMessages)
+{
+    Fixture f;
+    int received = 0;
+    f.network.set_default_latency({10 * sim::kMillisecond, 0});
+    const NodeId a = f.network.register_node([](const Message&) {});
+    const NodeId b =
+        f.network.register_node([&](const Message&) { ++received; });
+    f.network.send(a, b, 1);
+    // Cut the link while the message is still in flight.
+    f.simulation.schedule_at(sim::kMillisecond,
+                             [&] { f.network.set_partitioned(a, b, true); });
+    f.simulation.run();
+    EXPECT_EQ(received, 0);
+}
+
+TEST(NetworkTest, IsolateCutsAllLinks)
+{
+    Fixture f;
+    int received = 0;
+    auto count = [&](const Message&) { ++received; };
+    const NodeId a = f.network.register_node(count);
+    const NodeId b = f.network.register_node(count);
+    const NodeId c = f.network.register_node(count);
+    f.network.isolate(a, true);
+    f.network.send(a, b, 1);
+    f.network.send(c, a, 2);
+    f.network.send(b, c, 3);
+    f.simulation.run();
+    EXPECT_EQ(received, 1);  // only b -> c goes through
+    f.network.isolate(a, false);
+    f.network.send(a, b, 4);
+    f.simulation.run();
+    EXPECT_EQ(received, 2);
+}
+
+TEST(NetworkTest, DropProbabilityOneDropsEverything)
+{
+    Fixture f;
+    int received = 0;
+    const NodeId a = f.network.register_node([](const Message&) {});
+    const NodeId b =
+        f.network.register_node([&](const Message&) { ++received; });
+    f.network.set_drop_probability(1.0);
+    for (int i = 0; i < 50; ++i) {
+        f.network.send(a, b, i);
+    }
+    f.simulation.run();
+    EXPECT_EQ(received, 0);
+    EXPECT_EQ(f.network.stats().dropped, 50u);
+}
+
+TEST(NetworkTest, DropProbabilityApproximatelyRespected)
+{
+    Fixture f;
+    int received = 0;
+    const NodeId a = f.network.register_node([](const Message&) {});
+    const NodeId b =
+        f.network.register_node([&](const Message&) { ++received; });
+    f.network.set_drop_probability(0.25);
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        f.network.send(a, b, i);
+    }
+    f.simulation.run();
+    EXPECT_NEAR(static_cast<double>(received) / n, 0.75, 0.02);
+}
+
+TEST(NetworkTest, RegisterWithExplicitId)
+{
+    Fixture f;
+    int received = 0;
+    f.network.register_node_with_id(500,
+                                    [&](const Message&) { ++received; });
+    const NodeId a = f.network.register_node([](const Message&) {});
+    EXPECT_GT(a, 500);  // id allocator skips past explicit ids
+    f.network.send(a, 500, 1);
+    f.simulation.run();
+    EXPECT_EQ(received, 1);
+}
+
+TEST(NetworkTest, StatsCountSent)
+{
+    Fixture f;
+    const NodeId a = f.network.register_node([](const Message&) {});
+    const NodeId b = f.network.register_node([](const Message&) {});
+    f.network.send(a, b, 1);
+    f.network.send(a, b, 2);
+    EXPECT_EQ(f.network.stats().sent, 2u);
+}
+
+TEST(NetworkTest, FifoPerLinkWithZeroJitter)
+{
+    Fixture f;
+    f.network.set_default_latency({sim::kMillisecond, 0});
+    std::vector<int> order;
+    const NodeId a = f.network.register_node([](const Message&) {});
+    const NodeId b = f.network.register_node([&](const Message& m) {
+        order.push_back(std::any_cast<int>(m.payload));
+    });
+    for (int i = 0; i < 10; ++i) {
+        f.network.send(a, b, i);
+    }
+    f.simulation.run();
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(order[i], i);
+    }
+}
+
+}  // namespace
+}  // namespace nbos::net

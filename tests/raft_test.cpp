@@ -1,0 +1,735 @@
+/**
+ * @file
+ * Tests for the Raft consensus substrate: elections, replication, failures,
+ * partitions, log repair, snapshots, and membership changes.
+ *
+ * The state-machine invariant used throughout: each node's applied state is
+ * the concatenation of committed entry payloads, so after convergence every
+ * running node must hold an identical state string.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "raft/raft.hpp"
+#include "sim/simulation.hpp"
+
+namespace nbos::raft {
+namespace {
+
+using net::NodeId;
+
+/** A whole Raft group with per-node applied-state tracking. */
+class Cluster
+{
+  public:
+    explicit Cluster(int n, RaftConfig config = RaftConfig{},
+                     std::uint64_t seed = 42)
+        : network_(simulation_, sim::Rng(seed))
+    {
+        std::vector<NodeId> members;
+        for (int i = 0; i < n; ++i) {
+            members.push_back(i + 1);
+        }
+        states_.resize(n + 1);
+        applied_counts_.resize(n + 1, 0);
+        sim::Rng seeder(seed);
+        for (int i = 0; i < n; ++i) {
+            add_node(i + 1, members, config, seeder.next_u64());
+        }
+        for (auto& [id, node] : nodes_) {
+            node->start();
+        }
+    }
+
+    /** Construct (but do not start) one more node for membership tests. */
+    RaftNode&
+    make_node(NodeId id, std::vector<NodeId> members, RaftConfig config,
+              std::uint64_t seed)
+    {
+        add_node(id, std::move(members), config, seed);
+        return *nodes_.at(id);
+    }
+
+    RaftNode& node(NodeId id) { return *nodes_.at(id); }
+
+    const std::string& state(NodeId id) { return states_[id]; }
+
+    std::uint64_t applied_count(NodeId id) { return applied_counts_[id]; }
+
+    void run_for(sim::Time duration)
+    {
+        simulation_.run_until(simulation_.now() + duration);
+    }
+
+    /**
+     * The unique running leader at the highest term, or nullptr. (An
+     * isolated stale leader may coexist at a lower term; Raft only
+     * guarantees at most one leader per term.)
+     */
+    RaftNode*
+    leader()
+    {
+        RaftNode* found = nullptr;
+        for (auto& [id, node] : nodes_) {
+            if (node->running() && node->role() == Role::kLeader) {
+                if (found == nullptr || node->term() > found->term()) {
+                    found = node.get();
+                } else if (node->term() == found->term()) {
+                    return nullptr;  // two leaders in one term: a real bug
+                }
+            }
+        }
+        return found;
+    }
+
+    int
+    count_leaders_at_max_term()
+    {
+        Term max_term = 0;
+        for (auto& [id, node] : nodes_) {
+            if (node->running()) {
+                max_term = std::max(max_term, node->term());
+            }
+        }
+        int leaders = 0;
+        for (auto& [id, node] : nodes_) {
+            if (node->running() && node->role() == Role::kLeader &&
+                node->term() == max_term) {
+                ++leaders;
+            }
+        }
+        return leaders;
+    }
+
+    /** Propose via the current leader, electing one first if needed. */
+    bool
+    propose(const std::string& data)
+    {
+        RaftNode* l = leader();
+        if (l == nullptr) {
+            return false;
+        }
+        return l->propose(data);
+    }
+
+    sim::Simulation& simulation() { return simulation_; }
+    net::Network& network() { return network_; }
+
+  private:
+    void
+    add_node(NodeId id, std::vector<NodeId> members, RaftConfig config,
+             std::uint64_t seed)
+    {
+        if (static_cast<std::size_t>(id) >= states_.size()) {
+            states_.resize(id + 1);
+            applied_counts_.resize(id + 1, 0);
+        }
+        auto node = std::make_unique<RaftNode>(
+            simulation_, network_, id, std::move(members), config,
+            sim::Rng(seed));
+        node->set_apply([this, id](const LogEntry& entry) {
+            states_[id] += entry.data;
+            states_[id] += ";";
+            ++applied_counts_[id];
+        });
+        node->set_snapshot_hooks(
+            [this, id]() { return states_[id]; },
+            [this, id](const std::string& snapshot) {
+                states_[id] = snapshot;
+            });
+        nodes_.emplace(id, std::move(node));
+    }
+
+    sim::Simulation simulation_;
+    net::Network network_;
+    std::map<NodeId, std::unique_ptr<RaftNode>> nodes_;
+    std::vector<std::string> states_;
+    std::vector<std::uint64_t> applied_counts_;
+};
+
+constexpr sim::Time kSettle = 2 * sim::kSecond;
+
+TEST(RaftElectionTest, ElectsExactlyOneLeader)
+{
+    Cluster c(3);
+    c.run_for(kSettle);
+    ASSERT_NE(c.leader(), nullptr);
+    EXPECT_EQ(c.count_leaders_at_max_term(), 1);
+}
+
+TEST(RaftElectionTest, FollowersLearnLeaderHint)
+{
+    Cluster c(3);
+    c.run_for(kSettle);
+    RaftNode* l = c.leader();
+    ASSERT_NE(l, nullptr);
+    for (NodeId id = 1; id <= 3; ++id) {
+        EXPECT_EQ(c.node(id).leader_hint(), l->id());
+    }
+}
+
+TEST(RaftElectionTest, TermIsPositiveAfterElection)
+{
+    Cluster c(3);
+    c.run_for(kSettle);
+    ASSERT_NE(c.leader(), nullptr);
+    EXPECT_GE(c.leader()->term(), 1u);
+}
+
+TEST(RaftElectionTest, SingleNodeClusterElectsItself)
+{
+    Cluster c(1);
+    c.run_for(kSettle);
+    ASSERT_NE(c.leader(), nullptr);
+    EXPECT_EQ(c.leader()->id(), 1);
+}
+
+TEST(RaftElectionTest, LeaderFailureTriggersReelection)
+{
+    Cluster c(3);
+    c.run_for(kSettle);
+    RaftNode* old_leader = c.leader();
+    ASSERT_NE(old_leader, nullptr);
+    const NodeId old_id = old_leader->id();
+    old_leader->stop();
+    c.run_for(kSettle);
+    RaftNode* new_leader = c.leader();
+    ASSERT_NE(new_leader, nullptr);
+    EXPECT_NE(new_leader->id(), old_id);
+    EXPECT_GT(new_leader->term(), 0u);
+}
+
+TEST(RaftElectionTest, RestartedOldLeaderBecomesFollower)
+{
+    Cluster c(3);
+    c.run_for(kSettle);
+    RaftNode* old_leader = c.leader();
+    ASSERT_NE(old_leader, nullptr);
+    old_leader->stop();
+    c.run_for(kSettle);
+    RaftNode* new_leader = c.leader();
+    ASSERT_NE(new_leader, nullptr);
+    old_leader->restart();
+    c.run_for(kSettle);
+    EXPECT_EQ(c.count_leaders_at_max_term(), 1);
+    EXPECT_NE(old_leader->role(), Role::kLeader);
+    EXPECT_GE(old_leader->term(), new_leader->term());
+}
+
+TEST(RaftElectionTest, MinorityPartitionCannotElect)
+{
+    Cluster c(3);
+    c.run_for(kSettle);
+    RaftNode* l = c.leader();
+    ASSERT_NE(l, nullptr);
+    // Isolate one follower; it keeps campaigning but can never win.
+    NodeId isolated = 0;
+    for (NodeId id = 1; id <= 3; ++id) {
+        if (id != l->id()) {
+            isolated = id;
+            break;
+        }
+    }
+    c.network().isolate(isolated, true);
+    c.run_for(5 * sim::kSecond);
+    EXPECT_NE(c.node(isolated).role(), Role::kLeader);
+    // The majority side still has a leader.
+    int majority_leaders = 0;
+    for (NodeId id = 1; id <= 3; ++id) {
+        if (id != isolated && c.node(id).role() == Role::kLeader) {
+            ++majority_leaders;
+        }
+    }
+    EXPECT_EQ(majority_leaders, 1);
+}
+
+TEST(RaftReplicationTest, ProposalReachesAllNodes)
+{
+    Cluster c(3);
+    c.run_for(kSettle);
+    ASSERT_TRUE(c.propose("a"));
+    c.run_for(kSettle);
+    for (NodeId id = 1; id <= 3; ++id) {
+        EXPECT_EQ(c.state(id), "a;") << "node " << id;
+    }
+}
+
+TEST(RaftReplicationTest, ManyProposalsApplyInOrder)
+{
+    Cluster c(3);
+    c.run_for(kSettle);
+    std::string expected;
+    for (int i = 0; i < 50; ++i) {
+        const std::string payload = "e" + std::to_string(i);
+        ASSERT_TRUE(c.propose(payload));
+        expected += payload + ";";
+        c.run_for(20 * sim::kMillisecond);
+    }
+    c.run_for(kSettle);
+    for (NodeId id = 1; id <= 3; ++id) {
+        EXPECT_EQ(c.state(id), expected) << "node " << id;
+    }
+}
+
+TEST(RaftReplicationTest, FollowerForwardsProposalToLeader)
+{
+    Cluster c(3);
+    c.run_for(kSettle);
+    RaftNode* l = c.leader();
+    ASSERT_NE(l, nullptr);
+    RaftNode* follower = nullptr;
+    for (NodeId id = 1; id <= 3; ++id) {
+        if (id != l->id()) {
+            follower = &c.node(id);
+            break;
+        }
+    }
+    ASSERT_NE(follower, nullptr);
+    EXPECT_TRUE(follower->propose("fwd"));
+    c.run_for(kSettle);
+    for (NodeId id = 1; id <= 3; ++id) {
+        EXPECT_EQ(c.state(id), "fwd;");
+    }
+    EXPECT_GE(follower->stats().proposals_forwarded, 1u);
+}
+
+TEST(RaftReplicationTest, ProposeWithoutLeaderKnownFails)
+{
+    Cluster c(3);
+    // No time has elapsed: nobody has elected or heard from a leader.
+    EXPECT_FALSE(c.node(1).propose("x"));
+}
+
+TEST(RaftReplicationTest, CommitRequiresMajority)
+{
+    Cluster c(3);
+    c.run_for(kSettle);
+    RaftNode* l = c.leader();
+    ASSERT_NE(l, nullptr);
+    const Index committed_before = l->commit_index();
+    // Cut the leader off from both followers, then propose.
+    c.network().isolate(l->id(), true);
+    l->propose("lost");
+    c.run_for(sim::kSecond);
+    EXPECT_EQ(l->commit_index(), committed_before);
+}
+
+TEST(RaftReplicationTest, DivergentUncommittedEntriesAreDiscarded)
+{
+    Cluster c(3);
+    c.run_for(kSettle);
+    RaftNode* old_leader = c.leader();
+    ASSERT_NE(old_leader, nullptr);
+    // Isolated leader appends entries that can never commit.
+    c.network().isolate(old_leader->id(), true);
+    old_leader->propose("orphan1");
+    old_leader->propose("orphan2");
+    c.run_for(kSettle);
+    RaftNode* new_leader = c.leader();
+    ASSERT_NE(new_leader, nullptr);
+    ASSERT_NE(new_leader->id(), old_leader->id());
+    new_leader->propose("kept");
+    c.run_for(kSettle);
+    // Heal: the old leader must adopt the new history.
+    c.network().isolate(old_leader->id(), false);
+    c.run_for(kSettle);
+    for (NodeId id = 1; id <= 3; ++id) {
+        EXPECT_EQ(c.state(id), "kept;") << "node " << id;
+    }
+}
+
+TEST(RaftReplicationTest, ProgressDespiteMessageDrops)
+{
+    Cluster c(3);
+    c.run_for(kSettle);
+    ASSERT_NE(c.leader(), nullptr);
+    c.network().set_drop_probability(0.2);
+    int accepted = 0;
+    for (int i = 0; i < 10; ++i) {
+        RaftNode* l = c.leader();
+        if (l != nullptr && l->propose("d" + std::to_string(i))) {
+            ++accepted;
+        }
+        c.run_for(500 * sim::kMillisecond);
+    }
+    c.network().set_drop_probability(0.0);
+    c.run_for(5 * sim::kSecond);
+    ASSERT_GT(accepted, 0);
+    // All nodes converge to the same state.
+    EXPECT_EQ(c.state(1), c.state(2));
+    EXPECT_EQ(c.state(2), c.state(3));
+    EXPECT_FALSE(c.state(1).empty());
+}
+
+TEST(RaftReplicationTest, CrashedFollowerCatchesUpOnRestart)
+{
+    Cluster c(3);
+    c.run_for(kSettle);
+    RaftNode* l = c.leader();
+    ASSERT_NE(l, nullptr);
+    RaftNode* follower = nullptr;
+    for (NodeId id = 1; id <= 3; ++id) {
+        if (id != l->id()) {
+            follower = &c.node(id);
+            break;
+        }
+    }
+    follower->stop();
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(c.propose("x" + std::to_string(i)));
+        c.run_for(100 * sim::kMillisecond);
+    }
+    c.run_for(kSettle);
+    follower->restart();
+    c.run_for(kSettle);
+    EXPECT_EQ(c.state(follower->id()), c.state(l->id()));
+    EXPECT_EQ(follower->commit_index(), l->commit_index());
+}
+
+TEST(RaftReplicationTest, ClusterSurvivesOneFailureOfThree)
+{
+    Cluster c(3);
+    c.run_for(kSettle);
+    c.node(2).stop();
+    c.run_for(kSettle);
+    ASSERT_NE(c.leader(), nullptr);
+    EXPECT_TRUE(c.propose("still-alive"));
+    c.run_for(kSettle);
+    int have = 0;
+    for (NodeId id : {1, 3}) {
+        if (c.state(id) == "still-alive;") {
+            ++have;
+        }
+    }
+    EXPECT_EQ(have, 2);
+}
+
+TEST(RaftSnapshotTest, LogCompactsPastThreshold)
+{
+    RaftConfig config;
+    config.snapshot_threshold = 10;
+    Cluster c(3, config);
+    c.run_for(kSettle);
+    for (int i = 0; i < 40; ++i) {
+        ASSERT_TRUE(c.propose("s" + std::to_string(i)));
+        c.run_for(100 * sim::kMillisecond);
+    }
+    c.run_for(kSettle);
+    RaftNode* l = c.leader();
+    ASSERT_NE(l, nullptr);
+    EXPECT_LE(l->retained_log_size(), 11u);
+    EXPECT_GE(l->stats().snapshots_taken, 1u);
+    // States still identical despite compaction.
+    EXPECT_EQ(c.state(1), c.state(2));
+    EXPECT_EQ(c.state(2), c.state(3));
+}
+
+TEST(RaftSnapshotTest, LaggingFollowerCatchesUpViaSnapshot)
+{
+    RaftConfig config;
+    config.snapshot_threshold = 5;
+    Cluster c(3, config);
+    c.run_for(kSettle);
+    RaftNode* l = c.leader();
+    ASSERT_NE(l, nullptr);
+    RaftNode* follower = nullptr;
+    for (NodeId id = 1; id <= 3; ++id) {
+        if (id != l->id()) {
+            follower = &c.node(id);
+            break;
+        }
+    }
+    follower->stop();
+    for (int i = 0; i < 30; ++i) {
+        ASSERT_TRUE(c.propose("z" + std::to_string(i)));
+        c.run_for(100 * sim::kMillisecond);
+    }
+    c.run_for(kSettle);
+    follower->restart();
+    c.run_for(5 * sim::kSecond);
+    EXPECT_GE(follower->stats().snapshots_installed, 1u);
+    EXPECT_EQ(c.state(follower->id()), c.state(l->id()));
+}
+
+TEST(RaftMembershipTest, AddMemberJoinsAndCatchesUp)
+{
+    RaftConfig config;
+    Cluster c(3, config);
+    c.run_for(kSettle);
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(c.propose("m" + std::to_string(i)));
+        c.run_for(100 * sim::kMillisecond);
+    }
+    c.run_for(kSettle);
+    RaftNode* l = c.leader();
+    ASSERT_NE(l, nullptr);
+    // Create node 4 passively: it waits for the leader to contact it.
+    RaftNode& joiner = c.make_node(4, {1, 2, 3, 4}, config, 777);
+    joiner.start_passive();
+    ASSERT_TRUE(l->propose_add_member(4));
+    c.run_for(5 * sim::kSecond);
+    EXPECT_EQ(l->members().size(), 4u);
+    EXPECT_EQ(c.state(4), c.state(l->id()));
+}
+
+TEST(RaftMembershipTest, SecondConfigChangeRejectedWhileInFlight)
+{
+    Cluster c(3);
+    c.run_for(kSettle);
+    RaftNode* l = c.leader();
+    ASSERT_NE(l, nullptr);
+    c.network().isolate(l->id(), true);  // prevent the first from committing
+    EXPECT_TRUE(l->propose_add_member(10));
+    EXPECT_FALSE(l->propose_add_member(11));
+}
+
+TEST(RaftMembershipTest, RemoveMemberShrinksGroup)
+{
+    Cluster c(3);
+    c.run_for(kSettle);
+    RaftNode* l = c.leader();
+    ASSERT_NE(l, nullptr);
+    NodeId victim = 0;
+    for (NodeId id = 1; id <= 3; ++id) {
+        if (id != l->id()) {
+            victim = id;
+            break;
+        }
+    }
+    ASSERT_TRUE(l->propose_remove_member(victim));
+    c.run_for(kSettle);
+    EXPECT_EQ(l->members().size(), 2u);
+    c.node(victim).stop();
+    // Two-node group (majority 2) still commits.
+    ASSERT_TRUE(l->propose("after-removal"));
+    c.run_for(kSettle);
+    EXPECT_NE(c.state(l->id()).find("after-removal"), std::string::npos);
+}
+
+TEST(RaftMembershipTest, MigrationFlowReplaceReplica)
+{
+    // The §3.2.3 flow: remove the migrating replica, add its replacement.
+    RaftConfig config;
+    config.snapshot_threshold = 5;
+    Cluster c(3, config);
+    c.run_for(kSettle);
+    for (int i = 0; i < 12; ++i) {
+        ASSERT_TRUE(c.propose("pre" + std::to_string(i)));
+        c.run_for(100 * sim::kMillisecond);
+    }
+    c.run_for(kSettle);
+    RaftNode* l = c.leader();
+    ASSERT_NE(l, nullptr);
+    NodeId victim = 0;
+    for (NodeId id = 1; id <= 3; ++id) {
+        if (id != l->id()) {
+            victim = id;
+            break;
+        }
+    }
+    c.node(victim).stop();
+    ASSERT_TRUE(l->propose_remove_member(victim));
+    c.run_for(kSettle);
+    RaftNode& replacement = c.make_node(9, {}, config, 999);
+    replacement.start_passive();
+    ASSERT_TRUE(l->propose_add_member(9));
+    c.run_for(5 * sim::kSecond);
+    ASSERT_TRUE(l->propose("post-migration"));
+    c.run_for(kSettle);
+    EXPECT_EQ(c.state(9), c.state(l->id()));
+    EXPECT_NE(c.state(9).find("post-migration"), std::string::npos);
+}
+
+/** Property sweep: clusters of size 1/3/5/7 elect and replicate. */
+class RaftSizeProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RaftSizeProperty, ElectsAndReplicates)
+{
+    const int n = GetParam();
+    Cluster c(n);
+    c.run_for(kSettle);
+    ASSERT_NE(c.leader(), nullptr);
+    EXPECT_EQ(c.count_leaders_at_max_term(), 1);
+    ASSERT_TRUE(c.propose("hello"));
+    c.run_for(kSettle);
+    for (NodeId id = 1; id <= n; ++id) {
+        EXPECT_EQ(c.state(id), "hello;") << "node " << id;
+    }
+}
+
+TEST_P(RaftSizeProperty, ToleratesMinorityFailures)
+{
+    const int n = GetParam();
+    if (n < 3) {
+        GTEST_SKIP() << "needs at least 3 nodes";
+    }
+    Cluster c(n);
+    c.run_for(kSettle);
+    const int failures = (n - 1) / 2;
+    for (int i = 0; i < failures; ++i) {
+        c.node(i + 1).stop();
+    }
+    c.run_for(2 * kSettle);
+    ASSERT_NE(c.leader(), nullptr);
+    ASSERT_TRUE(c.propose("survives"));
+    c.run_for(kSettle);
+    for (NodeId id = failures + 1; id <= n; ++id) {
+        EXPECT_EQ(c.state(id), "survives;") << "node " << id;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RaftSizeProperty,
+                         ::testing::Values(1, 3, 5, 7));
+
+/** Property sweep: convergence under different seeds (timing schedules). */
+class RaftSeedProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RaftSeedProperty, ConvergesUnderChurn)
+{
+    Cluster c(3, RaftConfig{}, GetParam());
+    c.run_for(kSettle);
+    for (int round = 0; round < 3; ++round) {
+        RaftNode* l = c.leader();
+        ASSERT_NE(l, nullptr) << "round " << round;
+        l->propose("r" + std::to_string(round));
+        c.run_for(500 * sim::kMillisecond);
+        l->stop();
+        c.run_for(kSettle);
+        l->restart();
+        c.run_for(kSettle);
+    }
+    c.run_for(kSettle);
+    EXPECT_EQ(c.state(1), c.state(2));
+    EXPECT_EQ(c.state(2), c.state(3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RaftSeedProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u));
+
+}  // namespace
+}  // namespace nbos::raft
+
+namespace nbos::raft {
+namespace {
+
+/** Property sweep: convergence under increasing message-drop rates. */
+class RaftDropProperty : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RaftDropProperty, ConvergesDespiteDrops)
+{
+    Cluster c(3, RaftConfig{}, 99);
+    c.run_for(kSettle);
+    c.network().set_drop_probability(GetParam());
+    int accepted = 0;
+    for (int i = 0; i < 8 && accepted < 5; ++i) {
+        RaftNode* l = c.leader();
+        if (l != nullptr && l->propose("p" + std::to_string(i))) {
+            ++accepted;
+        }
+        c.run_for(kSettle);
+    }
+    c.network().set_drop_probability(0.0);
+    c.run_for(5 * sim::kSecond);
+    EXPECT_GT(accepted, 0);
+    EXPECT_EQ(c.state(1), c.state(2));
+    EXPECT_EQ(c.state(2), c.state(3));
+}
+
+INSTANTIATE_TEST_SUITE_P(DropRates, RaftDropProperty,
+                         ::testing::Values(0.05, 0.15, 0.30));
+
+/** Property sweep: compaction thresholds never break convergence. */
+class RaftSnapshotProperty : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(RaftSnapshotProperty, CompactionPreservesState)
+{
+    RaftConfig config;
+    config.snapshot_threshold = GetParam();
+    Cluster c(3, config);
+    c.run_for(kSettle);
+    std::string expected;
+    for (int i = 0; i < 25; ++i) {
+        const std::string payload = "e" + std::to_string(i);
+        ASSERT_TRUE(c.propose(payload));
+        expected += payload + ";";
+        c.run_for(100 * sim::kMillisecond);
+    }
+    c.run_for(kSettle);
+    for (NodeId id = 1; id <= 3; ++id) {
+        EXPECT_EQ(c.state(id), expected) << "node " << id;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, RaftSnapshotProperty,
+                         ::testing::Values(1u, 4u, 16u, 64u));
+
+TEST(RaftStabilityTest, RejoiningDisruptorDoesNotDethroneLeader)
+{
+    // A partitioned node inflates its term by campaigning; on heal, the
+    // §6 stickiness rule keeps the established leader in place until the
+    // disruptor resyncs.
+    Cluster c(3);
+    c.run_for(kSettle);
+    RaftNode* l = c.leader();
+    ASSERT_NE(l, nullptr);
+    NodeId isolated = 0;
+    for (NodeId id = 1; id <= 3; ++id) {
+        if (id != l->id()) {
+            isolated = id;
+            break;
+        }
+    }
+    c.network().isolate(isolated, true);
+    c.run_for(10 * sim::kSecond);  // term inflation on the disruptor
+    EXPECT_GT(c.node(isolated).term(), l->term());
+    c.network().isolate(isolated, false);
+    c.run_for(kSettle);
+    // A single leader exists and the group still commits.
+    ASSERT_NE(c.leader(), nullptr);
+    ASSERT_TRUE(c.propose("post-heal"));
+    c.run_for(kSettle);
+    EXPECT_NE(c.state(1).find("post-heal"), std::string::npos);
+    EXPECT_EQ(c.state(1), c.state(2));
+    EXPECT_EQ(c.state(2), c.state(3));
+}
+
+TEST(RaftStabilityTest, FullClusterRestartRecoversDurableState)
+{
+    Cluster c(3);
+    c.run_for(kSettle);
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(c.propose("d" + std::to_string(i)));
+        c.run_for(200 * sim::kMillisecond);
+    }
+    c.run_for(kSettle);
+    const Index committed = c.leader()->commit_index();
+    for (NodeId id = 1; id <= 3; ++id) {
+        c.node(id).stop();
+    }
+    c.run_for(kSettle);
+    for (NodeId id = 1; id <= 3; ++id) {
+        c.node(id).restart();
+    }
+    c.run_for(2 * kSettle);
+    RaftNode* l = c.leader();
+    ASSERT_NE(l, nullptr);
+    EXPECT_GE(l->commit_index(), committed);
+    EXPECT_EQ(c.state(1), c.state(2));
+    EXPECT_EQ(c.state(2), c.state(3));
+    EXPECT_NE(c.state(1).find("d4;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nbos::raft

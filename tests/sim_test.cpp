@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Unit and property tests for the discrete-event engine and the RNG.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+#include "sim/time.hpp"
+
+namespace nbos::sim {
+namespace {
+
+TEST(TimeTest, ConversionRoundTrips)
+{
+    EXPECT_EQ(from_seconds(1.0), kSecond);
+    EXPECT_EQ(from_seconds(0.001), kMillisecond);
+    EXPECT_DOUBLE_EQ(to_seconds(kMinute), 60.0);
+    EXPECT_DOUBLE_EQ(to_millis(kSecond), 1000.0);
+    EXPECT_DOUBLE_EQ(to_hours(kDay), 24.0);
+}
+
+TEST(TimeTest, FormatTime)
+{
+    EXPECT_EQ(format_time(0), "00:00:00.000");
+    EXPECT_EQ(format_time(kHour + 2 * kMinute + 3 * kSecond +
+                          4 * kMillisecond),
+              "01:02:03.004");
+    EXPECT_EQ(format_time(-kSecond), "-00:00:01.000");
+    EXPECT_EQ(format_time(25 * kHour), "25:00:00.000");
+}
+
+TEST(SimulationTest, StartsAtZero)
+{
+    Simulation s;
+    EXPECT_EQ(s.now(), 0);
+    EXPECT_TRUE(s.empty());
+    EXPECT_FALSE(s.step());
+}
+
+TEST(SimulationTest, ExecutesInTimeOrder)
+{
+    Simulation s;
+    std::vector<int> order;
+    s.schedule_at(30, [&] { order.push_back(3); });
+    s.schedule_at(10, [&] { order.push_back(1); });
+    s.schedule_at(20, [&] { order.push_back(2); });
+    s.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(s.now(), 30);
+}
+
+TEST(SimulationTest, EqualTimestampsFifo)
+{
+    Simulation s;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        s.schedule_at(42, [&, i] { order.push_back(i); });
+    }
+    s.run();
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(order[i], i);
+    }
+}
+
+TEST(SimulationTest, ScheduleAfterUsesNow)
+{
+    Simulation s;
+    Time fired_at = -1;
+    s.schedule_at(100, [&] {
+        s.schedule_after(50, [&] { fired_at = s.now(); });
+    });
+    s.run();
+    EXPECT_EQ(fired_at, 150);
+}
+
+TEST(SimulationTest, PastTimesClampToNow)
+{
+    Simulation s;
+    Time fired_at = -1;
+    s.schedule_at(100, [&] {
+        s.schedule_at(5, [&] { fired_at = s.now(); });
+    });
+    s.run();
+    EXPECT_EQ(fired_at, 100);
+}
+
+TEST(SimulationTest, NegativeDelayClampsToZero)
+{
+    Simulation s;
+    bool fired = false;
+    s.schedule_after(-10, [&] { fired = true; });
+    s.run();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(s.now(), 0);
+}
+
+TEST(SimulationTest, CancelPreventsExecution)
+{
+    Simulation s;
+    bool fired = false;
+    const EventId id = s.schedule_at(10, [&] { fired = true; });
+    EXPECT_TRUE(s.cancel(id));
+    s.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(SimulationTest, CancelUnknownIdFails)
+{
+    Simulation s;
+    EXPECT_FALSE(s.cancel(0));
+    EXPECT_FALSE(s.cancel(12345));
+}
+
+TEST(SimulationTest, DoubleCancelFails)
+{
+    Simulation s;
+    const EventId id = s.schedule_at(10, [] {});
+    EXPECT_TRUE(s.cancel(id));
+    EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(SimulationTest, CancelledEventsDoNotBlockEmpty)
+{
+    Simulation s;
+    const EventId id = s.schedule_at(10, [] {});
+    s.cancel(id);
+    EXPECT_TRUE(s.empty());
+    EXPECT_FALSE(s.step());
+}
+
+TEST(SimulationTest, RunUntilAdvancesClockWithoutEvents)
+{
+    Simulation s;
+    s.run_until(500);
+    EXPECT_EQ(s.now(), 500);
+}
+
+TEST(SimulationTest, RunUntilLeavesFutureEventsPending)
+{
+    Simulation s;
+    bool early = false;
+    bool late = false;
+    s.schedule_at(100, [&] { early = true; });
+    s.schedule_at(900, [&] { late = true; });
+    s.run_until(500);
+    EXPECT_TRUE(early);
+    EXPECT_FALSE(late);
+    EXPECT_EQ(s.now(), 500);
+    s.run();
+    EXPECT_TRUE(late);
+    EXPECT_EQ(s.now(), 900);
+}
+
+TEST(SimulationTest, RunUntilExecutesBoundaryEvents)
+{
+    Simulation s;
+    bool fired = false;
+    s.schedule_at(500, [&] { fired = true; });
+    s.run_until(500);
+    EXPECT_TRUE(fired);
+}
+
+TEST(SimulationTest, EventsMayScheduleEvents)
+{
+    Simulation s;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 100) {
+            s.schedule_after(1, recurse);
+        }
+    };
+    s.schedule_at(0, recurse);
+    s.run();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(s.now(), 99);
+    EXPECT_EQ(s.events_executed(), 100u);
+}
+
+TEST(SimulationTest, PendingCountExcludesCancelled)
+{
+    Simulation s;
+    const EventId a = s.schedule_at(10, [] {});
+    s.schedule_at(20, [] {});
+    EXPECT_EQ(s.pending(), 2u);
+    s.cancel(a);
+    EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(RngTest, DeterministicForEqualSeeds)
+{
+    Rng a(7);
+    Rng b(7);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.next_u64(), b.next_u64());
+    }
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next_u64() == b.next_u64()) {
+            ++equal;
+        }
+    }
+    EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformRangeRespected)
+{
+    Rng rng(12);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(5.0, 9.0);
+        EXPECT_GE(u, 5.0);
+        EXPECT_LT(u, 9.0);
+    }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds)
+{
+    Rng rng(13);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.uniform_int(3, 5);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 5);
+        saw_lo = saw_lo || v == 3;
+        saw_hi = saw_hi || v == 5;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntDegenerateRange)
+{
+    Rng rng(14);
+    EXPECT_EQ(rng.uniform_int(7, 7), 7);
+    EXPECT_EQ(rng.uniform_int(9, 3), 9);  // inverted range clamps to lo
+}
+
+TEST(RngTest, ExponentialMeanConverges)
+{
+    Rng rng(15);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        sum += rng.exponential(10.0);
+    }
+    EXPECT_NEAR(sum / n, 10.0, 0.2);
+}
+
+TEST(RngTest, NormalMomentsConverge)
+{
+    Rng rng(16);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal(3.0, 2.0);
+        sum += v;
+        sum_sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 3.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(RngTest, LognormalMedianIsExpMu)
+{
+    Rng rng(17);
+    std::vector<double> samples;
+    const int n = 100001;
+    samples.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        samples.push_back(rng.lognormal(std::log(120.0), 1.5));
+    }
+    std::nth_element(samples.begin(), samples.begin() + n / 2, samples.end());
+    EXPECT_NEAR(samples[n / 2], 120.0, 6.0);
+}
+
+TEST(RngTest, BernoulliFrequency)
+{
+    Rng rng(18);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ParetoAtLeastScale)
+{
+    Rng rng(19);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+    }
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights)
+{
+    Rng rng(20);
+    std::vector<double> weights{1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        ++counts[rng.weighted_index(weights)];
+    }
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.01);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.01);
+}
+
+TEST(RngTest, WeightedIndexAllZeroReturnsZero)
+{
+    Rng rng(21);
+    std::vector<double> weights{0.0, 0.0};
+    EXPECT_EQ(rng.weighted_index(weights), 0u);
+}
+
+TEST(RngTest, SplitProducesIndependentStream)
+{
+    Rng a(22);
+    Rng child = a.split();
+    // Parent and child streams should diverge.
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next_u64() == child.next_u64()) {
+            ++equal;
+        }
+    }
+    EXPECT_LT(equal, 5);
+}
+
+/** Property sweep: run_until(t) never leaves now() behind t. */
+class RunUntilProperty : public ::testing::TestWithParam<Time>
+{
+};
+
+TEST_P(RunUntilProperty, ClockMatchesTarget)
+{
+    Simulation s;
+    Rng rng(GetParam());
+    for (int i = 0; i < 50; ++i) {
+        s.schedule_at(rng.uniform_int(0, 1000), [] {});
+    }
+    s.run_until(GetParam());
+    EXPECT_EQ(s.now(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, RunUntilProperty,
+                         ::testing::Values(0, 1, 37, 500, 999, 1000, 5000));
+
+}  // namespace
+}  // namespace nbos::sim

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Tests for the Distributed Data Store models and the node-level LRU cache.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+#include "storage/datastore.hpp"
+
+namespace nbos::storage {
+namespace {
+
+constexpr std::uint64_t kMB = 1024ULL * 1024ULL;
+
+struct Fixture
+{
+    sim::Simulation simulation;
+    DataStore store{simulation, Backend::kS3, sim::Rng(5)};
+};
+
+TEST(DataStoreTest, WriteThenReadRoundTrip)
+{
+    Fixture f;
+    bool wrote = false;
+    f.store.write("model", 100 * kMB, [&](sim::Time) { wrote = true; });
+    f.simulation.run();
+    EXPECT_TRUE(wrote);
+    EXPECT_TRUE(f.store.contains("model"));
+    EXPECT_EQ(f.store.size_of("model"), 100 * kMB);
+
+    ReadResult got;
+    f.store.read("model", [&](const ReadResult& r) { got = r; });
+    f.simulation.run();
+    EXPECT_TRUE(got.found);
+    EXPECT_EQ(got.size_bytes, 100 * kMB);
+    EXPECT_GT(got.latency, 0);
+}
+
+TEST(DataStoreTest, MissingKeyReadsNotFound)
+{
+    Fixture f;
+    ReadResult got;
+    got.found = true;
+    f.store.read("ghost", [&](const ReadResult& r) { got = r; });
+    f.simulation.run();
+    EXPECT_FALSE(got.found);
+    EXPECT_GT(got.latency, 0);  // a miss still costs the base latency
+}
+
+TEST(DataStoreTest, WriteIsAsynchronous)
+{
+    Fixture f;
+    f.store.write("obj", kMB, nullptr);
+    // Not visible until the simulated write completes.
+    EXPECT_FALSE(f.store.contains("obj"));
+    f.simulation.run();
+    EXPECT_TRUE(f.store.contains("obj"));
+}
+
+TEST(DataStoreTest, OverwriteReplacesSize)
+{
+    Fixture f;
+    f.store.write("obj", 10 * kMB, nullptr);
+    f.simulation.run();
+    f.store.write("obj", 25 * kMB, nullptr);
+    f.simulation.run();
+    EXPECT_EQ(f.store.size_of("obj"), 25 * kMB);
+    EXPECT_EQ(f.store.total_bytes(), 25 * kMB);
+    EXPECT_EQ(f.store.object_count(), 1u);
+}
+
+TEST(DataStoreTest, EraseRemovesObject)
+{
+    Fixture f;
+    f.store.write("obj", 10 * kMB, nullptr);
+    f.simulation.run();
+    f.store.erase("obj");
+    EXPECT_FALSE(f.store.contains("obj"));
+    EXPECT_EQ(f.store.total_bytes(), 0u);
+}
+
+TEST(DataStoreTest, LatencyScalesWithObjectSize)
+{
+    Fixture f;
+    sim::Time small_latency = 0;
+    sim::Time large_latency = 0;
+    f.store.write("small", kMB, [&](sim::Time t) { small_latency = t; });
+    f.store.write("large", 4096 * kMB,
+                  [&](sim::Time t) { large_latency = t; });
+    f.simulation.run();
+    EXPECT_GT(large_latency, small_latency);
+    // 4 GB at ~600 MB/s is on the order of seconds (Fig. 11 magnitude).
+    EXPECT_GT(large_latency, 2 * sim::kSecond);
+    EXPECT_LT(large_latency, 60 * sim::kSecond);
+}
+
+TEST(DataStoreTest, LatenciesRecordedForFig11)
+{
+    Fixture f;
+    for (int i = 0; i < 20; ++i) {
+        f.store.write("k" + std::to_string(i), 100 * kMB, nullptr);
+    }
+    f.simulation.run();
+    for (int i = 0; i < 20; ++i) {
+        f.store.read("k" + std::to_string(i), nullptr);
+    }
+    f.simulation.run();
+    EXPECT_EQ(f.store.write_latencies().count(), 20u);
+    EXPECT_EQ(f.store.read_latencies().count(), 20u);
+    EXPECT_GT(f.store.write_latencies().mean(), 0.0);
+}
+
+/** All three backends behave; Redis is the fastest for small objects. */
+TEST(DataStoreTest, BackendLatencyOrdering)
+{
+    sim::Simulation simulation;
+    DataStore s3(simulation, Backend::kS3, sim::Rng(1));
+    DataStore redis(simulation, Backend::kRedis, sim::Rng(1));
+    sim::Time s3_latency = 0;
+    sim::Time redis_latency = 0;
+    s3.write("x", kMB, [&](sim::Time t) { s3_latency = t; });
+    redis.write("x", kMB, [&](sim::Time t) { redis_latency = t; });
+    simulation.run();
+    EXPECT_LT(redis_latency, s3_latency);
+}
+
+TEST(DataStoreTest, BackendNames)
+{
+    EXPECT_STREQ(to_string(Backend::kS3), "s3");
+    EXPECT_STREQ(to_string(Backend::kRedis), "redis");
+    EXPECT_STREQ(to_string(Backend::kHdfs), "hdfs");
+}
+
+class BackendParamTest : public ::testing::TestWithParam<Backend>
+{
+};
+
+TEST_P(BackendParamTest, WritesCompleteWithinBoundedTime)
+{
+    sim::Simulation simulation;
+    DataStore store(simulation, GetParam(), sim::Rng(7));
+    int completed = 0;
+    for (int i = 0; i < 100; ++i) {
+        store.write("k" + std::to_string(i), 500 * kMB,
+                    [&](sim::Time) { ++completed; });
+    }
+    simulation.run();
+    EXPECT_EQ(completed, 100);
+    // 99th percentile of writes stays within the Fig. 11 envelope (~7 s).
+    EXPECT_LT(store.write_latencies().percentile(99), 10000.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendParamTest,
+                         ::testing::Values(Backend::kS3, Backend::kRedis,
+                                           Backend::kHdfs));
+
+TEST(NodeCacheTest, PutGetHit)
+{
+    NodeCache cache(100 * kMB);
+    cache.put("a", 10 * kMB);
+    EXPECT_TRUE(cache.get("a"));
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(NodeCacheTest, MissCounted)
+{
+    NodeCache cache(100 * kMB);
+    EXPECT_FALSE(cache.get("nope"));
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(NodeCacheTest, EvictsLeastRecentlyUsed)
+{
+    NodeCache cache(30 * kMB);
+    cache.put("a", 10 * kMB);
+    cache.put("b", 10 * kMB);
+    cache.put("c", 10 * kMB);
+    EXPECT_TRUE(cache.get("a"));  // refresh a
+    cache.put("d", 10 * kMB);     // evicts b (LRU)
+    EXPECT_FALSE(cache.get("b"));
+    EXPECT_TRUE(cache.get("a"));
+    EXPECT_TRUE(cache.get("c"));
+    EXPECT_TRUE(cache.get("d"));
+}
+
+TEST(NodeCacheTest, OversizedObjectNotCached)
+{
+    NodeCache cache(10 * kMB);
+    cache.put("huge", 100 * kMB);
+    EXPECT_FALSE(cache.get("huge"));
+    EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(NodeCacheTest, PutSameKeyUpdatesSize)
+{
+    NodeCache cache(100 * kMB);
+    cache.put("a", 10 * kMB);
+    cache.put("a", 20 * kMB);
+    EXPECT_EQ(cache.used_bytes(), 20 * kMB);
+    EXPECT_EQ(cache.object_count(), 1u);
+}
+
+TEST(NodeCacheTest, EraseFreesBytes)
+{
+    NodeCache cache(100 * kMB);
+    cache.put("a", 10 * kMB);
+    cache.erase("a");
+    EXPECT_EQ(cache.used_bytes(), 0u);
+    EXPECT_FALSE(cache.get("a"));
+}
+
+TEST(NodeCacheTest, CapacityNeverExceeded)
+{
+    NodeCache cache(50 * kMB);
+    for (int i = 0; i < 100; ++i) {
+        cache.put("k" + std::to_string(i), 7 * kMB);
+        EXPECT_LE(cache.used_bytes(), 50 * kMB);
+    }
+}
+
+}  // namespace
+}  // namespace nbos::storage

@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Tests for the workload generator: trace structure invariants and the
+ * calibration of the synthetic distributions against the paper's published
+ * percentiles (§2.3).
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nblang/interpreter.hpp"
+#include "workload/generator.hpp"
+#include "workload/trace_io.hpp"
+
+namespace nbos::workload {
+namespace {
+
+Trace
+small_adobe_trace(std::uint64_t seed = 11)
+{
+    WorkloadGenerator generator{sim::Rng(seed)};
+    GeneratorOptions options;
+    options.makespan = 12 * sim::kHour;
+    options.max_sessions = 40;
+    options.sessions_survive_trace = true;
+    return generator.generate(TraceProfile::adobe(), options);
+}
+
+TEST(TraceStructureTest, SessionsHaveMonotoneTaskTimes)
+{
+    const Trace trace = small_adobe_trace();
+    ASSERT_FALSE(trace.sessions.empty());
+    for (const SessionSpec& session : trace.sessions) {
+        for (std::size_t i = 1; i < session.tasks.size(); ++i) {
+            EXPECT_GT(session.tasks[i].submit_time,
+                      session.tasks[i - 1].submit_time);
+        }
+    }
+}
+
+TEST(TraceStructureTest, TasksNeverConcurrentWithinSession)
+{
+    // §2.3.2: users do not submit concurrent tasks.
+    const Trace trace = small_adobe_trace();
+    for (const SessionSpec& session : trace.sessions) {
+        for (std::size_t i = 1; i < session.tasks.size(); ++i) {
+            EXPECT_GE(session.tasks[i].submit_time,
+                      session.tasks[i - 1].submit_time +
+                          session.tasks[i - 1].duration);
+        }
+    }
+}
+
+TEST(TraceStructureTest, TasksWithinSessionWindow)
+{
+    const Trace trace = small_adobe_trace();
+    for (const SessionSpec& session : trace.sessions) {
+        EXPECT_GE(session.start_time, 0);
+        EXPECT_LE(session.start_time, session.end_time);
+        for (const CellTask& task : session.tasks) {
+            EXPECT_GE(task.submit_time, session.start_time);
+            EXPECT_LT(task.submit_time, session.end_time);
+        }
+    }
+}
+
+TEST(TraceStructureTest, SequenceNumbersAreDense)
+{
+    const Trace trace = small_adobe_trace();
+    for (const SessionSpec& session : trace.sessions) {
+        for (std::size_t i = 0; i < session.tasks.size(); ++i) {
+            EXPECT_EQ(session.tasks[i].seq, static_cast<std::int32_t>(i));
+            EXPECT_EQ(session.tasks[i].session, session.id);
+        }
+    }
+}
+
+TEST(TraceStructureTest, TasksBySubmitTimeSorted)
+{
+    const Trace trace = small_adobe_trace();
+    const auto tasks = trace.tasks_by_submit_time();
+    EXPECT_EQ(tasks.size(), trace.task_count());
+    for (std::size_t i = 1; i < tasks.size(); ++i) {
+        EXPECT_LE(tasks[i - 1]->submit_time, tasks[i]->submit_time);
+    }
+}
+
+TEST(TraceStructureTest, ResourcesAreValidGpuCounts)
+{
+    const Trace trace = small_adobe_trace();
+    for (const SessionSpec& session : trace.sessions) {
+        const auto gpus = session.resources.gpus;
+        EXPECT_TRUE(gpus == 1 || gpus == 2 || gpus == 4 || gpus == 8)
+            << gpus;
+        EXPECT_EQ(session.resources.millicpus, 4000 * gpus);
+    }
+}
+
+TEST(TraceStructureTest, ModelAndDatasetFromSameDomain)
+{
+    const Trace trace = small_adobe_trace();
+    for (const SessionSpec& session : trace.sessions) {
+        const auto model = nblang::find_model(session.model);
+        const auto dataset = nblang::find_dataset(session.dataset);
+        ASSERT_TRUE(model.has_value());
+        ASSERT_TRUE(dataset.has_value());
+        EXPECT_EQ(model->domain, session.domain);
+        EXPECT_EQ(dataset->domain, session.domain);
+    }
+}
+
+TEST(TraceStructureTest, DeterministicForEqualSeeds)
+{
+    const Trace a = small_adobe_trace(123);
+    const Trace b = small_adobe_trace(123);
+    ASSERT_EQ(a.sessions.size(), b.sessions.size());
+    ASSERT_EQ(a.task_count(), b.task_count());
+    for (std::size_t i = 0; i < a.sessions.size(); ++i) {
+        EXPECT_EQ(a.sessions[i].start_time, b.sessions[i].start_time);
+        EXPECT_EQ(a.sessions[i].model, b.sessions[i].model);
+    }
+}
+
+TEST(TraceStructureTest, DifferentSeedsDiffer)
+{
+    const Trace a = small_adobe_trace(1);
+    const Trace b = small_adobe_trace(2);
+    EXPECT_NE(a.task_count(), b.task_count());
+}
+
+TEST(TraceCodeTest, GeneratedCodeExecutes)
+{
+    const Trace trace = small_adobe_trace();
+    ASSERT_FALSE(trace.sessions.empty());
+    const SessionSpec& session = trace.sessions.front();
+    nblang::Namespace ns;
+    for (const CellTask& task : session.tasks) {
+        const nblang::Effect effect =
+            nblang::execute_source(task.code, ns);
+        if (task.is_gpu) {
+            EXPECT_TRUE(effect.used_gpu()) << task.code;
+            // The NbLang GPU time matches the trace-assigned duration.
+            EXPECT_NEAR(effect.gpu_seconds, sim::to_seconds(task.duration),
+                        0.01)
+                << task.code;
+        }
+    }
+    // Session state accumulated across cells.
+    EXPECT_TRUE(ns.count("model"));
+    EXPECT_TRUE(ns.count("weights"));
+    EXPECT_DOUBLE_EQ(
+        ns["step"].number,
+        static_cast<double>(session.tasks.size() - 1));
+}
+
+TEST(TraceCodeTest, LargeAndSmallStateBothPresent)
+{
+    const Trace trace = small_adobe_trace();
+    const SessionSpec& session = trace.sessions.front();
+    nblang::Namespace ns;
+    for (const CellTask& task : session.tasks) {
+        nblang::execute_source(task.code, ns);
+    }
+    // "weights" is a large tensor (data-store path); "loss_*" are small
+    // numbers (Raft SMR path).
+    EXPECT_GT(ns["weights"].size_bytes, 10ULL * 1024 * 1024);
+    EXPECT_TRUE(ns.count("loss_1"));
+    EXPECT_LT(ns["loss_1"].size_bytes, 1024u);
+}
+
+TEST(CalibrationTest, AdobeDurationPercentiles)
+{
+    WorkloadGenerator generator{sim::Rng(42)};
+    GeneratorOptions options;
+    options.makespan = 40 * sim::kHour;
+    options.max_sessions = 300;
+    options.sessions_survive_trace = true;
+    const Trace trace =
+        generator.generate(TraceProfile::adobe(), options);
+    const auto durations = trace.durations_seconds();
+    ASSERT_GT(durations.count(), 2000u);
+    // §2.3.1: p50 = 120 s. (Loose bands: synthetic fit, not the raw trace.)
+    EXPECT_NEAR(durations.percentile(50), 120.0, 30.0);
+    // 75% complete within ~5 minutes (Observation 1).
+    EXPECT_LT(durations.percentile(75), 500.0);
+    // 90% within ~17 min.
+    EXPECT_LT(durations.percentile(90), 25.0 * 60.0);
+}
+
+TEST(CalibrationTest, AdobeIatPercentiles)
+{
+    WorkloadGenerator generator{sim::Rng(43)};
+    GeneratorOptions options;
+    options.makespan = 40 * sim::kHour;
+    options.max_sessions = 300;
+    options.sessions_survive_trace = true;
+    const Trace trace =
+        generator.generate(TraceProfile::adobe(), options);
+    const auto iats = trace.iats_seconds();
+    ASSERT_GT(iats.count(), 1000u);
+    // §2.3.2: p50 = 300 s, min = 240 s.
+    EXPECT_GE(iats.min(), 240.0);
+    EXPECT_NEAR(iats.percentile(50), 300.0, 90.0);
+}
+
+TEST(CalibrationTest, TraceMediansOrderedLikeFig2)
+{
+    // Fig. 2(a): Adobe tasks are much shorter than Philly/Alibaba.
+    // Fig. 2(b): Adobe IATs are much longer than Philly/Alibaba.
+    WorkloadGenerator generator{sim::Rng(44)};
+    GeneratorOptions options;
+    options.makespan = 30 * sim::kHour;
+    options.max_sessions = 150;
+    options.sessions_survive_trace = true;
+    const Trace adobe = generator.generate(TraceProfile::adobe(), options);
+    const Trace philly =
+        generator.generate(TraceProfile::philly(), options);
+    const Trace alibaba =
+        generator.generate(TraceProfile::alibaba(), options);
+    EXPECT_LT(adobe.durations_seconds().percentile(50),
+              philly.durations_seconds().percentile(50));
+    EXPECT_LT(philly.durations_seconds().percentile(50),
+              alibaba.durations_seconds().percentile(50));
+    EXPECT_GT(adobe.iats_seconds().percentile(50),
+              5 * philly.iats_seconds().percentile(50));
+    EXPECT_GT(adobe.iats_seconds().percentile(50),
+              5 * alibaba.iats_seconds().percentile(50));
+}
+
+TEST(CalibrationTest, SessionsAreMostlyIdle)
+{
+    // Observation 3: sessions use GPUs a small fraction of their lifetime.
+    WorkloadGenerator generator{sim::Rng(45)};
+    const Trace trace = generator.adobe_excerpt_17_5h();
+    const auto busy = trace.session_busy_fractions();
+    ASSERT_GT(busy.count(), 50u);
+    EXPECT_LT(busy.percentile(50), 0.5);
+    EXPECT_LT(busy.mean(), 0.5);
+}
+
+TEST(ExcerptTest, SeventeenPointFiveHourShape)
+{
+    WorkloadGenerator generator{sim::Rng(46)};
+    const Trace trace = generator.adobe_excerpt_17_5h();
+    EXPECT_EQ(trace.makespan, 17 * sim::kHour + 30 * sim::kMinute);
+    // Fig. 7: up to ~90 sessions, none ending within the excerpt.
+    EXPECT_LE(trace.sessions.size(), 90u);
+    EXPECT_GE(trace.sessions.size(), 60u);
+    for (const SessionSpec& session : trace.sessions) {
+        EXPECT_EQ(session.end_time, trace.makespan);
+    }
+    EXPECT_GT(trace.task_count(), 500u);
+}
+
+TEST(SummerTest, NinetyDayShape)
+{
+    WorkloadGenerator generator{sim::Rng(47)};
+    const Trace trace = generator.adobe_summer_90d();
+    EXPECT_EQ(trace.makespan, 90 * sim::kDay);
+    EXPECT_GT(trace.sessions.size(), 200u);
+    // Sessions end within the trace (idle reclamation studies need ends).
+    std::size_t ended_early = 0;
+    for (const SessionSpec& session : trace.sessions) {
+        if (session.end_time < trace.makespan) {
+            ++ended_early;
+        }
+    }
+    EXPECT_GT(ended_early, trace.sessions.size() / 2);
+}
+
+TEST(TraceIoTest, RoundTripPreservesEverything)
+{
+    const Trace original = small_adobe_trace(77);
+    std::stringstream buffer;
+    save_trace(original, buffer);
+    const Trace loaded = load_trace(buffer);
+
+    EXPECT_EQ(loaded.name, original.name);
+    EXPECT_EQ(loaded.makespan, original.makespan);
+    ASSERT_EQ(loaded.sessions.size(), original.sessions.size());
+    for (std::size_t i = 0; i < original.sessions.size(); ++i) {
+        const SessionSpec& a = original.sessions[i];
+        const SessionSpec& b = loaded.sessions[i];
+        EXPECT_EQ(a.id, b.id);
+        EXPECT_EQ(a.start_time, b.start_time);
+        EXPECT_EQ(a.end_time, b.end_time);
+        EXPECT_EQ(a.resources, b.resources);
+        EXPECT_EQ(a.model, b.model);
+        EXPECT_EQ(a.dataset, b.dataset);
+        ASSERT_EQ(a.tasks.size(), b.tasks.size());
+        for (std::size_t j = 0; j < a.tasks.size(); ++j) {
+            EXPECT_EQ(a.tasks[j].submit_time, b.tasks[j].submit_time);
+            EXPECT_EQ(a.tasks[j].duration, b.tasks[j].duration);
+            EXPECT_EQ(a.tasks[j].is_gpu, b.tasks[j].is_gpu);
+            // Cell code is re-synthesized deterministically.
+            EXPECT_EQ(a.tasks[j].code, b.tasks[j].code)
+                << "session " << i << " task " << j;
+        }
+    }
+}
+
+TEST(TraceIoTest, LoadedTraceHasSameStatistics)
+{
+    const Trace original = small_adobe_trace(78);
+    std::stringstream buffer;
+    save_trace(original, buffer);
+    const Trace loaded = load_trace(buffer);
+    EXPECT_DOUBLE_EQ(loaded.durations_seconds().percentile(50),
+                     original.durations_seconds().percentile(50));
+    EXPECT_DOUBLE_EQ(loaded.iats_seconds().percentile(90),
+                     original.iats_seconds().percentile(90));
+}
+
+TEST(TraceIoTest, EmptyStreamThrows)
+{
+    std::stringstream buffer;
+    EXPECT_THROW(load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIoTest, BadHeaderThrows)
+{
+    std::stringstream buffer("#not-a-trace,x,1,0\n");
+    EXPECT_THROW(load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIoTest, OrphanTaskRowThrows)
+{
+    std::stringstream buffer;
+    buffer << "#nbos-trace-v1,adobe,1000,0\n";
+    buffer << "T,0,1,2,1\n";
+    EXPECT_THROW(load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIoTest, SessionCountMismatchThrows)
+{
+    std::stringstream buffer;
+    buffer << "#nbos-trace-v1,adobe,1000,2\n";
+    EXPECT_THROW(load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIoTest, FileRoundTrip)
+{
+    const Trace original = small_adobe_trace(79);
+    const std::string path = "/tmp/nbos_trace_io_test.csv";
+    ASSERT_TRUE(save_trace_file(original, path));
+    const Trace loaded = load_trace_file(path);
+    EXPECT_EQ(loaded.task_count(), original.task_count());
+    EXPECT_THROW(load_trace_file("/nonexistent/trace.csv"),
+                 std::runtime_error);
+}
+
+/** Property: every profile produces structurally valid traces. */
+class ProfileProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ProfileProperty, StructurallyValid)
+{
+    TraceProfile profile;
+    switch (GetParam()) {
+      case 0:
+        profile = TraceProfile::adobe();
+        break;
+      case 1:
+        profile = TraceProfile::philly();
+        break;
+      default:
+        profile = TraceProfile::alibaba();
+        break;
+    }
+    WorkloadGenerator generator{sim::Rng(100 + GetParam())};
+    GeneratorOptions options;
+    options.makespan = 6 * sim::kHour;
+    options.max_sessions = 30;
+    const Trace trace = generator.generate(profile, options);
+    EXPECT_FALSE(trace.sessions.empty());
+    for (const SessionSpec& session : trace.sessions) {
+        for (const CellTask& task : session.tasks) {
+            EXPECT_GT(task.duration, 0);
+            EXPECT_FALSE(task.code.empty());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, ProfileProperty,
+                         ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace nbos::workload
