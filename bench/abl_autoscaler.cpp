@@ -16,7 +16,8 @@ main()
     options.max_sessions = 40;
     options.sessions_survive_trace = true;
     const auto trace =
-        generator.generate(workload::TraceProfile::adobe(), options);
+        generator.generate(workload::TraceProfile::adobe(),
+                           bench::apply_smoke(options));
 
     bench::banner("Ablation: auto-scaler multiplier f (6 h, 40 sessions)");
     std::printf("%-6s %-8s %-12s %-12s %-12s %-12s\n", "f", "buffer",

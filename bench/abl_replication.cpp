@@ -17,7 +17,8 @@ main()
     options.max_sessions = 40;
     options.sessions_survive_trace = true;
     const auto trace =
-        generator.generate(workload::TraceProfile::adobe(), options);
+        generator.generate(workload::TraceProfile::adobe(),
+                           bench::apply_smoke(options));
 
     bench::banner("Ablation: replicas per kernel (6 h, 40 sessions)");
     std::printf("%-4s %-12s %-12s %-12s %-12s %-12s\n", "R", "gpu-hours",

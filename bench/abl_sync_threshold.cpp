@@ -18,7 +18,8 @@ main()
     options.max_sessions = 25;
     options.sessions_survive_trace = true;
     const auto trace =
-        generator.generate(workload::TraceProfile::adobe(), options);
+        generator.generate(workload::TraceProfile::adobe(),
+                           bench::apply_smoke(options));
 
     bench::banner("Ablation: large-object sync threshold (4 h, 25 sessions)");
     std::printf("%-14s %-14s %-14s %-14s %-14s\n", "threshold",

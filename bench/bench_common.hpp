@@ -8,7 +8,9 @@
 #ifndef NBOS_BENCH_COMMON_HPP
 #define NBOS_BENCH_COMMON_HPP
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -21,11 +23,45 @@ namespace nbos::bench {
 /** Fixed seed so every bench is reproducible run-to-run. */
 inline constexpr std::uint64_t kSeed = 2026;
 
+/** Smoke mode (`NBOS_BENCH_SMOKE=1`, set by the `ctest -L smoke` entries)
+ *  shrinks every canonical workload so all bench binaries together finish
+ *  in well under a minute while still exercising their full code paths.
+ *  Numbers printed under smoke mode are NOT the paper's figures. */
+inline bool
+smoke_mode()
+{
+    const char* flag = std::getenv("NBOS_BENCH_SMOKE");
+    return flag != nullptr && flag[0] != '\0' && flag[0] != '0';
+}
+
+/** Clamp self-built workload options when running under smoke mode. */
+inline workload::GeneratorOptions
+apply_smoke(workload::GeneratorOptions options)
+{
+    if (smoke_mode()) {
+        options.makespan = std::min(options.makespan, 1 * sim::kHour);
+        if (options.max_sessions < 0 || options.max_sessions > 10) {
+            options.max_sessions = 10;
+        }
+    }
+    return options;
+}
+
 /** The 17.5-hour AdobeTrace excerpt used by the prototype evaluation. */
 inline workload::Trace
 excerpt_trace()
 {
     workload::WorkloadGenerator generator{sim::Rng(kSeed)};
+    if (smoke_mode()) {
+        workload::GeneratorOptions options;
+        options.makespan = 90 * sim::kMinute;
+        options.max_sessions = 12;
+        options.sessions_survive_trace = true;
+        workload::Trace trace =
+            generator.generate(workload::TraceProfile::adobe(), options);
+        trace.name = "adobe-excerpt-smoke";
+        return trace;
+    }
     return generator.adobe_excerpt_17_5h();
 }
 
@@ -34,6 +70,15 @@ inline workload::Trace
 summer_trace()
 {
     workload::WorkloadGenerator generator{sim::Rng(kSeed)};
+    if (smoke_mode()) {
+        workload::GeneratorOptions options;
+        options.makespan = 7 * sim::kDay;
+        options.max_sessions = 40;
+        workload::Trace trace =
+            generator.generate(workload::TraceProfile::adobe(), options);
+        trace.name = "adobe-summer-smoke";
+        return trace;
+    }
     return generator.adobe_summer_90d();
 }
 

@@ -19,6 +19,7 @@ main()
     options.makespan = 40 * sim::kHour;
     options.max_sessions = 250;
     options.sessions_survive_trace = true;
+    options = bench::apply_smoke(options);
 
     const auto adobe = generator.generate(TraceProfile::adobe(), options);
     const auto philly = generator.generate(TraceProfile::philly(), options);

@@ -10,13 +10,14 @@
  * consensus protocol instead of exchanging per-message Raft traffic, so a
  * 90-day trace runs in seconds.
  */
-#include "core/platform.hpp"
+#include "core/fastsim.hpp"
 
 #include <algorithm>
 #include <map>
 #include <memory>
 #include <set>
 
+#include "core/platform.hpp"
 #include "sched/autoscaler.hpp"
 #include "sched/placement.hpp"
 
@@ -213,7 +214,7 @@ class FastNotebookOS
     run_task(const workload::SessionSpec& session,
              const workload::CellTask& task)
     {
-        TaskOutcome& outcome = new_outcome(session, task);
+        new_outcome(session, task);
         const std::size_t index = results_.tasks.size() - 1;
         FastKernel& kernel = kernels_[session.id];
         if (!kernel.alive) {

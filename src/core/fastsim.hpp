@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Public entry point of the fast analytic NotebookOS engine
+ * (fastsim.cpp): the detailed simulator used for the 90-day studies
+ * (§5.5). It models the same scheduling decisions as the prototype
+ * engine but samples consensus latency instead of exchanging
+ * per-message Raft traffic, so a 90-day trace runs in seconds.
+ */
+#ifndef NBOS_CORE_FASTSIM_HPP
+#define NBOS_CORE_FASTSIM_HPP
+
+#include "core/results.hpp"
+#include "workload/trace.hpp"
+
+namespace nbos::core {
+
+struct PlatformConfig;
+
+/** Run @p trace through the fast analytic engine under @p config.
+ *  Same-seed runs are bit-identical (see tests/determinism_test.cpp). */
+ExperimentResults run_fast_notebookos(const workload::Trace& trace,
+                                      const PlatformConfig& config);
+
+}  // namespace nbos::core
+
+#endif  // NBOS_CORE_FASTSIM_HPP

@@ -3,6 +3,8 @@
 #include <deque>
 #include <map>
 
+#include "core/fastsim.hpp"
+
 namespace nbos::core {
 
 PlatformConfig

@@ -58,11 +58,6 @@ class Platform
     PlatformConfig config_;
 };
 
-/** The fast analytic NotebookOS engine (declared here for benches that
- *  call it directly). */
-ExperimentResults run_fast_notebookos(const workload::Trace& trace,
-                                      const PlatformConfig& config);
-
 }  // namespace nbos::core
 
 #endif  // NBOS_CORE_PLATFORM_HPP

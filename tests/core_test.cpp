@@ -9,6 +9,7 @@
 #include "core/baselines.hpp"
 #include "core/platform.hpp"
 #include "core/results.hpp"
+#include "harness.hpp"
 #include "workload/generator.hpp"
 
 namespace nbos::core {
@@ -17,18 +18,7 @@ namespace {
 using sim::kHour;
 using sim::kMinute;
 using sim::kSecond;
-
-workload::Trace
-tiny_trace(int sessions = 8, sim::Time makespan = 3 * kHour,
-           std::uint64_t seed = 21)
-{
-    workload::WorkloadGenerator generator{sim::Rng(seed)};
-    workload::GeneratorOptions options;
-    options.makespan = makespan;
-    options.max_sessions = sessions;
-    options.sessions_survive_trace = true;
-    return generator.generate(workload::TraceProfile::adobe(), options);
-}
+using test::tiny_trace;
 
 TEST(ResultsTest, PolicyNames)
 {

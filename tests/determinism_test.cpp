@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Cross-engine reproducibility suite: same-seed runs of the fast analytic
+ * engine and the discrete-event prototype engine must be bit-identical,
+ * and the two engines must agree on workload-level aggregates. Every later
+ * optimization PR must keep this suite green.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "harness.hpp"
+
+namespace nbos {
+namespace {
+
+TEST(DeterminismTest, FastEngineSameSeedBitIdentical)
+{
+    const auto trace = test::tiny_trace(10, 4 * sim::kHour);
+    const auto a = test::run_policy(trace, core::Policy::kNotebookOS,
+                                    /*seed=*/33, /*fast=*/true);
+    const auto b = test::run_policy(trace, core::Policy::kNotebookOS,
+                                    /*seed=*/33, /*fast=*/true);
+    test::expect_results_identical(a, b);
+}
+
+TEST(DeterminismTest, PrototypeEngineSameSeedBitIdentical)
+{
+    const auto trace = test::tiny_trace(8, 3 * sim::kHour);
+    const auto a = test::run_policy(trace, core::Policy::kNotebookOS,
+                                    /*seed=*/33, /*fast=*/false);
+    const auto b = test::run_policy(trace, core::Policy::kNotebookOS,
+                                    /*seed=*/33, /*fast=*/false);
+    test::expect_results_identical(a, b);
+}
+
+TEST(DeterminismTest, BaselineEnginesSameSeedBitIdentical)
+{
+    const auto trace = test::tiny_trace(8, 3 * sim::kHour);
+    for (const core::Policy policy :
+         {core::Policy::kReservation, core::Policy::kBatch}) {
+        SCOPED_TRACE(core::to_string(policy));
+        const auto a = test::run_policy(trace, policy, /*seed=*/7);
+        const auto b = test::run_policy(trace, policy, /*seed=*/7);
+        test::expect_results_identical(a, b);
+    }
+}
+
+TEST(DeterminismTest, TraceGenerationSameSeedBitIdentical)
+{
+    const auto a = test::tiny_trace(12, 6 * sim::kHour, /*seed=*/91);
+    const auto b = test::tiny_trace(12, 6 * sim::kHour, /*seed=*/91);
+    ASSERT_EQ(a.sessions.size(), b.sessions.size());
+    for (std::size_t i = 0; i < a.sessions.size(); ++i) {
+        ASSERT_EQ(a.sessions[i].start_time, b.sessions[i].start_time) << i;
+        ASSERT_EQ(a.sessions[i].end_time, b.sessions[i].end_time) << i;
+        ASSERT_EQ(a.sessions[i].tasks.size(), b.sessions[i].tasks.size())
+            << i;
+        for (std::size_t j = 0; j < a.sessions[i].tasks.size(); ++j) {
+            ASSERT_EQ(a.sessions[i].tasks[j].submit_time,
+                      b.sessions[i].tasks[j].submit_time)
+                << i << "/" << j;
+            ASSERT_EQ(a.sessions[i].tasks[j].duration,
+                      b.sessions[i].tasks[j].duration)
+                << i << "/" << j;
+        }
+    }
+}
+
+/** The fast engine models the same scheduling decisions as the prototype,
+ *  so workload-level aggregates must agree: identical task counts, and
+ *  completed-session/-execution counts within a small tolerance (the fast
+ *  engine samples consensus latency instead of replaying messages). */
+TEST(DeterminismTest, EnginesAgreeOnWorkloadAggregates)
+{
+    const auto trace = test::tiny_trace(10, 4 * sim::kHour);
+    const auto fast = test::run_policy(trace, core::Policy::kNotebookOS,
+                                       /*seed=*/33, /*fast=*/true);
+    const auto proto = test::run_policy(trace, core::Policy::kNotebookOS,
+                                        /*seed=*/33, /*fast=*/false);
+
+    // Both engines see every submitted cell task.
+    EXPECT_EQ(fast.tasks.size(), proto.tasks.size());
+
+    // Both create one replicated kernel per session that ever starts.
+    const auto sessions = trace.sessions.size();
+    EXPECT_LE(fast.sched_stats.kernels_created, sessions);
+    EXPECT_LE(proto.sched_stats.kernels_created, sessions);
+    EXPECT_EQ(fast.sched_stats.kernels_created,
+              proto.sched_stats.kernels_created);
+
+    // Completed executions agree within 10% (sampled consensus latency can
+    // push a borderline task past the horizon in one engine only).
+    const auto fast_done =
+        static_cast<double>(fast.sched_stats.executions_completed);
+    const auto proto_done =
+        static_cast<double>(proto.sched_stats.executions_completed);
+    ASSERT_GT(proto_done, 0.0);
+    EXPECT_LE(std::abs(fast_done - proto_done),
+              0.10 * proto_done + 1.0);
+
+    // Aborted work stays negligible on both engines for a tiny trace.
+    EXPECT_LE(fast.aborted_count(), fast.tasks.size() / 10);
+    EXPECT_LE(proto.aborted_count(), proto.tasks.size() / 10);
+}
+
+}  // namespace
+}  // namespace nbos

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Shared fixtures for the test suites: tiny trace builders, seeded RNG
+ * helpers, canonical platform configs/runners, and deep result-equality
+ * assertions used by the determinism suite.
+ */
+#ifndef NBOS_TESTS_HARNESS_HPP
+#define NBOS_TESTS_HARNESS_HPP
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/platform.hpp"
+#include "core/results.hpp"
+#include "sim/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace nbos::test {
+
+/** Canonical seed for suites that only need "some" reproducible stream. */
+inline constexpr std::uint64_t kTestSeed = 21;
+
+/** A seeded RNG stream; n distinguishes independent streams in one test. */
+inline sim::Rng
+seeded_rng(std::uint64_t n = 0)
+{
+    return sim::Rng(kTestSeed + 0x9e3779b97f4a7c15ULL * n);
+}
+
+/** A small generated AdobeTrace-profile workload that runs in well under a
+ *  second on every engine. Shared by the core/sim/integration suites. */
+inline workload::Trace
+tiny_trace(int sessions = 8, sim::Time makespan = 3 * sim::kHour,
+           std::uint64_t seed = kTestSeed)
+{
+    workload::WorkloadGenerator generator{sim::Rng(seed)};
+    workload::GeneratorOptions options;
+    options.makespan = makespan;
+    options.max_sessions = sessions;
+    options.sessions_survive_trace = true;
+    return generator.generate(workload::TraceProfile::adobe(), options);
+}
+
+/** Prototype-default platform config with policy/seed/fast-mode applied. */
+inline core::PlatformConfig
+platform_config(core::Policy policy, std::uint64_t seed = 17,
+                bool fast = false)
+{
+    core::PlatformConfig config = core::PlatformConfig::prototype_defaults();
+    config.policy = policy;
+    config.fast_mode = fast;
+    config.seed = seed;
+    return config;
+}
+
+/** Run one policy engine over a trace with canonical settings. */
+inline core::ExperimentResults
+run_policy(const workload::Trace& trace, core::Policy policy,
+           std::uint64_t seed = 17, bool fast = false)
+{
+    core::Platform platform(platform_config(policy, seed, fast));
+    return platform.run(trace);
+}
+
+/** Assert two timeline series are bit-identical. */
+inline void
+expect_series_identical(const metrics::TimeSeries& a,
+                        const metrics::TimeSeries& b, const char* label)
+{
+    ASSERT_EQ(a.size(), b.size()) << label;
+    const auto& sa = a.samples();
+    const auto& sb = b.samples();
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+        ASSERT_EQ(sa[i].time, sb[i].time) << label << " sample " << i;
+        // Bit-identical, not approximately equal: the whole point.
+        ASSERT_EQ(sa[i].value, sb[i].value) << label << " sample " << i;
+    }
+}
+
+/** Assert two latency distributions hold bit-identical samples. */
+inline void
+expect_percentiles_identical(const metrics::Percentiles& a,
+                             const metrics::Percentiles& b,
+                             const char* label)
+{
+    ASSERT_EQ(a.count(), b.count()) << label;
+    const auto va = a.sorted();
+    const auto vb = b.sorted();
+    for (std::size_t i = 0; i < va.size(); ++i) {
+        ASSERT_EQ(va[i], vb[i]) << label << " sample " << i;
+    }
+}
+
+/** Assert two experiment runs produced bit-identical results::* output.
+ *  This is the property every optimization PR must preserve. */
+inline void
+expect_results_identical(const core::ExperimentResults& a,
+                         const core::ExperimentResults& b)
+{
+    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_EQ(a.trace_name, b.trace_name);
+    EXPECT_EQ(a.makespan, b.makespan);
+
+    ASSERT_EQ(a.tasks.size(), b.tasks.size());
+    for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+        const core::TaskOutcome& ta = a.tasks[i];
+        const core::TaskOutcome& tb = b.tasks[i];
+        ASSERT_EQ(ta.session, tb.session) << "task " << i;
+        ASSERT_EQ(ta.seq, tb.seq) << "task " << i;
+        ASSERT_EQ(ta.is_gpu, tb.is_gpu) << "task " << i;
+        ASSERT_EQ(ta.gpus, tb.gpus) << "task " << i;
+        ASSERT_EQ(ta.submit, tb.submit) << "task " << i;
+        ASSERT_EQ(ta.exec_start, tb.exec_start) << "task " << i;
+        ASSERT_EQ(ta.exec_end, tb.exec_end) << "task " << i;
+        ASSERT_EQ(ta.reply, tb.reply) << "task " << i;
+        ASSERT_EQ(ta.migrated, tb.migrated) << "task " << i;
+        ASSERT_EQ(ta.aborted, tb.aborted) << "task " << i;
+    }
+
+    ASSERT_EQ(a.events.size(), b.events.size());
+    for (std::size_t i = 0; i < a.events.size(); ++i) {
+        ASSERT_EQ(a.events[i].kind, b.events[i].kind) << "event " << i;
+        ASSERT_EQ(a.events[i].time, b.events[i].time) << "event " << i;
+    }
+
+    expect_series_identical(a.provisioned_gpus, b.provisioned_gpus,
+                            "provisioned_gpus");
+    expect_series_identical(a.committed_gpus, b.committed_gpus,
+                            "committed_gpus");
+    expect_series_identical(a.subscription_ratio, b.subscription_ratio,
+                            "subscription_ratio");
+    expect_percentiles_identical(a.sync_ms, b.sync_ms, "sync_ms");
+    expect_percentiles_identical(a.read_ms, b.read_ms, "read_ms");
+    expect_percentiles_identical(a.write_ms, b.write_ms, "write_ms");
+
+    EXPECT_EQ(a.store_bytes_written, b.store_bytes_written);
+    EXPECT_EQ(a.sched_stats.kernels_created, b.sched_stats.kernels_created);
+    EXPECT_EQ(a.sched_stats.migrations, b.sched_stats.migrations);
+    EXPECT_EQ(a.sched_stats.scale_outs, b.sched_stats.scale_outs);
+    EXPECT_EQ(a.sched_stats.scale_ins, b.sched_stats.scale_ins);
+    EXPECT_EQ(a.sched_stats.gpu_executions, b.sched_stats.gpu_executions);
+    EXPECT_EQ(a.sched_stats.executions_completed,
+              b.sched_stats.executions_completed);
+}
+
+}  // namespace nbos::test
+
+#endif  // NBOS_TESTS_HARNESS_HPP

@@ -12,6 +12,7 @@
 
 #include "billing/billing.hpp"
 #include "core/platform.hpp"
+#include "harness.hpp"
 #include "workload/generator.hpp"
 #include "workload/trace_io.hpp"
 
@@ -22,23 +23,14 @@ workload::Trace
 make_trace(std::uint64_t seed, int sessions = 12,
            sim::Time makespan = 4 * sim::kHour)
 {
-    workload::WorkloadGenerator generator{sim::Rng(seed)};
-    workload::GeneratorOptions options;
-    options.makespan = makespan;
-    options.max_sessions = sessions;
-    options.sessions_survive_trace = true;
-    return generator.generate(workload::TraceProfile::adobe(), options);
+    return test::tiny_trace(sessions, makespan, seed);
 }
 
 core::ExperimentResults
 run(const workload::Trace& trace, core::Policy policy,
     std::uint64_t seed = 17, bool fast = false)
 {
-    core::PlatformConfig config = core::PlatformConfig::prototype_defaults();
-    config.policy = policy;
-    config.fast_mode = fast;
-    config.seed = seed;
-    return core::Platform(config).run(trace);
+    return test::run_policy(trace, policy, seed, fast);
 }
 
 TEST(IntegrationTest, WholePlatformRunIsDeterministic)

@@ -9,6 +9,7 @@
 #include <functional>
 #include <vector>
 
+#include "harness.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulation.hpp"
 #include "sim/time.hpp"
@@ -194,8 +195,8 @@ TEST(SimulationTest, PendingCountExcludesCancelled)
 
 TEST(RngTest, DeterministicForEqualSeeds)
 {
-    Rng a(7);
-    Rng b(7);
+    Rng a = test::seeded_rng(7);
+    Rng b = test::seeded_rng(7);
     for (int i = 0; i < 100; ++i) {
         EXPECT_EQ(a.next_u64(), b.next_u64());
     }
@@ -203,8 +204,8 @@ TEST(RngTest, DeterministicForEqualSeeds)
 
 TEST(RngTest, DifferentSeedsDiffer)
 {
-    Rng a(1);
-    Rng b(2);
+    Rng a = test::seeded_rng(1);
+    Rng b = test::seeded_rng(2);
     int equal = 0;
     for (int i = 0; i < 100; ++i) {
         if (a.next_u64() == b.next_u64()) {
@@ -216,7 +217,7 @@ TEST(RngTest, DifferentSeedsDiffer)
 
 TEST(RngTest, UniformInUnitInterval)
 {
-    Rng rng(11);
+    Rng rng = test::seeded_rng(11);
     for (int i = 0; i < 10000; ++i) {
         const double u = rng.uniform();
         EXPECT_GE(u, 0.0);
@@ -226,7 +227,7 @@ TEST(RngTest, UniformInUnitInterval)
 
 TEST(RngTest, UniformRangeRespected)
 {
-    Rng rng(12);
+    Rng rng = test::seeded_rng(12);
     for (int i = 0; i < 1000; ++i) {
         const double u = rng.uniform(5.0, 9.0);
         EXPECT_GE(u, 5.0);
@@ -236,7 +237,7 @@ TEST(RngTest, UniformRangeRespected)
 
 TEST(RngTest, UniformIntInclusiveBounds)
 {
-    Rng rng(13);
+    Rng rng = test::seeded_rng(13);
     bool saw_lo = false;
     bool saw_hi = false;
     for (int i = 0; i < 10000; ++i) {
@@ -252,14 +253,14 @@ TEST(RngTest, UniformIntInclusiveBounds)
 
 TEST(RngTest, UniformIntDegenerateRange)
 {
-    Rng rng(14);
+    Rng rng = test::seeded_rng(14);
     EXPECT_EQ(rng.uniform_int(7, 7), 7);
     EXPECT_EQ(rng.uniform_int(9, 3), 9);  // inverted range clamps to lo
 }
 
 TEST(RngTest, ExponentialMeanConverges)
 {
-    Rng rng(15);
+    Rng rng = test::seeded_rng(15);
     double sum = 0.0;
     const int n = 200000;
     for (int i = 0; i < n; ++i) {
@@ -270,7 +271,7 @@ TEST(RngTest, ExponentialMeanConverges)
 
 TEST(RngTest, NormalMomentsConverge)
 {
-    Rng rng(16);
+    Rng rng = test::seeded_rng(16);
     double sum = 0.0;
     double sum_sq = 0.0;
     const int n = 200000;
@@ -287,7 +288,7 @@ TEST(RngTest, NormalMomentsConverge)
 
 TEST(RngTest, LognormalMedianIsExpMu)
 {
-    Rng rng(17);
+    Rng rng = test::seeded_rng(17);
     std::vector<double> samples;
     const int n = 100001;
     samples.reserve(n);
@@ -300,7 +301,7 @@ TEST(RngTest, LognormalMedianIsExpMu)
 
 TEST(RngTest, BernoulliFrequency)
 {
-    Rng rng(18);
+    Rng rng = test::seeded_rng(18);
     int hits = 0;
     const int n = 100000;
     for (int i = 0; i < n; ++i) {
@@ -311,7 +312,7 @@ TEST(RngTest, BernoulliFrequency)
 
 TEST(RngTest, ParetoAtLeastScale)
 {
-    Rng rng(19);
+    Rng rng = test::seeded_rng(19);
     for (int i = 0; i < 10000; ++i) {
         EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
     }
@@ -319,7 +320,7 @@ TEST(RngTest, ParetoAtLeastScale)
 
 TEST(RngTest, WeightedIndexRespectsWeights)
 {
-    Rng rng(20);
+    Rng rng = test::seeded_rng(20);
     std::vector<double> weights{1.0, 0.0, 3.0};
     int counts[3] = {0, 0, 0};
     const int n = 100000;
@@ -333,14 +334,14 @@ TEST(RngTest, WeightedIndexRespectsWeights)
 
 TEST(RngTest, WeightedIndexAllZeroReturnsZero)
 {
-    Rng rng(21);
+    Rng rng = test::seeded_rng(21);
     std::vector<double> weights{0.0, 0.0};
     EXPECT_EQ(rng.weighted_index(weights), 0u);
 }
 
 TEST(RngTest, SplitProducesIndependentStream)
 {
-    Rng a(22);
+    Rng a = test::seeded_rng(22);
     Rng child = a.split();
     // Parent and child streams should diverge.
     int equal = 0;
