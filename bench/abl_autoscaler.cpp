@@ -22,25 +22,39 @@ main()
     bench::banner("Ablation: auto-scaler multiplier f (6 h, 40 sessions)");
     std::printf("%-6s %-8s %-12s %-12s %-12s %-12s\n", "f", "buffer",
                 "gpu-hours", "delay-p99-s", "migrations", "scale-outs");
+    // The whole (f, buffer) sweep runs concurrently on the
+    // ExperimentRunner; outcomes come back in sweep order.
+    struct Point
+    {
+        double f;
+        std::int32_t buffer;
+    };
+    std::vector<Point> points;
+    std::vector<core::ExperimentSpec> specs;
     for (const double f : {1.0, 1.05, 1.25, 1.5}) {
         for (const std::int32_t buffer : {0, 2}) {
-            core::PlatformConfig config =
-                core::PlatformConfig::prototype_defaults();
-            config.policy = core::Policy::kNotebookOS;
-            config.seed = bench::kSeed;
-            config.scheduler.autoscaler.multiplier = f;
-            config.scheduler.autoscaler.buffer_servers = buffer;
-            core::Platform platform(config);
-            const auto results = platform.run(trace);
-            std::printf("%-6.2f %-8d %-12.1f %-12.3f %-12llu %-12llu\n", f,
-                        buffer, results.gpu_hours_provisioned(),
-                        results.interactivity_delays_seconds().percentile(
-                            99),
-                        static_cast<unsigned long long>(
-                            results.sched_stats.migrations),
-                        static_cast<unsigned long long>(
-                            results.sched_stats.scale_outs));
+            core::ExperimentSpec spec;
+            spec.engine = core::kEnginePrototype;
+            spec.trace = &trace;
+            spec.config = core::PlatformConfig::prototype_defaults();
+            spec.config.scheduler.autoscaler.multiplier = f;
+            spec.config.scheduler.autoscaler.buffer_servers = buffer;
+            spec.seed = bench::kSeed;
+            points.push_back(Point{f, buffer});
+            specs.push_back(std::move(spec));
         }
+    }
+    const auto outcomes = bench::run_specs_or_exit(specs);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const auto& results = outcomes[i].results;
+        std::printf("%-6.2f %-8d %-12.1f %-12.3f %-12llu %-12llu\n",
+                    points[i].f, points[i].buffer,
+                    results.gpu_hours_provisioned(),
+                    results.interactivity_delays_seconds().percentile(99),
+                    static_cast<unsigned long long>(
+                        results.sched_stats.migrations),
+                    static_cast<unsigned long long>(
+                        results.sched_stats.scale_outs));
     }
     std::printf("\nExpectation: larger f / buffer -> more GPU-hours but "
                 "fewer migrations and shorter tails.\n");

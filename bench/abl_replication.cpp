@@ -23,17 +23,24 @@ main()
     bench::banner("Ablation: replicas per kernel (6 h, 40 sessions)");
     std::printf("%-4s %-12s %-12s %-12s %-12s %-12s\n", "R", "gpu-hours",
                 "delay-p50-s", "delay-p99-s", "migrations", "sync-p90-ms");
-    for (const std::int32_t replicas : {1, 3, 5}) {
-        core::PlatformConfig config =
-            core::PlatformConfig::prototype_defaults();
-        config.policy = core::Policy::kNotebookOS;
-        config.seed = bench::kSeed;
-        config.scheduler.kernel.replica_count = replicas;
-        core::Platform platform(config);
-        const auto results = platform.run(trace);
+    // The replication sweep runs concurrently on the ExperimentRunner.
+    const std::vector<std::int32_t> replica_counts{1, 3, 5};
+    std::vector<core::ExperimentSpec> specs;
+    for (const std::int32_t replicas : replica_counts) {
+        core::ExperimentSpec spec;
+        spec.engine = core::kEnginePrototype;
+        spec.trace = &trace;
+        spec.config = core::PlatformConfig::prototype_defaults();
+        spec.config.scheduler.kernel.replica_count = replicas;
+        spec.seed = bench::kSeed;
+        specs.push_back(std::move(spec));
+    }
+    const auto outcomes = bench::run_specs_or_exit(specs);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const auto& results = outcomes[i].results;
         const auto delays = results.interactivity_delays_seconds();
         std::printf("%-4d %-12.1f %-12.3f %-12.3f %-12llu %-12.2f\n",
-                    replicas, results.gpu_hours_provisioned(),
+                    replica_counts[i], results.gpu_hours_provisioned(),
                     delays.percentile(50), delays.percentile(99),
                     static_cast<unsigned long long>(
                         results.sched_stats.migrations),

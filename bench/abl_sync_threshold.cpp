@@ -28,14 +28,9 @@ main()
     constexpr std::uint64_t kMB = 1024ULL * 1024ULL;
     const std::vector<std::uint64_t> thresholds{64 * 1024, 1 * kMB,
                                                 64 * kMB, 1024 * kMB};
+    // The threshold sweep runs concurrently on the ExperimentRunner.
+    std::vector<core::ExperimentSpec> specs;
     for (const std::uint64_t threshold : thresholds) {
-        core::PlatformConfig config =
-            core::PlatformConfig::prototype_defaults();
-        config.policy = core::Policy::kNotebookOS;
-        config.seed = bench::kSeed;
-        config.scheduler.kernel.large_object_threshold = threshold;
-        core::Platform platform(config);
-        const auto results = platform.run(trace);
         char label[32];
         if (threshold >= kMB) {
             std::snprintf(label, sizeof(label), "%lluMB",
@@ -45,7 +40,19 @@ main()
                           static_cast<unsigned long long>(threshold /
                                                           1024));
         }
-        std::printf("%-14s %-14.2f %-14.2f %-14zu %-14.2f\n", label,
+        core::ExperimentSpec spec;
+        spec.engine = core::kEnginePrototype;
+        spec.trace = &trace;
+        spec.config = core::PlatformConfig::prototype_defaults();
+        spec.config.scheduler.kernel.large_object_threshold = threshold;
+        spec.seed = bench::kSeed;
+        spec.label = label;
+        specs.push_back(std::move(spec));
+    }
+    for (const auto& outcome : bench::run_specs_or_exit(specs)) {
+        const auto& results = outcome.results;
+        std::printf("%-14s %-14.2f %-14.2f %-14zu %-14.2f\n",
+                    outcome.label.c_str(),
                     results.sync_ms.percentile(50),
                     results.sync_ms.percentile(99),
                     results.write_ms.count(),

@@ -11,11 +11,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "core/platform.hpp"
 #include "core/results.hpp"
+#include "core/runner.hpp"
 #include "workload/generator.hpp"
 
 namespace nbos::bench {
@@ -82,17 +85,112 @@ summer_trace()
     return generator.adobe_summer_90d();
 }
 
+/** Engine filter (`NBOS_BENCH_POLICIES=notebookos,batch`): when set, the
+ *  run_policy/run_policies helpers skip engines whose registry name and
+ *  policy name are both absent from the comma-separated list, so a bench
+ *  binary reruns only the engines under study. */
+inline bool
+engine_enabled(const std::string& engine,
+               const std::string& policy_name = {})
+{
+    const char* filter = std::getenv("NBOS_BENCH_POLICIES");
+    if (filter == nullptr || filter[0] == '\0') {
+        return true;
+    }
+    std::istringstream stream{std::string(filter)};
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+        token.erase(0, token.find_first_not_of(" \t"));
+        const std::size_t last = token.find_last_not_of(" \t");
+        token.erase(last == std::string::npos ? 0 : last + 1);
+        if (token == engine ||
+            (!policy_name.empty() && token == policy_name)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/** One canonical-settings policy run for run_policies(). Field order
+ *  matches test::EngineRun (policy, seed, fast) so positional
+ *  initializers mean the same thing in both; call sites setting `fast`
+ *  use designated initializers. */
+struct PolicyRun
+{
+    core::Policy policy = core::Policy::kNotebookOS;
+    std::uint64_t seed = kSeed;
+    bool fast = false;
+};
+
+/** Run the requested policies concurrently on the ExperimentRunner.
+ *  Results come back in request order, so tables printed from them are
+ *  byte-identical to the pre-runner serial runs. Engines disabled by
+ *  NBOS_BENCH_POLICIES are not executed and yield empty (all-zero)
+ *  results; a note goes to stderr. */
+inline std::vector<core::ExperimentResults>
+run_policies(const workload::Trace& trace,
+             const std::vector<PolicyRun>& runs)
+{
+    std::vector<core::ExperimentResults> results(runs.size());
+    std::vector<core::ExperimentSpec> specs;
+    std::vector<std::size_t> positions;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const char* engine =
+            core::engine_name(runs[i].policy, runs[i].fast);
+        results[i].policy = runs[i].policy;
+        results[i].trace_name = trace.name;
+        results[i].makespan = trace.makespan;
+        if (!engine_enabled(engine, core::to_string(runs[i].policy))) {
+            std::fprintf(stderr,
+                         "[bench] skipping engine %s (NBOS_BENCH_POLICIES)\n",
+                         engine);
+            continue;
+        }
+        core::ExperimentSpec spec;
+        spec.engine = engine;
+        spec.trace = &trace;
+        spec.config = core::PlatformConfig::prototype_defaults();
+        spec.seed = runs[i].seed;
+        specs.push_back(std::move(spec));
+        positions.push_back(i);
+    }
+    auto outcomes = core::ExperimentRunner().run(specs);
+    for (std::size_t j = 0; j < outcomes.size(); ++j) {
+        if (!outcomes[j].ok) {
+            std::fprintf(stderr, "[bench] engine %s failed: %s\n",
+                         outcomes[j].engine.c_str(),
+                         outcomes[j].error.c_str());
+            std::exit(1);
+        }
+        results[positions[j]] = std::move(outcomes[j].results);
+    }
+    return results;
+}
+
 /** Run one policy over a trace with canonical settings. */
 inline core::ExperimentResults
 run_policy(core::Policy policy, const workload::Trace& trace,
            bool fast_mode = false)
 {
-    core::PlatformConfig config = core::PlatformConfig::prototype_defaults();
-    config.policy = policy;
-    config.fast_mode = fast_mode;
-    config.seed = kSeed;
-    core::Platform platform(config);
-    return platform.run(trace);
+    auto results =
+        run_policies(trace, {PolicyRun{policy, kSeed, fast_mode}});
+    return std::move(results.front());
+}
+
+/** Print the sweep's outcomes or die: shared guard for benches that
+ *  drive the ExperimentRunner directly with custom configs. */
+inline std::vector<core::ExperimentOutcome>
+run_specs_or_exit(const std::vector<core::ExperimentSpec>& specs)
+{
+    auto outcomes = core::ExperimentRunner().run(specs);
+    for (const core::ExperimentOutcome& outcome : outcomes) {
+        if (!outcome.ok) {
+            std::fprintf(stderr, "[bench] %s failed: %s\n",
+                         outcome.label.c_str(), outcome.error.c_str());
+            std::exit(1);
+        }
+    }
+    return outcomes;
 }
 
 /** Print a header banner. */

@@ -15,11 +15,17 @@ main()
     const auto trace = bench::excerpt_trace();
 
     const auto oracle = core::oracle_gpu_series(trace);
-    const auto reservation =
-        bench::run_policy(core::Policy::kReservation, trace);
-    const auto batch = bench::run_policy(core::Policy::kBatch, trace);
-    const auto nbos = bench::run_policy(core::Policy::kNotebookOS, trace);
-    const auto lcp = bench::run_policy(core::Policy::kNotebookOSLCP, trace);
+    // The four policies run concurrently on the ExperimentRunner;
+    // results come back in request order.
+    const auto results =
+        bench::run_policies(trace, {{core::Policy::kReservation},
+                                    {core::Policy::kBatch},
+                                    {core::Policy::kNotebookOS},
+                                    {core::Policy::kNotebookOSLCP}});
+    const auto& reservation = results[0];
+    const auto& batch = results[1];
+    const auto& nbos = results[2];
+    const auto& lcp = results[3];
 
     bench::banner("Fig. 8: provisioned GPUs over the 17.5 h excerpt");
     std::printf("%-6s %-8s %-12s %-8s %-8s %-8s\n", "hour", "oracle",

@@ -14,10 +14,12 @@ main()
     using namespace nbos;
     const auto trace = bench::summer_trace();
 
-    const auto reservation =
-        bench::run_policy(core::Policy::kReservation, trace);
-    const auto nbos =
-        bench::run_policy(core::Policy::kNotebookOS, trace, /*fast=*/true);
+    // Both policies run concurrently on the ExperimentRunner.
+    const auto results = bench::run_policies(
+        trace, {{.policy = core::Policy::kReservation},
+                {.policy = core::Policy::kNotebookOS, .fast = true}});
+    const auto& reservation = results[0];
+    const auto& nbos = results[1];
 
     billing::BillingConfig config;
 

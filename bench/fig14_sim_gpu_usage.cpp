@@ -15,11 +15,14 @@ main()
     const auto trace = bench::summer_trace();
 
     const auto oracle = core::oracle_gpu_series(trace);
-    const auto reservation =
-        bench::run_policy(core::Policy::kReservation, trace);
-    const auto nbos =
-        bench::run_policy(core::Policy::kNotebookOS, trace, /*fast=*/true);
-    const auto lcp = bench::run_policy(core::Policy::kNotebookOSLCP, trace);
+    // The three policies run concurrently on the ExperimentRunner.
+    const auto results = bench::run_policies(
+        trace, {{.policy = core::Policy::kReservation},
+                {.policy = core::Policy::kNotebookOS, .fast = true},
+                {.policy = core::Policy::kNotebookOSLCP}});
+    const auto& reservation = results[0];
+    const auto& nbos = results[1];
+    const auto& lcp = results[2];
 
     bench::banner("Fig. 14(a): allocatable GPUs over 90 days");
     std::printf("%-6s %-8s %-12s %-8s %-8s\n", "day", "oracle",

@@ -74,14 +74,17 @@ main()
     const auto trace = bench::excerpt_trace();
     bench::banner("Figs. 16-19: per-step latency breakdown (ms)");
 
-    breakdown("Fig. 16: Reservation",
-              bench::run_policy(core::Policy::kReservation, trace));
-    breakdown("Fig. 17: Batch",
-              bench::run_policy(core::Policy::kBatch, trace));
-    breakdown("Fig. 18: NotebookOS",
-              bench::run_policy(core::Policy::kNotebookOS, trace));
-    breakdown("Fig. 19: NotebookOS (LCP)",
-              bench::run_policy(core::Policy::kNotebookOSLCP, trace));
+    // The four policies run concurrently on the ExperimentRunner;
+    // results come back in request order.
+    const auto results =
+        bench::run_policies(trace, {{core::Policy::kReservation},
+                                    {core::Policy::kBatch},
+                                    {core::Policy::kNotebookOS},
+                                    {core::Policy::kNotebookOSLCP}});
+    breakdown("Fig. 16: Reservation", results[0]);
+    breakdown("Fig. 17: Batch", results[1]);
+    breakdown("Fig. 18: NotebookOS", results[2]);
+    breakdown("Fig. 19: NotebookOS (LCP)", results[3]);
 
     std::printf("\nShape checks: Batch spends its time in step (1) "
                 "(on-demand provisioning + queueing);\n"

@@ -304,7 +304,7 @@ class ReservationEngine : public BaselineEngine
     on_task(const workload::SessionSpec& session,
             const workload::CellTask& task) override
     {
-        TaskOutcome& outcome = new_outcome(session, task);
+        new_outcome(session, task);
         const std::size_t index = results_.tasks.size() - 1;
         SessionState& state = sessions_[session.id];
         // GPUs stay bound: the cell starts as soon as the kernel is free.

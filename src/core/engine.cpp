@@ -1,0 +1,174 @@
+#include "core/engine.hpp"
+
+#include <utility>
+
+#include "core/baselines.hpp"
+#include "core/fastsim.hpp"
+#include "core/platform.hpp"
+#include "core/protosim.hpp"
+
+namespace nbos::core {
+namespace {
+
+/** Adapter registering a plain run function as a PolicyEngine. */
+class FunctionEngine : public PolicyEngine
+{
+  public:
+    using RunFn = std::function<ExperimentResults(
+        const workload::Trace&, const PlatformConfig&)>;
+
+    FunctionEngine(std::string name, Policy policy, RunFn fn)
+        : name_(std::move(name)), policy_(policy), fn_(std::move(fn))
+    {
+    }
+
+    std::string name() const override { return name_; }
+    Policy policy() const override { return policy_; }
+
+    ExperimentResults
+    run(const workload::Trace& trace,
+        const PlatformConfig& config) const override
+    {
+        return fn_(trace, config);
+    }
+
+  private:
+    std::string name_;
+    Policy policy_;
+    RunFn fn_;
+};
+
+EngineRegistry::Factory
+function_factory(const char* name, Policy policy, FunctionEngine::RunFn fn)
+{
+    return [name, policy, fn = std::move(fn)] {
+        return std::make_unique<FunctionEngine>(name, policy, fn);
+    };
+}
+
+/** Register the five built-in engines of §5.1.1. */
+void
+register_builtins(EngineRegistry& registry)
+{
+    registry.register_engine(
+        kEngineReservation,
+        function_factory(kEngineReservation, Policy::kReservation,
+                         [](const workload::Trace& trace,
+                            const PlatformConfig& config) {
+                             return run_reservation(trace, config.baseline,
+                                                    config.seed);
+                         }));
+    registry.register_engine(
+        kEngineBatch,
+        function_factory(kEngineBatch, Policy::kBatch,
+                         [](const workload::Trace& trace,
+                            const PlatformConfig& config) {
+                             return run_batch(trace, config.baseline,
+                                              config.seed);
+                         }));
+    registry.register_engine(
+        kEngineLcp,
+        function_factory(kEngineLcp, Policy::kNotebookOSLCP,
+                         [](const workload::Trace& trace,
+                            const PlatformConfig& config) {
+                             return run_lcp(trace, config.baseline,
+                                            config.seed);
+                         }));
+    registry.register_engine(
+        kEnginePrototype,
+        function_factory(kEnginePrototype, Policy::kNotebookOS,
+                         run_prototype_notebookos));
+    registry.register_engine(
+        kEngineFast,
+        function_factory(kEngineFast, Policy::kNotebookOS,
+                         run_fast_notebookos));
+}
+
+}  // namespace
+
+EngineRegistry&
+EngineRegistry::instance()
+{
+    static EngineRegistry* registry = [] {
+        auto* r = new EngineRegistry();
+        register_builtins(*r);
+        return r;
+    }();
+    return *registry;
+}
+
+bool
+EngineRegistry::register_engine(const std::string& name, Factory factory)
+{
+    if (name.empty() || !factory) {
+        return false;
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return factories_.emplace(name, std::move(factory)).second;
+}
+
+std::unique_ptr<PolicyEngine>
+EngineRegistry::create(const std::string& name) const
+{
+    Factory factory;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = factories_.find(name);
+        if (it == factories_.end()) {
+            return nullptr;
+        }
+        factory = it->second;
+    }
+    return factory();
+}
+
+bool
+EngineRegistry::contains(const std::string& name) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return factories_.count(name) > 0;
+}
+
+std::vector<std::string>
+EngineRegistry::names() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto& [name, factory] : factories_) {
+        out.push_back(name);
+    }
+    return out;
+}
+
+const char*
+engine_name(Policy policy, bool fast_mode)
+{
+    switch (policy) {
+      case Policy::kReservation:
+        return kEngineReservation;
+      case Policy::kBatch:
+        return kEngineBatch;
+      case Policy::kNotebookOSLCP:
+        return kEngineLcp;
+      case Policy::kNotebookOS:
+        return fast_mode ? kEngineFast : kEnginePrototype;
+    }
+    return kEnginePrototype;
+}
+
+std::string
+validate_config(const PlatformConfig& config)
+{
+    if (config.fast_mode && config.policy != Policy::kNotebookOS) {
+        return std::string("fast_mode is only supported by the ") +
+               to_string(Policy::kNotebookOS) + " policy; '" +
+               to_string(config.policy) + "' has no fast engine";
+    }
+    if (config.sample_interval <= 0) {
+        return "sample_interval must be positive";
+    }
+    return {};
+}
+
+}  // namespace nbos::core

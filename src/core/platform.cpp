@@ -1,9 +1,8 @@
 #include "core/platform.hpp"
 
-#include <deque>
-#include <map>
+#include <stdexcept>
 
-#include "core/fastsim.hpp"
+#include "core/engine.hpp"
 
 namespace nbos::core {
 
@@ -27,166 +26,13 @@ Platform::Platform(PlatformConfig config) : config_(std::move(config))
 ExperimentResults
 Platform::run(const workload::Trace& trace)
 {
-    switch (config_.policy) {
-      case Policy::kReservation:
-        return run_reservation(trace, config_.baseline, config_.seed);
-      case Policy::kBatch:
-        return run_batch(trace, config_.baseline, config_.seed);
-      case Policy::kNotebookOSLCP:
-        return run_lcp(trace, config_.baseline, config_.seed);
-      case Policy::kNotebookOS:
-        break;
+    const std::string error = validate_config(config_);
+    if (!error.empty()) {
+        throw std::invalid_argument("PlatformConfig: " + error);
     }
-    if (config_.fast_mode) {
-        return run_fast_notebookos(trace, config_);
-    }
-    return run_prototype_notebookos(trace);
-}
-
-ExperimentResults
-Platform::run_prototype_notebookos(const workload::Trace& trace)
-{
-    sim::Simulation simulation;
-    sched::GlobalScheduler scheduler(simulation, config_.scheduler,
-                                     config_.seed);
-    scheduler.start();
-
-    ExperimentResults results;
-    results.policy = Policy::kNotebookOS;
-    results.trace_name = trace.name;
-    results.makespan = trace.makespan;
-
-    struct SessionState
-    {
-        cluster::KernelId kernel = cluster::kNoKernel;
-        bool ready = false;
-        bool ended = false;
-        std::deque<const workload::CellTask*> buffered;
-    };
-    std::map<workload::SessionId, SessionState> sessions;
-
-    auto submit_task = [&](const workload::SessionSpec& session,
-                           const workload::CellTask& task) {
-        results.tasks.push_back(TaskOutcome{});
-        const std::size_t index = results.tasks.size() - 1;
-        TaskOutcome& outcome = results.tasks[index];
-        outcome.session = session.id;
-        outcome.seq = task.seq;
-        outcome.is_gpu = task.is_gpu;
-        outcome.gpus = session.resources.gpus;
-        outcome.submit = simulation.now();
-        scheduler.submit_execute(
-            sessions[session.id].kernel, task.code, task.is_gpu,
-            simulation.now(),
-            [&results, index](const kernel::ExecutionResult& result,
-                              const sched::RequestTrace& request_trace) {
-                TaskOutcome& done = results.tasks[index];
-                done.trace = request_trace;
-                done.exec_start = request_trace.execution_started;
-                done.exec_end = request_trace.execution_finished;
-                done.reply = request_trace.client_replied;
-                done.migrated = request_trace.migrated;
-                done.aborted =
-                    request_trace.aborted ||
-                    result.status == kernel::ExecutionStatus::kError;
-                if (done.aborted) {
-                    done.error = result.error;
-                }
-            });
-    };
-
-    for (const workload::SessionSpec& session : trace.sessions) {
-        // Capture stable pointers into the trace (loop variables die at
-        // iteration end; the closures outlive them).
-        const workload::SessionSpec* sp = &session;
-        simulation.schedule_at(session.start_time, [&sessions, &scheduler,
-                                                    &submit_task, sp] {
-            scheduler.start_kernel(
-                sp->resources,
-                [&sessions, &scheduler, &submit_task,
-                 sp](cluster::KernelId kernel_id, bool ok) {
-                    SessionState& st = sessions[sp->id];
-                    st.kernel = kernel_id;
-                    st.ready = ok;
-                    if (st.ended) {
-                        scheduler.stop_kernel(kernel_id);
-                        return;
-                    }
-                    while (ok && !st.buffered.empty()) {
-                        const workload::CellTask* task =
-                            st.buffered.front();
-                        st.buffered.pop_front();
-                        submit_task(*sp, *task);
-                    }
-                });
-        });
-        if (session.end_time < trace.makespan) {
-            simulation.schedule_at(session.end_time,
-                                   [&sessions, &scheduler, sp] {
-                                       SessionState& state = sessions[sp->id];
-                                       state.ended = true;
-                                       if (state.ready) {
-                                           scheduler.stop_kernel(
-                                               state.kernel);
-                                       }
-                                   });
-        }
-        for (const workload::CellTask& task : session.tasks) {
-            const workload::CellTask* tp = &task;
-            simulation.schedule_at(task.submit_time,
-                                   [&sessions, &submit_task, sp, tp] {
-                                       SessionState& state = sessions[sp->id];
-                                       if (state.ended) {
-                                           return;
-                                       }
-                                       if (state.ready) {
-                                           submit_task(*sp, *tp);
-                                       } else {
-                                           state.buffered.push_back(tp);
-                                       }
-                                   });
-        }
-    }
-
-    // Timeline sampler for provisioned GPUs and the subscription ratio.
-    auto sampler = std::make_shared<std::function<void()>>();
-    *sampler = [&results, &scheduler, &simulation, this, sampler,
-                &trace] {
-        results.provisioned_gpus.record(
-            simulation.now(),
-            static_cast<double>(scheduler.cluster().total_gpus()));
-        results.subscription_ratio.record(simulation.now(),
-                                          scheduler.cluster_sr());
-        if (simulation.now() < trace.makespan) {
-            simulation.schedule_after(config_.sample_interval, *sampler);
-        }
-    };
-    simulation.schedule_at(0, [sampler] { (*sampler)(); });
-
-    // Run the trace plus a drain window for in-flight cells.
-    simulation.run_until(trace.makespan + 12 * sim::kHour);
-
-    // Collect platform-side metrics.
-    results.events = scheduler.events();
-    results.sched_stats = scheduler.stats();
-    results.sync_ms = scheduler.sync_latencies_ms();
-    results.read_ms = scheduler.store().read_latencies();
-    results.write_ms = scheduler.store().write_latencies();
-    results.store_bytes_written = scheduler.store().bytes_written();
-    std::vector<std::pair<sim::Time, double>> committed;
-    for (TaskOutcome& task : results.tasks) {
-        if (task.reply == 0) {
-            task.aborted = true;
-        }
-        if (task.is_gpu && !task.aborted) {
-            committed.emplace_back(task.exec_start,
-                                   static_cast<double>(task.gpus));
-            committed.emplace_back(task.exec_end,
-                                   -static_cast<double>(task.gpus));
-        }
-    }
-    results.committed_gpus = series_from_deltas(std::move(committed));
-    return results;
+    const auto engine = EngineRegistry::instance().create(
+        engine_name(config_.policy, config_.fast_mode));
+    return engine->run(trace, config_);
 }
 
 }  // namespace nbos::core

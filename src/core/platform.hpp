@@ -41,20 +41,27 @@ struct PlatformConfig
     static PlatformConfig prototype_defaults();
 };
 
-/** Facade over all policy engines. */
+/**
+ * Backward-compatible facade over the EngineRegistry: maps the
+ * configured (policy, fast_mode) pair to a registered PolicyEngine and
+ * runs it. New code — and anything sweeping several engines, traces, or
+ * seeds — should prefer the ExperimentRunner (core/runner.hpp), which
+ * executes registry engines concurrently.
+ */
 class Platform
 {
   public:
     explicit Platform(PlatformConfig config);
 
-    /** Execute @p trace under the configured policy. */
+    /** Execute @p trace under the configured policy.
+     *  @throws std::invalid_argument when the config is inconsistent
+     *          (see validate_config in core/engine.hpp), e.g. fast_mode
+     *          requested for a baseline policy that has no fast engine. */
     ExperimentResults run(const workload::Trace& trace);
 
     const PlatformConfig& config() const { return config_; }
 
   private:
-    ExperimentResults run_prototype_notebookos(const workload::Trace& trace);
-
     PlatformConfig config_;
 };
 

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Public entry point of the discrete-event prototype NotebookOS engine
+ * (protosim.cpp): drives the full stack — Raft-replicated kernels,
+ * executor elections, Global/Local schedulers — and is used for the
+ * 17.5-hour excerpt experiments (§5.2). The analytic counterpart for
+ * 90-day studies lives in fastsim.hpp.
+ */
+#ifndef NBOS_CORE_PROTOSIM_HPP
+#define NBOS_CORE_PROTOSIM_HPP
+
+#include "core/results.hpp"
+#include "workload/trace.hpp"
+
+namespace nbos::core {
+
+struct PlatformConfig;
+
+/** Run @p trace through the prototype engine under @p config.
+ *  Same-seed runs are bit-identical (see tests/determinism_test.cpp). */
+ExperimentResults run_prototype_notebookos(const workload::Trace& trace,
+                                           const PlatformConfig& config);
+
+}  // namespace nbos::core
+
+#endif  // NBOS_CORE_PROTOSIM_HPP

@@ -21,6 +21,19 @@ to_string(Policy policy)
     return "unknown";
 }
 
+std::optional<Policy>
+policy_from_string(std::string_view name)
+{
+    for (const Policy policy :
+         {Policy::kReservation, Policy::kBatch, Policy::kNotebookOS,
+          Policy::kNotebookOSLCP}) {
+        if (name == to_string(policy)) {
+            return policy;
+        }
+    }
+    return std::nullopt;
+}
+
 metrics::Percentiles
 ExperimentResults::interactivity_delays_seconds() const
 {

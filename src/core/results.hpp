@@ -7,7 +7,9 @@
 #ifndef NBOS_CORE_RESULTS_HPP
 #define NBOS_CORE_RESULTS_HPP
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -29,6 +31,10 @@ enum class Policy
 
 /** Human-readable policy name. */
 const char* to_string(Policy policy);
+
+/** Parse a to_string(Policy) name back into the enum.
+ *  @return std::nullopt for unknown names. */
+std::optional<Policy> policy_from_string(std::string_view name);
 
 /** Outcome of one cell task under some policy. */
 struct TaskOutcome

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * ExperimentRunner: execute a batch of ExperimentSpecs on a thread pool.
+ *
+ * Every engine run is single-threaded and deterministic over its own
+ * simulation world, so specs are embarrassingly parallel: a 4-policy
+ * figure bench or an N-seed sweep finishes in the wall-clock time of its
+ * slowest spec. Results come back in spec order regardless of completion
+ * order, so tables printed from them are byte-identical to serial runs.
+ */
+#ifndef NBOS_CORE_RUNNER_HPP
+#define NBOS_CORE_RUNNER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "workload/trace.hpp"
+
+namespace nbos::core {
+
+/** One experiment: an engine name, a trace, and its configuration. */
+struct ExperimentSpec
+{
+    /** EngineRegistry name ("reservation", "notebookos-fast", ...). */
+    std::string engine;
+    /** Trace to execute; not owned and must outlive the run() call. */
+    const workload::Trace* trace = nullptr;
+    /** Engine knobs. policy/fast_mode are overridden by @ref engine;
+     *  seed is overridden by @ref seed. */
+    PlatformConfig config{};
+    /** Seed applied to the config before the run. */
+    std::uint64_t seed = 1;
+    /** Display label; defaults to the engine name when empty. */
+    std::string label;
+};
+
+/** Outcome of one spec: results on success, an error message otherwise. */
+struct ExperimentOutcome
+{
+    std::size_t index = 0;  ///< Position in the submitted batch.
+    std::string label;
+    std::string engine;
+    bool ok = false;
+    std::string error;
+    ExperimentResults results;
+};
+
+/** Runs experiment batches concurrently with stable result ordering. */
+class ExperimentRunner
+{
+  public:
+    /**
+     * Invoked once per finished experiment. Callbacks are serialized
+     * under the runner's mutex (never concurrent with each other), in
+     * completion order; @p completed counts finished specs so far.
+     */
+    using ProgressCallback = std::function<void(
+        const ExperimentOutcome& outcome, std::size_t completed,
+        std::size_t total)>;
+
+    /** @param threads worker count; 0 picks hardware concurrency. */
+    explicit ExperimentRunner(std::size_t threads = 0);
+
+    /** Execute every spec and block until all are done.
+     *  @return one outcome per spec, in spec order. */
+    std::vector<ExperimentOutcome>
+    run(const std::vector<ExperimentSpec>& specs,
+        const ProgressCallback& on_complete = nullptr) const;
+
+    std::size_t threads() const { return threads_; }
+
+  private:
+    std::size_t threads_;
+};
+
+}  // namespace nbos::core
+
+#endif  // NBOS_CORE_RUNNER_HPP

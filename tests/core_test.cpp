@@ -244,16 +244,17 @@ TEST(CrossPolicyTest, ReservationProvisionsMostNotebookOsSaves)
     // by oversubscription (the paper's savings regime).
     const auto trace = tiny_trace(60, 10 * kHour);
     PlatformConfig config = PlatformConfig::prototype_defaults();
-    config.seed = 9;
     config.scheduler.initial_servers = 2;
     config.scheduler.autoscaler.buffer_servers = 1;
 
-    config.policy = Policy::kReservation;
-    const auto reservation = Platform(config).run(trace);
-    config.policy = Policy::kNotebookOS;
-    const auto nbos = Platform(config).run(trace);
-    config.policy = Policy::kBatch;
-    const auto batch = Platform(config).run(trace);
+    const auto results = test::run_concurrent(
+        trace,
+        {{Policy::kReservation, 9}, {Policy::kNotebookOS, 9},
+         {Policy::kBatch, 9}},
+        config);
+    const auto& reservation = results[0];
+    const auto& nbos = results[1];
+    const auto& batch = results[2];
 
     // Fig. 8 shape: Batch provisions least, NotebookOS sits between Batch
     // and Reservation.
@@ -266,15 +267,12 @@ TEST(CrossPolicyTest, ReservationProvisionsMostNotebookOsSaves)
 TEST(CrossPolicyTest, InteractivityOrdering)
 {
     const auto trace = tiny_trace(10, 4 * kHour);
-    PlatformConfig config = PlatformConfig::prototype_defaults();
-    config.seed = 10;
-
-    config.policy = Policy::kReservation;
-    const auto reservation = Platform(config).run(trace);
-    config.policy = Policy::kNotebookOS;
-    const auto nbos = Platform(config).run(trace);
-    config.policy = Policy::kBatch;
-    const auto batch = Platform(config).run(trace);
+    const auto results = test::run_concurrent(
+        trace, {{Policy::kReservation, 10}, {Policy::kNotebookOS, 10},
+                {Policy::kBatch, 10}});
+    const auto& reservation = results[0];
+    const auto& nbos = results[1];
+    const auto& batch = results[2];
 
     const double res_p50 =
         reservation.interactivity_delays_seconds().percentile(50);
@@ -325,12 +323,11 @@ TEST(PrototypeEngineTest, HighImmediateCommitFraction)
 TEST(FastEngineTest, MatchesPrototypeShape)
 {
     const auto trace = tiny_trace(10, 4 * kHour);
-    PlatformConfig config = PlatformConfig::prototype_defaults();
-    config.policy = Policy::kNotebookOS;
-    config.seed = 11;
-    const auto proto = Platform(config).run(trace);
-    config.fast_mode = true;
-    const auto fast = Platform(config).run(trace);
+    const auto results = test::run_concurrent(
+        trace, {{Policy::kNotebookOS, 11, /*fast=*/false},
+                {Policy::kNotebookOS, 11, /*fast=*/true}});
+    const auto& proto = results[0];
+    const auto& fast = results[1];
     // Same task population and comparable GPU-hour magnitudes.
     EXPECT_EQ(proto.tasks.size(), fast.tasks.size());
     EXPECT_GT(fast.gpu_hours_committed(), 0.0);

@@ -105,5 +105,35 @@ TEST(DeterminismTest, EnginesAgreeOnWorkloadAggregates)
     EXPECT_LE(proto.aborted_count(), proto.tasks.size() / 10);
 }
 
+/** Extension of the contract for the concurrent ExperimentRunner: a
+ *  same-seed spec must produce bit-identical results whether it runs
+ *  serially or on a thread pool next to other engines. */
+TEST(DeterminismTest, RunnerParallelExecutionBitIdenticalToSerial)
+{
+    const auto trace = test::tiny_trace(8, 3 * sim::kHour);
+    std::vector<core::ExperimentSpec> specs;
+    for (const char* engine :
+         {core::kEngineFast, core::kEnginePrototype,
+          core::kEngineReservation, core::kEngineBatch,
+          core::kEngineLcp}) {
+        core::ExperimentSpec spec;
+        spec.engine = engine;
+        spec.trace = &trace;
+        spec.config = core::PlatformConfig::prototype_defaults();
+        spec.seed = 33;
+        specs.push_back(std::move(spec));
+    }
+    const auto serial = core::ExperimentRunner(1).run(specs);
+    const auto parallel = core::ExperimentRunner(specs.size()).run(specs);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(specs[i].engine);
+        ASSERT_TRUE(serial[i].ok) << serial[i].error;
+        ASSERT_TRUE(parallel[i].ok) << parallel[i].error;
+        test::expect_results_identical(serial[i].results,
+                                       parallel[i].results);
+    }
+}
+
 }  // namespace
 }  // namespace nbos

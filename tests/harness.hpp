@@ -10,9 +10,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
+#include "core/engine.hpp"
 #include "core/platform.hpp"
 #include "core/results.hpp"
+#include "core/runner.hpp"
 #include "sim/rng.hpp"
 #include "workload/generator.hpp"
 
@@ -61,6 +65,45 @@ run_policy(const workload::Trace& trace, core::Policy policy,
 {
     core::Platform platform(platform_config(policy, seed, fast));
     return platform.run(trace);
+}
+
+/** One (policy, seed, fast) run for run_concurrent(). */
+struct EngineRun
+{
+    core::Policy policy = core::Policy::kNotebookOS;
+    std::uint64_t seed = 17;
+    bool fast = false;
+};
+
+/** Run several experiments over one trace concurrently via the
+ *  ExperimentRunner; results come back in request order. The heavy
+ *  multi-policy fixtures use this so suite wall time tracks the slowest
+ *  engine rather than the sum. @p base carries custom scheduler or
+ *  baseline knobs shared by every run. */
+inline std::vector<core::ExperimentResults>
+run_concurrent(const workload::Trace& trace,
+               const std::vector<EngineRun>& runs,
+               const core::PlatformConfig& base =
+                   core::PlatformConfig::prototype_defaults())
+{
+    std::vector<core::ExperimentSpec> specs;
+    specs.reserve(runs.size());
+    for (const EngineRun& run : runs) {
+        core::ExperimentSpec spec;
+        spec.engine = core::engine_name(run.policy, run.fast);
+        spec.trace = &trace;
+        spec.config = base;
+        spec.seed = run.seed;
+        specs.push_back(std::move(spec));
+    }
+    auto outcomes = core::ExperimentRunner().run(specs);
+    std::vector<core::ExperimentResults> results;
+    results.reserve(outcomes.size());
+    for (core::ExperimentOutcome& outcome : outcomes) {
+        EXPECT_TRUE(outcome.ok) << outcome.engine << ": " << outcome.error;
+        results.push_back(std::move(outcome.results));
+    }
+    return results;
 }
 
 /** Assert two timeline series are bit-identical. */

@@ -35,9 +35,13 @@ run(const workload::Trace& trace, core::Policy policy,
 
 TEST(IntegrationTest, WholePlatformRunIsDeterministic)
 {
+    // The two same-seed runs execute concurrently on the
+    // ExperimentRunner — determinism must hold there too.
     const auto trace = make_trace(5);
-    const auto a = run(trace, core::Policy::kNotebookOS);
-    const auto b = run(trace, core::Policy::kNotebookOS);
+    const auto results = test::run_concurrent(
+        trace, {{core::Policy::kNotebookOS}, {core::Policy::kNotebookOS}});
+    const auto& a = results[0];
+    const auto& b = results[1];
     ASSERT_EQ(a.tasks.size(), b.tasks.size());
     for (std::size_t i = 0; i < a.tasks.size(); ++i) {
         EXPECT_EQ(a.tasks[i].exec_start, b.tasks[i].exec_start) << i;
@@ -51,8 +55,11 @@ TEST(IntegrationTest, WholePlatformRunIsDeterministic)
 TEST(IntegrationTest, DifferentSeedsChangeSchedulingNotOutcomes)
 {
     const auto trace = make_trace(6);
-    const auto a = run(trace, core::Policy::kNotebookOS, 1);
-    const auto b = run(trace, core::Policy::kNotebookOS, 2);
+    const auto results = test::run_concurrent(
+        trace,
+        {{core::Policy::kNotebookOS, 1}, {core::Policy::kNotebookOS, 2}});
+    const auto& a = results[0];
+    const auto& b = results[1];
     // All tasks complete under both seeds; only timing details differ.
     EXPECT_EQ(a.aborted_count(), 0u);
     EXPECT_EQ(b.aborted_count(), 0u);
@@ -80,12 +87,15 @@ TEST(IntegrationTest, NoPolicyBeatsTheOracle)
     const auto trace = make_trace(8);
     const double oracle_hours =
         core::oracle_gpu_series(trace).integrate_hours(0, trace.makespan);
-    for (const core::Policy policy :
-         {core::Policy::kReservation, core::Policy::kBatch,
-          core::Policy::kNotebookOS, core::Policy::kNotebookOSLCP}) {
-        const auto results = run(trace, policy);
-        EXPECT_GE(results.gpu_hours_provisioned(), 0.9 * oracle_hours)
-            << core::to_string(policy);
+    // All four policies run concurrently on the ExperimentRunner.
+    const auto results = test::run_concurrent(
+        trace, {{core::Policy::kReservation},
+                {core::Policy::kBatch},
+                {core::Policy::kNotebookOS},
+                {core::Policy::kNotebookOSLCP}});
+    for (const auto& result : results) {
+        EXPECT_GE(result.gpu_hours_provisioned(), 0.9 * oracle_hours)
+            << core::to_string(result.policy);
     }
 }
 
@@ -140,8 +150,11 @@ TEST(IntegrationTest, BillingConsistentAcrossPolicies)
 TEST(IntegrationTest, FastAndPrototypeAgreeOnCompletion)
 {
     const auto trace = make_trace(11);
-    const auto proto = run(trace, core::Policy::kNotebookOS, 17, false);
-    const auto fast = run(trace, core::Policy::kNotebookOS, 17, true);
+    const auto results = test::run_concurrent(
+        trace, {{core::Policy::kNotebookOS, 17, /*fast=*/false},
+                {core::Policy::kNotebookOS, 17, /*fast=*/true}});
+    const auto& proto = results[0];
+    const auto& fast = results[1];
     EXPECT_EQ(proto.aborted_count(), 0u);
     EXPECT_EQ(fast.aborted_count(), 0u);
     EXPECT_EQ(proto.tasks.size(), fast.tasks.size());
