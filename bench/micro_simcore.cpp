@@ -6,6 +6,8 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "metrics/percentiles.hpp"
 #include "nblang/interpreter.hpp"
 #include "sim/rng.hpp"

@@ -24,6 +24,14 @@ run_prototype_notebookos(const workload::Trace& trace,
     results.policy = Policy::kNotebookOS;
     results.trace_name = trace.name;
     results.makespan = trace.makespan;
+    // One outcome per cell task; reserving up front keeps the submit path
+    // free of reallocation (closures hold indices, not pointers, so growth
+    // is safe either way — this is purely an allocation-churn trim).
+    std::size_t total_tasks = 0;
+    for (const workload::SessionSpec& session : trace.sessions) {
+        total_tasks += session.tasks.size();
+    }
+    results.tasks.reserve(total_tasks);
 
     struct SessionState
     {

@@ -28,11 +28,16 @@ std::string
 encode_entry(const KernelLogEntry& entry)
 {
     char head[96];
-    std::snprintf(head, sizeof(head), "NBK %s %llu %d %d ",
-                  to_string(entry.kind),
-                  static_cast<unsigned long long>(entry.election),
-                  entry.replica, entry.target);
-    return std::string(head) + entry.payload;
+    const int head_len =
+        std::snprintf(head, sizeof(head), "NBK %s %llu %d %d ",
+                      to_string(entry.kind),
+                      static_cast<unsigned long long>(entry.election),
+                      entry.replica, entry.target);
+    std::string out;
+    out.reserve(static_cast<std::size_t>(head_len) + entry.payload.size());
+    out.append(head, static_cast<std::size_t>(head_len));
+    out += entry.payload;
+    return out;
 }
 
 std::optional<KernelLogEntry>

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 
 #include "nblang/token.hpp"
 
@@ -12,28 +13,28 @@ namespace {
 constexpr char kFieldSep = '\x1f';
 constexpr char kRecordSep = '\x1e';
 
-/** Strip separator bytes from user strings so records stay parseable. */
-std::string
-sanitize(const std::string& text)
+/** Append @p text to @p out, stripping separator bytes from user strings so
+ *  records stay parseable. Appends in place: deltas ride the Raft log on
+ *  every cell execution, so serialization avoids temporary strings. */
+void
+append_sanitized(std::string& out, const std::string& text)
 {
-    std::string out;
-    out.reserve(text.size());
     for (const char c : text) {
         if (c != kFieldSep && c != kRecordSep) {
             out += c;
         }
     }
-    return out;
 }
 
-std::vector<std::string>
-split(const std::string& text, char sep)
+/** Split without copying; views point into the argument's storage. */
+std::vector<std::string_view>
+split(std::string_view text, char sep)
 {
-    std::vector<std::string> parts;
+    std::vector<std::string_view> parts;
     std::size_t start = 0;
     while (start <= text.size()) {
         const std::size_t end = text.find(sep, start);
-        if (end == std::string::npos) {
+        if (end == std::string_view::npos) {
             parts.push_back(text.substr(start));
             break;
         }
@@ -66,7 +67,15 @@ StateDelta::inline_bytes() const
 std::string
 serialize_delta(const StateDelta& delta)
 {
+    std::size_t estimate = 0;
+    for (const VarRecord& var : delta.vars) {
+        estimate += var.name.size() + var.value.text.size() + 96;
+    }
+    for (const std::string& name : delta.deleted) {
+        estimate += name.size() + 2;
+    }
     std::string out;
+    out.reserve(estimate);
     for (const VarRecord& var : delta.vars) {
         char buf[96];
         std::snprintf(buf, sizeof(buf), "%d%c%.17g%c%llu%c%llu%c%d",
@@ -76,16 +85,16 @@ serialize_delta(const StateDelta& delta)
                       kFieldSep,
                       static_cast<unsigned long long>(var.value.version),
                       kFieldSep, var.is_pointer ? 1 : 0);
-        out += sanitize(var.name);
+        append_sanitized(out, var.name);
         out += kFieldSep;
         out += buf;
         out += kFieldSep;
-        out += sanitize(var.value.text);
+        append_sanitized(out, var.value.text);
         out += kRecordSep;
     }
     for (const std::string& name : delta.deleted) {
         out += "!";
-        out += sanitize(name);
+        append_sanitized(out, name);
         out += kRecordSep;
     }
     return out;
@@ -95,25 +104,29 @@ StateDelta
 deserialize_delta(const std::string& data)
 {
     StateDelta delta;
-    for (const std::string& record : split(data, kRecordSep)) {
+    // Views point into @p data; the C numeric parsers below stop at the
+    // field separator (never a valid numeric character), so parsing straight
+    // from view.data() is safe and copies nothing but names and texts.
+    for (const std::string_view record : split(data, kRecordSep)) {
         if (record.empty()) {
             continue;
         }
         if (record[0] == '!') {
-            delta.deleted.push_back(record.substr(1));
+            delta.deleted.emplace_back(record.substr(1));
             continue;
         }
         const auto fields = split(record, kFieldSep);
         if (fields.size() != 7) {
-            throw nblang::Error("malformed state record: '" + record + "'");
+            throw nblang::Error("malformed state record: '" +
+                                std::string(record) + "'");
         }
         VarRecord var;
         var.name = fields[0];
         var.value.kind =
-            static_cast<nblang::ValueKind>(std::atoi(fields[1].c_str()));
-        var.value.number = std::strtod(fields[2].c_str(), nullptr);
-        var.value.size_bytes = std::strtoull(fields[3].c_str(), nullptr, 10);
-        var.value.version = std::strtoull(fields[4].c_str(), nullptr, 10);
+            static_cast<nblang::ValueKind>(std::atoi(fields[1].data()));
+        var.value.number = std::strtod(fields[2].data(), nullptr);
+        var.value.size_bytes = std::strtoull(fields[3].data(), nullptr, 10);
+        var.value.version = std::strtoull(fields[4].data(), nullptr, 10);
         var.is_pointer = fields[5] == "1";
         var.value.text = fields[6];
         delta.vars.push_back(std::move(var));

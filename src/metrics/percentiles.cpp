@@ -7,26 +7,73 @@
 
 namespace nbos::metrics {
 
+Percentiles::Percentiles(const Percentiles& other)
+{
+    // Serialize against a concurrent lazy sort in the source.
+    const std::lock_guard<std::mutex> lock(other.sort_mutex_);
+    samples_ = other.samples_;
+    sorted_.store(other.sorted_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+}
+
+Percentiles::Percentiles(Percentiles&& other) noexcept
+{
+    const std::lock_guard<std::mutex> lock(other.sort_mutex_);
+    samples_ = std::move(other.samples_);
+    sorted_.store(other.sorted_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+}
+
+Percentiles&
+Percentiles::operator=(const Percentiles& other)
+{
+    if (this != &other) {
+        const std::lock_guard<std::mutex> lock(other.sort_mutex_);
+        samples_ = other.samples_;
+        sorted_.store(other.sorted_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    }
+    return *this;
+}
+
+Percentiles&
+Percentiles::operator=(Percentiles&& other) noexcept
+{
+    if (this != &other) {
+        const std::lock_guard<std::mutex> lock(other.sort_mutex_);
+        samples_ = std::move(other.samples_);
+        sorted_.store(other.sorted_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    }
+    return *this;
+}
+
 void
 Percentiles::add(double value)
 {
     samples_.push_back(value);
-    sorted_ = false;
+    sorted_.store(false, std::memory_order_relaxed);
 }
 
 void
 Percentiles::add_all(const std::vector<double>& values)
 {
     samples_.insert(samples_.end(), values.begin(), values.end());
-    sorted_ = false;
+    sorted_.store(false, std::memory_order_relaxed);
 }
 
 void
 Percentiles::ensure_sorted() const
 {
-    if (!sorted_) {
+    // Double-checked lazy sort: concurrent const readers previously raced on
+    // the in-place std::sort of the mutable sample buffer.
+    if (sorted_.load(std::memory_order_acquire)) {
+        return;
+    }
+    const std::lock_guard<std::mutex> lock(sort_mutex_);
+    if (!sorted_.load(std::memory_order_relaxed)) {
         std::sort(samples_.begin(), samples_.end());
-        sorted_ = true;
+        sorted_.store(true, std::memory_order_release);
     }
 }
 
@@ -62,6 +109,13 @@ Percentiles::mean() const
 double
 Percentiles::sum() const
 {
+    // Keeps the buffer's current accumulation order (sorting first would
+    // perturb floating-point rounding), but must not scan while another
+    // const reader's lazy sort is rearranging the elements.
+    if (sorted_.load(std::memory_order_acquire)) {
+        return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+    }
+    const std::lock_guard<std::mutex> lock(sort_mutex_);
     return std::accumulate(samples_.begin(), samples_.end(), 0.0);
 }
 

@@ -6,7 +6,9 @@
 #ifndef NBOS_METRICS_PERCENTILES_HPP
 #define NBOS_METRICS_PERCENTILES_HPP
 
+#include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -25,10 +27,22 @@ struct CdfPoint
  *
  * Samples are kept verbatim (experiments produce at most a few million
  * samples) and sorted lazily, so add() is O(1).
+ *
+ * Thread safety: concurrent const accessors are safe — the lazy sort is
+ * double-checked under an internal lock, so read-only aggregation (e.g.
+ * ExperimentRunner workers reporting finished results while other threads
+ * read them) cannot race. Mutating calls (add/add_all) still require
+ * external exclusion against all other access.
  */
 class Percentiles
 {
   public:
+    Percentiles() = default;
+    Percentiles(const Percentiles& other);
+    Percentiles(Percentiles&& other) noexcept;
+    Percentiles& operator=(const Percentiles& other);
+    Percentiles& operator=(Percentiles&& other) noexcept;
+
     /** Record one sample. */
     void add(double value);
 
@@ -84,7 +98,10 @@ class Percentiles
     void ensure_sorted() const;
 
     mutable std::vector<double> samples_;
-    mutable bool sorted_ = true;
+    /** Acquire/release flag: readers that observe true may use samples_
+     *  without the lock (the sorting write happened-before). */
+    mutable std::atomic<bool> sorted_{true};
+    mutable std::mutex sort_mutex_;
 };
 
 }  // namespace nbos::metrics

@@ -49,8 +49,20 @@ Network::is_registered(NodeId id) const
     return handlers_.find(id) != handlers_.end();
 }
 
+std::uint32_t
+Network::acquire_slot()
+{
+    if (free_head_ != kNoSlot) {
+        const std::uint32_t slot = free_head_;
+        free_head_ = in_flight_[slot].next_free;
+        return slot;
+    }
+    in_flight_.emplace_back();
+    return static_cast<std::uint32_t>(in_flight_.size() - 1);
+}
+
 void
-Network::send(NodeId src, NodeId dst, std::any payload)
+Network::send(NodeId src, NodeId dst, Payload payload)
 {
     ++stats_.sent;
     if (is_partitioned(src, dst)) {
@@ -62,16 +74,21 @@ Network::send(NodeId src, NodeId dst, std::any payload)
         return;
     }
     LatencyModel model = default_latency_;
-    if (const auto it = link_latency_.find({src, dst});
-        it != link_latency_.end()) {
-        model = it->second;
+    if (!link_latency_.empty()) {
+        if (const auto it = link_latency_.find({src, dst});
+            it != link_latency_.end()) {
+            model = it->second;
+        }
     }
-    Message message{src, dst, std::move(payload)};
-    simulation_.schedule_after(
-        model.sample(rng_),
-        [this, message = std::move(message)]() mutable {
-            deliver(std::move(message));
-        });
+    // Park the envelope in the in-flight slab; the delivery closure carries
+    // only {this, slot}, so it stays inside the event's inline storage.
+    const std::uint32_t slot = acquire_slot();
+    Message& message = in_flight_[slot].message;
+    message.src = src;
+    message.dst = dst;
+    message.payload = std::move(payload);
+    simulation_.schedule_after(model.sample(rng_),
+                               [this, slot] { deliver(slot); });
 }
 
 void
@@ -105,12 +122,18 @@ Network::isolate(NodeId id, bool isolated)
 bool
 Network::is_partitioned(NodeId src, NodeId dst) const
 {
-    return partitions_.count({src, dst}) > 0;
+    return !partitions_.empty() && partitions_.count({src, dst}) > 0;
 }
 
 void
-Network::deliver(Message message)
+Network::deliver(std::uint32_t slot)
 {
+    // Move the message out and recycle the slot before dispatch: the handler
+    // may send (acquiring slots) or grow the slab.
+    const Message message = std::move(in_flight_[slot].message);
+    in_flight_[slot].next_free = free_head_;
+    free_head_ = slot;
+
     const auto it = handlers_.find(message.dst);
     if (it == handlers_.end()) {
         // Endpoint disappeared (e.g. crashed replica) while in flight.

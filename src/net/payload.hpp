@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Move-only typed message envelope for the simulated network.
+ *
+ * Replaces the previous std::any payload: std::any requires
+ * copy-constructible contents and heap-allocates anything larger than a
+ * couple of words, which cost one allocation plus a type-manager round trip
+ * per message on the Raft hot path. Payload owns its contents exclusively
+ * (moves only), keeps values up to kInlineSize bytes inline, and resolves
+ * types by tag address instead of RTTI.
+ */
+#ifndef NBOS_NET_PAYLOAD_HPP
+#define NBOS_NET_PAYLOAD_HPP
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace nbos::net {
+
+namespace detail {
+
+/** Address-unique tag per payload type (ODR-merged across TUs). */
+template <typename T>
+inline constexpr char kPayloadTag = 0;
+
+}  // namespace detail
+
+/** Move-only type-erased value with inline small-buffer storage. */
+class Payload
+{
+  public:
+    /** Inline budget, sized so every Raft wire message stays heap-free. */
+    static constexpr std::size_t kInlineSize = 104;
+
+    Payload() noexcept = default;
+
+    template <typename T, typename D = std::decay_t<T>,
+              typename = std::enable_if_t<!std::is_same_v<D, Payload>>>
+    Payload(T&& value)  // NOLINT(google-explicit-constructor): senders pass
+                        // their message structs directly to Network::send.
+    {
+        static_assert(std::is_move_constructible_v<D>,
+                      "payload types must be move-constructible");
+        if constexpr (fits_inline<D>()) {
+            ::new (static_cast<void*>(storage_)) D(std::forward<T>(value));
+            ops_ = &inline_ops<D>();
+        } else {
+            *reinterpret_cast<void**>(storage_) = new D(std::forward<T>(value));
+            ops_ = &heap_ops<D>();
+        }
+    }
+
+    Payload(Payload&& other) noexcept { move_from(other); }
+
+    Payload& operator=(Payload&& other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            move_from(other);
+        }
+        return *this;
+    }
+
+    Payload(const Payload&) = delete;
+    Payload& operator=(const Payload&) = delete;
+
+    ~Payload() { reset(); }
+
+    /** True if a value is held. */
+    bool has_value() const noexcept { return ops_ != nullptr; }
+
+    /**
+     * Typed access to the held value.
+     * @return nullptr if empty or the held type is not T.
+     */
+    template <typename T>
+    const T* get() const noexcept
+    {
+        using D = std::decay_t<T>;
+        if (ops_ == nullptr || ops_->tag != &detail::kPayloadTag<D>) {
+            return nullptr;
+        }
+        return static_cast<const D*>(target());
+    }
+
+    /** Destroy the held value, if any. */
+    void reset() noexcept
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(storage_);
+            ops_ = nullptr;
+        }
+    }
+
+  private:
+    struct Ops
+    {
+        /** Move the value between storage blocks, destroying the source. */
+        void (*relocate)(void* dst_storage, void* src_storage) noexcept;
+        void (*destroy)(void* storage) noexcept;
+        const void* tag;
+        bool inline_storage;
+    };
+
+    template <typename D>
+    static constexpr bool fits_inline()
+    {
+        // Relocation must be noexcept so Payload (and Message) moves never
+        // throw while an envelope is in flight.
+        return sizeof(D) <= kInlineSize &&
+               alignof(D) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<D>;
+    }
+
+    template <typename D>
+    static const Ops& inline_ops()
+    {
+        static constexpr Ops ops{
+            [](void* dst, void* src) noexcept {
+                D* from = static_cast<D*>(src);
+                ::new (dst) D(std::move(*from));
+                from->~D();
+            },
+            [](void* storage) noexcept { static_cast<D*>(storage)->~D(); },
+            &detail::kPayloadTag<D>, true};
+        return ops;
+    }
+
+    template <typename D>
+    static const Ops& heap_ops()
+    {
+        static constexpr Ops ops{
+            [](void* dst, void* src) noexcept {
+                *static_cast<void**>(dst) = *static_cast<void**>(src);
+            },
+            [](void* storage) noexcept {
+                delete *reinterpret_cast<D**>(storage);
+            },
+            &detail::kPayloadTag<D>, false};
+        return ops;
+    }
+
+    const void* target() const noexcept
+    {
+        return ops_->inline_storage
+                   ? static_cast<const void*>(storage_)
+                   : *reinterpret_cast<void* const*>(storage_);
+    }
+
+    void move_from(Payload& other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_ != nullptr) {
+            ops_->relocate(storage_, other.storage_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    const Ops* ops_ = nullptr;
+    alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+};
+
+}  // namespace nbos::net
+
+#endif  // NBOS_NET_PAYLOAD_HPP

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <type_traits>
 
 namespace nbos::raft {
 
@@ -19,6 +20,14 @@ to_string(Role role)
     return "unknown";
 }
 
+// Every Raft wire message must fit the payload envelope's inline buffer:
+// the consensus hot path sends one envelope per heartbeat/reply and relies
+// on these sends being allocation-free.
+static_assert(sizeof(RaftMessage) <= net::Payload::kInlineSize,
+              "RaftMessage outgrew the inline payload buffer");
+static_assert(std::is_nothrow_move_constructible_v<RaftMessage>,
+              "RaftMessage must be nothrow-movable to stay inline");
+
 RaftNode::RaftNode(sim::Simulation& simulation, net::Network& network,
                    net::NodeId id, std::vector<net::NodeId> members,
                    RaftConfig config, sim::Rng rng)
@@ -27,7 +36,9 @@ RaftNode::RaftNode(sim::Simulation& simulation, net::Network& network,
       id_(id),
       config_(config),
       rng_(rng),
-      snapshot_members_(members),
+      snapshot_data_(std::make_shared<const std::string>()),
+      snapshot_members_(
+          std::make_shared<const std::vector<net::NodeId>>(members)),
       members_(std::move(members))
 {
 }
@@ -95,7 +106,7 @@ RaftNode::restart()
     if (restore_fn_) {
         // Rebuild the state machine from the snapshot point (possibly the
         // empty initial state); committed entries re-apply afterwards.
-        restore_fn_(snapshot_data_);
+        restore_fn_(*snapshot_data_);
     }
     start();
 }
@@ -118,18 +129,17 @@ RaftNode::term_at(Index index) const
     if (index < snapshot_last_index_ || index > last_log_index()) {
         return 0;
     }
-    return log_[index - snapshot_last_index_ - 1].term;
+    return log_[index - snapshot_last_index_ - 1]->term;
 }
 
 const LogEntry&
 RaftNode::entry_at(Index index) const
 {
-    assert(index > snapshot_last_index_ && index <= last_log_index());
-    return log_[index - snapshot_last_index_ - 1];
+    return *entry_ptr_at(index);
 }
 
-LogEntry&
-RaftNode::mutable_entry_at(Index index)
+const LogEntryPtr&
+RaftNode::entry_ptr_at(Index index) const
 {
     assert(index > snapshot_last_index_ && index <= last_log_index());
     return log_[index - snapshot_last_index_ - 1];
@@ -170,7 +180,7 @@ RaftNode::handle_message(const net::Message& message)
     if (!running_) {
         return;
     }
-    const auto* raft_message = std::any_cast<RaftMessage>(&message.payload);
+    const auto* raft_message = message.payload.get<RaftMessage>();
     if (raft_message == nullptr) {
         return;  // Not for us; shared endpoints filter here.
     }
@@ -345,7 +355,7 @@ RaftNode::replicate_to(net::NodeId peer)
         args.last_included_term = snapshot_last_term_;
         args.snapshot = snapshot_data_;
         args.members = snapshot_members_;
-        send(peer, args);
+        send(peer, std::move(args));
         return;
     }
     AppendEntriesArgs args;
@@ -355,12 +365,15 @@ RaftNode::replicate_to(net::NodeId peer)
     args.prev_log_term = term_at(next - 1);
     args.leader_commit = commit_index_;
     const Index last = last_log_index();
-    for (Index i = next;
-         i <= last && args.entries.size() < config_.max_entries_per_append;
-         ++i) {
-        args.entries.push_back(entry_at(i));
+    if (next <= last) {
+        const auto count = std::min<std::size_t>(
+            last - next + 1, config_.max_entries_per_append);
+        args.entries.reserve(count);
+        for (Index i = next; i < next + count; ++i) {
+            args.entries.push_back(entry_ptr_at(i));
+        }
     }
-    send(peer, args);
+    send(peer, std::move(args));
 }
 
 void
@@ -464,19 +477,19 @@ RaftNode::on_append_entries(const AppendEntriesArgs& args)
 
     Index index = effective_prev;
     for (std::size_t i = skip; i < args.entries.size(); ++i) {
-        const LogEntry& incoming = args.entries[i];
-        index = incoming.index;
+        const LogEntryPtr& incoming = args.entries[i];
+        index = incoming->index;
         if (index <= last_log_index()) {
-            if (term_at(index) == incoming.term) {
+            if (term_at(index) == incoming->term) {
                 continue;  // Already replicated.
             }
             // Conflict: truncate our uncommitted suffix.
             log_.resize(index - snapshot_last_index_ - 1);
         }
-        log_.push_back(incoming);
+        log_.push_back(incoming);  // Adopt the leader's entry by reference.
     }
     const Index last_new =
-        args.entries.empty() ? effective_prev : args.entries.back().index;
+        args.entries.empty() ? effective_prev : args.entries.back()->index;
     reply.success = true;
     reply.match_index = std::max(last_new, snapshot_last_index_);
     if (args.leader_commit > commit_index_) {
@@ -549,11 +562,11 @@ RaftNode::on_install_snapshot(const InstallSnapshotArgs& args)
     snapshot_last_term_ = args.last_included_term;
     snapshot_data_ = args.snapshot;
     snapshot_members_ = args.members;
-    members_ = args.members;
+    members_ = *args.members;
     commit_index_ = std::max(commit_index_, snapshot_last_index_);
     last_applied_ = snapshot_last_index_;
     if (restore_fn_) {
-        restore_fn_(snapshot_data_);
+        restore_fn_(*snapshot_data_);
     }
     ++stats_.snapshots_installed;
     apply_committed();
@@ -650,7 +663,8 @@ RaftNode::append_local(LogEntry entry)
 {
     entry.term = current_term_;
     entry.index = last_log_index() + 1;
-    log_.push_back(std::move(entry));
+    // Frozen from here on: followers and apply callbacks share this object.
+    log_.push_back(std::make_shared<const LogEntry>(std::move(entry)));
     for (const net::NodeId peer : members_) {
         if (peer != id_) {
             replicate_to(peer);
@@ -700,7 +714,10 @@ RaftNode::apply_committed()
 {
     while (last_applied_ < commit_index_) {
         ++last_applied_;
-        const LogEntry entry = entry_at(last_applied_);
+        // Hold a shared reference (not a deep copy): the entry stays alive
+        // even if the apply callback triggers proposals or compaction.
+        const LogEntryPtr entry_ref = entry_ptr_at(last_applied_);
+        const LogEntry& entry = *entry_ref;
         if (entry.noop) {
             // Term-opening no-op: nothing to apply.
         } else if (entry.config_change) {
@@ -741,12 +758,13 @@ RaftNode::maybe_compact()
     if (applied_retained <= config_.snapshot_threshold) {
         return;
     }
-    snapshot_data_ = snapshot_fn_();
+    snapshot_data_ = std::make_shared<const std::string>(snapshot_fn_());
     snapshot_last_term_ = term_at(last_applied_);
     const std::size_t drop = last_applied_ - snapshot_last_index_;
     log_.erase(log_.begin(), log_.begin() + static_cast<std::ptrdiff_t>(drop));
     snapshot_last_index_ = last_applied_;
-    snapshot_members_ = members_;
+    snapshot_members_ =
+        std::make_shared<const std::vector<net::NodeId>>(members_);
     ++stats_.snapshots_taken;
 }
 

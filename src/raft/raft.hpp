@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <variant>
@@ -65,6 +66,14 @@ struct LogEntry
     std::vector<net::NodeId> members;
 };
 
+/**
+ * Shared handle to one immutable log entry. Entries are frozen once
+ * appended, so leaders ship them by reference count instead of deep-copying
+ * up to max_entries_per_append payloads per AppendEntries, and followers
+ * adopt the shipped entries directly into their logs.
+ */
+using LogEntryPtr = std::shared_ptr<const LogEntry>;
+
 /** RequestVote RPC arguments (Raft §5.2). */
 struct RequestVoteArgs
 {
@@ -89,7 +98,7 @@ struct AppendEntriesArgs
     net::NodeId leader = net::kNoNode;
     Index prev_log_index = 0;
     Term prev_log_term = 0;
-    std::vector<LogEntry> entries;
+    std::vector<LogEntryPtr> entries;
     Index leader_commit = 0;
 };
 
@@ -112,9 +121,10 @@ struct InstallSnapshotArgs
     net::NodeId leader = net::kNoNode;
     Index last_included_index = 0;
     Term last_included_term = 0;
-    /** Opaque application snapshot produced by the SnapshotFn. */
-    std::string snapshot;
-    std::vector<net::NodeId> members;
+    /** Opaque application snapshot produced by the SnapshotFn; shared so
+     *  resends to lagging replicas never copy the snapshot bytes. */
+    std::shared_ptr<const std::string> snapshot;
+    std::shared_ptr<const std::vector<net::NodeId>> members;
 };
 
 /** InstallSnapshot RPC reply. */
@@ -276,7 +286,8 @@ class RaftNode
     Term term_at(Index index) const;
     /** Entry at @p index (must be retained). */
     const LogEntry& entry_at(Index index) const;
-    LogEntry& mutable_entry_at(Index index);
+    /** Shared handle to the entry at @p index (must be retained). */
+    const LogEntryPtr& entry_ptr_at(Index index) const;
     /** True if (last_term, last_index) is at least as up-to-date as ours. */
     bool log_up_to_date(Index last_index, Term last_term) const;
     bool is_member(net::NodeId node) const;
@@ -292,11 +303,11 @@ class RaftNode
     // Durable state (survives stop()/restart()).
     Term current_term_ = 0;
     net::NodeId voted_for_ = net::kNoNode;
-    std::vector<LogEntry> log_;  ///< Entries after the snapshot point.
+    std::vector<LogEntryPtr> log_;  ///< Entries after the snapshot point.
     Index snapshot_last_index_ = 0;
     Term snapshot_last_term_ = 0;
-    std::string snapshot_data_;
-    std::vector<net::NodeId> snapshot_members_;
+    std::shared_ptr<const std::string> snapshot_data_;
+    std::shared_ptr<const std::vector<net::NodeId>> snapshot_members_;
     std::vector<net::NodeId> members_;
 
     // Volatile state.

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Move-only callable used for scheduled simulation events.
+ *
+ * The event hot path (one entry per network message, timer, and scheduler
+ * tick) previously stored closures in std::function, which requires
+ * copy-constructible captures and heap-allocates anything beyond a couple of
+ * pointers. EventFn lifts both limits: captures may be move-only (message
+ * envelopes own their payloads exclusively), and closures up to kInlineSize
+ * bytes live inline, so steady-state event scheduling performs no heap
+ * allocation.
+ */
+#ifndef NBOS_SIM_EVENT_FN_HPP
+#define NBOS_SIM_EVENT_FN_HPP
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace nbos::sim {
+
+/** Move-only type-erased `void()` callable with inline small-buffer storage. */
+class EventFn
+{
+  public:
+    /** Inline capture budget; larger closures fall back to one heap node. */
+    static constexpr std::size_t kInlineSize = 64;
+
+    EventFn() noexcept = default;
+
+    template <typename F, typename D = std::decay_t<F>,
+              typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                          std::is_invocable_r_v<void, D&>>>
+    EventFn(F&& fn)  // NOLINT(google-explicit-constructor): drop-in for
+                     // std::function at every schedule_* call site.
+    {
+        if constexpr (fits_inline<D>()) {
+            ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+            ops_ = &inline_ops<D>();
+        } else {
+            *reinterpret_cast<void**>(storage_) = new D(std::forward<F>(fn));
+            ops_ = &heap_ops<D>();
+        }
+    }
+
+    EventFn(EventFn&& other) noexcept { move_from(other); }
+
+    EventFn& operator=(EventFn&& other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            move_from(other);
+        }
+        return *this;
+    }
+
+    EventFn(const EventFn&) = delete;
+    EventFn& operator=(const EventFn&) = delete;
+
+    ~EventFn() { reset(); }
+
+    /** True if a callable is held. */
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    /** Invoke the held callable (undefined if empty). */
+    void operator()() { ops_->invoke(target()); }
+
+    /** Destroy the held callable, if any. */
+    void reset() noexcept
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(storage_);
+            ops_ = nullptr;
+        }
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void* callable);
+        /** Move the callable between storage blocks, destroying the source. */
+        void (*relocate)(void* dst_storage, void* src_storage) noexcept;
+        void (*destroy)(void* storage) noexcept;
+        bool inline_storage;
+    };
+
+    template <typename F>
+    static constexpr bool fits_inline()
+    {
+        // Relocation must be noexcept so EventFn moves (and therefore event
+        // slot reuse) never throw mid-flight.
+        return sizeof(F) <= kInlineSize &&
+               alignof(F) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<F>;
+    }
+
+    template <typename F>
+    static const Ops& inline_ops()
+    {
+        static constexpr Ops ops{
+            [](void* callable) { (*static_cast<F*>(callable))(); },
+            [](void* dst, void* src) noexcept {
+                F* from = static_cast<F*>(src);
+                ::new (dst) F(std::move(*from));
+                from->~F();
+            },
+            [](void* storage) noexcept { static_cast<F*>(storage)->~F(); },
+            true};
+        return ops;
+    }
+
+    template <typename F>
+    static const Ops& heap_ops()
+    {
+        static constexpr Ops ops{
+            [](void* callable) { (*static_cast<F*>(callable))(); },
+            [](void* dst, void* src) noexcept {
+                *static_cast<void**>(dst) = *static_cast<void**>(src);
+            },
+            [](void* storage) noexcept {
+                delete *reinterpret_cast<F**>(storage);
+            },
+            false};
+        return ops;
+    }
+
+    void* target() noexcept
+    {
+        return ops_->inline_storage ? static_cast<void*>(storage_)
+                                    : *reinterpret_cast<void**>(storage_);
+    }
+
+    void move_from(EventFn& other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_ != nullptr) {
+            ops_->relocate(storage_, other.storage_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    const Ops* ops_ = nullptr;
+    alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+};
+
+}  // namespace nbos::sim
+
+#endif  // NBOS_SIM_EVENT_FN_HPP

@@ -66,8 +66,19 @@ Rng::uniform_int(std::int64_t lo, std::int64_t hi)
     if (hi <= lo) {
         return lo;
     }
-    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
-    return lo + static_cast<std::int64_t>(next_u64() % span);
+    // The span is computed in uint64_t: hi - lo in int64_t overflows (UB)
+    // for extreme ranges such as (INT64_MIN, INT64_MAX). Unsigned wraparound
+    // gives the exact span, and for every non-overflowing range the result
+    // is bit-identical to the previous signed computation, so seeded
+    // streams (and the determinism contract) are unchanged.
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+    if (span == 0) {
+        // Full 2^64-value range: every draw is in range already.
+        return static_cast<std::int64_t>(next_u64());
+    }
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                     next_u64() % span);
 }
 
 bool

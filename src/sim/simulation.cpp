@@ -1,6 +1,8 @@
 #include "sim/simulation.hpp"
 
 #include <cstdio>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace nbos::sim {
@@ -26,19 +28,58 @@ format_time(Time t)
     return buf;
 }
 
+std::uint32_t
+Simulation::acquire_slot()
+{
+    if (free_head_ != kNoSlot) {
+        const std::uint32_t slot = free_head_;
+        free_head_ = slots_[slot].next_free;
+        return slot;
+    }
+    // The arena only grows to the peak number of simultaneously pending
+    // events; kSlotBits bounds that peak at ~16M. Enforced unconditionally:
+    // overflowing would alias slot indices inside EventIds and silently
+    // corrupt cancellation.
+    if (slots_.size() >= kSlotMask) {
+        throw std::length_error("Simulation: too many pending events");
+    }
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void
+Simulation::release_slot(std::uint32_t slot)
+{
+    Slot& s = slots_[slot];
+    s.fn.reset();
+    s.id = 0;
+    s.next_free = free_head_;
+    free_head_ = slot;
+}
+
 EventId
-Simulation::schedule_at(Time t, std::function<void()> fn)
+Simulation::schedule_at(Time t, EventFn fn)
 {
     if (t < now_) {
         t = now_;
     }
-    const EventId id = next_id_++;
-    queue_.push(Event{t, id, std::move(fn)});
+    // Mirror of the slot-arena bound: a sequence past 2^40 would wrap out
+    // of its EventId bit-field and alias stale handles onto live events.
+    if (next_seq_ >> (64 - kSlotBits) != 0) {
+        throw std::length_error("Simulation: schedule sequence exhausted");
+    }
+    const std::uint32_t slot = acquire_slot();
+    const std::uint64_t seq = next_seq_++;
+    const EventId id = make_id(seq, slot);
+    slots_[slot].fn = std::move(fn);
+    slots_[slot].id = id;
+    queue_.push(Ticket{t, seq, slot});
+    ++live_;
     return id;
 }
 
 EventId
-Simulation::schedule_after(Time delay, std::function<void()> fn)
+Simulation::schedule_after(Time delay, EventFn fn)
 {
     if (delay < 0) {
         delay = 0;
@@ -49,48 +90,42 @@ Simulation::schedule_after(Time delay, std::function<void()> fn)
 bool
 Simulation::cancel(EventId id)
 {
-    if (id == 0 || id >= next_id_) {
-        return false;
+    const auto slot = static_cast<std::uint32_t>(id & kSlotMask);
+    if (id == 0 || slot >= slots_.size() || slots_[slot].id != id) {
+        return false;  // Never scheduled, already fired, or already cancelled.
     }
-    // Tombstone; the queue discards it lazily in skim_cancelled().
-    return cancelled_.insert(id).second;
+    // The queue ticket becomes a tombstone, discarded lazily when it
+    // surfaces; the slot is immediately reusable.
+    release_slot(slot);
+    --live_;
+    return true;
 }
 
-void
-Simulation::skim_cancelled()
+bool
+Simulation::run_one(Time limit)
 {
     while (!queue_.empty()) {
-        auto it = cancelled_.find(queue_.top().id);
-        if (it == cancelled_.end()) {
-            return;
+        const Ticket ticket = queue_.top();
+        Slot& slot = slots_[ticket.slot];
+        if (slot.id != make_id(ticket.seq, ticket.slot)) {
+            queue_.pop();  // Cancelled tombstone.
+            continue;
         }
-        cancelled_.erase(it);
+        if (ticket.time > limit) {
+            return false;
+        }
         queue_.pop();
+        now_ = ticket.time;
+        // Move the callback out and free the slot before invoking, so the
+        // callback may schedule or cancel events (which mutates the arena).
+        EventFn fn = std::move(slot.fn);
+        release_slot(ticket.slot);
+        --live_;
+        ++executed_;
+        fn();
+        return true;
     }
-}
-
-bool
-Simulation::empty() const
-{
-    // Count only non-cancelled events.
-    return queue_.size() == cancelled_.size();
-}
-
-bool
-Simulation::step()
-{
-    skim_cancelled();
-    if (queue_.empty()) {
-        return false;
-    }
-    // Move the callback out before popping so that the callback may schedule
-    // new events (which mutates the queue).
-    Event ev = queue_.top();
-    queue_.pop();
-    now_ = ev.time;
-    ++executed_;
-    ev.fn();
-    return true;
+    return false;
 }
 
 void
@@ -103,12 +138,7 @@ Simulation::run()
 void
 Simulation::run_until(Time t)
 {
-    while (true) {
-        skim_cancelled();
-        if (queue_.empty() || queue_.top().time > t) {
-            break;
-        }
-        step();
+    while (run_one(t)) {
     }
     if (now_ < t) {
         now_ = t;

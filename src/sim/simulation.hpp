@@ -10,11 +10,11 @@
 #define NBOS_SIM_SIMULATION_HPP
 
 #include <cstdint>
-#include <functional>
+#include <limits>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "sim/time.hpp"
 
 namespace nbos::sim {
@@ -27,6 +27,12 @@ using EventId = std::uint64_t;
  *
  * Events at equal timestamps fire in scheduling order (FIFO), which removes
  * all non-determinism from simultaneous events.
+ *
+ * Layout: callbacks live in a recycled slot arena; the priority queue holds
+ * 24-byte POD tickets (time, sequence, slot), so heap sift operations are
+ * plain memmoves instead of type-erased callable moves, and cancellation is
+ * an O(1) slot invalidation with no side allocation. This is the engine's
+ * hottest code: one ticket per simulated network message.
  */
 class Simulation
 {
@@ -43,10 +49,10 @@ class Simulation
      * Schedule @p fn at absolute time @p t (clamped to now()).
      * @return a handle usable with cancel().
      */
-    EventId schedule_at(Time t, std::function<void()> fn);
+    EventId schedule_at(Time t, EventFn fn);
 
     /** Schedule @p fn @p delay after now() (negative delays clamp to 0). */
-    EventId schedule_after(Time delay, std::function<void()> fn);
+    EventId schedule_after(Time delay, EventFn fn);
 
     /**
      * Cancel a pending event.
@@ -55,13 +61,13 @@ class Simulation
     bool cancel(EventId id);
 
     /** True if no runnable events remain. */
-    bool empty() const;
+    bool empty() const { return live_ == 0; }
 
     /**
      * Run the next event.
      * @return false if the queue was empty.
      */
-    bool step();
+    bool step() { return run_one(std::numeric_limits<Time>::max()); }
 
     /** Run events until the queue drains. */
     void run();
@@ -75,38 +81,63 @@ class Simulation
     /** Total number of events executed so far. */
     std::uint64_t events_executed() const { return executed_; }
 
-    /** Number of events currently pending (including cancelled tombstones). */
-    std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+    /** Number of events currently pending (cancelled events excluded). */
+    std::size_t pending() const { return live_; }
 
   private:
-    struct Event
+    /** Low bits of an EventId address the slot; high bits carry the
+     *  monotonically increasing schedule sequence used for FIFO
+     *  tie-breaking, so ids stay unique and ordered across slot reuse. */
+    static constexpr unsigned kSlotBits = 24;
+    static constexpr std::uint64_t kSlotMask = (1ULL << kSlotBits) - 1;
+    static constexpr std::uint32_t kNoSlot = 0xffffffffU;
+
+    struct Ticket
     {
         Time time;
-        EventId id;
-        std::function<void()> fn;
+        std::uint64_t seq;
+        std::uint32_t slot;
     };
 
-    struct EventOrder
+    struct TicketOrder
     {
-        bool operator()(const Event& a, const Event& b) const
+        bool operator()(const Ticket& a, const Ticket& b) const
         {
             // priority_queue is a max-heap; invert for earliest-first, and
-            // break timestamp ties by insertion order for determinism.
+            // break timestamp ties by schedule order for determinism.
             if (a.time != b.time) {
                 return a.time > b.time;
             }
-            return a.id > b.id;
+            return a.seq > b.seq;
         }
     };
 
-    /** Pop cancelled tombstones off the top of the queue. */
-    void skim_cancelled();
+    struct Slot
+    {
+        EventFn fn;
+        /** Full id of the occupying event; 0 when the slot is free. */
+        EventId id = 0;
+        std::uint32_t next_free = kNoSlot;
+    };
+
+    static EventId make_id(std::uint64_t seq, std::uint32_t slot)
+    {
+        return (seq << kSlotBits) | slot;
+    }
+
+    std::uint32_t acquire_slot();
+    void release_slot(std::uint32_t slot);
+
+    /** Run the next live event if its time is <= @p limit. */
+    bool run_one(Time limit);
 
     Time now_ = 0;
-    EventId next_id_ = 1;
+    std::uint64_t next_seq_ = 1;
     std::uint64_t executed_ = 0;
-    std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
-    std::unordered_set<EventId> cancelled_;
+    std::size_t live_ = 0;
+    std::vector<Slot> slots_;
+    std::uint32_t free_head_ = kNoSlot;
+    std::priority_queue<Ticket, std::vector<Ticket>, TicketOrder> queue_;
 };
 
 }  // namespace nbos::sim

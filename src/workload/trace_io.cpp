@@ -1,12 +1,27 @@
 #include "workload/trace_io.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "nblang/catalog.hpp"
 
 namespace nbos::workload {
+
+TraceParseError::TraceParseError(std::string source, std::size_t line,
+                                 std::string field,
+                                 const std::string& detail)
+    : std::runtime_error(source + ":" + std::to_string(line) + ": field '" +
+                         field + "': " + detail),
+      source_(std::move(source)),
+      line_(line),
+      field_(std::move(field))
+{
+}
 
 namespace {
 
@@ -22,6 +37,90 @@ split_csv(const std::string& line)
         fields.push_back(field);
     }
     return fields;
+}
+
+/** Parse position of one row, threaded through the field parsers so every
+ *  failure reports source/line/field. */
+struct ParseContext
+{
+    const std::string& source;
+    std::size_t line = 0;
+
+    [[noreturn]] void fail(const char* field,
+                           const std::string& detail) const
+    {
+        throw TraceParseError(source, line, field, detail);
+    }
+};
+
+std::int64_t
+parse_i64(const ParseContext& ctx, const char* field, const std::string& raw)
+{
+    try {
+        std::size_t consumed = 0;
+        const std::int64_t value = std::stoll(raw, &consumed);
+        if (consumed != raw.size()) {
+            ctx.fail(field, "trailing garbage in '" + raw + "'");
+        }
+        return value;
+    } catch (const std::invalid_argument&) {
+        ctx.fail(field, "not a number: '" + raw + "'");
+    } catch (const std::out_of_range&) {
+        ctx.fail(field, "out of range: '" + raw + "'");
+    }
+}
+
+std::uint64_t
+parse_u64(const ParseContext& ctx, const char* field, const std::string& raw)
+{
+    // std::stoull silently wraps negative input ("-1" -> 2^64-1, with
+    // leading whitespace skipped); a minus sign is never valid in these
+    // unsigned count fields, so reject it anywhere in the token and name
+    // the offending field instead of failing later with a count mismatch.
+    if (raw.find('-') != std::string::npos) {
+        ctx.fail(field, "negative count: '" + raw + "'");
+    }
+    try {
+        std::size_t consumed = 0;
+        const std::uint64_t value = std::stoull(raw, &consumed);
+        if (consumed != raw.size()) {
+            ctx.fail(field, "trailing garbage in '" + raw + "'");
+        }
+        return value;
+    } catch (const std::invalid_argument&) {
+        ctx.fail(field, "not a number: '" + raw + "'");
+    } catch (const std::out_of_range&) {
+        ctx.fail(field, "out of range: '" + raw + "'");
+    }
+}
+
+std::int32_t
+parse_i32(const ParseContext& ctx, const char* field, const std::string& raw)
+{
+    const std::int64_t value = parse_i64(ctx, field, raw);
+    if (value < std::numeric_limits<std::int32_t>::min() ||
+        value > std::numeric_limits<std::int32_t>::max()) {
+        ctx.fail(field, "out of range: '" + raw + "'");
+    }
+    return static_cast<std::int32_t>(value);
+}
+
+double
+parse_double(const ParseContext& ctx, const char* field,
+             const std::string& raw)
+{
+    try {
+        std::size_t consumed = 0;
+        const double value = std::stod(raw, &consumed);
+        if (consumed != raw.size()) {
+            ctx.fail(field, "trailing garbage in '" + raw + "'");
+        }
+        return value;
+    } catch (const std::invalid_argument&) {
+        ctx.fail(field, "not a number: '" + raw + "'");
+    } catch (const std::out_of_range&) {
+        ctx.fail(field, "out of range: '" + raw + "'");
+    }
 }
 
 /** Re-synthesize the deterministic cell code (mirrors the generator). */
@@ -101,76 +200,85 @@ save_trace_file(const Trace& trace, const std::string& path)
 }
 
 Trace
-load_trace(std::istream& in)
+load_trace(std::istream& in, const std::string& source_name)
 {
+    ParseContext ctx{source_name, 0};
     std::string line;
     if (!std::getline(in, line)) {
-        throw std::runtime_error("empty trace stream");
+        ctx.fail("header", "empty trace stream");
     }
+    ctx.line = 1;
     const auto header = split_csv(line);
     if (header.size() < 4 || header[0] != kMagic) {
-        throw std::runtime_error("bad trace header: " + line);
+        ctx.fail("header", "bad trace header: " + line);
     }
     Trace trace;
     trace.name = header[1];
-    trace.makespan = std::stoll(header[2]);
-    const auto session_count = std::stoull(header[3]);
-    trace.sessions.reserve(session_count);
+    trace.makespan = parse_i64(ctx, "makespan", header[2]);
+    const std::uint64_t session_count =
+        parse_u64(ctx, "session_count", header[3]);
+    // Reserve is only a hint: cap it so a malformed huge count surfaces as
+    // the final "session count mismatch" TraceParseError instead of
+    // length_error/bad_alloc from the allocator.
+    constexpr std::uint64_t kReserveCap = 1u << 20;
+    trace.sessions.reserve(std::min(session_count, kReserveCap));
 
     SessionSpec* current = nullptr;
     std::size_t expected_tasks = 0;
     while (std::getline(in, line)) {
+        ++ctx.line;
         if (line.empty()) {
             continue;
         }
         const auto fields = split_csv(line);
         if (fields[0] == "S") {
             if (fields.size() != 12) {
-                throw std::runtime_error("bad session row: " + line);
+                ctx.fail("session_row", "bad session row: " + line);
             }
             if (current != nullptr &&
                 current->tasks.size() != expected_tasks) {
-                throw std::runtime_error("task count mismatch in session " +
-                                         std::to_string(current->id));
+                ctx.fail("task_count", "task count mismatch in session " +
+                                           std::to_string(current->id));
             }
             SessionSpec session;
-            session.id = std::stoll(fields[1]);
-            session.start_time = std::stoll(fields[2]);
-            session.end_time = std::stoll(fields[3]);
+            session.id = parse_i64(ctx, "session_id", fields[1]);
+            session.start_time = parse_i64(ctx, "start_time", fields[2]);
+            session.end_time = parse_i64(ctx, "end_time", fields[3]);
             session.resources.millicpus =
-                static_cast<std::int32_t>(std::stol(fields[4]));
-            session.resources.memory_mb = std::stoll(fields[5]);
-            session.resources.gpus =
-                static_cast<std::int32_t>(std::stol(fields[6]));
-            session.resources.vram_gb = std::stod(fields[7]);
-            session.domain =
-                static_cast<nblang::Domain>(std::stoi(fields[8]));
+                parse_i32(ctx, "millicpus", fields[4]);
+            session.resources.memory_mb =
+                parse_i64(ctx, "memory_mb", fields[5]);
+            session.resources.gpus = parse_i32(ctx, "gpus", fields[6]);
+            session.resources.vram_gb =
+                parse_double(ctx, "vram_gb", fields[7]);
+            session.domain = static_cast<nblang::Domain>(
+                parse_i32(ctx, "domain", fields[8]));
             session.model = fields[9];
             session.dataset = fields[10];
-            expected_tasks = std::stoull(fields[11]);
+            expected_tasks = parse_u64(ctx, "task_count", fields[11]);
             trace.sessions.push_back(std::move(session));
             current = &trace.sessions.back();
         } else if (fields[0] == "T") {
             if (current == nullptr || fields.size() != 5) {
-                throw std::runtime_error("orphan/bad task row: " + line);
+                ctx.fail("task_row", "orphan/bad task row: " + line);
             }
             CellTask task;
             task.session = current->id;
-            task.seq = static_cast<std::int32_t>(std::stol(fields[1]));
-            task.submit_time = std::stoll(fields[2]);
-            task.duration = std::stoll(fields[3]);
+            task.seq = parse_i32(ctx, "seq", fields[1]);
+            task.submit_time = parse_i64(ctx, "submit_time", fields[2]);
+            task.duration = parse_i64(ctx, "duration", fields[3]);
             task.is_gpu = fields[4] == "1";
             task.code = resynthesize_code(*current, task);
             current->tasks.push_back(std::move(task));
         } else {
-            throw std::runtime_error("unknown row type: " + line);
+            ctx.fail("row_type", "unknown row type: " + line);
         }
     }
     if (current != nullptr && current->tasks.size() != expected_tasks) {
-        throw std::runtime_error("task count mismatch in final session");
+        ctx.fail("task_count", "task count mismatch in final session");
     }
     if (trace.sessions.size() != session_count) {
-        throw std::runtime_error("session count mismatch");
+        ctx.fail("session_count", "session count mismatch");
     }
     return trace;
 }
@@ -182,7 +290,7 @@ load_trace_file(const std::string& path)
     if (!in) {
         throw std::runtime_error("cannot open trace file: " + path);
     }
-    return load_trace(in);
+    return load_trace(in, path);
 }
 
 }  // namespace nbos::workload

@@ -11,12 +11,41 @@
 #ifndef NBOS_WORKLOAD_TRACE_IO_HPP
 #define NBOS_WORKLOAD_TRACE_IO_HPP
 
+#include <cstddef>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "workload/trace.hpp"
 
 namespace nbos::workload {
+
+/**
+ * Structured parse failure raised by load_trace / load_trace_file.
+ *
+ * Malformed numeric fields previously escaped as raw std::invalid_argument /
+ * std::out_of_range from the std::sto* helpers with no location at all;
+ * every malformed input now surfaces as this exception, carrying the source
+ * name (file path or "<stream>"), the 1-based line, and the offending field.
+ */
+class TraceParseError : public std::runtime_error
+{
+  public:
+    TraceParseError(std::string source, std::size_t line, std::string field,
+                    const std::string& detail);
+
+    /** File path or "<stream>" for stream input. */
+    const std::string& source() const { return source_; }
+    /** 1-based line number of the offending row. */
+    std::size_t line() const { return line_; }
+    /** Name of the field that failed to parse (may be a row description). */
+    const std::string& field() const { return field_; }
+
+  private:
+    std::string source_;
+    std::size_t line_;
+    std::string field_;
+};
 
 /** Serialize @p trace to @p out (CSV-ish, line oriented). */
 void save_trace(const Trace& trace, std::ostream& out);
@@ -26,11 +55,14 @@ bool save_trace_file(const Trace& trace, const std::string& path);
 
 /**
  * Parse a trace previously written by save_trace.
- * @throws std::runtime_error on malformed input.
+ * @param source_name label used in parse errors (defaults to "<stream>").
+ * @throws TraceParseError on malformed input.
  */
-Trace load_trace(std::istream& in);
+Trace load_trace(std::istream& in,
+                 const std::string& source_name = "<stream>");
 
-/** Load from a file. @throws std::runtime_error if unreadable. */
+/** Load from a file. @throws std::runtime_error if unreadable,
+ *  TraceParseError (with the path as source) if malformed. */
 Trace load_trace_file(const std::string& path);
 
 }  // namespace nbos::workload

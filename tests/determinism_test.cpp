@@ -9,11 +9,82 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "harness.hpp"
+#include "net/network.hpp"
+#include "raft/raft.hpp"
+#include "sim/simulation.hpp"
 
 namespace nbos {
 namespace {
+
+/** Message-level fingerprint of one Raft scenario run. */
+struct RaftMessageStats
+{
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t blocked_partition = 0;
+    std::uint64_t applied = 0;
+    std::uint64_t events = 0;
+};
+
+/**
+ * A fixed consensus scenario: a 3-node group with 5% message drops, 20
+ * proposals, and a one-second partition spell. Every message the protocol
+ * exchanges lands in these counters, so they fingerprint the full
+ * send/drop/deliver flow for a seed.
+ */
+RaftMessageStats
+run_raft_scenario(std::uint64_t seed)
+{
+    sim::Simulation simulation;
+    net::Network network(simulation, sim::Rng(seed));
+    const std::vector<net::NodeId> members{1, 2, 3};
+    std::map<net::NodeId, std::unique_ptr<raft::RaftNode>> nodes;
+    RaftMessageStats stats;
+    sim::Rng seeder(seed);
+    for (const net::NodeId id : members) {
+        auto node = std::make_unique<raft::RaftNode>(
+            simulation, network, id, members, raft::RaftConfig{},
+            sim::Rng(seeder.next_u64()));
+        node->set_apply(
+            [&stats](const raft::LogEntry&) { ++stats.applied; });
+        nodes.emplace(id, std::move(node));
+    }
+    for (auto& [id, node] : nodes) {
+        node->start();
+    }
+    network.set_drop_probability(0.05);
+    for (int i = 0; i < 20; ++i) {
+        simulation.schedule_at(
+            sim::kSecond + i * 100 * sim::kMillisecond, [&nodes, i] {
+                for (auto& [id, node] : nodes) {
+                    if (node->role() == raft::Role::kLeader) {
+                        node->propose("e" + std::to_string(i));
+                        return;
+                    }
+                }
+            });
+    }
+    simulation.schedule_at(2 * sim::kSecond, [&network] {
+        network.set_partitioned(2, 3, true);
+    });
+    simulation.schedule_at(3 * sim::kSecond, [&network] {
+        network.set_partitioned(2, 3, false);
+    });
+    simulation.run_until(5 * sim::kSecond);
+    stats.sent = network.stats().sent;
+    stats.delivered = network.stats().delivered;
+    stats.dropped = network.stats().dropped;
+    stats.blocked_partition = network.stats().blocked_partition;
+    stats.events = simulation.events_executed();
+    return stats;
+}
 
 TEST(DeterminismTest, FastEngineSameSeedBitIdentical)
 {
@@ -103,6 +174,43 @@ TEST(DeterminismTest, EnginesAgreeOnWorkloadAggregates)
     // Aborted work stays negligible on both engines for a tiny trace.
     EXPECT_LE(fast.aborted_count(), fast.tasks.size() / 10);
     EXPECT_LE(proto.aborted_count(), proto.tasks.size() / 10);
+}
+
+/**
+ * Message-stats invariant: per-seed sent/delivered/dropped counts of the
+ * fixed Raft scenario are pinned to golden values captured from the
+ * pre-envelope implementation (PR 2, std::any payloads + deep-copied log
+ * entries). The typed-envelope/shared-entry/slab-scheduler rewrite — and any
+ * future transport optimization — must reproduce the message flow exactly,
+ * not merely be self-consistent.
+ */
+TEST(DeterminismTest, RaftMessageStatsMatchPreRewriteGolden)
+{
+    const struct
+    {
+        std::uint64_t seed;
+        RaftMessageStats want;
+    } kGolden[] = {
+        {7, {524, 456, 25, 43, 60, 577}},
+        {21, {541, 514, 27, 0, 60, 633}},
+        {42, {549, 526, 23, 0, 60, 645}},
+    };
+    for (const auto& golden : kGolden) {
+        SCOPED_TRACE("seed=" + std::to_string(golden.seed));
+        const RaftMessageStats got = run_raft_scenario(golden.seed);
+        EXPECT_EQ(got.sent, golden.want.sent);
+        EXPECT_EQ(got.delivered, golden.want.delivered);
+        EXPECT_EQ(got.dropped, golden.want.dropped);
+        EXPECT_EQ(got.blocked_partition, golden.want.blocked_partition);
+        EXPECT_EQ(got.applied, golden.want.applied);
+        EXPECT_EQ(got.events, golden.want.events);
+
+        // And the scenario itself is reproducible run-to-run.
+        const RaftMessageStats again = run_raft_scenario(golden.seed);
+        EXPECT_EQ(again.sent, got.sent);
+        EXPECT_EQ(again.delivered, got.delivered);
+        EXPECT_EQ(again.events, got.events);
+    }
 }
 
 /** Extension of the contract for the concurrent ExperimentRunner: a

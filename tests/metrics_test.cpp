@@ -5,6 +5,9 @@
  */
 #include <gtest/gtest.h>
 
+#include <array>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "metrics/percentiles.hpp"
@@ -123,6 +126,52 @@ TEST(PercentilesTest, SumAndMean)
     p.add_all({2, 4, 6});
     EXPECT_DOUBLE_EQ(p.sum(), 12.0);
     EXPECT_DOUBLE_EQ(p.mean(), 4.0);
+}
+
+TEST(PercentilesTest, CopyAndMovePreserveSamples)
+{
+    Percentiles p;
+    p.add_all({3, 1, 2});
+    const Percentiles copy = p;
+    EXPECT_DOUBLE_EQ(copy.median(), 2.0);
+    const Percentiles moved = std::move(p);
+    EXPECT_DOUBLE_EQ(moved.median(), 2.0);
+    EXPECT_EQ(moved.count(), 3u);
+}
+
+/** Regression (run under TSan in CI): concurrent const accessors used to
+ *  race on the lazy in-place sort of the mutable sample buffer, which the
+ *  ExperimentRunner's thread pool made a real interleaving. */
+TEST(PercentilesTest, ConcurrentConstReadsAreRaceFree)
+{
+    Percentiles p;
+    for (int i = 5000; i > 0; --i) {
+        p.add(static_cast<double>(i));  // descending: sort has real work
+    }
+    const Percentiles& view = p;
+    constexpr int kThreads = 4;
+    std::array<double, kThreads> medians{};
+    std::array<double, kThreads> sums{};
+    std::vector<std::thread> readers;
+    readers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        readers.emplace_back([&view, &medians, &sums, t] {
+            // Mix of sorting accessors and scanning accessors: every
+            // combination must be safe concurrently.
+            medians[t] = view.percentile(50.0);
+            sums[t] = view.sum();
+            (void)view.min();
+            (void)view.max();
+            (void)view.cdf_at(2500.0);
+        });
+    }
+    for (std::thread& reader : readers) {
+        reader.join();
+    }
+    for (int t = 0; t < kThreads; ++t) {
+        EXPECT_DOUBLE_EQ(medians[t], 2500.5);
+        EXPECT_DOUBLE_EQ(sums[t], 5000.0 * 5001.0 / 2.0);
+    }
 }
 
 TEST(TimeSeriesTest, EmptyDefaults)

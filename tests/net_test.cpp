@@ -4,10 +4,13 @@
  */
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "net/network.hpp"
+#include "net/payload.hpp"
 #include "sim/simulation.hpp"
 
 namespace nbos::net {
@@ -36,7 +39,8 @@ TEST(NetworkTest, DeliversPayloadAndMetadata)
     NodeId src_seen = kNoNode;
     const NodeId a = f.network.register_node([](const Message&) {});
     const NodeId b = f.network.register_node([&](const Message& m) {
-        received = std::any_cast<std::string>(m.payload);
+        ASSERT_NE(m.payload.get<std::string>(), nullptr);
+        received = *m.payload.get<std::string>();
         src_seen = m.src;
     });
     f.network.send(a, b, std::string("hello"));
@@ -240,6 +244,56 @@ TEST(NetworkTest, StatsCountSent)
     EXPECT_EQ(f.network.stats().sent, 2u);
 }
 
+TEST(PayloadTest, TypedAccessRejectsWrongType)
+{
+    Payload p{std::string("typed")};
+    ASSERT_TRUE(p.has_value());
+    ASSERT_NE(p.get<std::string>(), nullptr);
+    EXPECT_EQ(*p.get<std::string>(), "typed");
+    EXPECT_EQ(p.get<int>(), nullptr);
+    p.reset();
+    EXPECT_FALSE(p.has_value());
+    EXPECT_EQ(p.get<std::string>(), nullptr);
+}
+
+TEST(PayloadTest, MoveTransfersOwnership)
+{
+    Payload a{std::make_unique<int>(7)};  // move-only contents are fine
+    Payload b{std::move(a)};
+    EXPECT_FALSE(a.has_value());
+    ASSERT_NE(b.get<std::unique_ptr<int>>(), nullptr);
+    EXPECT_EQ(**b.get<std::unique_ptr<int>>(), 7);
+}
+
+TEST(PayloadTest, OversizedValuesFallBackToHeap)
+{
+    struct Big
+    {
+        std::array<double, 64> values{};  // 512 bytes: beyond kInlineSize
+    };
+    Big big;
+    big.values[3] = 1.5;
+    Payload p{big};
+    Payload q{std::move(p)};
+    ASSERT_NE(q.get<Big>(), nullptr);
+    EXPECT_EQ(q.get<Big>()->values[3], 1.5);
+}
+
+TEST(NetworkTest, MoveOnlyPayloadDelivered)
+{
+    Fixture f;
+    int received = 0;
+    const NodeId a = f.network.register_node([](const Message&) {});
+    const NodeId b = f.network.register_node([&](const Message& m) {
+        const auto* box = m.payload.get<std::unique_ptr<int>>();
+        ASSERT_NE(box, nullptr);
+        received = **box;
+    });
+    f.network.send(a, b, std::make_unique<int>(41));
+    f.simulation.run();
+    EXPECT_EQ(received, 41);
+}
+
 TEST(NetworkTest, FifoPerLinkWithZeroJitter)
 {
     Fixture f;
@@ -247,7 +301,7 @@ TEST(NetworkTest, FifoPerLinkWithZeroJitter)
     std::vector<int> order;
     const NodeId a = f.network.register_node([](const Message&) {});
     const NodeId b = f.network.register_node([&](const Message& m) {
-        order.push_back(std::any_cast<int>(m.payload));
+        order.push_back(*m.payload.get<int>());
     });
     for (int i = 0; i < 10; ++i) {
         f.network.send(a, b, i);

@@ -390,6 +390,46 @@ TEST(RaftReplicationTest, CrashedFollowerCatchesUpOnRestart)
     EXPECT_EQ(follower->commit_index(), l->commit_index());
 }
 
+/** Catch-up backlogs at, below, and above max_entries_per_append: the
+ *  shipping loop's boundary must neither drop nor duplicate entries when a
+ *  batch is exactly full (regression guard for the shared-entry rewrite). */
+TEST(RaftReplicationTest, CatchUpAtMaxEntriesPerAppendBoundary)
+{
+    RaftConfig config;
+    config.max_entries_per_append = 8;
+    for (const int backlog : {7, 8, 9, 16, 17}) {
+        SCOPED_TRACE("backlog=" + std::to_string(backlog));
+        Cluster c(3, config);
+        c.run_for(kSettle);
+        RaftNode* l = c.leader();
+        ASSERT_NE(l, nullptr);
+        RaftNode* follower = nullptr;
+        for (NodeId id = 1; id <= 3; ++id) {
+            if (id != l->id()) {
+                follower = &c.node(id);
+                break;
+            }
+        }
+        ASSERT_NE(follower, nullptr);
+        follower->stop();
+        std::string expected;
+        for (int i = 0; i < backlog; ++i) {
+            const std::string payload = "b" + std::to_string(i);
+            ASSERT_TRUE(c.propose(payload));
+            expected += payload + ";";
+            c.run_for(20 * sim::kMillisecond);
+        }
+        c.run_for(kSettle);
+        follower->restart();
+        c.run_for(kSettle);
+        for (NodeId id = 1; id <= 3; ++id) {
+            EXPECT_EQ(c.state(id), expected) << "node " << id;
+        }
+        EXPECT_EQ(follower->commit_index(), l->commit_index());
+        EXPECT_EQ(follower->last_log_index(), l->last_log_index());
+    }
+}
+
 TEST(RaftReplicationTest, ClusterSurvivesOneFailureOfThree)
 {
     Cluster c(3);

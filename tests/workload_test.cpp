@@ -6,6 +6,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "nblang/interpreter.hpp"
@@ -336,6 +337,131 @@ TEST(TraceIoTest, SessionCountMismatchThrows)
     std::stringstream buffer;
     buffer << "#nbos-trace-v1,adobe,1000,2\n";
     EXPECT_THROW(load_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIoTest, GarbageNumericFieldReportsLocation)
+{
+    std::stringstream buffer;
+    buffer << "#nbos-trace-v1,adobe,1000,1\n";
+    buffer << "S,1,xyz,900,1000,2048,1,16,0,gpt2,wikitext,0\n";
+    try {
+        load_trace(buffer, "unit.csv");
+        FAIL() << "expected TraceParseError";
+    } catch (const TraceParseError& e) {
+        EXPECT_EQ(e.source(), "unit.csv");
+        EXPECT_EQ(e.line(), 2u);
+        EXPECT_EQ(e.field(), "start_time");
+        EXPECT_NE(std::string(e.what()).find("unit.csv:2"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("xyz"), std::string::npos);
+    }
+}
+
+TEST(TraceIoTest, OutOfRangeNumericFieldThrowsParseError)
+{
+    std::stringstream buffer;
+    buffer << "#nbos-trace-v1,adobe,1000,1\n";
+    // memory_mb far beyond int64: previously escaped as raw
+    // std::out_of_range from std::stoll.
+    buffer << "S,1,0,900,1000,99999999999999999999999999,1,16,0,"
+              "gpt2,wikitext,0\n";
+    try {
+        load_trace(buffer);
+        FAIL() << "expected TraceParseError";
+    } catch (const TraceParseError& e) {
+        EXPECT_EQ(e.field(), "memory_mb");
+        EXPECT_EQ(e.line(), 2u);
+    }
+}
+
+TEST(TraceIoTest, TruncatedSessionRowThrowsParseError)
+{
+    std::stringstream buffer;
+    buffer << "#nbos-trace-v1,adobe,1000,1\n";
+    buffer << "S,1,0,900\n";
+    try {
+        load_trace(buffer);
+        FAIL() << "expected TraceParseError";
+    } catch (const TraceParseError& e) {
+        EXPECT_EQ(e.field(), "session_row");
+        EXPECT_EQ(e.line(), 2u);
+    }
+}
+
+TEST(TraceIoTest, GarbageTaskFieldReportsLocation)
+{
+    std::stringstream buffer;
+    buffer << "#nbos-trace-v1,adobe,1000,1\n";
+    buffer << "S,1,0,900,1000,2048,1,16,0,gpt2,wikitext,1\n";
+    buffer << "T,0,5,12oops,1\n";
+    try {
+        load_trace(buffer);
+        FAIL() << "expected TraceParseError";
+    } catch (const TraceParseError& e) {
+        EXPECT_EQ(e.field(), "duration");
+        EXPECT_EQ(e.line(), 3u);
+    }
+}
+
+TEST(TraceIoTest, AbsurdSessionCountThrowsParseErrorNotBadAlloc)
+{
+    // The header count is attacker/corruption-controlled; it must not be
+    // fed raw into vector::reserve (length_error/bad_alloc would escape
+    // the TraceParseError contract).
+    std::stringstream buffer;
+    buffer << "#nbos-trace-v1,adobe,1000,18446744073709551615\n";
+    try {
+        load_trace(buffer);
+        FAIL() << "expected TraceParseError";
+    } catch (const TraceParseError& e) {
+        EXPECT_EQ(e.field(), "session_count");
+    }
+}
+
+TEST(TraceIoTest, NegativeCountReportsOffendingField)
+{
+    // std::stoull would wrap "-1" to 2^64-1 (skipping leading whitespace);
+    // the parser must name the field instead of failing later with a
+    // misleading count mismatch.
+    for (const char* count : {"-1", " -1"}) {
+        std::stringstream buffer;
+        buffer << "#nbos-trace-v1,adobe,1000," << count << "\n";
+        try {
+            load_trace(buffer);
+            FAIL() << "expected TraceParseError for '" << count << "'";
+        } catch (const TraceParseError& e) {
+            EXPECT_EQ(e.field(), "session_count");
+            EXPECT_EQ(e.line(), 1u);
+        }
+    }
+}
+
+TEST(TraceIoTest, GarbageHeaderCountThrowsParseError)
+{
+    std::stringstream buffer("#nbos-trace-v1,adobe,1000,many\n");
+    try {
+        load_trace(buffer);
+        FAIL() << "expected TraceParseError";
+    } catch (const TraceParseError& e) {
+        EXPECT_EQ(e.field(), "session_count");
+        EXPECT_EQ(e.line(), 1u);
+    }
+}
+
+TEST(TraceIoTest, MalformedFileReportsPathInError)
+{
+    const std::string path = "/tmp/nbos_trace_io_malformed.csv";
+    {
+        std::ofstream out(path);
+        out << "#nbos-trace-v1,adobe,bogus,0\n";
+    }
+    try {
+        load_trace_file(path);
+        FAIL() << "expected TraceParseError";
+    } catch (const TraceParseError& e) {
+        EXPECT_EQ(e.source(), path);
+        EXPECT_EQ(e.field(), "makespan");
+    }
 }
 
 TEST(TraceIoTest, FileRoundTrip)
