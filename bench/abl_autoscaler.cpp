@@ -40,6 +40,10 @@ main()
             spec.config.scheduler.autoscaler.multiplier = f;
             spec.config.scheduler.autoscaler.buffer_servers = buffer;
             spec.seed = bench::kSeed;
+            char label[32];
+            std::snprintf(label, sizeof(label), "f=%.2f buffer=%d", f,
+                          buffer);
+            spec.label = label;
             points.push_back(Point{f, buffer});
             specs.push_back(std::move(spec));
         }

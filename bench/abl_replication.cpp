@@ -33,6 +33,7 @@ main()
         spec.config = core::PlatformConfig::prototype_defaults();
         spec.config.scheduler.kernel.replica_count = replicas;
         spec.seed = bench::kSeed;
+        spec.label = "R=" + std::to_string(replicas);
         specs.push_back(std::move(spec));
     }
     const auto outcomes = bench::run_specs_or_exit(specs);

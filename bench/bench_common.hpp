@@ -19,6 +19,7 @@
 #include "core/platform.hpp"
 #include "core/results.hpp"
 #include "core/runner.hpp"
+#include "core/seed_sweep.hpp"
 #include "workload/generator.hpp"
 
 namespace nbos::bench {
@@ -85,15 +86,34 @@ summer_trace()
     return generator.adobe_summer_90d();
 }
 
-/** Engine filter (`NBOS_BENCH_POLICIES=notebookos,batch`): when set, the
- *  run_policy/run_policies helpers skip engines whose registry name and
- *  policy name are both absent from the comma-separated list, so a bench
- *  binary reruns only the engines under study. */
-inline bool
-engine_enabled(const std::string& engine,
-               const std::string& policy_name = {})
+/** Seed count for statistical sweeps (`NBOS_BENCH_SEEDS=N`): when N > 1,
+ *  run_policies / run_specs_or_exit fan every experiment out over N
+ *  consecutive seeds and print a `mean ± ci95` summary table in addition
+ *  to the usual single-seed figures (which keep using the first seed, so
+ *  they stay byte-identical). Unset, empty, or unparsable values mean 1;
+ *  the count is clamped to [1, 64]. */
+inline std::size_t
+bench_seeds()
 {
-    const char* filter = std::getenv("NBOS_BENCH_POLICIES");
+    const char* raw = std::getenv("NBOS_BENCH_SEEDS");
+    if (raw == nullptr || raw[0] == '\0') {
+        return 1;
+    }
+    char* end = nullptr;
+    const long parsed = std::strtol(raw, &end, 10);
+    if (end == raw || *end != '\0' || parsed < 1) {
+        return 1;
+    }
+    return parsed > 64 ? 64 : static_cast<std::size_t>(parsed);
+}
+
+/** Pure core of the NBOS_BENCH_POLICIES filter (testable without touching
+ *  the environment): true when @p filter is null/empty or one of its
+ *  comma-separated tokens equals the engine name or the policy name. */
+inline bool
+policy_filter_allows(const char* filter, const std::string& engine,
+                     const std::string& policy_name = {})
+{
     if (filter == nullptr || filter[0] == '\0') {
         return true;
     }
@@ -111,6 +131,18 @@ engine_enabled(const std::string& engine,
     return false;
 }
 
+/** Engine filter (`NBOS_BENCH_POLICIES=notebookos,batch`): when set, the
+ *  run_policy/run_policies helpers skip engines whose registry name and
+ *  policy name are both absent from the comma-separated list, so a bench
+ *  binary reruns only the engines under study. */
+inline bool
+engine_enabled(const std::string& engine,
+               const std::string& policy_name = {})
+{
+    return policy_filter_allows(std::getenv("NBOS_BENCH_POLICIES"), engine,
+                                policy_name);
+}
+
 /** One canonical-settings policy run for run_policies(). Field order
  *  matches test::EngineRun (policy, seed, fast) so positional
  *  initializers mean the same thing in both; call sites setting `fast`
@@ -122,18 +154,114 @@ struct PolicyRun
     bool fast = false;
 };
 
+/** One run_policies() row: the single-seed results the figure tables
+ *  print, plus an explicit skip marker. A row filtered out by
+ *  NBOS_BENCH_POLICIES keeps its identifying fields (policy, trace) but
+ *  holds no samples — the flag is what distinguishes it from a real
+ *  all-zero run. */
+struct PolicyResult : core::ExperimentResults
+{
+    bool skipped = false;
+};
+
+inline void banner(const std::string& title);
+
+/** Print one sweep aggregate's per-metric `mean ± ci95` block. */
+inline void
+print_sweep_aggregate(const core::SweepAggregate& aggregate)
+{
+    std::printf("# engine=%s seeds=%llu..%llu n=%zu\n",
+                aggregate.label.c_str(),
+                static_cast<unsigned long long>(aggregate.seeds.front()),
+                static_cast<unsigned long long>(aggregate.seeds.back()),
+                aggregate.seeds.size());
+    std::printf("%-24s %14s %12s %12s %12s %12s\n", "metric", "mean",
+                "ci95", "stddev", "min", "max");
+    for (const core::MetricSummary& metric : aggregate.metrics) {
+        const metrics::Summary& s = metric.summary;
+        std::printf("%-24s %14.4f %12.4f %12.4f %12.4f %12.4f\n",
+                    metric.name.c_str(), s.mean, s.ci95, s.stddev, s.min,
+                    s.max);
+    }
+}
+
+/** Print the statistical summary of a multi-seed sweep (one block per
+ *  swept experiment). Emitted by run_policies / run_specs_or_exit when
+ *  NBOS_BENCH_SEEDS > 1, ahead of the usual single-seed figures. */
+inline void
+print_sweep_summary(const std::vector<core::SweepOutcome>& sweeps,
+                    std::size_t seeds)
+{
+    if (sweeps.empty()) {
+        return;
+    }
+    banner("Seed sweep: mean +/- ci95 over " + std::to_string(seeds) +
+           " seeds (NBOS_BENCH_SEEDS)");
+    for (const core::SweepOutcome& sweep : sweeps) {
+        print_sweep_aggregate(sweep.aggregate);
+    }
+}
+
+/** Run every spec through a seed sweep (seeds first..first+n-1 derived
+ *  from each spec's own seed) or die. @return the base-seed outcome per
+ *  spec, in spec order — identical to what a single-seed run returns. */
+inline std::vector<core::ExperimentOutcome>
+run_sweeps_or_exit(const std::vector<core::ExperimentSpec>& specs,
+                   std::size_t seeds)
+{
+    std::vector<core::SweepSpec> sweeps;
+    sweeps.reserve(specs.size());
+    for (const core::ExperimentSpec& spec : specs) {
+        core::SweepSpec sweep;
+        sweep.base = spec;
+        sweep.seeds = core::seed_range(spec.seed, seeds);
+        sweeps.push_back(std::move(sweep));
+    }
+    auto sweep_outcomes = core::SeedSweep().run(sweeps);
+    for (const core::SweepOutcome& outcome : sweep_outcomes) {
+        if (!outcome.ok) {
+            const std::string& label = sweeps[outcome.index].base.label;
+            std::fprintf(stderr, "[bench] sweep %s failed: %s\n",
+                         label.empty()
+                             ? sweeps[outcome.index].base.engine.c_str()
+                             : label.c_str(),
+                         outcome.error.c_str());
+            std::exit(1);
+        }
+    }
+    print_sweep_summary(sweep_outcomes, seeds);
+    std::vector<core::ExperimentOutcome> outcomes(specs.size());
+    for (std::size_t j = 0; j < specs.size(); ++j) {
+        outcomes[j].index = j;
+        outcomes[j].engine = specs[j].engine;
+        outcomes[j].label = specs[j].label.empty() ? specs[j].engine
+                                                   : specs[j].label;
+        outcomes[j].ok = true;
+        // The first sweep seed is the spec's own seed, so this is exactly
+        // the single-seed result the figure tables always printed.
+        outcomes[j].results =
+            std::move(sweep_outcomes[j].per_seed.front());
+    }
+    return outcomes;
+}
+
 /** Run the requested policies concurrently on the ExperimentRunner.
  *  Results come back in request order, so tables printed from them are
  *  byte-identical to the pre-runner serial runs. Engines disabled by
- *  NBOS_BENCH_POLICIES are not executed and yield empty (all-zero)
- *  results; a note goes to stderr. */
-inline std::vector<core::ExperimentResults>
+ *  NBOS_BENCH_POLICIES are not executed: their rows carry
+ *  PolicyResult::skipped, a note goes to stderr, and the skipped names
+ *  are listed on stdout so tables with zero rows are not mistaken for
+ *  real measurements. With NBOS_BENCH_SEEDS=N (N > 1) every enabled
+ *  policy is swept over N seeds and a mean ± ci95 summary is printed
+ *  first. */
+inline std::vector<PolicyResult>
 run_policies(const workload::Trace& trace,
              const std::vector<PolicyRun>& runs)
 {
-    std::vector<core::ExperimentResults> results(runs.size());
+    std::vector<PolicyResult> results(runs.size());
     std::vector<core::ExperimentSpec> specs;
     std::vector<std::size_t> positions;
+    std::vector<std::string> skipped;
     for (std::size_t i = 0; i < runs.size(); ++i) {
         const char* engine =
             core::engine_name(runs[i].policy, runs[i].fast);
@@ -141,6 +269,8 @@ run_policies(const workload::Trace& trace,
         results[i].trace_name = trace.name;
         results[i].makespan = trace.makespan;
         if (!engine_enabled(engine, core::to_string(runs[i].policy))) {
+            results[i].skipped = true;
+            skipped.emplace_back(engine);
             std::fprintf(stderr,
                          "[bench] skipping engine %s (NBOS_BENCH_POLICIES)\n",
                          engine);
@@ -154,7 +284,9 @@ run_policies(const workload::Trace& trace,
         specs.push_back(std::move(spec));
         positions.push_back(i);
     }
-    auto outcomes = core::ExperimentRunner().run(specs);
+    const std::size_t seeds = bench_seeds();
+    auto outcomes = seeds > 1 ? run_sweeps_or_exit(specs, seeds)
+                              : core::ExperimentRunner().run(specs);
     for (std::size_t j = 0; j < outcomes.size(); ++j) {
         if (!outcomes[j].ok) {
             std::fprintf(stderr, "[bench] engine %s failed: %s\n",
@@ -162,7 +294,15 @@ run_policies(const workload::Trace& trace,
                          outcomes[j].error.c_str());
             std::exit(1);
         }
-        results[positions[j]] = std::move(outcomes[j].results);
+        static_cast<core::ExperimentResults&>(results[positions[j]]) =
+            std::move(outcomes[j].results);
+    }
+    if (!skipped.empty()) {
+        std::printf("# skipped engines (NBOS_BENCH_POLICIES):");
+        for (const std::string& name : skipped) {
+            std::printf(" %s", name.c_str());
+        }
+        std::printf("\n");
     }
     return results;
 }
@@ -174,14 +314,22 @@ run_policy(core::Policy policy, const workload::Trace& trace,
 {
     auto results =
         run_policies(trace, {PolicyRun{policy, kSeed, fast_mode}});
-    return std::move(results.front());
+    return std::move(static_cast<core::ExperimentResults&>(
+        results.front()));
 }
 
 /** Print the sweep's outcomes or die: shared guard for benches that
- *  drive the ExperimentRunner directly with custom configs. */
+ *  drive the ExperimentRunner directly with custom configs. With
+ *  NBOS_BENCH_SEEDS=N (N > 1) every spec is additionally swept over N
+ *  seeds (mean ± ci95 summary printed first); the returned outcomes are
+ *  always the base-seed runs. */
 inline std::vector<core::ExperimentOutcome>
 run_specs_or_exit(const std::vector<core::ExperimentSpec>& specs)
 {
+    const std::size_t seeds = bench_seeds();
+    if (seeds > 1) {
+        return run_sweeps_or_exit(specs, seeds);
+    }
     auto outcomes = core::ExperimentRunner().run(specs);
     for (const core::ExperimentOutcome& outcome : outcomes) {
         if (!outcome.ok) {

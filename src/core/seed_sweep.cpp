@@ -1,0 +1,125 @@
+#include "core/seed_sweep.hpp"
+
+#include <utility>
+
+namespace nbos::core {
+
+std::vector<MetricValue>
+sweep_metrics(const ExperimentResults& results)
+{
+    const auto delays = results.interactivity_delays_seconds();
+    const auto tct = results.tct_ms();
+    const std::size_t aborted = results.aborted_count();
+    return {
+        {"gpu_hours_provisioned", results.gpu_hours_provisioned()},
+        {"gpu_hours_committed", results.gpu_hours_committed()},
+        {"interactivity_p50_s", delays.percentile(50.0)},
+        {"interactivity_p99_s", delays.percentile(99.0)},
+        {"tct_p50_ms", tct.percentile(50.0)},
+        {"tct_p99_ms", tct.percentile(99.0)},
+        {"sync_p50_ms", results.sync_ms.percentile(50.0)},
+        {"tasks_completed",
+         static_cast<double>(results.tasks.size() - aborted)},
+        {"tasks_aborted", static_cast<double>(aborted)},
+        {"migrations",
+         static_cast<double>(results.sched_stats.migrations)},
+        {"scale_outs",
+         static_cast<double>(results.sched_stats.scale_outs)},
+        {"store_mb_written",
+         static_cast<double>(results.store_bytes_written) /
+             (1024.0 * 1024.0)},
+    };
+}
+
+std::vector<std::uint64_t>
+seed_range(std::uint64_t first, std::size_t count)
+{
+    std::vector<std::uint64_t> seeds;
+    seeds.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        seeds.push_back(first + i);
+    }
+    return seeds;
+}
+
+SweepAggregate
+fold_sweep(std::string engine, std::string label,
+           std::vector<std::uint64_t> seeds,
+           const std::vector<ExperimentResults>& per_seed)
+{
+    SweepAggregate aggregate;
+    aggregate.engine = std::move(engine);
+    aggregate.label = std::move(label);
+    aggregate.seeds = std::move(seeds);
+    std::vector<metrics::RunStats> stats;
+    // Deterministic fold: walk results in seed order, so the aggregate is
+    // bit-identical no matter how the runner interleaved the runs.
+    for (const ExperimentResults& results : per_seed) {
+        const std::vector<MetricValue> values = sweep_metrics(results);
+        if (stats.empty()) {
+            stats.resize(values.size());
+            aggregate.metrics.resize(values.size());
+            for (std::size_t m = 0; m < values.size(); ++m) {
+                aggregate.metrics[m].name = values[m].name;
+            }
+        }
+        for (std::size_t m = 0; m < values.size(); ++m) {
+            stats[m].add(values[m].value);
+        }
+    }
+    for (std::size_t m = 0; m < stats.size(); ++m) {
+        aggregate.metrics[m].summary = stats[m].summary();
+    }
+    return aggregate;
+}
+
+std::vector<SweepOutcome>
+SeedSweep::run(const std::vector<SweepSpec>& sweeps) const
+{
+    // Flatten every (sweep, seed) pair into one runner batch so seeds of
+    // different sweeps share the thread pool.
+    std::vector<ExperimentSpec> specs;
+    for (const SweepSpec& sweep : sweeps) {
+        for (const std::uint64_t seed : sweep.seeds) {
+            ExperimentSpec spec = sweep.base;
+            spec.seed = seed;
+            specs.push_back(std::move(spec));
+        }
+    }
+    std::vector<ExperimentOutcome> outcomes = runner_.run(specs);
+
+    std::vector<SweepOutcome> results(sweeps.size());
+    std::size_t cursor = 0;
+    for (std::size_t i = 0; i < sweeps.size(); ++i) {
+        const SweepSpec& sweep = sweeps[i];
+        SweepOutcome& result = results[i];
+        result.index = i;
+        if (sweep.seeds.empty()) {
+            result.error = "sweep has no seeds";
+            continue;
+        }
+        result.ok = true;
+        result.per_seed.reserve(sweep.seeds.size());
+        for (const std::uint64_t seed : sweep.seeds) {
+            ExperimentOutcome& outcome = outcomes[cursor++];
+            if (!outcome.ok && result.ok) {
+                result.ok = false;
+                result.error = "seed " + std::to_string(seed) + ": " +
+                               outcome.error;
+            }
+            result.per_seed.push_back(std::move(outcome.results));
+        }
+        if (!result.ok) {
+            result.per_seed.clear();
+            continue;
+        }
+        const std::string& label = sweep.base.label.empty()
+                                       ? sweep.base.engine
+                                       : sweep.base.label;
+        result.aggregate = fold_sweep(sweep.base.engine, label,
+                                      sweep.seeds, result.per_seed);
+    }
+    return results;
+}
+
+}  // namespace nbos::core

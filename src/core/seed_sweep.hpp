@@ -1,0 +1,115 @@
+/**
+ * @file
+ * SeedSweep: fan an ExperimentSpec out over N seeds on the
+ * ExperimentRunner thread pool and fold the per-seed results into
+ * mean ± ci95 summaries of the canonical scalar metrics.
+ *
+ * Each seed is one independent engine run, so an N-seed sweep finishes in
+ * the wall-clock time of its slowest seed. The fold always walks results
+ * in seed order (the runner returns outcomes in spec order regardless of
+ * completion order), so a sweep aggregate is bit-identical between serial
+ * and thread-pool execution — `determinism_test` pins this.
+ */
+#ifndef NBOS_CORE_SEED_SWEEP_HPP
+#define NBOS_CORE_SEED_SWEEP_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "metrics/stats.hpp"
+
+namespace nbos::core {
+
+/** One named scalar metric extracted from an ExperimentResults. */
+struct MetricValue
+{
+    const char* name = "";
+    double value = 0.0;
+};
+
+/**
+ * The canonical per-run scalars a sweep folds, in a fixed order (GPU
+ * hours, latency percentiles, task/scheduler counters, store traffic).
+ * Metrics an engine does not produce (e.g. sync latency on baselines)
+ * come back as 0 — constant across seeds, so their CI is 0 too.
+ */
+std::vector<MetricValue> sweep_metrics(const ExperimentResults& results);
+
+/** Consecutive seeds {first, first+1, ..., first+count-1}. */
+std::vector<std::uint64_t> seed_range(std::uint64_t first,
+                                      std::size_t count);
+
+/** One sweep: a base spec fanned out over @ref seeds. base.seed is
+ *  ignored — every run's seed comes from the seeds list. */
+struct SweepSpec
+{
+    ExperimentSpec base;
+    std::vector<std::uint64_t> seeds;
+};
+
+/** Summary of one metric across the sweep's seeds. */
+struct MetricSummary
+{
+    std::string name;
+    metrics::Summary summary;
+};
+
+/** Per-metric statistics of one sweep, folded in seed order. */
+struct SweepAggregate
+{
+    std::string engine;
+    std::string label;
+    std::vector<std::uint64_t> seeds;
+    /** One entry per sweep_metrics() metric, in that fixed order. */
+    std::vector<MetricSummary> metrics;
+};
+
+/** Outcome of one SweepSpec: aggregate + per-seed results on success. */
+struct SweepOutcome
+{
+    std::size_t index = 0;  ///< Position in the submitted batch.
+    bool ok = false;
+    /** First failing seed's error when !ok. */
+    std::string error;
+    SweepAggregate aggregate;
+    /** Full per-seed results, in seeds order. */
+    std::vector<ExperimentResults> per_seed;
+};
+
+/**
+ * Fold per-seed results (already in seeds order) into a SweepAggregate.
+ * Exposed separately so tests can pin fold behaviour without running
+ * engines.
+ */
+SweepAggregate
+fold_sweep(std::string engine, std::string label,
+           std::vector<std::uint64_t> seeds,
+           const std::vector<ExperimentResults>& per_seed);
+
+/** Executes seed sweeps concurrently on an ExperimentRunner. */
+class SeedSweep
+{
+  public:
+    /** @param threads runner worker count; 0 picks hardware concurrency. */
+    explicit SeedSweep(std::size_t threads = 0) : runner_(threads) {}
+
+    /**
+     * Execute every (sweep, seed) pair in one runner batch and block
+     * until all are done.
+     * @return one outcome per sweep, in sweep order. A sweep with no
+     *         seeds, or any failing seed run, reports ok=false.
+     */
+    std::vector<SweepOutcome>
+    run(const std::vector<SweepSpec>& sweeps) const;
+
+    const ExperimentRunner& runner() const { return runner_; }
+
+  private:
+    ExperimentRunner runner_;
+};
+
+}  // namespace nbos::core
+
+#endif  // NBOS_CORE_SEED_SWEEP_HPP

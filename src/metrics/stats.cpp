@@ -1,0 +1,126 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace nbos::metrics {
+
+void
+RunStats::add(double value)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+}
+
+void
+RunStats::merge(const RunStats& other)
+{
+    if (other.count_ == 0) {
+        return;
+    }
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+RunStats::variance() const
+{
+    if (count_ < 2) {
+        return 0.0;
+    }
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunStats::ci95_half_width() const
+{
+    if (count_ < 2) {
+        return 0.0;
+    }
+    return student_t95(count_ - 1) * stddev() /
+           std::sqrt(static_cast<double>(count_));
+}
+
+Summary
+RunStats::summary() const
+{
+    Summary out;
+    out.count = count_;
+    out.mean = mean();
+    out.stddev = stddev();
+    out.min = min();
+    out.max = max();
+    out.ci95 = ci95_half_width();
+    return out;
+}
+
+double
+student_t95(std::size_t dof)
+{
+    // Two-sided 95 % (i.e. 0.975 quantile) critical values, dof 1..30.
+    static constexpr std::array<double, 30> kTable = {
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+        2.228,  2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+        2.093,  2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+        2.048,  2.045, 2.042,
+    };
+    if (dof == 0) {
+        return 0.0;
+    }
+    if (dof <= kTable.size()) {
+        return kTable[dof - 1];
+    }
+    // Above the table: interpolate linearly in 1/dof through the standard
+    // 40/60/120 anchors, ending at the normal limit 1.960.
+    struct Anchor
+    {
+        double inv_dof;
+        double value;
+    };
+    static constexpr std::array<Anchor, 5> kAnchors = {{
+        {1.0 / 30.0, 2.042},
+        {1.0 / 40.0, 2.021},
+        {1.0 / 60.0, 2.000},
+        {1.0 / 120.0, 1.980},
+        {0.0, 1.960},
+    }};
+    const double x = 1.0 / static_cast<double>(dof);
+    for (std::size_t i = 1; i < kAnchors.size(); ++i) {
+        if (x >= kAnchors[i].inv_dof) {
+            const Anchor& hi = kAnchors[i - 1];
+            const Anchor& lo = kAnchors[i];
+            const double t = (x - lo.inv_dof) / (hi.inv_dof - lo.inv_dof);
+            return lo.value + t * (hi.value - lo.value);
+        }
+    }
+    return 1.960;
+}
+
+}  // namespace nbos::metrics

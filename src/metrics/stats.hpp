@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Repeated-trial statistics for multi-seed experiment sweeps: a streaming
+ * accumulator (mean / stddev / min / max over per-seed scalar metrics) and
+ * Student-t 95 % confidence intervals, so benches can report `mean ± ci95`
+ * instead of single-seed point estimates.
+ */
+#ifndef NBOS_METRICS_STATS_HPP
+#define NBOS_METRICS_STATS_HPP
+
+#include <cstddef>
+
+namespace nbos::metrics {
+
+/** Snapshot of a RunStats accumulator, ready for table printing. */
+struct Summary
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    /** Sample standard deviation (n-1 denominator; 0 when count < 2). */
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    /** Half-width of the two-sided Student-t 95 % confidence interval of
+     *  the mean: t(count-1) * stddev / sqrt(count); 0 when count < 2. */
+    double ci95 = 0.0;
+};
+
+/**
+ * Streaming accumulator over repeated-trial scalars (one value per seed).
+ *
+ * Uses Welford's online algorithm, so add() is O(1) and numerically
+ * stable for the sample counts sweeps produce. Accumulation order is
+ * observable at the last floating-point bit (as with any fp summation);
+ * callers that need bit-identical aggregates must fold in a fixed order —
+ * core::SeedSweep folds in seed order for exactly this reason.
+ */
+class RunStats
+{
+  public:
+    /** Record one per-trial value. */
+    void add(double value);
+
+    /** Fold @p other into this accumulator (Chan's parallel merge). */
+    void merge(const RunStats& other);
+
+    /** Number of recorded trials. */
+    std::size_t count() const { return count_; }
+
+    bool empty() const { return count_ == 0; }
+
+    /** Arithmetic mean (0 if empty). */
+    double mean() const { return mean_; }
+
+    /** Sample variance, n-1 denominator (0 when count < 2). */
+    double variance() const;
+
+    /** Sample standard deviation (0 when count < 2). */
+    double stddev() const;
+
+    /** Smallest recorded value (0 if empty). */
+    double min() const { return count_ == 0 ? 0.0 : min_; }
+
+    /** Largest recorded value (0 if empty). */
+    double max() const { return count_ == 0 ? 0.0 : max_; }
+
+    /** Sum of all recorded values. */
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+    /** Student-t 95 % confidence half-width of the mean (0 if count < 2). */
+    double ci95_half_width() const;
+
+    /** Snapshot every statistic at once. */
+    Summary summary() const;
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    /** Sum of squared deviations from the running mean (Welford M2). */
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Two-sided Student-t critical value at 95 % confidence for @p dof
+ * degrees of freedom. Exact table for dof 1..30; linear interpolation in
+ * 1/dof through the 40/60/120 anchors above that, converging to the
+ * normal 1.960 as dof grows. @p dof 0 returns 0 (undefined interval).
+ */
+double student_t95(std::size_t dof);
+
+}  // namespace nbos::metrics
+
+#endif  // NBOS_METRICS_STATS_HPP

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the shared bench helpers (bench/bench_common.hpp): the
+ * NBOS_BENCH_POLICIES filter, explicit skip marking in run_policies, and
+ * NBOS_BENCH_SEEDS parsing. The bench layer is plain inline helpers, so
+ * the suite includes it directly.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "bench_common.hpp"
+#include "harness.hpp"
+
+namespace nbos::bench {
+namespace {
+
+/** Scoped environment variable: sets on construction, restores the
+ *  previous value (or unsets) on destruction, so suites stay isolated. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char* name, const char* value) : name_(name)
+    {
+        const char* previous = std::getenv(name);
+        had_previous_ = previous != nullptr;
+        if (had_previous_) {
+            previous_ = previous;
+        }
+        if (value != nullptr) {
+            ::setenv(name, value, 1);
+        } else {
+            ::unsetenv(name);
+        }
+    }
+
+    ~ScopedEnv()
+    {
+        if (had_previous_) {
+            ::setenv(name_.c_str(), previous_.c_str(), 1);
+        } else {
+            ::unsetenv(name_.c_str());
+        }
+    }
+
+    ScopedEnv(const ScopedEnv&) = delete;
+    ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+  private:
+    std::string name_;
+    std::string previous_;
+    bool had_previous_ = false;
+};
+
+TEST(PolicyFilterTest, EmptyFilterAllowsEverything)
+{
+    EXPECT_TRUE(policy_filter_allows(nullptr, "notebookos-fast"));
+    EXPECT_TRUE(policy_filter_allows("", "reservation"));
+}
+
+TEST(PolicyFilterTest, MatchesEngineName)
+{
+    EXPECT_TRUE(policy_filter_allows("notebookos-fast", "notebookos-fast"));
+    EXPECT_FALSE(policy_filter_allows("notebookos-fast", "reservation"));
+}
+
+TEST(PolicyFilterTest, MatchesPolicyNameForBothEngines)
+{
+    // "notebookos" is the policy name shared by the prototype and fast
+    // engines: the token must enable both.
+    EXPECT_TRUE(
+        policy_filter_allows("notebookos", "notebookos", "notebookos"));
+    EXPECT_TRUE(policy_filter_allows("notebookos", "notebookos-fast",
+                                     "notebookos"));
+    EXPECT_FALSE(policy_filter_allows("notebookos", "batch", "batch"));
+}
+
+TEST(PolicyFilterTest, TrimsWhitespaceAroundTokens)
+{
+    EXPECT_TRUE(policy_filter_allows(" batch ,\treservation", "batch"));
+    EXPECT_TRUE(
+        policy_filter_allows(" batch ,\treservation ", "reservation"));
+    EXPECT_FALSE(policy_filter_allows(" batch , reservation ", "bat"));
+}
+
+TEST(PolicyFilterTest, UnknownTokensMatchNothing)
+{
+    EXPECT_FALSE(policy_filter_allows("nope,also-nope", "notebookos",
+                                      "notebookos"));
+}
+
+TEST(BenchSeedsTest, ParsesAndClampsEnvironment)
+{
+    {
+        const ScopedEnv env("NBOS_BENCH_SEEDS", nullptr);
+        EXPECT_EQ(bench_seeds(), 1u);
+    }
+    {
+        const ScopedEnv env("NBOS_BENCH_SEEDS", "8");
+        EXPECT_EQ(bench_seeds(), 8u);
+    }
+    {
+        const ScopedEnv env("NBOS_BENCH_SEEDS", "1");
+        EXPECT_EQ(bench_seeds(), 1u);
+    }
+    // Garbage, zero, and negative values fall back to single-seed.
+    for (const char* bad : {"", "0", "-3", "abc", "8x"}) {
+        const ScopedEnv env("NBOS_BENCH_SEEDS", bad);
+        EXPECT_EQ(bench_seeds(), 1u) << "value '" << bad << "'";
+    }
+    {
+        const ScopedEnv env("NBOS_BENCH_SEEDS", "9999");
+        EXPECT_EQ(bench_seeds(), 64u);
+    }
+}
+
+TEST(RunPoliciesTest, FilteredEnginesAreExplicitlyMarkedSkipped)
+{
+    const ScopedEnv filter("NBOS_BENCH_POLICIES", "reservation");
+    const ScopedEnv seeds("NBOS_BENCH_SEEDS", nullptr);
+    const auto trace = test::tiny_trace();
+    const auto results = run_policies(
+        trace, {{core::Policy::kReservation}, {core::Policy::kBatch}});
+    ASSERT_EQ(results.size(), 2u);
+
+    EXPECT_FALSE(results[0].skipped);
+    EXPECT_FALSE(results[0].tasks.empty());
+
+    // The skipped row is explicit — not an all-zero run masquerading as a
+    // measurement — and keeps its identifying fields.
+    EXPECT_TRUE(results[1].skipped);
+    EXPECT_TRUE(results[1].tasks.empty());
+    EXPECT_EQ(results[1].policy, core::Policy::kBatch);
+    EXPECT_EQ(results[1].trace_name, trace.name);
+    EXPECT_EQ(results[1].makespan, trace.makespan);
+}
+
+TEST(RunPoliciesTest, NoFilterRunsEverythingUnskipped)
+{
+    const ScopedEnv filter("NBOS_BENCH_POLICIES", nullptr);
+    const ScopedEnv seeds("NBOS_BENCH_SEEDS", nullptr);
+    const auto trace = test::tiny_trace();
+    const auto results = run_policies(
+        trace, {{core::Policy::kReservation}, {core::Policy::kBatch}});
+    ASSERT_EQ(results.size(), 2u);
+    for (const PolicyResult& result : results) {
+        EXPECT_FALSE(result.skipped);
+        EXPECT_FALSE(result.tasks.empty());
+    }
+}
+
+TEST(RunPoliciesTest, SweepModeKeepsBaseSeedRowsIdentical)
+{
+    const ScopedEnv filter("NBOS_BENCH_POLICIES", nullptr);
+    const auto trace = test::tiny_trace();
+    std::vector<PolicyResult> single;
+    {
+        const ScopedEnv seeds("NBOS_BENCH_SEEDS", nullptr);
+        single = run_policies(trace, {{core::Policy::kReservation}});
+    }
+    std::vector<PolicyResult> swept;
+    {
+        const ScopedEnv seeds("NBOS_BENCH_SEEDS", "3");
+        swept = run_policies(trace, {{core::Policy::kReservation}});
+    }
+    ASSERT_EQ(single.size(), 1u);
+    ASSERT_EQ(swept.size(), 1u);
+    // The figure tables read the base-seed row; a sweep only adds the
+    // statistics block, it never changes the single-seed numbers.
+    test::expect_results_identical(single[0], swept[0]);
+}
+
+}  // namespace
+}  // namespace nbos::bench

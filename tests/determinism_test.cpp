@@ -7,13 +7,16 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <iterator>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/seed_sweep.hpp"
 #include "harness.hpp"
 #include "net/network.hpp"
 #include "raft/raft.hpp"
@@ -240,6 +243,120 @@ TEST(DeterminismTest, RunnerParallelExecutionBitIdenticalToSerial)
         ASSERT_TRUE(parallel[i].ok) << parallel[i].error;
         test::expect_results_identical(serial[i].results,
                                        parallel[i].results);
+    }
+}
+
+/** The contract extended to seed sweeps: because the fold walks per-seed
+ *  results in seed order (never completion order), an N-seed aggregate is
+ *  bit-identical whether the runs executed serially or on a full thread
+ *  pool. Every Summary field must match to the last bit — no tolerance. */
+TEST(DeterminismTest, SeedSweepParallelBitIdenticalToSerial)
+{
+    const auto trace = test::tiny_trace();
+    core::SweepSpec sweep;
+    sweep.base.engine = core::kEngineFast;
+    sweep.base.trace = &trace;
+    sweep.base.config = core::PlatformConfig::prototype_defaults();
+    sweep.seeds = core::seed_range(1, 8);
+
+    const auto serial = core::SeedSweep(1).run({sweep});
+    const auto parallel = core::SeedSweep(8).run({sweep});
+    ASSERT_EQ(serial.size(), 1u);
+    ASSERT_EQ(parallel.size(), 1u);
+    ASSERT_TRUE(serial[0].ok) << serial[0].error;
+    ASSERT_TRUE(parallel[0].ok) << parallel[0].error;
+
+    ASSERT_EQ(serial[0].per_seed.size(), parallel[0].per_seed.size());
+    for (std::size_t i = 0; i < serial[0].per_seed.size(); ++i) {
+        SCOPED_TRACE("seed " + std::to_string(sweep.seeds[i]));
+        test::expect_results_identical(serial[0].per_seed[i],
+                                       parallel[0].per_seed[i]);
+    }
+
+    const auto& a = serial[0].aggregate;
+    const auto& b = parallel[0].aggregate;
+    ASSERT_EQ(a.metrics.size(), b.metrics.size());
+    for (std::size_t m = 0; m < a.metrics.size(); ++m) {
+        SCOPED_TRACE(a.metrics[m].name);
+        ASSERT_EQ(a.metrics[m].name, b.metrics[m].name);
+        ASSERT_EQ(a.metrics[m].summary.count, b.metrics[m].summary.count);
+        ASSERT_EQ(a.metrics[m].summary.mean, b.metrics[m].summary.mean);
+        ASSERT_EQ(a.metrics[m].summary.stddev,
+                  b.metrics[m].summary.stddev);
+        ASSERT_EQ(a.metrics[m].summary.min, b.metrics[m].summary.min);
+        ASSERT_EQ(a.metrics[m].summary.max, b.metrics[m].summary.max);
+        ASSERT_EQ(a.metrics[m].summary.ci95, b.metrics[m].summary.ci95);
+    }
+}
+
+/**
+ * Golden sweep aggregate: the notebookos-fast sweep over seeds {1..8} on
+ * the canonical tiny trace is pinned to values captured when the
+ * subsystem was introduced. Any change to the fast engine's decision
+ * stream, the metric extraction, or the fold order shows up here.
+ * Continuous metrics are compared at 1e-9 relative tolerance (libm
+ * differences across toolchains can move the last couple of bits);
+ * count-valued metrics must match exactly.
+ */
+TEST(DeterminismTest, SeedSweepAggregateMatchesGolden)
+{
+    const auto trace = test::tiny_trace();
+    core::SweepSpec sweep;
+    sweep.base.engine = core::kEngineFast;
+    sweep.base.trace = &trace;
+    sweep.base.config = core::PlatformConfig::prototype_defaults();
+    sweep.seeds = core::seed_range(1, 8);
+    const auto outcomes = core::SeedSweep().run({sweep});
+    ASSERT_EQ(outcomes.size(), 1u);
+    ASSERT_TRUE(outcomes[0].ok) << outcomes[0].error;
+
+    struct Golden
+    {
+        const char* name;
+        double mean;
+        double stddev;
+        double min;
+        double max;
+    };
+    // Captured at introduction (seeds 1..8, tiny_trace defaults).
+    const Golden kGolden[] = {
+        {"gpu_hours_provisioned", 72.383644375000003, 2.3208544595375282,
+         69.355239142222217, 74.154421204444446},
+        {"gpu_hours_committed", 12.047496458680557,
+         2.3042865466206673e-05, 12.047459285833334, 12.047526624722222},
+        {"interactivity_p50_s", 0.20139018749999998,
+         0.010903216012906789, 0.18304700000000002, 0.2149075},
+        {"interactivity_p99_s", 0.29383727250000002,
+         0.0060936764193213096, 0.28561073000000003,
+         0.30132015000000001},
+        {"tct_p50_ms", 154605.7746875, 41.309310322886006,
+         154560.72950000002, 154664.50599999999},
+        {"tct_p99_ms", 1954545.2075024999, 44.201468731283818,
+         1954474.3545000001, 1954597.9344099998},
+        {"sync_p50_ms", 0.0, 0.0, 0.0, 0.0},
+        {"tasks_completed", 62.0, 0.0, 62.0, 62.0},
+        {"tasks_aborted", 0.0, 0.0, 0.0, 0.0},
+        {"migrations", 0.0, 0.0, 0.0, 0.0},
+        {"scale_outs", 10.0, 4.1403933560541253, 7.0, 15.0},
+        {"store_mb_written", 0.0, 0.0, 0.0, 0.0},
+    };
+    const auto& metrics = outcomes[0].aggregate.metrics;
+    ASSERT_EQ(metrics.size(), std::size(kGolden));
+    const auto near = [](double want) {
+        return 1e-9 * std::max(1.0, std::abs(want));
+    };
+    for (std::size_t m = 0; m < metrics.size(); ++m) {
+        SCOPED_TRACE(kGolden[m].name);
+        ASSERT_EQ(metrics[m].name, std::string(kGolden[m].name));
+        ASSERT_EQ(metrics[m].summary.count, 8u);
+        ASSERT_NEAR(metrics[m].summary.mean, kGolden[m].mean,
+                    near(kGolden[m].mean));
+        ASSERT_NEAR(metrics[m].summary.stddev, kGolden[m].stddev,
+                    near(kGolden[m].stddev));
+        ASSERT_NEAR(metrics[m].summary.min, kGolden[m].min,
+                    near(kGolden[m].min));
+        ASSERT_NEAR(metrics[m].summary.max, kGolden[m].max,
+                    near(kGolden[m].max));
     }
 }
 

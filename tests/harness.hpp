@@ -32,6 +32,53 @@ seeded_rng(std::uint64_t n = 0)
     return sim::Rng(kTestSeed + 0x9e3779b97f4a7c15ULL * n);
 }
 
+/** @name Property-based testing helpers
+ *  Seeded random-input generators for the `props` tier: each property
+ *  runs over several independently seeded inputs, and failures name the
+ *  seed so a shrunk reproduction is one function call away.
+ */
+///@{
+
+/** @p n uniform doubles in [lo, hi) drawn from @p rng. */
+inline std::vector<double>
+random_doubles(sim::Rng& rng, std::size_t n, double lo, double hi)
+{
+    std::vector<double> values;
+    values.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        values.push_back(rng.uniform(lo, hi));
+    }
+    return values;
+}
+
+/** A deterministic Fisher-Yates permutation of @p values. */
+inline std::vector<double>
+shuffled(std::vector<double> values, sim::Rng& rng)
+{
+    for (std::size_t i = values.size(); i > 1; --i) {
+        const auto j = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+        std::swap(values[i - 1], values[j]);
+    }
+    return values;
+}
+
+/** Run @p property against @p iterations independent seeded RNG streams;
+ *  assertion failures are scoped to the stream index that produced the
+ *  counterexample. */
+template <typename Property>
+inline void
+check_property(std::size_t iterations, Property&& property)
+{
+    for (std::size_t i = 0; i < iterations; ++i) {
+        SCOPED_TRACE("property input stream " + std::to_string(i));
+        sim::Rng rng = seeded_rng(i + 1);
+        property(rng, i);
+    }
+}
+
+///@}
+
 /** A small generated AdobeTrace-profile workload that runs in well under a
  *  second on every engine. Shared by the core/sim/integration suites. */
 inline workload::Trace

@@ -103,6 +103,38 @@ TEST(PlacementTest, DrainingServersSkipped)
     EXPECT_NE(picked[0], a.id());
 }
 
+TEST(PlacementTest, ZeroCapacityClusterYieldsNoPlacement)
+{
+    cluster::Cluster cluster;  // no servers at all
+    LeastLoadedPolicy least_loaded;
+    EXPECT_TRUE(least_loaded.pick(cluster, kernel_request(1), 3, 3).empty());
+    RoundRobinPolicy round_robin;
+    EXPECT_TRUE(round_robin.pick(cluster, kernel_request(1), 3, 3).empty());
+}
+
+TEST(PlacementTest, SingleServerCapsReplicaSpread)
+{
+    cluster::Cluster cluster;
+    cluster.add_server();
+    LeastLoadedPolicy policy;
+    // Three replicas requested, one server available: the short list
+    // signals the scheduler to scale out rather than co-locating.
+    const auto picked = policy.pick(cluster, kernel_request(1), 3, 3);
+    ASSERT_EQ(picked.size(), 1u);
+    RoundRobinPolicy round_robin;
+    EXPECT_EQ(round_robin.pick(cluster, kernel_request(1), 3, 3).size(),
+              1u);
+}
+
+TEST(PlacementTest, AllServersDrainingYieldsNoPlacement)
+{
+    cluster::Cluster cluster;
+    cluster.add_server().set_draining(true);
+    cluster.add_server().set_draining(true);
+    LeastLoadedPolicy policy;
+    EXPECT_TRUE(policy.pick(cluster, kernel_request(1), 1, 3).empty());
+}
+
 TEST(PlacementTest, RoundRobinCyclesThroughServers)
 {
     cluster::Cluster cluster;
@@ -191,6 +223,137 @@ TEST(AutoScalerTest, MinServersFloorRespected)
     config.min_servers = 2;
     const auto decision = evaluate_autoscaler(inputs, config);
     EXPECT_EQ(decision.remove_servers, 0);
+}
+
+/** Scale-down hysteresis: releases are gradual (max_release_per_step per
+ *  evaluation), so repeated evaluations walk the fleet down to the
+ *  desired size step by step and then go quiet — no oscillation. */
+TEST(AutoScalerTest, ScaleDownHysteresisConvergesWithoutOscillation)
+{
+    AutoScalerInputs inputs;
+    inputs.committed_gpus = 0;
+    inputs.gpus_per_server = 8;
+    inputs.current_servers = 11;
+    inputs.total_gpus = 88;
+    inputs.idle_servers = 11;
+    AutoScalerConfig config;
+    config.buffer_servers = 2;
+    config.min_servers = 1;
+    // desired = ceil(0/8) + 2 = 2: expect 11 -> 9 -> 7 -> 5 -> 3 -> 2.
+    const std::int32_t expected_steps[] = {2, 2, 2, 2, 1};
+    for (const std::int32_t expected : expected_steps) {
+        const auto decision = evaluate_autoscaler(inputs, config);
+        EXPECT_EQ(decision.add_servers, 0);
+        ASSERT_EQ(decision.remove_servers, expected)
+            << "at " << inputs.current_servers << " servers";
+        inputs.current_servers -= decision.remove_servers;
+        inputs.idle_servers -= decision.remove_servers;
+        inputs.total_gpus -= decision.remove_servers * 8;
+    }
+    EXPECT_EQ(inputs.current_servers, 2);
+    // Converged: the next evaluation is a no-op in both directions.
+    const auto steady = evaluate_autoscaler(inputs, config);
+    EXPECT_EQ(steady.add_servers, 0);
+    EXPECT_EQ(steady.remove_servers, 0);
+}
+
+/** The scaling buffer is the hysteresis band: a demand drop that stays
+ *  within the buffer must not trigger a scale-in. */
+TEST(AutoScalerTest, BufferAbsorbsSmallDemandDrops)
+{
+    AutoScalerInputs inputs;
+    inputs.committed_gpus = 30;
+    inputs.gpus_per_server = 8;
+    inputs.current_servers = 6;
+    inputs.total_gpus = 48;
+    inputs.idle_servers = 2;
+    AutoScalerConfig config;
+    config.buffer_servers = 2;
+    // desired = ceil(31.5/8) + 2 = 6 == current: steady.
+    EXPECT_EQ(evaluate_autoscaler(inputs, config).remove_servers, 0);
+    // Demand drops by a server's worth but stays inside the band.
+    inputs.committed_gpus = 26;
+    // desired = ceil(27.3/8) + 2 = 6: still no release.
+    EXPECT_EQ(evaluate_autoscaler(inputs, config).remove_servers, 0);
+    // A real drop leaves the band and releases gradually.
+    inputs.committed_gpus = 8;
+    // desired = ceil(8.4/8) + 2 = 4: excess 2, released in one step.
+    const auto decision = evaluate_autoscaler(inputs, config);
+    EXPECT_EQ(decision.remove_servers, 2);
+}
+
+/** Busy (non-idle) servers are never reclaimed, whatever the excess. */
+TEST(AutoScalerTest, NoScaleDownWithoutIdleServers)
+{
+    AutoScalerInputs inputs;
+    inputs.committed_gpus = 0;
+    inputs.gpus_per_server = 8;
+    inputs.current_servers = 12;
+    inputs.total_gpus = 96;
+    inputs.idle_servers = 0;
+    const auto decision = evaluate_autoscaler(inputs, AutoScalerConfig{});
+    EXPECT_EQ(decision.add_servers, 0);
+    EXPECT_EQ(decision.remove_servers, 0);
+}
+
+/** Releases never overshoot the desired fleet size, across a grid of
+ *  (committed, current, idle) states. */
+TEST(AutoScalerTest, ScaleDownNeverOvershootsDesired)
+{
+    AutoScalerConfig config;
+    config.buffer_servers = 2;
+    config.min_servers = 1;
+    for (std::int32_t committed = 0; committed <= 64; committed += 8) {
+        for (std::int32_t current = 1; current <= 12; ++current) {
+            for (std::int32_t idle = 0; idle <= current; ++idle) {
+                AutoScalerInputs inputs;
+                inputs.committed_gpus = committed;
+                inputs.gpus_per_server = 8;
+                inputs.current_servers = current;
+                inputs.total_gpus = current * 8;
+                inputs.idle_servers = idle;
+                const auto decision =
+                    evaluate_autoscaler(inputs, config);
+                const std::int32_t after =
+                    current - decision.remove_servers;
+                ASSERT_GE(decision.remove_servers, 0);
+                ASSERT_LE(decision.remove_servers, 2);
+                ASSERT_GE(after, config.min_servers)
+                    << "committed=" << committed << " current=" << current
+                    << " idle=" << idle;
+                // Removing never drops the fleet below what the policy
+                // itself considers desired: a removal followed by an
+                // immediate add request would be oscillation.
+                if (decision.remove_servers > 0) {
+                    const auto recheck = evaluate_autoscaler(
+                        AutoScalerInputs{committed, after * 8, 8, after,
+                                         idle - decision.remove_servers},
+                        config);
+                    ASSERT_EQ(recheck.add_servers, 0)
+                        << "oscillation: committed=" << committed
+                        << " current=" << current << " idle=" << idle;
+                }
+            }
+        }
+    }
+}
+
+/** Degenerate hardware shape: gpus_per_server <= 0 must be a no-op, not
+ *  a divide-by-zero. */
+TEST(AutoScalerTest, NonPositiveGpusPerServerIsNoOp)
+{
+    AutoScalerInputs inputs;
+    inputs.committed_gpus = 40;
+    inputs.gpus_per_server = 0;
+    inputs.current_servers = 5;
+    inputs.idle_servers = 5;
+    const auto zero = evaluate_autoscaler(inputs, AutoScalerConfig{});
+    EXPECT_EQ(zero.add_servers, 0);
+    EXPECT_EQ(zero.remove_servers, 0);
+    inputs.gpus_per_server = -8;
+    const auto negative = evaluate_autoscaler(inputs, AutoScalerConfig{});
+    EXPECT_EQ(negative.add_servers, 0);
+    EXPECT_EQ(negative.remove_servers, 0);
 }
 
 /** Multiplier sweep: larger f provisions at least as many servers. */
@@ -467,6 +630,99 @@ TEST(GlobalSchedulerTest, ScaleOutWhenPlacementFails)
     EXPECT_NE(kernel_id, cluster::kNoKernel);
     EXPECT_GE(f.scheduler.stats().scale_outs, 1u);
     EXPECT_GE(f.scheduler.cluster().size(), 3u);
+}
+
+/** Zero-capacity cold start: a cluster provisioned with no servers at
+ *  all must bootstrap itself through failed-placement scale-outs and
+ *  still create a working kernel (§3.4.2: failed placement triggers an
+ *  immediate scale-out independent of the periodic auto-scaler). */
+TEST(GlobalSchedulerTest, ZeroCapacityClusterBootstrapsViaScaleOut)
+{
+    SchedulerConfig config = SchedFixture::default_config();
+    config.initial_servers = 0;
+    SchedFixture f(config);
+    EXPECT_EQ(f.scheduler.cluster().size(), 0u);
+    EXPECT_EQ(f.scheduler.cluster().total_gpus(), 0);
+
+    cluster::KernelId kernel_id = cluster::kNoKernel;
+    bool ok = false;
+    f.scheduler.start_kernel(kernel_request(2),
+                             [&](cluster::KernelId id, bool success) {
+                                 kernel_id = id;
+                                 ok = success;
+                             });
+    f.run_for(600 * sim::kSecond);
+    ASSERT_TRUE(ok) << "kernel never became ready from a cold cluster";
+    ASSERT_NE(kernel_id, cluster::kNoKernel);
+    // One scale-out per missing replica server, at least.
+    EXPECT_GE(f.scheduler.stats().scale_outs, 3u);
+    EXPECT_GE(f.scheduler.cluster().size(), 3u);
+    // The bootstrapped kernel executes end to end.
+    const auto reply = f.execute(kernel_id, "x = 40 + 2\nprint(x)\n"
+                                            "gpu_compute(2)");
+    EXPECT_EQ(reply.result.status, kernel::ExecutionStatus::kOk);
+    EXPECT_EQ(reply.result.output, "42\n");
+}
+
+/** Single-server edge: replicas must land on distinct servers, so a
+ *  1-server fleet scales out by the two missing servers and never
+ *  co-locates replicas of one kernel. */
+TEST(GlobalSchedulerTest, SingleServerClusterSpreadsReplicasAfterScaleOut)
+{
+    SchedulerConfig config = SchedFixture::default_config();
+    config.initial_servers = 1;
+    SchedFixture f(config);
+    cluster::KernelId kernel_id = cluster::kNoKernel;
+    bool ok = false;
+    f.scheduler.start_kernel(kernel_request(2),
+                             [&](cluster::KernelId id, bool success) {
+                                 kernel_id = id;
+                                 ok = success;
+                             });
+    f.run_for(600 * sim::kSecond);
+    ASSERT_TRUE(ok);
+    EXPECT_GE(f.scheduler.stats().scale_outs, 2u);
+    EXPECT_GE(f.scheduler.cluster().size(), 3u);
+    // Each replica container sits on its own server.
+    std::set<cluster::ServerId> servers;
+    int containers = 0;
+    for (const auto& [id, server] : f.scheduler.cluster().servers()) {
+        for (const auto& [cid, container] : server->containers()) {
+            if (container.kernel == kernel_id) {
+                servers.insert(id);
+                ++containers;
+            }
+        }
+    }
+    EXPECT_EQ(containers, 3);
+    EXPECT_EQ(servers.size(), 3u);
+}
+
+/** With every recovery knob off, a zero-capacity cluster can never place
+ *  the kernel — the request must stay pending (no crash, no phantom
+ *  success) while unconditional placement scale-outs bring capacity up
+ *  eventually under the default §3.4.2 behaviour. Here we only pin the
+ *  "no phantom success before capacity exists" half: until provisioning
+ *  completes, the callback must not fire. */
+TEST(GlobalSchedulerTest, ZeroCapacityKernelStaysPendingUntilCapacity)
+{
+    SchedulerConfig config = SchedFixture::default_config();
+    config.initial_servers = 0;
+    config.server_provision_min = 200 * sim::kSecond;
+    config.server_provision_max = 200 * sim::kSecond;
+    SchedFixture f(config);
+    bool fired = false;
+    f.scheduler.start_kernel(kernel_request(1),
+                             [&](cluster::KernelId, bool) {
+                                 fired = true;
+                             });
+    // Well before the 200 s provisioning completes: still pending.
+    f.run_for(100 * sim::kSecond);
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(f.scheduler.live_kernels(), 0u);
+    // Once the servers register, the pending kernel is placed.
+    f.run_for(600 * sim::kSecond);
+    EXPECT_TRUE(fired);
 }
 
 TEST(GlobalSchedulerTest, FailedElectionTriggersMigration)

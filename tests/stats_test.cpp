@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the repeated-trial statistics layer: RunStats (Welford
+ * accumulator), Summary, and the Student-t 95 % critical-value table that
+ * turns per-seed metrics into `mean ± ci95` figures.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "metrics/stats.hpp"
+
+namespace nbos::metrics {
+namespace {
+
+TEST(RunStatsTest, EmptyIsSafe)
+{
+    const RunStats stats;
+    EXPECT_TRUE(stats.empty());
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.ci95_half_width(), 0.0);
+    const Summary summary = stats.summary();
+    EXPECT_EQ(summary.count, 0u);
+    EXPECT_DOUBLE_EQ(summary.mean, 0.0);
+    EXPECT_DOUBLE_EQ(summary.ci95, 0.0);
+}
+
+TEST(RunStatsTest, SingleSampleHasNoSpread)
+{
+    RunStats stats;
+    stats.add(42.5);
+    EXPECT_EQ(stats.count(), 1u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 42.5);
+    EXPECT_DOUBLE_EQ(stats.min(), 42.5);
+    EXPECT_DOUBLE_EQ(stats.max(), 42.5);
+    EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+    // One trial: the confidence interval is undefined, reported as 0.
+    EXPECT_DOUBLE_EQ(stats.ci95_half_width(), 0.0);
+}
+
+TEST(RunStatsTest, KnownSetMatchesHandComputation)
+{
+    RunStats stats;
+    for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+        stats.add(v);
+    }
+    EXPECT_EQ(stats.count(), 8u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+    EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+    // Sum of squared deviations is 32 -> sample variance 32/7.
+    EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(stats.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    // ci95 = t(7) * s / sqrt(8), t(7) = 2.365.
+    EXPECT_NEAR(stats.ci95_half_width(),
+                2.365 * std::sqrt(32.0 / 7.0) / std::sqrt(8.0), 1e-12);
+}
+
+TEST(RunStatsTest, SummarySnapshotsEveryField)
+{
+    RunStats stats;
+    for (const double v : {1.0, 3.0, 5.0}) {
+        stats.add(v);
+    }
+    const Summary summary = stats.summary();
+    EXPECT_EQ(summary.count, 3u);
+    EXPECT_DOUBLE_EQ(summary.mean, stats.mean());
+    EXPECT_DOUBLE_EQ(summary.stddev, stats.stddev());
+    EXPECT_DOUBLE_EQ(summary.min, 1.0);
+    EXPECT_DOUBLE_EQ(summary.max, 5.0);
+    EXPECT_DOUBLE_EQ(summary.ci95, stats.ci95_half_width());
+}
+
+TEST(RunStatsTest, MergeMatchesBulkAccumulation)
+{
+    const std::vector<double> values{3.0, 1.0, 4.0, 1.0, 5.0,
+                                     9.0, 2.0, 6.0, 5.0, 3.0};
+    RunStats bulk;
+    for (const double v : values) {
+        bulk.add(v);
+    }
+    RunStats left;
+    RunStats right;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        (i < 4 ? left : right).add(values[i]);
+    }
+    RunStats merged = left;
+    merged.merge(right);
+    EXPECT_EQ(merged.count(), bulk.count());
+    EXPECT_NEAR(merged.mean(), bulk.mean(), 1e-12);
+    EXPECT_NEAR(merged.variance(), bulk.variance(), 1e-12);
+    EXPECT_DOUBLE_EQ(merged.min(), bulk.min());
+    EXPECT_DOUBLE_EQ(merged.max(), bulk.max());
+}
+
+TEST(RunStatsTest, MergeWithEmptySidesIsIdentity)
+{
+    RunStats stats;
+    stats.add(2.0);
+    stats.add(8.0);
+    RunStats empty;
+    RunStats merged = stats;
+    merged.merge(empty);
+    EXPECT_EQ(merged.count(), 2u);
+    EXPECT_DOUBLE_EQ(merged.mean(), 5.0);
+    RunStats from_empty;
+    from_empty.merge(stats);
+    EXPECT_EQ(from_empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(from_empty.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(from_empty.min(), 2.0);
+    EXPECT_DOUBLE_EQ(from_empty.max(), 8.0);
+}
+
+TEST(StudentTTest, TableValuesExact)
+{
+    EXPECT_DOUBLE_EQ(student_t95(0), 0.0);
+    EXPECT_DOUBLE_EQ(student_t95(1), 12.706);
+    EXPECT_DOUBLE_EQ(student_t95(5), 2.571);
+    EXPECT_DOUBLE_EQ(student_t95(7), 2.365);
+    EXPECT_DOUBLE_EQ(student_t95(29), 2.045);
+    EXPECT_DOUBLE_EQ(student_t95(30), 2.042);
+}
+
+TEST(StudentTTest, InterpolatesAboveTable)
+{
+    EXPECT_DOUBLE_EQ(student_t95(40), 2.021);
+    EXPECT_DOUBLE_EQ(student_t95(60), 2.000);
+    EXPECT_DOUBLE_EQ(student_t95(120), 1.980);
+    // Between anchors: inside the bracketing values.
+    const double t50 = student_t95(50);
+    EXPECT_GT(t50, 2.000);
+    EXPECT_LT(t50, 2.021);
+    // Large dof converges to the normal critical value.
+    EXPECT_NEAR(student_t95(100000), 1.960, 1e-3);
+}
+
+TEST(StudentTTest, MonotoneDecreasingInDof)
+{
+    double previous = student_t95(1);
+    for (std::size_t dof = 2; dof <= 200; ++dof) {
+        const double current = student_t95(dof);
+        EXPECT_LE(current, previous + 1e-12) << "dof " << dof;
+        previous = current;
+    }
+}
+
+}  // namespace
+}  // namespace nbos::metrics

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the SeedSweep subsystem: seed fan-out on the
+ * ExperimentRunner, deterministic seed-order folding into mean ± ci95
+ * aggregates, and error propagation.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/seed_sweep.hpp"
+#include "harness.hpp"
+
+namespace nbos {
+namespace {
+
+core::SweepSpec
+fast_sweep(const workload::Trace& trace,
+           std::vector<std::uint64_t> seeds)
+{
+    core::SweepSpec sweep;
+    sweep.base.engine = core::kEngineFast;
+    sweep.base.trace = &trace;
+    sweep.base.config = core::PlatformConfig::prototype_defaults();
+    sweep.seeds = std::move(seeds);
+    return sweep;
+}
+
+TEST(SeedRangeTest, ProducesConsecutiveSeeds)
+{
+    const auto seeds = core::seed_range(17, 4);
+    ASSERT_EQ(seeds.size(), 4u);
+    EXPECT_EQ(seeds.front(), 17u);
+    EXPECT_EQ(seeds.back(), 20u);
+    EXPECT_TRUE(core::seed_range(1, 0).empty());
+}
+
+TEST(SweepMetricsTest, NamesAreUniqueAndValuesFinite)
+{
+    const auto trace = test::tiny_trace();
+    const auto results =
+        test::run_policy(trace, core::Policy::kNotebookOS, /*seed=*/5,
+                         /*fast=*/true);
+    const auto metrics = core::sweep_metrics(results);
+    ASSERT_GE(metrics.size(), 10u);
+    std::set<std::string> names;
+    for (const core::MetricValue& metric : metrics) {
+        EXPECT_TRUE(std::isfinite(metric.value)) << metric.name;
+        EXPECT_TRUE(names.insert(metric.name).second)
+            << "duplicate metric " << metric.name;
+    }
+    EXPECT_EQ(metrics.front().name,
+              std::string("gpu_hours_provisioned"));
+}
+
+TEST(SeedSweepTest, PerSeedResultsMatchDirectRuns)
+{
+    const auto trace = test::tiny_trace();
+    const auto outcomes =
+        core::SeedSweep().run({fast_sweep(trace, {1, 2, 3})});
+    ASSERT_EQ(outcomes.size(), 1u);
+    ASSERT_TRUE(outcomes[0].ok) << outcomes[0].error;
+    ASSERT_EQ(outcomes[0].per_seed.size(), 3u);
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        const auto direct = test::run_policy(
+            trace, core::Policy::kNotebookOS, seed, /*fast=*/true);
+        test::expect_results_identical(outcomes[0].per_seed[seed - 1],
+                                       direct);
+    }
+}
+
+TEST(SeedSweepTest, AggregateSummarizesEverySeed)
+{
+    const auto trace = test::tiny_trace();
+    const auto outcomes =
+        core::SeedSweep().run({fast_sweep(trace, {1, 2, 3, 4})});
+    ASSERT_EQ(outcomes.size(), 1u);
+    ASSERT_TRUE(outcomes[0].ok) << outcomes[0].error;
+    const core::SweepAggregate& aggregate = outcomes[0].aggregate;
+    EXPECT_EQ(aggregate.engine, core::kEngineFast);
+    EXPECT_EQ(aggregate.label, core::kEngineFast);
+    EXPECT_EQ(aggregate.seeds, core::seed_range(1, 4));
+    ASSERT_FALSE(aggregate.metrics.empty());
+    for (const core::MetricSummary& metric : aggregate.metrics) {
+        SCOPED_TRACE(metric.name);
+        EXPECT_EQ(metric.summary.count, 4u);
+        EXPECT_GE(metric.summary.mean, metric.summary.min);
+        EXPECT_LE(metric.summary.mean, metric.summary.max);
+        EXPECT_GE(metric.summary.ci95, 0.0);
+    }
+}
+
+TEST(SeedSweepTest, FoldMatchesManualAccumulation)
+{
+    const auto trace = test::tiny_trace();
+    const auto outcomes =
+        core::SeedSweep().run({fast_sweep(trace, {5, 6})});
+    ASSERT_TRUE(outcomes[0].ok) << outcomes[0].error;
+    const auto& aggregate = outcomes[0].aggregate;
+    // Refold the per-seed results by hand: identical fold order must give
+    // a bit-identical aggregate.
+    const auto refolded =
+        core::fold_sweep(core::kEngineFast, core::kEngineFast, {5, 6},
+                         outcomes[0].per_seed);
+    ASSERT_EQ(refolded.metrics.size(), aggregate.metrics.size());
+    for (std::size_t m = 0; m < refolded.metrics.size(); ++m) {
+        SCOPED_TRACE(refolded.metrics[m].name);
+        EXPECT_EQ(refolded.metrics[m].summary.mean,
+                  aggregate.metrics[m].summary.mean);
+        EXPECT_EQ(refolded.metrics[m].summary.stddev,
+                  aggregate.metrics[m].summary.stddev);
+        EXPECT_EQ(refolded.metrics[m].summary.ci95,
+                  aggregate.metrics[m].summary.ci95);
+    }
+}
+
+TEST(SeedSweepTest, MultipleSweepsKeepSubmissionOrder)
+{
+    const auto trace = test::tiny_trace();
+    core::SweepSpec baseline;
+    baseline.base.engine = core::kEngineReservation;
+    baseline.base.trace = &trace;
+    baseline.base.config = core::PlatformConfig::prototype_defaults();
+    baseline.base.label = "baseline";
+    baseline.seeds = {2, 3};
+    const auto outcomes = core::SeedSweep().run(
+        {fast_sweep(trace, {1, 2}), std::move(baseline)});
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_EQ(outcomes[0].index, 0u);
+    EXPECT_EQ(outcomes[1].index, 1u);
+    ASSERT_TRUE(outcomes[0].ok) << outcomes[0].error;
+    ASSERT_TRUE(outcomes[1].ok) << outcomes[1].error;
+    EXPECT_EQ(outcomes[0].aggregate.engine, core::kEngineFast);
+    EXPECT_EQ(outcomes[1].aggregate.engine, core::kEngineReservation);
+    EXPECT_EQ(outcomes[1].aggregate.label, "baseline");
+}
+
+TEST(SeedSweepTest, UnknownEngineReportsError)
+{
+    const auto trace = test::tiny_trace();
+    core::SweepSpec sweep;
+    sweep.base.engine = "no-such-engine";
+    sweep.base.trace = &trace;
+    sweep.seeds = {1, 2};
+    const auto outcomes = core::SeedSweep().run({std::move(sweep)});
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_FALSE(outcomes[0].ok);
+    EXPECT_NE(outcomes[0].error.find("no-such-engine"),
+              std::string::npos);
+    EXPECT_TRUE(outcomes[0].per_seed.empty());
+}
+
+TEST(SeedSweepTest, EmptySeedListReportsError)
+{
+    const auto trace = test::tiny_trace();
+    const auto outcomes =
+        core::SeedSweep().run({fast_sweep(trace, {})});
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_FALSE(outcomes[0].ok);
+    EXPECT_NE(outcomes[0].error.find("no seeds"), std::string::npos);
+}
+
+TEST(SeedSweepTest, FailingSweepDoesNotDisturbNeighbours)
+{
+    const auto trace = test::tiny_trace();
+    core::SweepSpec broken;
+    broken.base.engine = "no-such-engine";
+    broken.base.trace = &trace;
+    broken.seeds = {1};
+    const auto outcomes = core::SeedSweep().run(
+        {std::move(broken), fast_sweep(trace, {4, 5})});
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_FALSE(outcomes[0].ok);
+    ASSERT_TRUE(outcomes[1].ok) << outcomes[1].error;
+    ASSERT_EQ(outcomes[1].per_seed.size(), 2u);
+    const auto direct = test::run_policy(
+        trace, core::Policy::kNotebookOS, /*seed=*/4, /*fast=*/true);
+    test::expect_results_identical(outcomes[1].per_seed[0], direct);
+}
+
+}  // namespace
+}  // namespace nbos
