@@ -9,10 +9,12 @@
 #define NBOS_BENCH_COMMON_HPP
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/engine.hpp"
@@ -106,6 +108,42 @@ bench_seeds()
     }
     return parsed > 64 ? 64 : static_cast<std::size_t>(parsed);
 }
+
+/**
+ * Gate self-test hook (`NBOS_BENCH_INJECT_SLOWDOWN_PCT=25`): on scope
+ * exit, sleep for the given percentage of the scope's measured wall time,
+ * simulating a proportional performance regression in every experiment
+ * run. Used to prove the CI bench-regression gate goes red without
+ * committing an actual slowdown; unset (the default) it is a no-op.
+ */
+class InjectedSlowdown
+{
+  public:
+    InjectedSlowdown() : start_(std::chrono::steady_clock::now()) {}
+
+    InjectedSlowdown(const InjectedSlowdown&) = delete;
+    InjectedSlowdown& operator=(const InjectedSlowdown&) = delete;
+
+    ~InjectedSlowdown()
+    {
+        const char* raw = std::getenv("NBOS_BENCH_INJECT_SLOWDOWN_PCT");
+        if (raw == nullptr || raw[0] == '\0') {
+            return;
+        }
+        char* end = nullptr;
+        const double pct = std::strtod(raw, &end);
+        if (end == raw || pct <= 0.0) {
+            return;
+        }
+        const auto elapsed = std::chrono::steady_clock::now() - start_;
+        std::this_thread::sleep_for(
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                elapsed * (pct / 100.0)));
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
 
 /** Pure core of the NBOS_BENCH_POLICIES filter (testable without touching
  *  the environment): true when @p filter is null/empty or one of its
@@ -258,6 +296,7 @@ inline std::vector<PolicyResult>
 run_policies(const workload::Trace& trace,
              const std::vector<PolicyRun>& runs)
 {
+    const InjectedSlowdown slowdown_hook;
     std::vector<PolicyResult> results(runs.size());
     std::vector<core::ExperimentSpec> specs;
     std::vector<std::size_t> positions;
@@ -326,6 +365,7 @@ run_policy(core::Policy policy, const workload::Trace& trace,
 inline std::vector<core::ExperimentOutcome>
 run_specs_or_exit(const std::vector<core::ExperimentSpec>& specs)
 {
+    const InjectedSlowdown slowdown_hook;
     const std::size_t seeds = bench_seeds();
     if (seeds > 1) {
         return run_sweeps_or_exit(specs, seeds);

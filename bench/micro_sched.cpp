@@ -1,0 +1,157 @@
+/**
+ * @file
+ * micro_sched: simulation-event throughput of the sharded Global
+ * Scheduler at shards ∈ {1, 2, 4, 8}.
+ *
+ * An identical synthetic session workload (dense session ids, so the
+ * ShardRouter spreads them) is run at each shard count; the timed phase
+ * is one big lockstep window over the cell-execution horizon, during
+ * which each shard's event loop runs on its own thread. On a multi-core
+ * host the events/sec rate should scale with the shard count (the
+ * sharding PR's acceptance bar is >= 1.5x at shards=4).
+ *
+ * Output convention: the table rows are fully deterministic (same seed ->
+ * same kernels/executions/event counts) and are hashed by the CI bench
+ * gate; wall-clock figures are emitted on `# TIMING` lines, which
+ * bench/check_bench.py strips before hashing.
+ */
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sched/sharded_scheduler.hpp"
+
+namespace {
+
+using namespace nbos;
+
+struct ShardRunResult
+{
+    std::uint64_t kernels = 0;
+    std::uint64_t executions = 0;
+    std::uint64_t timed_events = 0;
+    double seconds = 0.0;
+};
+
+ShardRunResult
+run_at(std::int32_t shards, std::int64_t sessions, std::int64_t cells)
+{
+    sched::SchedulerConfig config;
+    // 24 initial servers: divisible shares down to 3 servers at shards=8,
+    // so every shard slice hosts 3-replica kernels without scale-outs.
+    config.initial_servers = 24;
+    config.enable_autoscaler = false;
+    config.shards = shards;
+    // Fast Raft timers (as in the scheduler test fixtures): heartbeats
+    // every 50 ms are what generate the event volume being measured.
+    config.kernel.raft.election_timeout_min = 150 * sim::kMillisecond;
+    config.kernel.raft.election_timeout_max = 300 * sim::kMillisecond;
+    config.kernel.raft.heartbeat_interval = 50 * sim::kMillisecond;
+    config.kernel.raft.snapshot_threshold = 16;
+
+    sched::ShardedGlobalScheduler scheduler(config, bench::kSeed);
+    scheduler.start();
+
+    // Kernel creation phase (untimed). Callbacks may fire on shard
+    // threads, so each writes only its own pre-sized slot.
+    std::vector<cluster::KernelId> kernels(
+        static_cast<std::size_t>(sessions), cluster::kNoKernel);
+    const cluster::ResourceSpec spec{4000, 16384, 1, 16.0};
+    for (std::int64_t session = 0; session < sessions; ++session) {
+        const auto slot = static_cast<std::size_t>(session);
+        scheduler.start_kernel(session + 1, spec,
+                               [&kernels, slot](cluster::KernelId id,
+                                                bool ok) {
+                                   kernels[slot] =
+                                       ok ? id : cluster::kNoKernel;
+                               });
+    }
+    scheduler.run_until(300 * sim::kSecond);
+
+    // Cell schedule: staggered GPU cells, spaced so a session's cells
+    // never overlap. Completion is read from the merged stats afterwards
+    // (no shared counters across shard threads).
+    sim::Time horizon = 300 * sim::kSecond;
+    for (std::int64_t session = 0; session < sessions; ++session) {
+        const auto slot = static_cast<std::size_t>(session);
+        if (kernels[slot] == cluster::kNoKernel) {
+            continue;
+        }
+        const std::size_t shard = scheduler.shard_of(session + 1);
+        for (std::int64_t cell = 0; cell < cells; ++cell) {
+            const sim::Time at = 300 * sim::kSecond +
+                                 cell * 45 * sim::kSecond +
+                                 (session % 7) * 3 * sim::kSecond;
+            horizon = std::max(horizon, at);
+            const cluster::KernelId kernel_id = kernels[slot];
+            sched::ShardedGlobalScheduler* sched_ptr = &scheduler;
+            scheduler.simulation(shard).schedule_at(
+                at, [sched_ptr, kernel_id] {
+                    sched_ptr->submit_execute(
+                        kernel_id, "gpu_compute(4)", true,
+                        sched_ptr
+                            ->simulation(sched_ptr->shard_of_kernel(
+                                kernel_id))
+                            .now(),
+                        [](const kernel::ExecutionResult&,
+                           const sched::RequestTrace&) {});
+                });
+        }
+    }
+
+    // Timed phase: one lockstep window across the whole execution
+    // horizon plus a drain tail — the multi-core hot loop.
+    const std::uint64_t events_before = scheduler.events_executed();
+    const auto wall_start = std::chrono::steady_clock::now();
+    scheduler.run_until(horizon + 300 * sim::kSecond);
+    const auto wall_end = std::chrono::steady_clock::now();
+
+    ShardRunResult result;
+    result.kernels = scheduler.stats().kernels_created;
+    result.executions = scheduler.stats().executions_completed;
+    result.timed_events = scheduler.events_executed() - events_before;
+    result.seconds =
+        std::chrono::duration<double>(wall_end - wall_start).count();
+    return result;
+}
+
+}  // namespace
+
+int
+main()
+{
+    const bool smoke = bench::smoke_mode();
+    const std::int64_t sessions = smoke ? 12 : 48;
+    const std::int64_t cells = smoke ? 4 : 12;
+
+    bench::banner("micro_sched: sharded GlobalScheduler event throughput "
+                  "(sessions=" +
+                  std::to_string(sessions) +
+                  " cells/session=" + std::to_string(cells) + ")");
+    std::printf("%-8s %10s %12s %14s\n", "shards", "kernels", "executions",
+                "timed_events");
+
+    double base_rate = 0.0;
+    for (const std::int32_t shards : {1, 2, 4, 8}) {
+        const ShardRunResult result = run_at(shards, sessions, cells);
+        std::printf("%-8d %10llu %12llu %14llu\n", shards,
+                    static_cast<unsigned long long>(result.kernels),
+                    static_cast<unsigned long long>(result.executions),
+                    static_cast<unsigned long long>(result.timed_events));
+        const double rate =
+            result.seconds > 0.0
+                ? static_cast<double>(result.timed_events) / result.seconds
+                : 0.0;
+        if (shards == 1) {
+            base_rate = rate;
+        }
+        // Wall-clock lines: stripped from the CI gate's stdout hash.
+        std::printf("# TIMING shards=%d seconds=%.4f events_per_sec=%.0f "
+                    "speedup_vs_1=%.2f\n",
+                    shards, result.seconds, rate,
+                    base_rate > 0.0 ? rate / base_rate : 0.0);
+    }
+    return 0;
+}

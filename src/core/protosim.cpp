@@ -1,18 +1,48 @@
 #include "core/protosim.hpp"
 
+#include <algorithm>
 #include <deque>
 #include <functional>
+#include <iterator>
 #include <map>
 #include <memory>
+#include <stdexcept>
 
 #include "core/platform.hpp"
 #include "sched/global_scheduler.hpp"
+#include "sched/sharded_scheduler.hpp"
 #include "sim/simulation.hpp"
 
 namespace nbos::core {
 
+namespace {
+
+/** Shared tail of both engine variants: tasks that never saw a reply are
+ *  aborted, and the committed-GPU step series is rebuilt from the
+ *  completed GPU tasks' execution intervals. */
+void
+finalize_committed_series(ExperimentResults& results)
+{
+    std::vector<std::pair<sim::Time, double>> committed;
+    for (TaskOutcome& task : results.tasks) {
+        if (task.reply == 0) {
+            task.aborted = true;
+        }
+        if (task.is_gpu && !task.aborted) {
+            committed.emplace_back(task.exec_start,
+                                   static_cast<double>(task.gpus));
+            committed.emplace_back(task.exec_end,
+                                   -static_cast<double>(task.gpus));
+        }
+    }
+    results.committed_gpus = series_from_deltas(std::move(committed));
+}
+
+/** The pre-sharding single-event-loop engine: one GlobalScheduler on one
+ *  simulation. Kept verbatim so SchedulerConfig::shards == 1 stays
+ *  byte-identical to the historical prototype results. */
 ExperimentResults
-run_prototype_notebookos(const workload::Trace& trace,
+run_prototype_monolithic(const workload::Trace& trace,
                          const PlatformConfig& config)
 {
     sim::Simulation simulation;
@@ -126,8 +156,11 @@ run_prototype_notebookos(const workload::Trace& trace,
     }
 
     // Timeline sampler for provisioned GPUs and the subscription ratio.
+    // Weak self-capture: the pending sample event owns the function, so
+    // the sampler frees itself once the makespan is reached.
     auto sampler = std::make_shared<std::function<void()>>();
-    *sampler = [&results, &scheduler, &simulation, &config, sampler,
+    std::weak_ptr<std::function<void()>> weak_sampler = sampler;
+    *sampler = [&results, &scheduler, &simulation, &config, weak_sampler,
                 &trace] {
         results.provisioned_gpus.record(
             simulation.now(),
@@ -135,7 +168,10 @@ run_prototype_notebookos(const workload::Trace& trace,
         results.subscription_ratio.record(simulation.now(),
                                           scheduler.cluster_sr());
         if (simulation.now() < trace.makespan) {
-            simulation.schedule_after(config.sample_interval, *sampler);
+            if (auto self = weak_sampler.lock()) {
+                simulation.schedule_after(config.sample_interval,
+                                          [self] { (*self)(); });
+            }
         }
     };
     simulation.schedule_at(0, [sampler] { (*sampler)(); });
@@ -150,20 +186,211 @@ run_prototype_notebookos(const workload::Trace& trace,
     results.read_ms = scheduler.store().read_latencies();
     results.write_ms = scheduler.store().write_latencies();
     results.store_bytes_written = scheduler.store().bytes_written();
-    std::vector<std::pair<sim::Time, double>> committed;
-    for (TaskOutcome& task : results.tasks) {
-        if (task.reply == 0) {
-            task.aborted = true;
+    finalize_committed_series(results);
+    return results;
+}
+
+/**
+ * The sharded engine: sessions are partitioned across
+ * SchedulerConfig::shards independent scheduler shards by the stable
+ * ShardRouter hash, each shard advances on its own event loop, and the
+ * driver steps all shards in lockstep sample_interval windows so the
+ * merged autoscaler signals (provisioned GPUs, subscription ratio) are
+ * sampled fleet-wide at the same grid a monolithic run uses.
+ *
+ * All cross-shard merges are deterministic (shard-index order; tasks are
+ * canonically ordered by (submit, session, seq)), and the lockstep
+ * windows may run shard threads in parallel with bit-identical results —
+ * see DeterminismTest.ShardedPrototypeParallelBitIdenticalToSerial.
+ */
+ExperimentResults
+run_prototype_sharded(const workload::Trace& trace,
+                      const PlatformConfig& config)
+{
+    sched::ShardedGlobalScheduler scheduler(config.scheduler, config.seed);
+    scheduler.start();
+
+    ExperimentResults results;
+    results.policy = Policy::kNotebookOS;
+    results.trace_name = trace.name;
+    results.makespan = trace.makespan;
+
+    struct SessionState
+    {
+        cluster::KernelId kernel = cluster::kNoKernel;
+        bool ready = false;
+        bool ended = false;
+        std::deque<const workload::CellTask*> buffered;
+    };
+
+    /** Everything one shard's closures touch: its own outcome vector and
+     *  session table. Shard event loops run on parallel threads, so a
+     *  driver must only ever be used from its shard's simulation. */
+    struct ShardDriver
+    {
+        std::vector<TaskOutcome> tasks;
+        std::map<workload::SessionId, SessionState> sessions;
+    };
+    std::vector<ShardDriver> drivers(
+        static_cast<std::size_t>(scheduler.shard_count()));
+
+    // Stateless helper shared by the per-shard closures: every call
+    // touches only the passed driver and that driver's shard.
+    auto submit_task = [&scheduler](ShardDriver& driver,
+                                    sim::Simulation& simulation,
+                                    const workload::SessionSpec& session,
+                                    const workload::CellTask& task) {
+        driver.tasks.push_back(TaskOutcome{});
+        const std::size_t index = driver.tasks.size() - 1;
+        TaskOutcome& outcome = driver.tasks[index];
+        outcome.session = session.id;
+        outcome.seq = task.seq;
+        outcome.is_gpu = task.is_gpu;
+        outcome.gpus = session.resources.gpus;
+        outcome.submit = simulation.now();
+        scheduler.submit_execute(
+            driver.sessions[session.id].kernel, task.code, task.is_gpu,
+            simulation.now(),
+            [&driver, index](const kernel::ExecutionResult& result,
+                             const sched::RequestTrace& request_trace) {
+                TaskOutcome& done = driver.tasks[index];
+                done.trace = request_trace;
+                done.exec_start = request_trace.execution_started;
+                done.exec_end = request_trace.execution_finished;
+                done.reply = request_trace.client_replied;
+                done.migrated = request_trace.migrated;
+                done.aborted =
+                    request_trace.aborted ||
+                    result.status == kernel::ExecutionStatus::kError;
+                if (done.aborted) {
+                    done.error = result.error;
+                }
+            });
+    };
+
+    std::size_t total_tasks = 0;
+    for (const workload::SessionSpec& session : trace.sessions) {
+        total_tasks += session.tasks.size();
+        const std::size_t shard = scheduler.shard_of(session.id);
+        ShardDriver& driver = drivers[shard];
+        sim::Simulation& simulation = scheduler.simulation(shard);
+        const workload::SessionSpec* sp = &session;
+        simulation.schedule_at(
+            session.start_time,
+            [&scheduler, &driver, &submit_task, sp] {
+                scheduler.start_kernel(
+                    sp->id, sp->resources,
+                    [&scheduler, &driver, &submit_task,
+                     sp](cluster::KernelId kernel_id, bool ok) {
+                        SessionState& st = driver.sessions[sp->id];
+                        st.kernel = kernel_id;
+                        st.ready = ok;
+                        if (st.ended) {
+                            scheduler.stop_kernel(kernel_id);
+                            return;
+                        }
+                        while (ok && !st.buffered.empty()) {
+                            const workload::CellTask* task =
+                                st.buffered.front();
+                            st.buffered.pop_front();
+                            submit_task(driver,
+                                        scheduler.simulation(
+                                            scheduler.shard_of(sp->id)),
+                                        *sp, *task);
+                        }
+                    });
+            });
+        if (session.end_time < trace.makespan) {
+            simulation.schedule_at(session.end_time,
+                                   [&scheduler, &driver, sp] {
+                                       SessionState& state =
+                                           driver.sessions[sp->id];
+                                       state.ended = true;
+                                       if (state.ready) {
+                                           scheduler.stop_kernel(
+                                               state.kernel);
+                                       }
+                                   });
         }
-        if (task.is_gpu && !task.aborted) {
-            committed.emplace_back(task.exec_start,
-                                   static_cast<double>(task.gpus));
-            committed.emplace_back(task.exec_end,
-                                   -static_cast<double>(task.gpus));
+        for (const workload::CellTask& task : session.tasks) {
+            const workload::CellTask* tp = &task;
+            simulation.schedule_at(
+                task.submit_time,
+                [&scheduler, &driver, &submit_task, sp, tp] {
+                    SessionState& state = driver.sessions[sp->id];
+                    if (state.ended) {
+                        return;
+                    }
+                    if (state.ready) {
+                        submit_task(driver,
+                                    scheduler.simulation(
+                                        scheduler.shard_of(sp->id)),
+                                    *sp, *tp);
+                    } else {
+                        state.buffered.push_back(tp);
+                    }
+                });
         }
     }
-    results.committed_gpus = series_from_deltas(std::move(committed));
+
+    // Lockstep windows on the sampling grid: advance every shard to t
+    // (in parallel when configured), then sample the merged fleet-wide
+    // autoscaler signals — the same 0, i, 2i, ... grid the monolithic
+    // engine's sampler event produces.
+    for (sim::Time t = 0;; t += config.sample_interval) {
+        scheduler.run_until(t);
+        results.provisioned_gpus.record(
+            t, static_cast<double>(scheduler.total_gpus()));
+        results.subscription_ratio.record(t, scheduler.cluster_sr());
+        if (t >= trace.makespan) {
+            break;
+        }
+    }
+    // Drain window for in-flight cells.
+    scheduler.run_until(trace.makespan + 12 * sim::kHour);
+
+    // Deterministic cross-shard merge: concatenate in shard order, then
+    // canonicalize to (submit, session, seq) — a total order because a
+    // session's (session, seq) pairs are unique.
+    results.tasks.reserve(total_tasks);
+    for (ShardDriver& driver : drivers) {
+        std::move(driver.tasks.begin(), driver.tasks.end(),
+                  std::back_inserter(results.tasks));
+    }
+    std::stable_sort(results.tasks.begin(), results.tasks.end(),
+                     [](const TaskOutcome& a, const TaskOutcome& b) {
+                         if (a.submit != b.submit) {
+                             return a.submit < b.submit;
+                         }
+                         if (a.session != b.session) {
+                             return a.session < b.session;
+                         }
+                         return a.seq < b.seq;
+                     });
+
+    results.events = scheduler.events();
+    results.sched_stats = scheduler.stats();
+    results.sync_ms = scheduler.sync_latencies_ms();
+    results.read_ms = scheduler.store_read_ms();
+    results.write_ms = scheduler.store_write_ms();
+    results.store_bytes_written = scheduler.store_bytes_written();
+    finalize_committed_series(results);
     return results;
+}
+
+}  // namespace
+
+ExperimentResults
+run_prototype_notebookos(const workload::Trace& trace,
+                         const PlatformConfig& config)
+{
+    if (config.scheduler.shards < 1) {
+        throw std::invalid_argument("scheduler.shards must be >= 1");
+    }
+    if (config.scheduler.shards == 1) {
+        return run_prototype_monolithic(trace, config);
+    }
+    return run_prototype_sharded(trace, config);
 }
 
 }  // namespace nbos::core

@@ -1,155 +1,51 @@
 /**
  * @file
- * The Global Scheduler (§3.1): creates distributed kernels, routes
- * execute_requests to kernel replicas through per-server Local Schedulers,
- * performs yield conversion when it can pre-select the executor, handles
- * failed elections with replica migration (§3.2.3), maintains the
- * pre-warmed container pool, detects replica failures (§3.2.5), and runs
- * the auto-scaler (§3.4.2).
+ * The Global Scheduler (§3.1) — monolithic facade.
+ *
+ * Since the sharding refactor the actual scheduling engine lives in
+ * sched::SchedulerShard (sched/shard.hpp); this class is the
+ * single-shard view of it with the historical API, used wherever one
+ * event loop drives one scheduler (tests, examples, the prototype engine
+ * at SchedulerConfig::shards == 1). It is byte-identical in behaviour to
+ * the pre-sharding implementation: identity {0, 1} gives the shard the
+ * whole fleet, the 1, 2, 3, ... kernel-id sequence, and the same RNG
+ * streams.
+ *
+ * For shards > 1 use sched::ShardedGlobalScheduler
+ * (sched/sharded_scheduler.hpp), which partitions sessions across N of
+ * these engines and merges their signals deterministically.
  */
 #ifndef NBOS_SCHED_GLOBAL_SCHEDULER_HPP
 #define NBOS_SCHED_GLOBAL_SCHEDULER_HPP
 
-#include <deque>
-#include <utility>
-#include <functional>
-#include <map>
-#include <memory>
-#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "cluster/cluster.hpp"
-#include "kernel/replica.hpp"
-#include "metrics/percentiles.hpp"
-#include "net/network.hpp"
-#include "sched/autoscaler.hpp"
-#include "sched/placement.hpp"
-#include "sim/rng.hpp"
-#include "sim/simulation.hpp"
-#include "storage/datastore.hpp"
+#include "sched/scheduler_types.hpp"
+#include "sched/shard.hpp"
 
 namespace nbos::sched {
 
-/** Network-hop latency ranges along the request path (Fig. 15 steps). */
-struct HopLatencies
-{
-    sim::Time client_to_gs_min = 1 * sim::kMillisecond;
-    sim::Time client_to_gs_max = 3 * sim::kMillisecond;
-    sim::Time gs_to_ls_min = 300 * sim::kMicrosecond;
-    sim::Time gs_to_ls_max = 1 * sim::kMillisecond;
-    sim::Time ls_to_replica_min = 100 * sim::kMicrosecond;
-    sim::Time ls_to_replica_max = 400 * sim::kMicrosecond;
-};
-
-/** All scheduler tunables. */
-struct SchedulerConfig
-{
-    kernel::KernelConfig kernel{};
-    cluster::ResourceSpec server_shape = cluster::ResourceSpec::server_8gpu();
-    std::int32_t initial_servers = 4;
-    /** Hard per-server SR watermark (prevents excessive
-     *  over-subscription; Fig. 10's SR peaks near 3). */
-    double sr_watermark = 3.0;
-    AutoScalerConfig autoscaler{};
-    sim::Time autoscale_interval = 30 * sim::kSecond;
-    bool enable_autoscaler = true;
-    /** Pre-warmed containers maintained per server (migration pool). */
-    std::int32_t prewarm_per_server = 1;
-    sim::Time prewarm_check_interval = 15 * sim::kSecond;
-    cluster::ContainerTimings timings{};
-    /** EC2-style server provisioning time for scale-out. */
-    sim::Time server_provision_min = 30 * sim::kSecond;
-    sim::Time server_provision_max = 90 * sim::kSecond;
-    HopLatencies hops{};
-    /** Enable GS-side executor pre-selection (yield conversion). */
-    bool yield_conversion = true;
-    sim::Time gs_processing = 1 * sim::kMillisecond;
-    sim::Time ls_processing = 300 * sim::kMicrosecond;
-    /** Failed-migration retry spacing and budget (§3.2.3). */
-    sim::Time migration_retry = 10 * sim::kSecond;
-    std::int32_t migration_max_retries = 5;
-    /** §3.4.2: a failed placement (kernel creation or migration) triggers
-     *  an immediate scale-out, independent of the periodic auto-scaler. */
-    bool scale_out_on_failed_placement = true;
-    /** Replica health-check period (§3.2.5 heartbeats). */
-    sim::Time health_check_interval = 10 * sim::kSecond;
-    storage::Backend store_backend = storage::Backend::kS3;
-};
-
-/** Cluster-level events for the Fig. 10 timeline. */
-struct SchedulerEvent
-{
-    enum class Kind
-    {
-        kKernelCreated,
-        kMigration,
-        kScaleOut,
-        kScaleIn,
-    };
-    Kind kind;
-    sim::Time time;
-};
-
-/** Per-request timing trace (drives the Fig. 15-19 breakdowns). */
-struct RequestTrace
-{
-    sim::Time submitted_at = 0;
-    sim::Time gs_received = 0;
-    sim::Time gs_dispatched = 0;
-    sim::Time ls_received = 0;
-    sim::Time replica_received = 0;
-    sim::Time execution_started = 0;
-    sim::Time execution_finished = 0;
-    sim::Time replica_replied = 0;
-    sim::Time client_replied = 0;
-    sim::Time election_latency = 0;
-    bool migrated = false;
-    bool aborted = false;
-};
-
-/** Scheduler-wide counters. */
-struct SchedulerStats
-{
-    std::uint64_t kernels_created = 0;
-    std::uint64_t executions_completed = 0;
-    std::uint64_t executions_aborted = 0;
-    std::uint64_t elections_failed = 0;
-    std::uint64_t migrations = 0;
-    std::uint64_t migrations_aborted = 0;
-    std::uint64_t scale_outs = 0;
-    std::uint64_t scale_ins = 0;
-    std::uint64_t yield_conversions = 0;
-    std::uint64_t immediate_commits = 0;
-    std::uint64_t executor_reuses = 0;
-    std::uint64_t gpu_executions = 0;
-    std::uint64_t prewarm_hits = 0;
-    std::uint64_t cold_starts = 0;
-    std::uint64_t replica_failovers = 0;
-};
-
-/**
- * The Global Scheduler plus the per-server Local Scheduler logic. (Local
- * Schedulers are thin per-server agents; their provisioning and forwarding
- * behaviour is modelled here with explicit hop/processing delays.)
- */
+/** The Global Scheduler plus the per-server Local Scheduler logic, as a
+ *  single shard owning the whole fleet. */
 class GlobalScheduler
 {
   public:
-    using ExecuteCallback = std::function<void(
-        const kernel::ExecutionResult&, const RequestTrace&)>;
-    using StartKernelCallback =
-        std::function<void(cluster::KernelId, bool ok)>;
+    using ExecuteCallback = SchedulerShard::ExecuteCallback;
+    using StartKernelCallback = SchedulerShard::StartKernelCallback;
 
     GlobalScheduler(sim::Simulation& simulation, SchedulerConfig config,
-                    std::uint64_t seed);
-    ~GlobalScheduler();
+                    std::uint64_t seed)
+        : shard_(simulation, std::move(config), seed, ShardIdentity{0, 1})
+    {
+    }
 
     GlobalScheduler(const GlobalScheduler&) = delete;
     GlobalScheduler& operator=(const GlobalScheduler&) = delete;
 
     /** Provision the initial fleet and start periodic services. */
-    void start();
+    void start() { shard_.start(); }
 
     /**
      * Create a distributed kernel with @p spec (§3.2.1). The callback
@@ -157,10 +53,16 @@ class GlobalScheduler
      * with ok=false if placement ultimately failed.
      */
     void start_kernel(const cluster::ResourceSpec& spec,
-                      StartKernelCallback callback);
+                      StartKernelCallback callback)
+    {
+        shard_.start_kernel(spec, std::move(callback));
+    }
 
     /** Terminate a kernel and release its subscriptions. */
-    void stop_kernel(cluster::KernelId kernel_id);
+    void stop_kernel(cluster::KernelId kernel_id)
+    {
+        shard_.stop_kernel(kernel_id);
+    }
 
     /**
      * Submit a cell for execution on @p kernel_id (the Fig. 5 flow).
@@ -168,142 +70,56 @@ class GlobalScheduler
      */
     void submit_execute(cluster::KernelId kernel_id, std::string code,
                         bool is_gpu, sim::Time submitted_at,
-                        ExecuteCallback callback);
+                        ExecuteCallback callback)
+    {
+        shard_.submit_execute(kernel_id, std::move(code), is_gpu,
+                              submitted_at, std::move(callback));
+    }
 
     /** @name Introspection */
     ///@{
-    cluster::Cluster& cluster() { return cluster_; }
-    const SchedulerStats& stats() const { return stats_; }
-    const std::vector<SchedulerEvent>& events() const { return events_; }
-    storage::DataStore& store() { return *store_; }
+    cluster::Cluster& cluster() { return shard_.cluster(); }
+    const SchedulerStats& stats() const { return shard_.stats(); }
+    const std::vector<SchedulerEvent>& events() const
+    {
+        return shard_.events();
+    }
+    storage::DataStore& store() { return shard_.store(); }
     const metrics::Percentiles& sync_latencies_ms() const
     {
-        return sync_latencies_ms_;
+        return shard_.sync_latencies_ms();
     }
-    double cluster_sr() const;
+    double cluster_sr() const { return shard_.cluster_sr(); }
     std::int32_t replicas_per_kernel() const
     {
-        return config_.kernel.replica_count;
+        return shard_.replicas_per_kernel();
     }
     /** Access a replica (tests / fault injection). */
     kernel::KernelReplica* replica(cluster::KernelId kernel_id,
-                                   std::int32_t index);
+                                   std::int32_t index)
+    {
+        return shard_.replica(kernel_id, index);
+    }
     /** Crash a replica (fail-stop); the health checker will replace it. */
     void inject_replica_failure(cluster::KernelId kernel_id,
-                                std::int32_t index);
+                                std::int32_t index)
+    {
+        shard_.inject_replica_failure(kernel_id, index);
+    }
     /** Number of kernels still alive. */
-    std::size_t live_kernels() const;
+    std::size_t live_kernels() const { return shard_.live_kernels(); }
     /** Device ids currently bound to a replica's execution (§3.3). */
     std::vector<std::int32_t> bound_devices(cluster::KernelId kernel_id,
-                                            std::int32_t index);
+                                            std::int32_t index)
+    {
+        return shard_.bound_devices(kernel_id, index);
+    }
+    /** The underlying single shard (sharding-equivalence tests). */
+    SchedulerShard& shard() { return shard_; }
     ///@}
 
   private:
-    struct ReplicaSlot
-    {
-        std::unique_ptr<kernel::KernelReplica> replica;
-        cluster::ServerId server = cluster::kNoServer;
-        cluster::ContainerId container = -1;
-        bool alive = false;
-        /** GPU device ids bound to the replica's current execution
-         *  (§3.3: embedded in the request metadata by the GS). */
-        std::vector<std::int32_t> bound_devices;
-    };
-
-    struct PendingExecution
-    {
-        std::string code;
-        bool is_gpu = true;
-        RequestTrace trace;
-        ExecuteCallback callback;
-        std::int32_t migration_retries = 0;
-    };
-
-    struct KernelRecord
-    {
-        cluster::KernelId id = cluster::kNoKernel;
-        cluster::ResourceSpec spec{};
-        std::vector<ReplicaSlot> slots;
-        kernel::ElectionId next_election = 1;
-        std::map<kernel::ElectionId, PendingExecution> pending;
-        std::set<kernel::ElectionId> failed_seen;
-        bool migrating = false;
-        bool alive = true;
-        /** True once all replicas started and the group elected a leader
-         *  (gates the health-checker's orphan repair). */
-        bool created = false;
-    };
-
-    struct PendingKernel
-    {
-        cluster::KernelId id;
-        cluster::ResourceSpec spec;
-        StartKernelCallback callback;
-        bool scale_out_requested = false;
-    };
-
-    void provision_server(SchedulerEvent::Kind reason);
-    void on_server_ready(cluster::ServerId id);
-    void try_place_pending_kernels();
-    void place_kernel(PendingKernel pending,
-                      const std::vector<cluster::ServerId>& servers);
-    void create_replica(KernelRecord& record, std::int32_t index,
-                        cluster::ServerId server, bool passive);
-    void install_hooks(KernelRecord& record, std::int32_t index);
-    void dispatch_execution(KernelRecord& record, kernel::ElectionId id,
-                            std::int32_t designated);
-    void on_result(cluster::KernelId kernel_id,
-                   const kernel::ExecutionResult& result);
-    void on_election_failed(cluster::KernelId kernel_id,
-                            kernel::ElectionId election);
-    void begin_migration(cluster::KernelId kernel_id,
-                         kernel::ElectionId election);
-    void continue_migration(cluster::KernelId kernel_id,
-                            kernel::ElectionId election,
-                            std::int32_t victim_index,
-                            const std::string& checkpoint);
-    void finish_migration(cluster::KernelId kernel_id,
-                          kernel::ElectionId election,
-                          std::int32_t victim_index,
-                          cluster::ServerId target,
-                          const std::string& checkpoint, bool used_prewarm);
-    void abort_execution(cluster::KernelId kernel_id,
-                         kernel::ElectionId election,
-                         const std::string& reason);
-    void run_autoscaler();
-    void run_prewarmer();
-    void run_health_check();
-    void replace_replica(cluster::KernelId kernel_id, std::int32_t index);
-    std::int32_t pick_designated(const KernelRecord& record) const;
-    sim::Time sample(sim::Time lo, sim::Time hi);
-    cluster::ServerId pick_migration_target(const KernelRecord& record);
-    void record_event(SchedulerEvent::Kind kind);
-
-    sim::Simulation& simulation_;
-    SchedulerConfig config_;
-    sim::Rng rng_;
-    net::Network network_;
-    cluster::Cluster cluster_;
-    cluster::PrewarmPool prewarm_;
-    std::unique_ptr<storage::DataStore> store_;
-    std::unique_ptr<PlacementPolicy> placement_;
-
-    std::map<cluster::KernelId, KernelRecord> kernels_;
-    std::deque<PendingKernel> pending_kernels_;
-    /** Migrations whose victim resources were already released (guards
-     *  the retry path against double release). */
-    std::set<std::pair<cluster::KernelId, kernel::ElectionId>>
-        victim_released_;
-    std::vector<std::unique_ptr<kernel::KernelReplica>> graveyard_;
-    cluster::KernelId next_kernel_id_ = 1;
-    cluster::ContainerId next_container_id_ = 1;
-    net::NodeId next_raft_id_ = 1000;
-    std::int32_t servers_provisioning_ = 0;
-
-    SchedulerStats stats_;
-    std::vector<SchedulerEvent> events_;
-    metrics::Percentiles sync_latencies_ms_;
-    bool started_ = false;
+    SchedulerShard shard_;
 };
 
 }  // namespace nbos::sched

@@ -1,4 +1,4 @@
-#include "sched/global_scheduler.hpp"
+#include "sched/shard.hpp"
 
 #include <algorithm>
 #include <cassert>
@@ -32,26 +32,35 @@ checkpoint_bytes(const nblang::Namespace& ns)
 
 }  // namespace
 
-GlobalScheduler::GlobalScheduler(sim::Simulation& simulation,
-                                 SchedulerConfig config, std::uint64_t seed)
+SchedulerShard::SchedulerShard(sim::Simulation& simulation,
+                               SchedulerConfig config, std::uint64_t seed,
+                               ShardIdentity identity)
     : simulation_(simulation),
       config_(config),
+      identity_(identity),
       rng_(seed),
       network_(simulation, sim::Rng(seed ^ 0x5bd1e995)),
       cluster_(config.server_shape),
       prewarm_(config.prewarm_per_server),
       store_(std::make_unique<storage::DataStore>(
           simulation, config.store_backend, sim::Rng(seed ^ 0x9e3779b9))),
-      placement_(std::make_unique<LeastLoadedPolicy>(config.sr_watermark))
+      placement_(std::make_unique<LeastLoadedPolicy>(config.sr_watermark)),
+      // Disjoint kernel-id progression per shard: index + 1, stepping by
+      // the shard count, so ids are globally unique and (kernel_id - 1)
+      // mod count recovers the owning shard. {0, 1} yields 1, 2, 3, ... —
+      // the monolithic scheduler's sequence.
+      next_kernel_id_(identity.index + 1)
 {
     // Keep the kernel-level replica count and the scheduler's R in sync.
     assert(config_.kernel.replica_count >= 1);
+    assert(identity_.count >= 1 && identity_.index >= 0 &&
+           identity_.index < identity_.count);
 }
 
-GlobalScheduler::~GlobalScheduler() = default;
+SchedulerShard::~SchedulerShard() = default;
 
 sim::Time
-GlobalScheduler::sample(sim::Time lo, sim::Time hi)
+SchedulerShard::sample(sim::Time lo, sim::Time hi)
 {
     if (hi <= lo) {
         return lo;
@@ -60,20 +69,24 @@ GlobalScheduler::sample(sim::Time lo, sim::Time hi)
 }
 
 void
-GlobalScheduler::record_event(SchedulerEvent::Kind kind)
+SchedulerShard::record_event(SchedulerEvent::Kind kind)
 {
     events_.push_back(SchedulerEvent{kind, simulation_.now()});
 }
 
 void
-GlobalScheduler::start()
+SchedulerShard::start()
 {
     if (started_) {
         return;
     }
     started_ = true;
-    // The initial fleet exists from t=0 (experiments begin with a cluster).
-    for (std::int32_t i = 0; i < config_.initial_servers; ++i) {
+    // The initial fleet exists from t=0 (experiments begin with a
+    // cluster); a shard owns its round-robin share of the configured
+    // servers (all of them for the monolithic identity {0, 1}).
+    const std::int32_t initial =
+        identity_.share_of(config_.initial_servers);
+    for (std::int32_t i = 0; i < initial; ++i) {
         cluster::GpuServer& server = cluster_.add_server();
         prewarm_.register_server(server.id());
     }
@@ -87,14 +100,14 @@ GlobalScheduler::start()
 }
 
 double
-GlobalScheduler::cluster_sr() const
+SchedulerShard::cluster_sr() const
 {
     return cluster_.cluster_subscription_ratio(
         config_.kernel.replica_count);
 }
 
 std::vector<std::int32_t>
-GlobalScheduler::bound_devices(cluster::KernelId kernel_id,
+SchedulerShard::bound_devices(cluster::KernelId kernel_id,
                                std::int32_t index)
 {
     const auto it = kernels_.find(kernel_id);
@@ -106,7 +119,7 @@ GlobalScheduler::bound_devices(cluster::KernelId kernel_id,
 }
 
 std::size_t
-GlobalScheduler::live_kernels() const
+SchedulerShard::live_kernels() const
 {
     std::size_t count = 0;
     for (const auto& [id, record] : kernels_) {
@@ -118,7 +131,7 @@ GlobalScheduler::live_kernels() const
 }
 
 kernel::KernelReplica*
-GlobalScheduler::replica(cluster::KernelId kernel_id, std::int32_t index)
+SchedulerShard::replica(cluster::KernelId kernel_id, std::int32_t index)
 {
     const auto it = kernels_.find(kernel_id);
     if (it == kernels_.end() || index < 0 ||
@@ -129,7 +142,7 @@ GlobalScheduler::replica(cluster::KernelId kernel_id, std::int32_t index)
 }
 
 void
-GlobalScheduler::inject_replica_failure(cluster::KernelId kernel_id,
+SchedulerShard::inject_replica_failure(cluster::KernelId kernel_id,
                                         std::int32_t index)
 {
     kernel::KernelReplica* target = replica(kernel_id, index);
@@ -139,7 +152,7 @@ GlobalScheduler::inject_replica_failure(cluster::KernelId kernel_id,
 }
 
 void
-GlobalScheduler::provision_server(SchedulerEvent::Kind reason)
+SchedulerShard::provision_server(SchedulerEvent::Kind reason)
 {
     ++servers_provisioning_;
     record_event(reason);
@@ -157,18 +170,19 @@ GlobalScheduler::provision_server(SchedulerEvent::Kind reason)
 }
 
 void
-GlobalScheduler::on_server_ready(cluster::ServerId id)
+SchedulerShard::on_server_ready(cluster::ServerId id)
 {
     (void)id;
     try_place_pending_kernels();
 }
 
 void
-GlobalScheduler::start_kernel(const cluster::ResourceSpec& spec,
+SchedulerShard::start_kernel(const cluster::ResourceSpec& spec,
                               StartKernelCallback callback)
 {
     PendingKernel pending;
-    pending.id = next_kernel_id_++;
+    pending.id = next_kernel_id_;
+    next_kernel_id_ += identity_.count;
     pending.spec = spec;
     pending.callback = std::move(callback);
     pending_kernels_.push_back(std::move(pending));
@@ -177,7 +191,7 @@ GlobalScheduler::start_kernel(const cluster::ResourceSpec& spec,
 }
 
 void
-GlobalScheduler::try_place_pending_kernels()
+SchedulerShard::try_place_pending_kernels()
 {
     while (!pending_kernels_.empty()) {
         PendingKernel& front = pending_kernels_.front();
@@ -204,7 +218,7 @@ GlobalScheduler::try_place_pending_kernels()
 }
 
 void
-GlobalScheduler::place_kernel(PendingKernel pending,
+SchedulerShard::place_kernel(PendingKernel pending,
                               const std::vector<cluster::ServerId>& servers)
 {
     KernelRecord& record = kernels_[pending.id];
@@ -262,9 +276,14 @@ GlobalScheduler::place_kernel(PendingKernel pending,
                     }
                     const cluster::KernelId kid = rec.id;
                     auto tries = std::make_shared<int>(0);
-                    // Poll every 200 ms until a Raft leader emerges.
+                    // Poll every 200 ms until a Raft leader emerges. The
+                    // poller function must not capture its own shared_ptr
+                    // (a refcount cycle leaks it); each scheduled
+                    // continuation holds the strong reference instead.
                     auto poller = std::make_shared<std::function<void()>>();
-                    *poller = [this, kid, callback, tries, poller] {
+                    std::weak_ptr<std::function<void()>> weak_poller =
+                        poller;
+                    *poller = [this, kid, callback, tries, weak_poller] {
                         const auto kit = kernels_.find(kid);
                         if (kit == kernels_.end() || !kit->second.alive) {
                             (*callback)(kid, false);
@@ -287,8 +306,11 @@ GlobalScheduler::place_kernel(PendingKernel pending,
                             (*callback)(kid, true);
                             return;
                         }
-                        simulation_.schedule_after(200 * sim::kMillisecond,
-                                                   *poller);
+                        if (auto self = weak_poller.lock()) {
+                            simulation_.schedule_after(
+                                200 * sim::kMillisecond,
+                                [self] { (*self)(); });
+                        }
                     };
                     (*poller)();
                 }
@@ -297,7 +319,7 @@ GlobalScheduler::place_kernel(PendingKernel pending,
 }
 
 void
-GlobalScheduler::create_replica(KernelRecord& record, std::int32_t index,
+SchedulerShard::create_replica(KernelRecord& record, std::int32_t index,
                                 cluster::ServerId server, bool passive)
 {
     // Allocate Raft endpoints lazily but deterministically: founding
@@ -351,7 +373,7 @@ GlobalScheduler::create_replica(KernelRecord& record, std::int32_t index,
 }
 
 void
-GlobalScheduler::install_hooks(KernelRecord& record, std::int32_t index)
+SchedulerShard::install_hooks(KernelRecord& record, std::int32_t index)
 {
     const cluster::KernelId kernel_id = record.id;
     kernel::KernelReplica::Hooks hooks;
@@ -402,7 +424,7 @@ GlobalScheduler::install_hooks(KernelRecord& record, std::int32_t index)
 }
 
 void
-GlobalScheduler::stop_kernel(cluster::KernelId kernel_id)
+SchedulerShard::stop_kernel(cluster::KernelId kernel_id)
 {
     const auto it = kernels_.find(kernel_id);
     if (it == kernels_.end() || !it->second.alive) {
@@ -427,7 +449,7 @@ GlobalScheduler::stop_kernel(cluster::KernelId kernel_id)
 }
 
 std::int32_t
-GlobalScheduler::pick_designated(const KernelRecord& record) const
+SchedulerShard::pick_designated(const KernelRecord& record) const
 {
     std::int32_t last_executor = -1;
     for (const auto& slot : record.slots) {
@@ -462,7 +484,7 @@ GlobalScheduler::pick_designated(const KernelRecord& record) const
 }
 
 void
-GlobalScheduler::submit_execute(cluster::KernelId kernel_id,
+SchedulerShard::submit_execute(cluster::KernelId kernel_id,
                                 std::string code, bool is_gpu,
                                 sim::Time submitted_at,
                                 ExecuteCallback callback)
@@ -525,7 +547,7 @@ GlobalScheduler::submit_execute(cluster::KernelId kernel_id,
 }
 
 void
-GlobalScheduler::dispatch_execution(KernelRecord& record,
+SchedulerShard::dispatch_execution(KernelRecord& record,
                                     kernel::ElectionId election,
                                     std::int32_t designated)
 {
@@ -565,7 +587,7 @@ GlobalScheduler::dispatch_execution(KernelRecord& record,
 }
 
 void
-GlobalScheduler::on_result(cluster::KernelId kernel_id,
+SchedulerShard::on_result(cluster::KernelId kernel_id,
                            const kernel::ExecutionResult& result)
 {
     const auto it = kernels_.find(kernel_id);
@@ -614,7 +636,7 @@ GlobalScheduler::on_result(cluster::KernelId kernel_id,
 }
 
 void
-GlobalScheduler::on_election_failed(cluster::KernelId kernel_id,
+SchedulerShard::on_election_failed(cluster::KernelId kernel_id,
                                     kernel::ElectionId election)
 {
     const auto it = kernels_.find(kernel_id);
@@ -633,7 +655,7 @@ GlobalScheduler::on_election_failed(cluster::KernelId kernel_id,
 }
 
 void
-GlobalScheduler::begin_migration(cluster::KernelId kernel_id,
+SchedulerShard::begin_migration(cluster::KernelId kernel_id,
                                  kernel::ElectionId election)
 {
     const auto it = kernels_.find(kernel_id);
@@ -687,7 +709,7 @@ GlobalScheduler::begin_migration(cluster::KernelId kernel_id,
 }
 
 cluster::ServerId
-GlobalScheduler::pick_migration_target(const KernelRecord& record)
+SchedulerShard::pick_migration_target(const KernelRecord& record)
 {
     std::set<cluster::ServerId> occupied;
     for (const ReplicaSlot& slot : record.slots) {
@@ -711,7 +733,7 @@ GlobalScheduler::pick_migration_target(const KernelRecord& record)
 }
 
 void
-GlobalScheduler::continue_migration(cluster::KernelId kernel_id,
+SchedulerShard::continue_migration(cluster::KernelId kernel_id,
                                     kernel::ElectionId election,
                                     std::int32_t victim_index,
                                     const std::string& checkpoint)
@@ -795,7 +817,7 @@ GlobalScheduler::continue_migration(cluster::KernelId kernel_id,
 }
 
 void
-GlobalScheduler::finish_migration(cluster::KernelId kernel_id,
+SchedulerShard::finish_migration(cluster::KernelId kernel_id,
                                   kernel::ElectionId election,
                                   std::int32_t victim_index,
                                   cluster::ServerId target,
@@ -817,10 +839,14 @@ GlobalScheduler::finish_migration(cluster::KernelId kernel_id,
     graveyard_.push_back(std::move(victim_slot.replica));
     victim_slot.alive = false;
 
-    // Ask the surviving majority to drop the old member.
+    // Ask the surviving majority to drop the old member. (As with every
+    // retry chain here, the function captures itself weakly: the pending
+    // continuation event owns the strong reference, so the chain frees
+    // itself when it stops rescheduling.)
     auto try_remove = std::make_shared<std::function<void(int)>>();
+    std::weak_ptr<std::function<void(int)>> weak_remove = try_remove;
     *try_remove = [this, kernel_id, election, victim_index, target,
-                   checkpoint, victim_raft_id, try_remove](int tries) {
+                   checkpoint, victim_raft_id, weak_remove](int tries) {
         const auto kit = kernels_.find(kernel_id);
         if (kit == kernels_.end() || !kit->second.alive) {
             return;
@@ -880,8 +906,10 @@ GlobalScheduler::finish_migration(cluster::KernelId kernel_id,
                     // Add the new member, then wait for the config commit.
                     auto try_add =
                         std::make_shared<std::function<void(int)>>();
+                    std::weak_ptr<std::function<void(int)>> weak_add =
+                        try_add;
                     *try_add = [this, kernel_id, election, victim_index,
-                                new_id, try_add](int tries2) {
+                                new_id, weak_add](int tries2) {
                         const auto kit3 = kernels_.find(kernel_id);
                         if (kit3 == kernels_.end() || !kit3->second.alive) {
                             return;
@@ -952,9 +980,11 @@ GlobalScheduler::finish_migration(cluster::KernelId kernel_id,
                                             "migration: add-member timeout");
                             return;
                         }
-                        simulation_.schedule_after(
-                            200 * sim::kMillisecond,
-                            [try_add, tries2] { (*try_add)(tries2 + 1); });
+                        if (auto self = weak_add.lock()) {
+                            simulation_.schedule_after(
+                                200 * sim::kMillisecond,
+                                [self, tries2] { (*self)(tries2 + 1); });
+                        }
                     };
                     (*try_add)(0);
                 });
@@ -979,15 +1009,17 @@ GlobalScheduler::finish_migration(cluster::KernelId kernel_id,
                             "migration: remove-member timeout");
             return;
         }
-        simulation_.schedule_after(
-            200 * sim::kMillisecond,
-            [try_remove, tries] { (*try_remove)(tries + 1); });
+        if (auto self = weak_remove.lock()) {
+            simulation_.schedule_after(
+                200 * sim::kMillisecond,
+                [self, tries] { (*self)(tries + 1); });
+        }
     };
     (*try_remove)(0);
 }
 
 void
-GlobalScheduler::abort_execution(cluster::KernelId kernel_id,
+SchedulerShard::abort_execution(cluster::KernelId kernel_id,
                                  kernel::ElectionId election,
                                  const std::string& reason)
 {
@@ -1021,7 +1053,7 @@ GlobalScheduler::abort_execution(cluster::KernelId kernel_id,
 }
 
 void
-GlobalScheduler::run_autoscaler()
+SchedulerShard::run_autoscaler()
 {
     AutoScalerInputs inputs;
     inputs.committed_gpus = cluster_.total_committed_gpus();
@@ -1061,7 +1093,7 @@ GlobalScheduler::run_autoscaler()
 }
 
 void
-GlobalScheduler::run_prewarmer()
+SchedulerShard::run_prewarmer()
 {
     for (const auto& [id, server] : cluster_.servers()) {
         const std::int32_t deficit = prewarm_.deficit(id);
@@ -1080,7 +1112,7 @@ GlobalScheduler::run_prewarmer()
 }
 
 void
-GlobalScheduler::run_health_check()
+SchedulerShard::run_health_check()
 {
     for (auto& [kernel_id, record] : kernels_) {
         if (!record.alive) {
@@ -1111,7 +1143,7 @@ GlobalScheduler::run_health_check()
 }
 
 void
-GlobalScheduler::replace_replica(cluster::KernelId kernel_id,
+SchedulerShard::replace_replica(cluster::KernelId kernel_id,
                                  std::int32_t index)
 {
     const auto it = kernels_.find(kernel_id);
@@ -1203,8 +1235,9 @@ GlobalScheduler::replace_replica(cluster::KernelId kernel_id,
 
         const net::NodeId new_id = rec.slots[index].replica->raft().id();
         auto reconfig = std::make_shared<std::function<void(int)>>();
+        std::weak_ptr<std::function<void(int)>> weak_reconfig = reconfig;
         *reconfig = [this, kernel_id, dead_raft_id, new_id,
-                     reconfig](int tries) {
+                     weak_reconfig](int tries) {
             const auto kit2 = kernels_.find(kernel_id);
             if (kit2 == kernels_.end() || !kit2->second.alive ||
                 tries > 600) {
@@ -1238,9 +1271,11 @@ GlobalScheduler::replace_replica(cluster::KernelId kernel_id,
                     leader->propose_add_member(new_id);
                 }
             }
-            simulation_.schedule_after(
-                200 * sim::kMillisecond,
-                [reconfig, tries] { (*reconfig)(tries + 1); });
+            if (auto self = weak_reconfig.lock()) {
+                simulation_.schedule_after(
+                    200 * sim::kMillisecond,
+                    [self, tries] { (*self)(tries + 1); });
+            }
         };
         (*reconfig)(0);
     });

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * One scheduler shard: the complete per-server/per-session scheduling
+ * engine previously embedded in the monolithic GlobalScheduler — kernel
+ * creation, execute routing through per-server Local Schedulers, yield
+ * conversion, migration on failed elections (§3.2.3), the pre-warmed
+ * container pool, replica failure detection (§3.2.5), and the §3.4.2
+ * auto-scaler — owning a disjoint slice of the fleet and of the session
+ * space.
+ *
+ * A shard shares no mutable state with its siblings: it has its own
+ * network, cluster slice, pre-warm pool, data store, placement policy,
+ * and RNG streams, and it advances exclusively on the sim::Simulation it
+ * was constructed with. That isolation is what lets the
+ * ShardedGlobalScheduler run shard event loops on parallel threads with
+ * bit-identical results to a serial sweep.
+ */
+#ifndef NBOS_SCHED_SHARD_HPP
+#define NBOS_SCHED_SHARD_HPP
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "kernel/replica.hpp"
+#include "metrics/percentiles.hpp"
+#include "net/network.hpp"
+#include "sched/placement.hpp"
+#include "sched/scheduler_types.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+#include "storage/datastore.hpp"
+
+namespace nbos::sched {
+
+/**
+ * A shard's position in the fleet: shard @p index of @p count.
+ *
+ * It fixes the shard's disjoint kernel-id arithmetic progression
+ * (index + 1, index + 1 + count, ...) and its round-robin share of
+ * SchedulerConfig::initial_servers. The default identity {0, 1} makes the
+ * shard byte-identical to the pre-sharding monolithic scheduler.
+ */
+struct ShardIdentity
+{
+    std::int32_t index = 0;
+    std::int32_t count = 1;
+
+    /** Round-robin share of @p total servers owned by this shard. */
+    std::int32_t share_of(std::int32_t total) const
+    {
+        if (total <= 0 || count <= 1) {
+            return total;
+        }
+        return total / count + (index < total % count ? 1 : 0);
+    }
+};
+
+/**
+ * The per-shard Global Scheduler engine plus the per-server Local
+ * Scheduler logic. (Local Schedulers are thin per-server agents; their
+ * provisioning and forwarding behaviour is modelled here with explicit
+ * hop/processing delays.)
+ */
+class SchedulerShard
+{
+  public:
+    using ExecuteCallback = std::function<void(
+        const kernel::ExecutionResult&, const RequestTrace&)>;
+    using StartKernelCallback =
+        std::function<void(cluster::KernelId, bool ok)>;
+
+    SchedulerShard(sim::Simulation& simulation, SchedulerConfig config,
+                   std::uint64_t seed, ShardIdentity identity = {});
+    ~SchedulerShard();
+
+    SchedulerShard(const SchedulerShard&) = delete;
+    SchedulerShard& operator=(const SchedulerShard&) = delete;
+
+    /** Provision the shard's initial fleet and start periodic services. */
+    void start();
+
+    /**
+     * Create a distributed kernel with @p spec (§3.2.1). The callback
+     * fires once all replicas run and their Raft group has a leader, or
+     * with ok=false if placement ultimately failed.
+     */
+    void start_kernel(const cluster::ResourceSpec& spec,
+                      StartKernelCallback callback);
+
+    /** Terminate a kernel and release its subscriptions. */
+    void stop_kernel(cluster::KernelId kernel_id);
+
+    /**
+     * Submit a cell for execution on @p kernel_id (the Fig. 5 flow).
+     * @param submitted_at client-side submission timestamp.
+     */
+    void submit_execute(cluster::KernelId kernel_id, std::string code,
+                        bool is_gpu, sim::Time submitted_at,
+                        ExecuteCallback callback);
+
+    /** @name Introspection */
+    ///@{
+    sim::Simulation& simulation() { return simulation_; }
+    const ShardIdentity& identity() const { return identity_; }
+    cluster::Cluster& cluster() { return cluster_; }
+    const cluster::Cluster& cluster() const { return cluster_; }
+    const SchedulerStats& stats() const { return stats_; }
+    const std::vector<SchedulerEvent>& events() const { return events_; }
+    storage::DataStore& store() { return *store_; }
+    const storage::DataStore& store() const { return *store_; }
+    const metrics::Percentiles& sync_latencies_ms() const
+    {
+        return sync_latencies_ms_;
+    }
+    double cluster_sr() const;
+    std::int32_t replicas_per_kernel() const
+    {
+        return config_.kernel.replica_count;
+    }
+    /** Access a replica (tests / fault injection). */
+    kernel::KernelReplica* replica(cluster::KernelId kernel_id,
+                                   std::int32_t index);
+    /** Crash a replica (fail-stop); the health checker will replace it. */
+    void inject_replica_failure(cluster::KernelId kernel_id,
+                                std::int32_t index);
+    /** Number of kernels still alive. */
+    std::size_t live_kernels() const;
+    /** Device ids currently bound to a replica's execution (§3.3). */
+    std::vector<std::int32_t> bound_devices(cluster::KernelId kernel_id,
+                                            std::int32_t index);
+    ///@}
+
+  private:
+    struct ReplicaSlot
+    {
+        std::unique_ptr<kernel::KernelReplica> replica;
+        cluster::ServerId server = cluster::kNoServer;
+        cluster::ContainerId container = -1;
+        bool alive = false;
+        /** GPU device ids bound to the replica's current execution
+         *  (§3.3: embedded in the request metadata by the GS). */
+        std::vector<std::int32_t> bound_devices;
+    };
+
+    struct PendingExecution
+    {
+        std::string code;
+        bool is_gpu = true;
+        RequestTrace trace;
+        ExecuteCallback callback;
+        std::int32_t migration_retries = 0;
+    };
+
+    struct KernelRecord
+    {
+        cluster::KernelId id = cluster::kNoKernel;
+        cluster::ResourceSpec spec{};
+        std::vector<ReplicaSlot> slots;
+        kernel::ElectionId next_election = 1;
+        std::map<kernel::ElectionId, PendingExecution> pending;
+        std::set<kernel::ElectionId> failed_seen;
+        bool migrating = false;
+        bool alive = true;
+        /** True once all replicas started and the group elected a leader
+         *  (gates the health-checker's orphan repair). */
+        bool created = false;
+    };
+
+    struct PendingKernel
+    {
+        cluster::KernelId id;
+        cluster::ResourceSpec spec;
+        StartKernelCallback callback;
+        bool scale_out_requested = false;
+    };
+
+    void provision_server(SchedulerEvent::Kind reason);
+    void on_server_ready(cluster::ServerId id);
+    void try_place_pending_kernels();
+    void place_kernel(PendingKernel pending,
+                      const std::vector<cluster::ServerId>& servers);
+    void create_replica(KernelRecord& record, std::int32_t index,
+                        cluster::ServerId server, bool passive);
+    void install_hooks(KernelRecord& record, std::int32_t index);
+    void dispatch_execution(KernelRecord& record, kernel::ElectionId id,
+                            std::int32_t designated);
+    void on_result(cluster::KernelId kernel_id,
+                   const kernel::ExecutionResult& result);
+    void on_election_failed(cluster::KernelId kernel_id,
+                            kernel::ElectionId election);
+    void begin_migration(cluster::KernelId kernel_id,
+                         kernel::ElectionId election);
+    void continue_migration(cluster::KernelId kernel_id,
+                            kernel::ElectionId election,
+                            std::int32_t victim_index,
+                            const std::string& checkpoint);
+    void finish_migration(cluster::KernelId kernel_id,
+                          kernel::ElectionId election,
+                          std::int32_t victim_index,
+                          cluster::ServerId target,
+                          const std::string& checkpoint, bool used_prewarm);
+    void abort_execution(cluster::KernelId kernel_id,
+                         kernel::ElectionId election,
+                         const std::string& reason);
+    void run_autoscaler();
+    void run_prewarmer();
+    void run_health_check();
+    void replace_replica(cluster::KernelId kernel_id, std::int32_t index);
+    std::int32_t pick_designated(const KernelRecord& record) const;
+    sim::Time sample(sim::Time lo, sim::Time hi);
+    cluster::ServerId pick_migration_target(const KernelRecord& record);
+    void record_event(SchedulerEvent::Kind kind);
+
+    sim::Simulation& simulation_;
+    SchedulerConfig config_;
+    ShardIdentity identity_;
+    sim::Rng rng_;
+    net::Network network_;
+    cluster::Cluster cluster_;
+    cluster::PrewarmPool prewarm_;
+    std::unique_ptr<storage::DataStore> store_;
+    std::unique_ptr<PlacementPolicy> placement_;
+
+    std::map<cluster::KernelId, KernelRecord> kernels_;
+    std::deque<PendingKernel> pending_kernels_;
+    /** Migrations whose victim resources were already released (guards
+     *  the retry path against double release). */
+    std::set<std::pair<cluster::KernelId, kernel::ElectionId>>
+        victim_released_;
+    std::vector<std::unique_ptr<kernel::KernelReplica>> graveyard_;
+    cluster::KernelId next_kernel_id_;
+    cluster::ContainerId next_container_id_ = 1;
+    net::NodeId next_raft_id_ = 1000;
+    std::int32_t servers_provisioning_ = 0;
+
+    SchedulerStats stats_;
+    std::vector<SchedulerEvent> events_;
+    metrics::Percentiles sync_latencies_ms_;
+    bool started_ = false;
+};
+
+}  // namespace nbos::sched
+
+#endif  // NBOS_SCHED_SHARD_HPP

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic session -> shard routing for the sharded Global Scheduler.
+ *
+ * The route must be stable across runs, seeds, platforms, and process
+ * restarts (a session's kernel lives on exactly one shard for its whole
+ * life), so it is a pure function of the session id and the shard count:
+ * a splitmix64 finalizer over the id, reduced modulo the shard count.
+ */
+#ifndef NBOS_SCHED_SHARD_ROUTER_HPP
+#define NBOS_SCHED_SHARD_ROUTER_HPP
+
+#include <cstdint>
+
+namespace nbos::sched {
+
+/** splitmix64 finalizer: a strong, cheap, portable 64-bit mix. */
+constexpr std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * Stable hash router: session id -> shard index in [0, shards).
+ *
+ * Seed-independent by design — re-running an experiment with a different
+ * RNG seed (or sweeping seeds) keeps every session on the same shard, so
+ * seed sweeps compare like against like.
+ */
+class ShardRouter
+{
+  public:
+    /** @param shards shard count (clamped to >= 1). */
+    explicit ShardRouter(std::int32_t shards)
+        : shards_(shards < 1 ? 1 : shards)
+    {
+    }
+
+    std::int32_t shards() const { return shards_; }
+
+    /** Shard owning @p session_id. Pure and stable: equal ids always map
+     *  to equal shards for a given shard count. */
+    std::size_t shard_of(std::int64_t session_id) const
+    {
+        if (shards_ == 1) {
+            return 0;
+        }
+        return static_cast<std::size_t>(
+            splitmix64(static_cast<std::uint64_t>(session_id)) %
+            static_cast<std::uint64_t>(shards_));
+    }
+
+  private:
+    std::int32_t shards_;
+};
+
+}  // namespace nbos::sched
+
+#endif  // NBOS_SCHED_SHARD_ROUTER_HPP

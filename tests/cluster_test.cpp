@@ -206,13 +206,17 @@ TEST(ClusterTest, AddRemoveServers)
     Cluster cluster;
     GpuServer& a = cluster.add_server();
     GpuServer& b = cluster.add_server();
-    EXPECT_NE(a.id(), b.id());
+    // remove_server frees the GpuServer, so take the ids before: touching
+    // `a` after removal is a use-after-free (caught by the ASan CI job).
+    const ServerId a_id = a.id();
+    const ServerId b_id = b.id();
+    EXPECT_NE(a_id, b_id);
     EXPECT_EQ(cluster.size(), 2u);
-    EXPECT_TRUE(cluster.remove_server(a.id()));
-    EXPECT_FALSE(cluster.remove_server(a.id()));
+    EXPECT_TRUE(cluster.remove_server(a_id));
+    EXPECT_FALSE(cluster.remove_server(a_id));
     EXPECT_EQ(cluster.size(), 1u);
-    EXPECT_EQ(cluster.find(a.id()), nullptr);
-    EXPECT_NE(cluster.find(b.id()), nullptr);
+    EXPECT_EQ(cluster.find(a_id), nullptr);
+    EXPECT_NE(cluster.find(b_id), nullptr);
 }
 
 TEST(ClusterTest, TotalsAggregate)

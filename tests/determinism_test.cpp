@@ -360,5 +360,35 @@ TEST(DeterminismTest, SeedSweepAggregateMatchesGolden)
     }
 }
 
+/** The sharded prototype engine is deterministic too: same seed, same
+ *  shard count -> bit-identical results. */
+TEST(DeterminismTest, ShardedPrototypeSameSeedBitIdentical)
+{
+    const auto trace = test::tiny_trace(8, 2 * sim::kHour);
+    core::PlatformConfig config =
+        test::platform_config(core::Policy::kNotebookOS, /*seed=*/33);
+    config.scheduler.shards = 3;
+    const auto a = core::Platform(config).run(trace);
+    const auto b = core::Platform(config).run(trace);
+    test::expect_results_identical(a, b);
+}
+
+/** Shards share no mutable state, so running the shard event loops on
+ *  parallel threads inside each lockstep window must be bit-identical to
+ *  sweeping them serially — the sharding analogue of
+ *  RunnerParallelExecutionBitIdenticalToSerial. */
+TEST(DeterminismTest, ShardedPrototypeParallelBitIdenticalToSerial)
+{
+    const auto trace = test::tiny_trace(8, 2 * sim::kHour);
+    core::PlatformConfig config =
+        test::platform_config(core::Policy::kNotebookOS, /*seed=*/11);
+    config.scheduler.shards = 4;
+    config.scheduler.shard_parallel = true;
+    const auto parallel = core::Platform(config).run(trace);
+    config.scheduler.shard_parallel = false;
+    const auto serial = core::Platform(config).run(trace);
+    test::expect_results_identical(parallel, serial);
+}
+
 }  // namespace
 }  // namespace nbos

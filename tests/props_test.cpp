@@ -17,6 +17,7 @@
 #include "harness.hpp"
 #include "metrics/percentiles.hpp"
 #include "metrics/stats.hpp"
+#include "sched/sharded_scheduler.hpp"
 
 namespace nbos {
 namespace {
@@ -183,6 +184,150 @@ TEST(RunStatsProperty, CiShrinksAsNGrows)
                 ASSERT_LT(ci, previous_ci) << "n=" << n;
             }
             previous_ci = ci;
+        }
+    });
+}
+
+/**
+ * Sharding invariant: on a well-provisioned fleet (every shard slice can
+ * host every kernel that hashes to it, autoscaler off, cell submissions
+ * within a session spaced far enough apart that millisecond-scale latency
+ * jitter cannot overlap them), the merged SchedulerStats are independent
+ * of the shard count — partitioning the session space must not create or
+ * destroy work. Random session/cell layouts probe the property; any
+ * contention-coupling bug between shards (shared RNG, id collisions,
+ * cross-shard routing) breaks the equality.
+ */
+TEST(ShardedSchedulerProperty, TotalStatsIndependentOfShardCount)
+{
+    test::check_property(3, [](sim::Rng& rng, std::size_t) {
+        // A random mini-workload: sessions with distinct ids, 1-2 GPUs,
+        // and 1-3 cells spaced >= 60 s apart.
+        struct Cell
+        {
+            sim::Time at;
+            bool is_gpu;
+            sim::Time duration_s;
+        };
+        struct Session
+        {
+            std::int64_t id;
+            std::int32_t gpus;
+            std::vector<Cell> cells;
+        };
+        std::vector<Session> sessions;
+        const auto session_count =
+            static_cast<std::size_t>(3 + rng.uniform_int(0, 4));
+        for (std::size_t i = 0; i < session_count; ++i) {
+            Session session;
+            session.id =
+                static_cast<std::int64_t>(100 + rng.uniform_int(0, 5000)) +
+                static_cast<std::int64_t>(i) * 10000;
+            session.gpus = static_cast<std::int32_t>(rng.uniform_int(1, 2));
+            const auto cells = 1 + rng.uniform_int(0, 2);
+            sim::Time at = 200 * sim::kSecond +
+                           rng.uniform_int(0, 30) * sim::kSecond;
+            for (std::int64_t c = 0; c < cells; ++c) {
+                Cell cell;
+                cell.at = at;
+                cell.is_gpu = rng.uniform_int(0, 3) != 0;
+                cell.duration_s = rng.uniform_int(2, 6);
+                session.cells.push_back(cell);
+                at += 60 * sim::kSecond + rng.uniform_int(0, 20) * sim::kSecond;
+            }
+            sessions.push_back(std::move(session));
+        }
+
+        sched::SchedulerStats reference{};
+        bool have_reference = false;
+        for (const std::int32_t shards : {1, 2, 4}) {
+            SCOPED_TRACE("shards=" + std::to_string(shards));
+            sched::SchedulerConfig config;
+            // Ample, evenly divisible fleet: every shard slice (12/4 = 3
+            // servers minimum) can host a 3-replica kernel outright.
+            config.initial_servers = 12;
+            config.enable_autoscaler = false;
+            config.shards = shards;
+            // Test bookkeeping below is shared across shards: keep the
+            // windows serial (parallel bit-identity is determinism_test's
+            // job).
+            config.shard_parallel = false;
+            config.kernel.raft.election_timeout_min =
+                150 * sim::kMillisecond;
+            config.kernel.raft.election_timeout_max =
+                300 * sim::kMillisecond;
+            config.kernel.raft.heartbeat_interval = 50 * sim::kMillisecond;
+            config.kernel.raft.snapshot_threshold = 16;
+            sched::ShardedGlobalScheduler scheduler(config, 7);
+            scheduler.start();
+
+            std::map<std::int64_t, cluster::KernelId> kernels;
+            for (const Session& session : sessions) {
+                const cluster::ResourceSpec spec{
+                    4000 * session.gpus, 16384LL * session.gpus,
+                    session.gpus, 16.0 * session.gpus};
+                scheduler.start_kernel(
+                    session.id, spec,
+                    [&kernels, &session](cluster::KernelId id, bool ok) {
+                        ASSERT_TRUE(ok)
+                            << "session " << session.id << " not placed";
+                        kernels[session.id] = id;
+                    });
+            }
+            scheduler.run_until(180 * sim::kSecond);
+            ASSERT_EQ(kernels.size(), sessions.size());
+
+            sim::Time horizon = 0;
+            std::size_t completed = 0;
+            for (const Session& session : sessions) {
+                const std::size_t shard =
+                    scheduler.shard_of(session.id);
+                for (const Cell& cell : session.cells) {
+                    const std::string code =
+                        (cell.is_gpu ? "gpu_compute(" : "cpu_compute(") +
+                        std::to_string(cell.duration_s) + ")";
+                    horizon = std::max(horizon, cell.at);
+                    scheduler.simulation(shard).schedule_at(
+                        cell.at,
+                        [&scheduler, &kernels, &completed, &session, code,
+                         cell] {
+                            scheduler.submit_execute(
+                                kernels.at(session.id), code, cell.is_gpu,
+                                scheduler
+                                    .simulation(scheduler.shard_of(
+                                        session.id))
+                                    .now(),
+                                [&completed](
+                                    const kernel::ExecutionResult& r,
+                                    const sched::RequestTrace&) {
+                                    EXPECT_EQ(
+                                        r.status,
+                                        kernel::ExecutionStatus::kOk);
+                                    ++completed;
+                                });
+                        });
+                }
+            }
+            scheduler.run_until(horizon + 600 * sim::kSecond);
+
+            std::size_t total_cells = 0;
+            for (const Session& session : sessions) {
+                total_cells += session.cells.size();
+            }
+            ASSERT_EQ(completed, total_cells);
+            const sched::SchedulerStats merged = scheduler.stats();
+            if (!have_reference) {
+                reference = merged;
+                have_reference = true;
+            } else {
+                EXPECT_TRUE(merged == reference)
+                    << "total SchedulerStats changed with the shard "
+                       "count (completed="
+                    << merged.executions_completed << " vs "
+                    << reference.executions_completed << ", yields="
+                    << merged.yield_conversions << " vs "
+                    << reference.yield_conversions << ")";
+            }
         }
     });
 }

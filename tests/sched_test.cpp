@@ -11,6 +11,8 @@
 #include "sched/autoscaler.hpp"
 #include "sched/global_scheduler.hpp"
 #include "sched/placement.hpp"
+#include "sched/shard_router.hpp"
+#include "sched/sharded_scheduler.hpp"
 #include "sim/simulation.hpp"
 
 namespace nbos::sched {
@@ -868,6 +870,228 @@ TEST(GlobalSchedulerTest, EventsRecorded)
         }
     }
     EXPECT_TRUE(created);
+}
+
+/** The route is a pure function of (session id, shard count): identical
+ *  across router instances, repeated calls, and — because it never touches
+ *  an RNG — across runs and seeds. */
+TEST(ShardRouterTest, StableAcrossInstancesAndRepeatedCalls)
+{
+    const ShardRouter a(4);
+    const ShardRouter b(4);
+    for (std::int64_t id = -500; id <= 5000; id += 13) {
+        const std::size_t shard = a.shard_of(id);
+        ASSERT_LT(shard, 4u) << "id=" << id;
+        ASSERT_EQ(shard, a.shard_of(id)) << "id=" << id;
+        ASSERT_EQ(shard, b.shard_of(id)) << "id=" << id;
+    }
+}
+
+TEST(ShardRouterTest, SingleShardRoutesEverythingToZero)
+{
+    const ShardRouter router(1);
+    for (std::int64_t id = 0; id < 100; ++id) {
+        EXPECT_EQ(router.shard_of(id), 0u);
+    }
+    // Degenerate count clamps to one shard instead of dividing by zero.
+    EXPECT_EQ(ShardRouter(0).shards(), 1);
+    EXPECT_EQ(ShardRouter(-3).shards(), 1);
+}
+
+/** splitmix64 spreads consecutive ids: no shard should be starved or
+ *  hot-spotted on a dense session-id range. */
+TEST(ShardRouterTest, SpreadsDenseIdsRoughlyEvenly)
+{
+    const ShardRouter router(8);
+    std::vector<int> counts(8, 0);
+    for (std::int64_t id = 1; id <= 4000; ++id) {
+        ++counts[router.shard_of(id)];
+    }
+    for (std::size_t shard = 0; shard < counts.size(); ++shard) {
+        // Expected 500 per shard; +/-30% is far looser than splitmix64
+        // delivers but catches any systematic skew.
+        EXPECT_GT(counts[shard], 350) << "shard " << shard;
+        EXPECT_LT(counts[shard], 650) << "shard " << shard;
+    }
+}
+
+/** shards=1 must be the monolithic scheduler, bit for bit: same kernel
+ *  ids, same request timestamps, same counters and events. */
+TEST(ShardedSchedulerTest, SingleShardMatchesMonolithicBitExact)
+{
+    const SchedulerConfig config = SchedFixture::default_config();
+    sim::Simulation mono_sim;
+    GlobalScheduler mono(mono_sim, config, 99);
+    mono.start();
+    SchedulerConfig sharded_config = config;
+    sharded_config.shards = 1;
+    ShardedGlobalScheduler sharded(sharded_config, 99);
+    sharded.start();
+
+    // Two sessions, created back to back.
+    std::vector<cluster::KernelId> mono_kernels;
+    std::vector<cluster::KernelId> sharded_kernels;
+    for (const std::int64_t session : {std::int64_t{101},
+                                       std::int64_t{202}}) {
+        mono.start_kernel(kernel_request(2),
+                          [&](cluster::KernelId id, bool ok) {
+                              ASSERT_TRUE(ok);
+                              mono_kernels.push_back(id);
+                          });
+        sharded.start_kernel(session, kernel_request(2),
+                             [&](cluster::KernelId id, bool ok) {
+                                 ASSERT_TRUE(ok);
+                                 sharded_kernels.push_back(id);
+                             });
+        mono_sim.run_until(mono_sim.now() + 120 * sim::kSecond);
+        sharded.run_until(sharded.now() + 120 * sim::kSecond);
+    }
+    ASSERT_EQ(mono_kernels, sharded_kernels);
+
+    // The same cell stream through both, traces captured.
+    std::vector<RequestTrace> mono_traces;
+    std::vector<RequestTrace> sharded_traces;
+    const struct
+    {
+        std::size_t kernel;
+        const char* code;
+        bool is_gpu;
+    } cells[] = {
+        {0, "a = 1\ngpu_compute(3)", true},
+        {1, "b = 2\ngpu_compute(5)", true},
+        {0, "print(a)\ncpu_compute(1)", false},
+        {1, "b = b + 1\ngpu_compute(2)", true},
+    };
+    for (const auto& cell : cells) {
+        mono.submit_execute(mono_kernels[cell.kernel], cell.code,
+                            cell.is_gpu, mono_sim.now(),
+                            [&](const kernel::ExecutionResult&,
+                                const RequestTrace& trace) {
+                                mono_traces.push_back(trace);
+                            });
+        sharded.submit_execute(sharded_kernels[cell.kernel], cell.code,
+                               cell.is_gpu, sharded.now(),
+                               [&](const kernel::ExecutionResult&,
+                                   const RequestTrace& trace) {
+                                   sharded_traces.push_back(trace);
+                               });
+        mono_sim.run_until(mono_sim.now() + 120 * sim::kSecond);
+        sharded.run_until(sharded.now() + 120 * sim::kSecond);
+    }
+    ASSERT_EQ(mono_traces.size(), sharded_traces.size());
+    for (std::size_t i = 0; i < mono_traces.size(); ++i) {
+        SCOPED_TRACE("cell " + std::to_string(i));
+        const RequestTrace& m = mono_traces[i];
+        const RequestTrace& s = sharded_traces[i];
+        EXPECT_EQ(m.submitted_at, s.submitted_at);
+        EXPECT_EQ(m.gs_received, s.gs_received);
+        EXPECT_EQ(m.gs_dispatched, s.gs_dispatched);
+        EXPECT_EQ(m.ls_received, s.ls_received);
+        EXPECT_EQ(m.replica_received, s.replica_received);
+        EXPECT_EQ(m.execution_started, s.execution_started);
+        EXPECT_EQ(m.execution_finished, s.execution_finished);
+        EXPECT_EQ(m.replica_replied, s.replica_replied);
+        EXPECT_EQ(m.client_replied, s.client_replied);
+        EXPECT_EQ(m.migrated, s.migrated);
+        EXPECT_EQ(m.aborted, s.aborted);
+    }
+
+    // Counters, events, and merged signals all line up.
+    EXPECT_TRUE(mono.stats() == sharded.stats());
+    const auto& mono_events = mono.events();
+    const auto sharded_events = sharded.events();
+    ASSERT_EQ(mono_events.size(), sharded_events.size());
+    for (std::size_t i = 0; i < mono_events.size(); ++i) {
+        EXPECT_EQ(mono_events[i].kind, sharded_events[i].kind);
+        EXPECT_EQ(mono_events[i].time, sharded_events[i].time);
+    }
+    EXPECT_EQ(mono.cluster().total_gpus(), sharded.total_gpus());
+    EXPECT_EQ(mono.cluster_sr(), sharded.cluster_sr());
+    EXPECT_EQ(mono.live_kernels(), sharded.live_kernels());
+    EXPECT_EQ(mono.sync_latencies_ms().count(),
+              sharded.sync_latencies_ms().count());
+}
+
+/** Multi-shard topology: sessions land on their router-designated shard,
+ *  kernel ids are globally unique and recover their owning shard, the
+ *  fleet is divided round-robin, and merged stats are the shard sum. */
+TEST(ShardedSchedulerTest, RoutesSessionsAndMergesAcrossShards)
+{
+    SchedulerConfig config = SchedFixture::default_config();
+    config.initial_servers = 8;
+    config.shards = 2;
+    // The test callbacks below write shared test state (maps, counters),
+    // so sweep the shard loops serially; parallel-window bit-identity is
+    // covered by determinism_test with shard-local callbacks.
+    config.shard_parallel = false;
+    ShardedGlobalScheduler sched(config, 99);
+    sched.start();
+    EXPECT_EQ(sched.shard_count(), 2);
+    // 8 servers round-robin over 2 shards: 4 + 4.
+    EXPECT_EQ(sched.cluster_size(), 8u);
+    EXPECT_EQ(sched.shard(0).cluster().size(), 4u);
+    EXPECT_EQ(sched.shard(1).cluster().size(), 4u);
+
+    // Sessions chosen to cover both shards.
+    std::vector<std::int64_t> sessions;
+    for (std::int64_t id = 1; sessions.size() < 4; ++id) {
+        const bool want_odd_shard = sessions.size() % 2 == 1;
+        if ((sched.shard_of(id) == 1) == want_odd_shard) {
+            sessions.push_back(id);
+        }
+    }
+    std::map<std::int64_t, cluster::KernelId> kernels;
+    for (const std::int64_t session : sessions) {
+        sched.start_kernel(session, kernel_request(2),
+                           [&kernels, session](cluster::KernelId id,
+                                               bool ok) {
+                               ASSERT_TRUE(ok);
+                               kernels[session] = id;
+                           });
+    }
+    sched.run_until(240 * sim::kSecond);
+    ASSERT_EQ(kernels.size(), sessions.size());
+    std::set<cluster::KernelId> unique_ids;
+    for (const std::int64_t session : sessions) {
+        const cluster::KernelId kernel_id = kernels.at(session);
+        unique_ids.insert(kernel_id);
+        EXPECT_EQ(sched.shard_of_kernel(kernel_id),
+                  sched.shard_of(session))
+            << "session " << session;
+    }
+    EXPECT_EQ(unique_ids.size(), sessions.size());
+    EXPECT_EQ(sched.live_kernels(), sessions.size());
+
+    // Executions route to the owning shard and the merged counters are
+    // the per-shard sums.
+    int completed = 0;
+    for (const std::int64_t session : sessions) {
+        sched.submit_execute(kernels.at(session), "gpu_compute(2)", true,
+                             sched.now(),
+                             [&completed](const kernel::ExecutionResult& r,
+                                          const RequestTrace&) {
+                                 EXPECT_EQ(r.status,
+                                           kernel::ExecutionStatus::kOk);
+                                 ++completed;
+                             });
+    }
+    sched.run_until(sched.now() + 300 * sim::kSecond);
+    EXPECT_EQ(completed, 4);
+    SchedulerStats summed;
+    summed += sched.shard(0).stats();
+    summed += sched.shard(1).stats();
+    EXPECT_TRUE(sched.stats() == summed);
+    EXPECT_EQ(sched.stats().executions_completed, 4u);
+    EXPECT_EQ(sched.stats().kernels_created, 4u);
+
+    // The merged event stream is time-sorted.
+    const auto events = sched.events();
+    for (std::size_t i = 1; i < events.size(); ++i) {
+        EXPECT_LE(events[i - 1].time, events[i].time);
+    }
+    // Stopping a kernel releases only its shard's subscriptions.
+    sched.stop_kernel(kernels.at(sessions[0]));
+    EXPECT_EQ(sched.live_kernels(), sessions.size() - 1);
 }
 
 TEST(GlobalSchedulerTest, MultipleKernelsOversubscribe)
