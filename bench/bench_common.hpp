@@ -109,6 +109,29 @@ bench_seeds()
     return parsed > 64 ? 64 : static_cast<std::size_t>(parsed);
 }
 
+/** Shard count for the fast analytic engine (`NBOS_BENCH_SHARDS=N`):
+ *  run_policies applies it to every spec's scheduler config, so any
+ *  bench row using a fast engine partitions its sessions over N
+ *  analytic shards (one thread each). Discrete-event engines ignore it
+ *  only in the sense that their sharding is already config-driven; the
+ *  value is set uniformly either way. Unset, empty, or unparsable
+ *  values mean 1 (the monolithic fast path, byte-identical to the
+ *  pre-shard outputs); the count is clamped to [1, 64]. */
+inline std::int32_t
+bench_shards()
+{
+    const char* raw = std::getenv("NBOS_BENCH_SHARDS");
+    if (raw == nullptr || raw[0] == '\0') {
+        return 1;
+    }
+    char* end = nullptr;
+    const long parsed = std::strtol(raw, &end, 10);
+    if (end == raw || *end != '\0' || parsed < 1) {
+        return 1;
+    }
+    return parsed > 64 ? 64 : static_cast<std::int32_t>(parsed);
+}
+
 /**
  * Gate self-test hook (`NBOS_BENCH_INJECT_SLOWDOWN_PCT=25`): on scope
  * exit, sleep for the given percentage of the scope's measured wall time,
@@ -319,6 +342,7 @@ run_policies(const workload::Trace& trace,
         spec.engine = engine;
         spec.trace = &trace;
         spec.config = core::PlatformConfig::prototype_defaults();
+        spec.config.scheduler.shards = bench_shards();
         spec.seed = runs[i].seed;
         specs.push_back(std::move(spec));
         positions.push_back(i);

@@ -103,9 +103,10 @@ def deterministic_hash(stdout: str) -> str:
 def run_bench(build_dir: str, name: str) -> dict:
     env = dict(os.environ)
     env["NBOS_BENCH_SMOKE"] = "1"
-    # The gate measures the deterministic single-seed tier.
+    # The gate measures the deterministic single-seed, monolithic tier.
     env.pop("NBOS_BENCH_SEEDS", None)
     env.pop("NBOS_BENCH_POLICIES", None)
+    env.pop("NBOS_BENCH_SHARDS", None)
     path = os.path.join(build_dir, "bench", name)
     start = time.monotonic()
     proc = subprocess.run(

@@ -171,10 +171,6 @@ validate_config(const PlatformConfig& config)
     if (config.scheduler.shards < 1) {
         return "scheduler.shards must be >= 1";
     }
-    if (config.fast_mode && config.scheduler.shards > 1) {
-        return "scheduler.shards > 1 requires the prototype engine: the "
-               "fast analytic engine models one global scheduler";
-    }
     return {};
 }
 

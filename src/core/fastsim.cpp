@@ -9,434 +9,461 @@
  * containers, and the §3.4.2 auto-scaler — but samples the latency of the
  * consensus protocol instead of exchanging per-message Raft traffic, so a
  * 90-day trace runs in seconds.
+ *
+ * The engine body lives in FastEngineShard (fastsim_engine.hpp): one
+ * shard over the full trace is the historical monolithic engine, and
+ * ShardedFastSim (sharded_fastsim.cpp) scales the same model across
+ * cores by partitioning sessions over several shards.
  */
 #include "core/fastsim.hpp"
 
 #include <algorithm>
-#include <map>
 #include <memory>
-#include <set>
 
-#include "core/platform.hpp"
+#include "core/fastsim_engine.hpp"
+#include "core/sharded_fastsim.hpp"
 #include "sched/autoscaler.hpp"
-#include "sched/placement.hpp"
 
 namespace nbos::core {
 
-namespace {
-
-class FastNotebookOS
+FastEngineShard::FastEngineShard(FastShardPlan plan,
+                                 const PlatformConfig& config)
+    : plan_(std::move(plan)),
+      config_(config),
+      rng_(plan_.seed),
+      store_(simulation_, config.scheduler.store_backend,
+             sim::Rng(plan_.seed ^ 0x2545f491)),
+      cluster_(config.scheduler.server_shape),
+      placement_(config.scheduler.sr_watermark),
+      prewarm_(config.scheduler.prewarm_per_server)
 {
-  public:
-    FastNotebookOS(const workload::Trace& trace,
-                   const PlatformConfig& config)
-        : trace_(trace),
-          config_(config),
-          rng_(config.seed),
-          store_(simulation_, config.scheduler.store_backend,
-                 sim::Rng(config.seed ^ 0x2545f491)),
-          cluster_(config.scheduler.server_shape),
-          placement_(config.scheduler.sr_watermark),
-          prewarm_(config.scheduler.prewarm_per_server)
-    {
-        results_.policy = Policy::kNotebookOS;
-        results_.trace_name = trace.name;
-        results_.makespan = trace.makespan;
-    }
+    results_.policy = Policy::kNotebookOS;
+    results_.trace_name = plan_.trace_name;
+    results_.makespan = plan_.makespan;
+}
 
-    ExperimentResults
-    run()
-    {
-        for (std::int32_t i = 0; i < config_.scheduler.initial_servers;
-             ++i) {
+void
+FastEngineShard::start()
+{
+    for (std::int32_t i = 0; i < plan_.initial_servers; ++i) {
+        add_server();
+    }
+    schedule_workload();
+    schedule_tick();
+}
+
+void
+FastEngineShard::run_until(sim::Time t)
+{
+    simulation_.run_until(t);
+}
+
+ExperimentResults
+FastEngineShard::finish()
+{
+    finalize();
+    return std::move(results_);
+}
+
+ExperimentResults
+FastEngineShard::run()
+{
+    start();
+    run_until(plan_.makespan + 12 * sim::kHour);
+    return finish();
+}
+
+std::uint64_t
+FastEngineShard::events_executed() const
+{
+    return simulation_.events_executed();
+}
+
+void
+FastEngineShard::add_server()
+{
+    cluster::GpuServer& server = cluster_.add_server();
+    prewarm_.register_server(server.id());
+    // Fast mode refills the pool instantly on the periodic tick; the
+    // initial fill is immediate.
+    for (std::int32_t i = 0; i < config_.scheduler.prewarm_per_server;
+         ++i) {
+        prewarm_.begin_refill(server.id());
+        prewarm_.complete_refill(server.id());
+    }
+    record_fleet_size();
+}
+
+void
+FastEngineShard::record_fleet_size()
+{
+    const double total = static_cast<double>(cluster_.total_gpus());
+    if (plan_.record_timeline) {
+        results_.provisioned_gpus.record(simulation_.now(), total);
+    } else {
+        // Sharded mode: feed the driver-side merged fleet series as
+        // (time, change) deltas; summing deltas across shards rebuilds
+        // the fleet-wide step function deterministically.
+        gpu_deltas_.emplace_back(simulation_.now(),
+                                 total - last_total_gpus_);
+    }
+    last_total_gpus_ = total;
+}
+
+void
+FastEngineShard::provision_server()
+{
+    ++provisioning_;
+    results_.sched_stats.scale_outs += 1;
+    record_event(sched::SchedulerEvent::Kind::kScaleOut);
+    simulation_.schedule_after(
+        sample(config_.scheduler.server_provision_min,
+               config_.scheduler.server_provision_max),
+        [this] {
+            --provisioning_;
             add_server();
+            place_pending_kernels();
+        });
+}
+
+sim::Time
+FastEngineShard::sample(sim::Time lo, sim::Time hi)
+{
+    return hi <= lo ? lo : lo + rng_.uniform_int(0, hi - lo);
+}
+
+void
+FastEngineShard::record_event(sched::SchedulerEvent::Kind kind)
+{
+    results_.events.push_back(sched::SchedulerEvent{kind, simulation_.now()});
+}
+
+void
+FastEngineShard::schedule_workload()
+{
+    for (const workload::SessionSpec* sp : plan_.sessions) {
+        simulation_.schedule_at(sp->start_time,
+                                [this, sp] { start_session(*sp); });
+        if (sp->end_time < plan_.makespan) {
+            simulation_.schedule_at(sp->end_time,
+                                    [this, sp] { end_session(*sp); });
         }
-        schedule_workload();
-        schedule_tick();
-        simulation_.run_until(trace_.makespan + 12 * sim::kHour);
-        finalize();
-        return std::move(results_);
-    }
-
-  private:
-    struct FastKernel
-    {
-        workload::SessionId session = -1;
-        cluster::ResourceSpec spec{};
-        std::vector<cluster::ServerId> servers;
-        cluster::ServerId last_executor = cluster::kNoServer;
-        bool alive = false;
-        std::uint64_t executions = 0;
-    };
-
-    void
-    add_server()
-    {
-        cluster::GpuServer& server = cluster_.add_server();
-        prewarm_.register_server(server.id());
-        // Fast mode refills the pool instantly on the periodic tick; the
-        // initial fill is immediate.
-        for (std::int32_t i = 0; i < config_.scheduler.prewarm_per_server;
-             ++i) {
-            prewarm_.begin_refill(server.id());
-            prewarm_.complete_refill(server.id());
-        }
-        results_.provisioned_gpus.record(
-            simulation_.now(), static_cast<double>(cluster_.total_gpus()));
-    }
-
-    void
-    provision_server()
-    {
-        ++provisioning_;
-        results_.sched_stats.scale_outs += 1;
-        record_event(sched::SchedulerEvent::Kind::kScaleOut);
-        simulation_.schedule_after(
-            sample(config_.scheduler.server_provision_min,
-                   config_.scheduler.server_provision_max),
-            [this] {
-                --provisioning_;
-                add_server();
-                place_pending_kernels();
+        for (const workload::CellTask& task : sp->tasks) {
+            const workload::CellTask* tp = &task;
+            simulation_.schedule_at(task.submit_time, [this, sp, tp] {
+                run_task(*sp, *tp);
             });
+        }
     }
+}
 
-    sim::Time
-    sample(sim::Time lo, sim::Time hi)
-    {
-        return hi <= lo ? lo : lo + rng_.uniform_int(0, hi - lo);
-    }
+void
+FastEngineShard::start_session(const workload::SessionSpec& session)
+{
+    FastKernel& kernel = kernels_[session.id];
+    kernel.session = session.id;
+    kernel.spec = session.resources;
+    place_kernel(session.id);
+}
 
-    void
-    record_event(sched::SchedulerEvent::Kind kind)
-    {
-        results_.events.push_back(
-            sched::SchedulerEvent{kind, simulation_.now()});
-    }
-
-    void
-    schedule_workload()
-    {
-        for (const workload::SessionSpec& session : trace_.sessions) {
-            const workload::SessionSpec* sp = &session;
-            simulation_.schedule_at(session.start_time,
-                                    [this, sp] { start_session(*sp); });
-            if (session.end_time < trace_.makespan) {
-                simulation_.schedule_at(session.end_time,
-                                        [this, sp] { end_session(*sp); });
-            }
-            for (const workload::CellTask& task : session.tasks) {
-                const workload::CellTask* tp = &task;
-                simulation_.schedule_at(task.submit_time, [this, sp, tp] {
-                    run_task(*sp, *tp);
-                });
+void
+FastEngineShard::place_kernel(workload::SessionId id)
+{
+    FastKernel& kernel = kernels_[id];
+    const auto replicas = static_cast<std::size_t>(
+        config_.scheduler.kernel.replica_count);
+    const auto servers = placement_.pick(
+        cluster_, kernel.spec, replicas,
+        config_.scheduler.kernel.replica_count);
+    if (servers.size() < replicas) {
+        pending_kernels_.insert(id);
+        if (provisioning_ == 0) {
+            for (std::size_t i = servers.size(); i < replicas; ++i) {
+                provision_server();
             }
         }
+        return;
     }
-
-    void
-    start_session(const workload::SessionSpec& session)
-    {
-        FastKernel& kernel = kernels_[session.id];
-        kernel.session = session.id;
-        kernel.spec = session.resources;
-        place_kernel(session.id);
+    kernel.servers = servers;
+    kernel.alive = true;
+    for (const cluster::ServerId server_id : servers) {
+        cluster_.find(server_id)->subscribe(kernel.spec);
     }
+    results_.sched_stats.kernels_created += 1;
+    record_event(sched::SchedulerEvent::Kind::kKernelCreated);
+}
 
-    void
-    place_kernel(workload::SessionId id)
-    {
-        FastKernel& kernel = kernels_[id];
-        const auto replicas = static_cast<std::size_t>(
-            config_.scheduler.kernel.replica_count);
-        const auto servers = placement_.pick(
-            cluster_, kernel.spec, replicas,
-            config_.scheduler.kernel.replica_count);
-        if (servers.size() < replicas) {
-            pending_kernels_.insert(id);
-            if (provisioning_ == 0) {
-                for (std::size_t i = servers.size(); i < replicas; ++i) {
-                    provision_server();
-                }
+void
+FastEngineShard::place_pending_kernels()
+{
+    const std::set<workload::SessionId> pending = pending_kernels_;
+    pending_kernels_.clear();
+    for (const workload::SessionId id : pending) {
+        place_kernel(id);
+    }
+}
+
+void
+FastEngineShard::end_session(const workload::SessionSpec& session)
+{
+    FastKernel& kernel = kernels_[session.id];
+    if (!kernel.alive) {
+        pending_kernels_.erase(session.id);
+        return;
+    }
+    for (const cluster::ServerId server_id : kernel.servers) {
+        if (cluster::GpuServer* server = cluster_.find(server_id)) {
+            server->unsubscribe(kernel.spec);
+        }
+    }
+    kernel.alive = false;
+}
+
+TaskOutcome&
+FastEngineShard::new_outcome(const workload::SessionSpec& session,
+                             const workload::CellTask& task)
+{
+    results_.tasks.push_back(TaskOutcome{});
+    TaskOutcome& outcome = results_.tasks.back();
+    outcome.session = session.id;
+    outcome.seq = task.seq;
+    outcome.is_gpu = task.is_gpu;
+    outcome.gpus = session.resources.gpus;
+    outcome.submit = task.submit_time;
+    return outcome;
+}
+
+void
+FastEngineShard::run_task(const workload::SessionSpec& session,
+                          const workload::CellTask& task)
+{
+    new_outcome(session, task);
+    const std::size_t index = results_.tasks.size() - 1;
+    FastKernel& kernel = kernels_[session.id];
+    if (!kernel.alive) {
+        // Kernel still waiting for placement: treat as queued until
+        // the next tick re-attempts; abort for simplicity if it never
+        // placed (counted, excluded from latency stats).
+        results_.tasks[index].aborted = true;
+        return;
+    }
+    if (!task.is_gpu) {
+        const sim::Time start = task.submit_time + 3 * sim::kMillisecond;
+        complete(index, start, start + task.duration, 0, session.id);
+        return;
+    }
+    // Overheads along the critical path: hops + executor election +
+    // GPU binding (sampled rather than message-by-message).
+    const sim::Time overhead =
+        sample(2 * sim::kMillisecond, 5 * sim::kMillisecond) +
+        sample(10 * sim::kMillisecond, 60 * sim::kMillisecond) +
+        sample(config_.scheduler.timings.gpu_bind_min,
+               config_.scheduler.timings.gpu_bind_max);
+
+    // Executor choice: prefer the previous executor's server.
+    cluster::ServerId chosen = cluster::kNoServer;
+    if (kernel.last_executor != cluster::kNoServer) {
+        cluster::GpuServer* server = cluster_.find(kernel.last_executor);
+        if (server != nullptr && server->can_commit(kernel.spec)) {
+            chosen = kernel.last_executor;
+        }
+    }
+    if (chosen == cluster::kNoServer) {
+        std::int32_t best_idle = -1;
+        for (const cluster::ServerId id : kernel.servers) {
+            cluster::GpuServer* server = cluster_.find(id);
+            if (server != nullptr && server->can_commit(kernel.spec) &&
+                server->idle_gpus() > best_idle) {
+                best_idle = server->idle_gpus();
+                chosen = id;
             }
-            return;
-        }
-        kernel.servers = servers;
-        kernel.alive = true;
-        for (const cluster::ServerId server_id : servers) {
-            cluster_.find(server_id)->subscribe(kernel.spec);
-        }
-        results_.sched_stats.kernels_created += 1;
-        record_event(sched::SchedulerEvent::Kind::kKernelCreated);
-    }
-
-    void
-    place_pending_kernels()
-    {
-        const std::set<workload::SessionId> pending = pending_kernels_;
-        pending_kernels_.clear();
-        for (const workload::SessionId id : pending) {
-            place_kernel(id);
         }
     }
-
-    void
-    end_session(const workload::SessionSpec& session)
-    {
-        FastKernel& kernel = kernels_[session.id];
-        if (!kernel.alive) {
-            pending_kernels_.erase(session.id);
-            return;
+    if (chosen != cluster::kNoServer) {
+        results_.sched_stats.immediate_commits += 1;
+        if (chosen == kernel.last_executor) {
+            results_.sched_stats.executor_reuses += 1;
         }
-        for (const cluster::ServerId server_id : kernel.servers) {
-            if (cluster::GpuServer* server = cluster_.find(server_id)) {
-                server->unsubscribe(kernel.spec);
-            }
+        results_.sched_stats.gpu_executions += 1;
+        begin_execution(index, session.id, chosen,
+                        task.submit_time + overhead, task.duration);
+        return;
+    }
+    // No replica has GPUs: failed election -> migration (§3.2.3).
+    results_.sched_stats.gpu_executions += 1;
+    results_.sched_stats.elections_failed += 1;
+    migrate_and_run(index, session.id, task, 0);
+}
+
+void
+FastEngineShard::begin_execution(std::size_t index,
+                                 workload::SessionId session_id,
+                                 cluster::ServerId server_id,
+                                 sim::Time start, sim::Time duration)
+{
+    FastKernel& kernel = kernels_[session_id];
+    cluster::GpuServer* server = cluster_.find(server_id);
+    if (server == nullptr || !server->commit(kernel.spec)) {
+        // Raced out; go through migration.
+        results_.sched_stats.elections_failed += 1;
+        migrate_and_run(index, session_id,
+                        workload::CellTask{},  // duration passed below
+                        0, duration);
+        return;
+    }
+    kernel.last_executor = server_id;
+    kernel.executions += 1;
+    const sim::Time end = std::max(start, simulation_.now()) + duration;
+    simulation_.schedule_at(end, [this, index, session_id, server_id,
+                                  start, end] {
+        if (cluster::GpuServer* host = cluster_.find(server_id)) {
+            host->release(kernels_[session_id].spec);
         }
-        kernel.alive = false;
-    }
+        complete(index, start, end, 0, session_id);
+    });
+}
 
-    TaskOutcome&
-    new_outcome(const workload::SessionSpec& session,
-                const workload::CellTask& task)
-    {
-        results_.tasks.push_back(TaskOutcome{});
-        TaskOutcome& outcome = results_.tasks.back();
-        outcome.session = session.id;
-        outcome.seq = task.seq;
-        outcome.is_gpu = task.is_gpu;
-        outcome.gpus = session.resources.gpus;
-        outcome.submit = task.submit_time;
-        return outcome;
+void
+FastEngineShard::migrate_and_run(std::size_t index,
+                                 workload::SessionId session_id,
+                                 const workload::CellTask& task,
+                                 int retries, sim::Time duration_override)
+{
+    FastKernel& kernel = kernels_[session_id];
+    const sim::Time duration =
+        duration_override >= 0 ? duration_override : task.duration;
+    // Migration target: any server outside the kernel with capacity.
+    cluster::ServerId target = cluster::kNoServer;
+    std::int32_t best_idle = -1;
+    for (const auto& [id, server] : cluster_.servers()) {
+        if (std::find(kernel.servers.begin(), kernel.servers.end(), id) !=
+            kernel.servers.end()) {
+            continue;
+        }
+        if (server->can_commit(kernel.spec) &&
+            server->idle_gpus() > best_idle) {
+            best_idle = server->idle_gpus();
+            target = id;
+        }
     }
-
-    void
-    run_task(const workload::SessionSpec& session,
-             const workload::CellTask& task)
-    {
-        new_outcome(session, task);
-        const std::size_t index = results_.tasks.size() - 1;
-        FastKernel& kernel = kernels_[session.id];
-        if (!kernel.alive) {
-            // Kernel still waiting for placement: treat as queued until
-            // the next tick re-attempts; abort for simplicity if it never
-            // placed (counted, excluded from latency stats).
+    if (target == cluster::kNoServer) {
+        if (retries >= config_.scheduler.migration_max_retries &&
+            provisioning_ == 0) {
+            results_.sched_stats.migrations_aborted += 1;
             results_.tasks[index].aborted = true;
             return;
         }
-        if (!task.is_gpu) {
-            const sim::Time start =
-                task.submit_time + 3 * sim::kMillisecond;
-            complete(index, start, start + task.duration, 0, session.id);
-            return;
+        if (provisioning_ == 0) {
+            provision_server();
         }
-        // Overheads along the critical path: hops + executor election +
-        // GPU binding (sampled rather than message-by-message).
-        const sim::Time overhead =
-            sample(2 * sim::kMillisecond, 5 * sim::kMillisecond) +
-            sample(10 * sim::kMillisecond, 60 * sim::kMillisecond) +
-            sample(config_.scheduler.timings.gpu_bind_min,
-                   config_.scheduler.timings.gpu_bind_max);
-
-        // Executor choice: prefer the previous executor's server.
-        cluster::ServerId chosen = cluster::kNoServer;
-        if (kernel.last_executor != cluster::kNoServer) {
-            cluster::GpuServer* server =
-                cluster_.find(kernel.last_executor);
-            if (server != nullptr && server->can_commit(kernel.spec)) {
-                chosen = kernel.last_executor;
-            }
-        }
-        if (chosen == cluster::kNoServer) {
-            std::int32_t best_idle = -1;
-            for (const cluster::ServerId id : kernel.servers) {
-                cluster::GpuServer* server = cluster_.find(id);
-                if (server != nullptr && server->can_commit(kernel.spec) &&
-                    server->idle_gpus() > best_idle) {
-                    best_idle = server->idle_gpus();
-                    chosen = id;
-                }
-            }
-        }
-        if (chosen != cluster::kNoServer) {
-            results_.sched_stats.immediate_commits += 1;
-            if (chosen == kernel.last_executor) {
-                results_.sched_stats.executor_reuses += 1;
-            }
-            results_.sched_stats.gpu_executions += 1;
-            begin_execution(index, session.id, chosen,
-                            task.submit_time + overhead, task.duration);
-            return;
-        }
-        // No replica has GPUs: failed election -> migration (§3.2.3).
-        results_.sched_stats.gpu_executions += 1;
-        results_.sched_stats.elections_failed += 1;
-        migrate_and_run(index, session.id, task, 0);
-    }
-
-    void
-    begin_execution(std::size_t index, workload::SessionId session_id,
-                    cluster::ServerId server_id, sim::Time start,
-                    sim::Time duration)
-    {
-        FastKernel& kernel = kernels_[session_id];
-        cluster::GpuServer* server = cluster_.find(server_id);
-        if (server == nullptr || !server->commit(kernel.spec)) {
-            // Raced out; go through migration.
-            results_.sched_stats.elections_failed += 1;
-            migrate_and_run(index, session_id,
-                            workload::CellTask{},  // duration passed below
-                            0, duration);
-            return;
-        }
-        kernel.last_executor = server_id;
-        kernel.executions += 1;
-        const sim::Time end = std::max(start, simulation_.now()) + duration;
-        simulation_.schedule_at(end, [this, index, session_id, server_id,
-                                      start, end] {
-            if (cluster::GpuServer* host = cluster_.find(server_id)) {
-                host->release(kernels_[session_id].spec);
-            }
-            complete(index, start, end, 0, session_id);
-        });
-    }
-
-    void
-    migrate_and_run(std::size_t index, workload::SessionId session_id,
-                    const workload::CellTask& task, int retries,
-                    sim::Time duration_override = -1)
-    {
-        FastKernel& kernel = kernels_[session_id];
-        const sim::Time duration =
-            duration_override >= 0 ? duration_override : task.duration;
-        // Migration target: any server outside the kernel with capacity.
-        cluster::ServerId target = cluster::kNoServer;
-        std::int32_t best_idle = -1;
-        for (const auto& [id, server] : cluster_.servers()) {
-            if (std::find(kernel.servers.begin(), kernel.servers.end(),
-                          id) != kernel.servers.end()) {
-                continue;
-            }
-            if (server->can_commit(kernel.spec) &&
-                server->idle_gpus() > best_idle) {
-                best_idle = server->idle_gpus();
-                target = id;
-            }
-        }
-        if (target == cluster::kNoServer) {
-            if (retries >= config_.scheduler.migration_max_retries &&
-                provisioning_ == 0) {
-                results_.sched_stats.migrations_aborted += 1;
-                results_.tasks[index].aborted = true;
-                return;
-            }
-            if (provisioning_ == 0) {
-                provision_server();
-            }
-            simulation_.schedule_after(
-                config_.scheduler.migration_retry,
-                [this, index, session_id, task, retries,
-                 duration] {
-                    migrate_and_run(index, session_id, task,
-                                    retries + 1, duration);
-                });
-            return;
-        }
-        results_.sched_stats.migrations += 1;
-        record_event(sched::SchedulerEvent::Kind::kMigration);
-
-        // Victim: the kernel server with the fewest idle GPUs.
-        cluster::ServerId victim = kernel.servers.front();
-        std::int32_t worst = 1 << 30;
-        for (const cluster::ServerId id : kernel.servers) {
-            const cluster::GpuServer* server = cluster_.find(id);
-            const std::int32_t idle =
-                server != nullptr ? server->idle_gpus() : 0;
-            if (idle < worst) {
-                worst = idle;
-                victim = id;
-            }
-        }
-        if (cluster::GpuServer* old_server = cluster_.find(victim)) {
-            old_server->unsubscribe(kernel.spec);
-        }
-        std::replace(kernel.servers.begin(), kernel.servers.end(), victim,
-                     target);
-        cluster_.find(target)->subscribe(kernel.spec);
-
-        // Migration latency: checkpoint write + container + state read +
-        // Raft reconfiguration.
-        const sim::Time container_delay =
-            prewarm_.acquire(target)
-                ? (results_.sched_stats.prewarm_hits += 1,
-                   config_.scheduler.timings.prewarm_assign)
-                : (results_.sched_stats.cold_starts += 1,
-                   sample(config_.scheduler.timings.cold_start_min,
-                          config_.scheduler.timings.cold_start_max));
-        auto stage = std::make_shared<sim::Time>(0);
-        const std::string key =
-            "kernel/" + std::to_string(session_id) + "/checkpoint";
-        store_.write(key, 8ULL << 20, [this, index, session_id, target,
-                                       container_delay, key, duration](
-                                          sim::Time) {
-            simulation_.schedule_after(container_delay, [this, index,
-                                                         session_id, target,
-                                                         key, duration] {
-                store_.read(key, [this, index, session_id, target,
-                                  duration](const storage::ReadResult&) {
-                    const sim::Time reconfig =
-                        sample(500 * sim::kMillisecond, 1500 *
-                                                            sim::kMillisecond);
-                    simulation_.schedule_after(
-                        reconfig, [this, index, session_id, target,
-                                   duration] {
-                            TaskOutcome& outcome = results_.tasks[index];
-                            outcome.migrated = true;
-                            begin_execution(index, session_id, target,
-                                            simulation_.now() +
-                                                sample(config_.scheduler
-                                                           .timings
-                                                           .gpu_bind_min,
-                                                       config_.scheduler
-                                                           .timings
-                                                           .gpu_bind_max),
-                                            duration);
-                        });
-                });
-            });
-        });
-        (void)stage;
-    }
-
-    void
-    complete(std::size_t index, sim::Time start, sim::Time end,
-             sim::Time extra_reply, workload::SessionId session_id)
-    {
-        (void)session_id;
-        TaskOutcome& outcome = results_.tasks[index];
-        outcome.exec_start = start;
-        outcome.exec_end = end;
-        outcome.reply = end + extra_reply +
-                        sample(2 * sim::kMillisecond, 6 * sim::kMillisecond);
-        results_.sched_stats.executions_completed += 1;
-    }
-
-    void
-    schedule_tick()
-    {
         simulation_.schedule_after(
-            config_.scheduler.autoscale_interval, [this] {
-                tick();
-                if (simulation_.now() < trace_.makespan) {
-                    schedule_tick();
-                }
+            config_.scheduler.migration_retry,
+            [this, index, session_id, task, retries, duration] {
+                migrate_and_run(index, session_id, task, retries + 1,
+                                duration);
             });
+        return;
     }
+    results_.sched_stats.migrations += 1;
+    record_event(sched::SchedulerEvent::Kind::kMigration);
 
-    void
-    tick()
-    {
-        // Auto-scaler (§3.4.2).
+    // Victim: the kernel server with the fewest idle GPUs.
+    cluster::ServerId victim = kernel.servers.front();
+    std::int32_t worst = 1 << 30;
+    for (const cluster::ServerId id : kernel.servers) {
+        const cluster::GpuServer* server = cluster_.find(id);
+        const std::int32_t idle =
+            server != nullptr ? server->idle_gpus() : 0;
+        if (idle < worst) {
+            worst = idle;
+            victim = id;
+        }
+    }
+    if (cluster::GpuServer* old_server = cluster_.find(victim)) {
+        old_server->unsubscribe(kernel.spec);
+    }
+    std::replace(kernel.servers.begin(), kernel.servers.end(), victim,
+                 target);
+    cluster_.find(target)->subscribe(kernel.spec);
+
+    // Migration latency: checkpoint write + container + state read +
+    // Raft reconfiguration.
+    const sim::Time container_delay =
+        prewarm_.acquire(target)
+            ? (results_.sched_stats.prewarm_hits += 1,
+               config_.scheduler.timings.prewarm_assign)
+            : (results_.sched_stats.cold_starts += 1,
+               sample(config_.scheduler.timings.cold_start_min,
+                      config_.scheduler.timings.cold_start_max));
+    auto stage = std::make_shared<sim::Time>(0);
+    const std::string key =
+        "kernel/" + std::to_string(session_id) + "/checkpoint";
+    store_.write(key, 8ULL << 20, [this, index, session_id, target,
+                                   container_delay, key, duration](
+                                      sim::Time) {
+        simulation_.schedule_after(container_delay, [this, index,
+                                                     session_id, target,
+                                                     key, duration] {
+            store_.read(key, [this, index, session_id, target,
+                              duration](const storage::ReadResult&) {
+                const sim::Time reconfig =
+                    sample(500 * sim::kMillisecond, 1500 *
+                                                        sim::kMillisecond);
+                simulation_.schedule_after(
+                    reconfig, [this, index, session_id, target,
+                               duration] {
+                        TaskOutcome& outcome = results_.tasks[index];
+                        outcome.migrated = true;
+                        begin_execution(index, session_id, target,
+                                        simulation_.now() +
+                                            sample(config_.scheduler
+                                                       .timings
+                                                       .gpu_bind_min,
+                                                   config_.scheduler
+                                                       .timings
+                                                       .gpu_bind_max),
+                                        duration);
+                    });
+            });
+        });
+    });
+    (void)stage;
+}
+
+void
+FastEngineShard::complete(std::size_t index, sim::Time start, sim::Time end,
+                          sim::Time extra_reply,
+                          workload::SessionId session_id)
+{
+    (void)session_id;
+    TaskOutcome& outcome = results_.tasks[index];
+    outcome.exec_start = start;
+    outcome.exec_end = end;
+    outcome.reply = end + extra_reply +
+                    sample(2 * sim::kMillisecond, 6 * sim::kMillisecond);
+    results_.sched_stats.executions_completed += 1;
+}
+
+void
+FastEngineShard::schedule_tick()
+{
+    simulation_.schedule_after(
+        config_.scheduler.autoscale_interval, [this] {
+            tick();
+            if (simulation_.now() < plan_.makespan) {
+                schedule_tick();
+            }
+        });
+}
+
+void
+FastEngineShard::tick()
+{
+    // Auto-scaler (§3.4.2). SchedulerConfig::enable_autoscaler freezes
+    // the fleet (no scale decisions) without disabling placement retries
+    // or the timeline samples — the scale bench and the shard-count
+    // invariance property both rely on a frozen fleet.
+    if (config_.scheduler.enable_autoscaler) {
         sched::AutoScalerInputs inputs;
         inputs.committed_gpus = cluster_.total_committed_gpus();
         inputs.total_gpus = cluster_.total_gpus();
@@ -467,69 +494,60 @@ class FastNotebookOS
             cluster_.remove_server(idle[i]);
             results_.sched_stats.scale_ins += 1;
             record_event(sched::SchedulerEvent::Kind::kScaleIn);
-            results_.provisioned_gpus.record(
-                simulation_.now(),
-                static_cast<double>(cluster_.total_gpus()));
+            record_fleet_size();
         }
-        // Instant pre-warm refills (their cold start is amortized by the
-        // tick interval in fast mode).
-        for (const auto& [id, server] : cluster_.servers()) {
-            while (prewarm_.deficit(id) > 0) {
-                prewarm_.begin_refill(id);
-                prewarm_.complete_refill(id);
-            }
+    }
+    // Instant pre-warm refills (their cold start is amortized by the
+    // tick interval in fast mode).
+    for (const auto& [id, server] : cluster_.servers()) {
+        while (prewarm_.deficit(id) > 0) {
+            prewarm_.begin_refill(id);
+            prewarm_.complete_refill(id);
         }
-        place_pending_kernels();
-        // Timeline samples.
+    }
+    place_pending_kernels();
+    // Timeline samples. Sharded mode records the raw fleet signals
+    // instead: every shard ticks on the same (autoscale_interval,
+    // makespan) grid, so the driver merges samples positionally into the
+    // fleet-wide subscription ratio.
+    if (plan_.record_timeline) {
         results_.subscription_ratio.record(
             simulation_.now(),
             cluster_.cluster_subscription_ratio(
                 config_.scheduler.kernel.replica_count));
+    } else {
+        tick_samples_.push_back(FastTickSample{
+            simulation_.now(), cluster_.total_subscribed_gpus(),
+            cluster_.total_gpus()});
     }
+}
 
-    void
-    finalize()
-    {
-        std::vector<std::pair<sim::Time, double>> committed;
-        for (TaskOutcome& task : results_.tasks) {
-            if (task.reply == 0) {
-                task.aborted = true;
-            }
-            if (task.is_gpu && !task.aborted) {
-                committed.emplace_back(task.exec_start,
-                                       static_cast<double>(task.gpus));
-                committed.emplace_back(task.exec_end,
-                                       -static_cast<double>(task.gpus));
-            }
+void
+FastEngineShard::finalize()
+{
+    std::vector<std::pair<sim::Time, double>> committed;
+    for (TaskOutcome& task : results_.tasks) {
+        if (task.reply == 0) {
+            task.aborted = true;
         }
-        results_.committed_gpus = series_from_deltas(std::move(committed));
-        results_.read_ms = store_.read_latencies();
-        results_.write_ms = store_.write_latencies();
-        results_.store_bytes_written = store_.bytes_written();
+        if (task.is_gpu && !task.aborted) {
+            committed.emplace_back(task.exec_start,
+                                   static_cast<double>(task.gpus));
+            committed.emplace_back(task.exec_end,
+                                   -static_cast<double>(task.gpus));
+        }
     }
-
-    const workload::Trace& trace_;
-    PlatformConfig config_;
-    sim::Simulation simulation_;
-    sim::Rng rng_;
-    storage::DataStore store_;
-    cluster::Cluster cluster_;
-    sched::LeastLoadedPolicy placement_;
-    cluster::PrewarmPool prewarm_;
-    std::map<workload::SessionId, FastKernel> kernels_;
-    std::set<workload::SessionId> pending_kernels_;
-    std::int32_t provisioning_ = 0;
-    ExperimentResults results_;
-};
-
-}  // namespace
+    results_.committed_gpus = series_from_deltas(std::move(committed));
+    results_.read_ms = store_.read_latencies();
+    results_.write_ms = store_.write_latencies();
+    results_.store_bytes_written = store_.bytes_written();
+}
 
 ExperimentResults
 run_fast_notebookos(const workload::Trace& trace,
                     const PlatformConfig& config)
 {
-    FastNotebookOS engine(trace, config);
-    return engine.run();
+    return ShardedFastSim(trace, config).run();
 }
 
 }  // namespace nbos::core

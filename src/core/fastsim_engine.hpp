@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Internal shard unit of the fast analytic NotebookOS engine.
+ *
+ * FastEngineShard is the former monolithic fast engine generalized over a
+ * session subset: a ShardedFastSim driver (sharded_fastsim.cpp) hands each
+ * shard its slice of the trace, its share of the initial fleet, and a
+ * per-shard seed, then merges the per-shard aggregates deterministically.
+ * With the whole trace, the full fleet, the caller's seed, and timeline
+ * recording on, one shard IS the pre-sharding monolithic engine — shards=1
+ * results stay byte-identical by construction.
+ *
+ * This header is internal to nbos_core (fastsim.cpp / sharded_fastsim.cpp
+ * and the scale bench); the public entry point is run_fast_notebookos().
+ */
+#ifndef NBOS_CORE_FASTSIM_ENGINE_HPP
+#define NBOS_CORE_FASTSIM_ENGINE_HPP
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/platform.hpp"
+#include "core/results.hpp"
+#include "sched/placement.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulation.hpp"
+#include "storage/datastore.hpp"
+#include "workload/trace.hpp"
+
+namespace nbos::core {
+
+/** Everything one fast shard needs to know about its slice of the run. */
+struct FastShardPlan
+{
+    /** This shard's sessions, in trace order (monolithic: all of them). */
+    std::vector<const workload::SessionSpec*> sessions;
+    std::string trace_name;
+    sim::Time makespan = 0;
+    /** This shard's share of SchedulerConfig::initial_servers. */
+    std::int32_t initial_servers = 0;
+    /** Per-shard seed (sched::shard_seed; shard 0 = the caller's seed). */
+    std::uint64_t seed = 1;
+    /**
+     * Monolithic mode: record provisioned_gpus / subscription_ratio
+     * straight into the results, exactly as the pre-sharding engine did.
+     * Sharded mode turns this off and the driver instead merges the
+     * gpu_deltas() / tick_samples() feeds across shards.
+     */
+    bool record_timeline = true;
+};
+
+/** One fleet-wide autoscaler-signal sample taken at a tick. Tick times are
+ *  a pure function of (autoscale_interval, makespan), so every shard
+ *  produces the same sample grid and the driver can merge positionally. */
+struct FastTickSample
+{
+    sim::Time time = 0;
+    std::int32_t subscribed_gpus = 0;
+    std::int32_t total_gpus = 0;
+};
+
+/**
+ * One shard of the fast analytic engine: the §5.5 companion-simulator
+ * model (replicated kernels under the SR cap, dynamic GPU binding,
+ * migration on placement failure, pre-warmed containers, §3.4.2
+ * auto-scaler) over the plan's session subset, with consensus latency
+ * sampled instead of simulated per-message.
+ *
+ * Lifecycle: start(), then run_until() to any horizon(s), then finish()
+ * exactly once. run() bundles the three for the monolithic path. Shards
+ * share nothing, so a driver may run siblings on concurrent threads.
+ */
+class FastEngineShard
+{
+  public:
+    FastEngineShard(FastShardPlan plan, const PlatformConfig& config);
+
+    FastEngineShard(const FastEngineShard&) = delete;
+    FastEngineShard& operator=(const FastEngineShard&) = delete;
+
+    /** Provision the initial fleet and schedule the workload + ticks. */
+    void start();
+
+    /** Advance this shard's event loop to @p t. */
+    void run_until(sim::Time t);
+
+    /** Finalize and move out this shard's results (call once, last). */
+    ExperimentResults finish();
+
+    /** start() + run to the drain horizon + finish(): the monolithic
+     *  fast path, byte-identical to the pre-sharding engine. */
+    ExperimentResults run();
+
+    /** Simulation events executed so far (throughput accounting). */
+    std::uint64_t events_executed() const;
+
+    /** Fleet-size changes as (time, ±gpus) deltas, for the driver-side
+     *  merged provisioned_gpus series (sharded mode). */
+    const std::vector<std::pair<sim::Time, double>>& gpu_deltas() const
+    {
+        return gpu_deltas_;
+    }
+
+    /** Per-tick autoscaler-signal samples, for the driver-side merged
+     *  subscription_ratio series (sharded mode). */
+    const std::vector<FastTickSample>& tick_samples() const
+    {
+        return tick_samples_;
+    }
+
+  private:
+    struct FastKernel
+    {
+        workload::SessionId session = -1;
+        cluster::ResourceSpec spec{};
+        std::vector<cluster::ServerId> servers;
+        cluster::ServerId last_executor = cluster::kNoServer;
+        bool alive = false;
+        std::uint64_t executions = 0;
+    };
+
+    void add_server();
+    void provision_server();
+    sim::Time sample(sim::Time lo, sim::Time hi);
+    void record_event(sched::SchedulerEvent::Kind kind);
+    void record_fleet_size();
+    void schedule_workload();
+    void start_session(const workload::SessionSpec& session);
+    void place_kernel(workload::SessionId id);
+    void place_pending_kernels();
+    void end_session(const workload::SessionSpec& session);
+    TaskOutcome& new_outcome(const workload::SessionSpec& session,
+                             const workload::CellTask& task);
+    void run_task(const workload::SessionSpec& session,
+                  const workload::CellTask& task);
+    void begin_execution(std::size_t index, workload::SessionId session_id,
+                         cluster::ServerId server_id, sim::Time start,
+                         sim::Time duration);
+    void migrate_and_run(std::size_t index, workload::SessionId session_id,
+                         const workload::CellTask& task, int retries,
+                         sim::Time duration_override = -1);
+    void complete(std::size_t index, sim::Time start, sim::Time end,
+                  sim::Time extra_reply, workload::SessionId session_id);
+    void schedule_tick();
+    void tick();
+    void finalize();
+
+    FastShardPlan plan_;
+    PlatformConfig config_;
+    sim::Simulation simulation_;
+    sim::Rng rng_;
+    storage::DataStore store_;
+    cluster::Cluster cluster_;
+    sched::LeastLoadedPolicy placement_;
+    cluster::PrewarmPool prewarm_;
+    std::map<workload::SessionId, FastKernel> kernels_;
+    std::set<workload::SessionId> pending_kernels_;
+    std::int32_t provisioning_ = 0;
+    /** Previous cluster_.total_gpus(), for delta-form fleet recording. */
+    double last_total_gpus_ = 0.0;
+    std::vector<std::pair<sim::Time, double>> gpu_deltas_;
+    std::vector<FastTickSample> tick_samples_;
+    ExperimentResults results_;
+};
+
+}  // namespace nbos::core
+
+#endif  // NBOS_CORE_FASTSIM_ENGINE_HPP

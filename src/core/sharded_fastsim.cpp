@@ -1,0 +1,217 @@
+#include "core/sharded_fastsim.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/fastsim_engine.hpp"
+#include "core/platform.hpp"
+#include "sched/shard_router.hpp"
+
+namespace nbos::core {
+
+namespace {
+
+/** Rebuild the committed-GPU step series from the merged task outcomes —
+ *  the same tail FastEngineShard::finalize applies per shard, re-run over
+ *  the canonical cross-shard task order. */
+metrics::TimeSeries
+committed_series(const std::vector<TaskOutcome>& tasks)
+{
+    std::vector<std::pair<sim::Time, double>> committed;
+    for (const TaskOutcome& task : tasks) {
+        if (task.is_gpu && !task.aborted) {
+            committed.emplace_back(task.exec_start,
+                                   static_cast<double>(task.gpus));
+            committed.emplace_back(task.exec_end,
+                                   -static_cast<double>(task.gpus));
+        }
+    }
+    return series_from_deltas(std::move(committed));
+}
+
+}  // namespace
+
+ShardedFastSim::ShardedFastSim(const workload::Trace& trace,
+                               const PlatformConfig& config)
+    : trace_(trace), config_(config)
+{
+}
+
+ExperimentResults
+ShardedFastSim::run()
+{
+    const std::int32_t count = config_.scheduler.shards;
+    if (count < 1) {
+        throw std::invalid_argument("scheduler.shards must be >= 1");
+    }
+
+    if (count == 1) {
+        // The monolithic fast path, kept verbatim: one shard over the
+        // full trace with the caller's seed and in-engine timeline
+        // recording is byte-identical to the pre-sharding engine.
+        FastShardPlan plan;
+        plan.sessions.reserve(trace_.sessions.size());
+        for (const workload::SessionSpec& session : trace_.sessions) {
+            plan.sessions.push_back(&session);
+        }
+        plan.trace_name = trace_.name;
+        plan.makespan = trace_.makespan;
+        plan.initial_servers = config_.scheduler.initial_servers;
+        plan.seed = config_.seed;
+        plan.record_timeline = true;
+        FastEngineShard engine(std::move(plan), config_);
+        ExperimentResults results = engine.run();
+        events_executed_ = engine.events_executed();
+        return results;
+    }
+
+    // Partition: the stable session-id hash assigns every session to one
+    // shard (seed-independent, so seed sweeps compare like against like);
+    // within a shard, sessions keep their trace order. The initial fleet
+    // is divided round-robin so shares differ by at most one server.
+    const sched::ShardRouter router(count);
+    std::vector<FastShardPlan> plans(static_cast<std::size_t>(count));
+    const std::int32_t base_servers =
+        config_.scheduler.initial_servers / count;
+    const std::int32_t extra_servers =
+        config_.scheduler.initial_servers % count;
+    for (std::int32_t i = 0; i < count; ++i) {
+        FastShardPlan& plan = plans[static_cast<std::size_t>(i)];
+        plan.trace_name = trace_.name;
+        plan.makespan = trace_.makespan;
+        plan.initial_servers = base_servers + (i < extra_servers ? 1 : 0);
+        plan.seed = sched::shard_seed(config_.seed, i);
+        plan.record_timeline = false;
+    }
+    for (const workload::SessionSpec& session : trace_.sessions) {
+        plans[router.shard_of(session.id)].sessions.push_back(&session);
+    }
+
+    std::vector<std::unique_ptr<FastEngineShard>> shards;
+    shards.reserve(plans.size());
+    for (FastShardPlan& plan : plans) {
+        shards.push_back(std::make_unique<FastEngineShard>(std::move(plan),
+                                                           config_));
+    }
+
+    // Shards never interact, so each one runs start-to-drain in a single
+    // pass — one analytic shard per thread, shard 0 on the calling
+    // thread. thread::join is the happens-before edge for the merges
+    // below; with shard_parallel off the same passes run serially,
+    // bit-identically.
+    const sim::Time horizon = trace_.makespan + 12 * sim::kHour;
+    const auto run_shard = [horizon](FastEngineShard* shard) {
+        shard->start();
+        shard->run_until(horizon);
+    };
+    if (config_.scheduler.shard_parallel) {
+        std::vector<std::thread> threads;
+        threads.reserve(shards.size() - 1);
+        for (std::size_t i = 1; i < shards.size(); ++i) {
+            threads.emplace_back(run_shard, shards[i].get());
+        }
+        run_shard(shards.front().get());
+        for (std::thread& thread : threads) {
+            thread.join();
+        }
+    } else {
+        for (const auto& shard : shards) {
+            run_shard(shard.get());
+        }
+    }
+
+    // Deterministic merge, always in shard order.
+    std::vector<ExperimentResults> per_shard;
+    per_shard.reserve(shards.size());
+    std::size_t total_tasks = 0;
+    events_executed_ = 0;
+    for (const auto& shard : shards) {
+        events_executed_ += shard->events_executed();
+        per_shard.push_back(shard->finish());
+        total_tasks += per_shard.back().tasks.size();
+    }
+
+    ExperimentResults results;
+    results.policy = Policy::kNotebookOS;
+    results.trace_name = trace_.name;
+    results.makespan = trace_.makespan;
+
+    // Tasks: concatenate in shard order, then canonicalize to
+    // (submit, session, seq) — a total order because a session's
+    // (session, seq) pairs are unique.
+    results.tasks.reserve(total_tasks);
+    for (ExperimentResults& shard_results : per_shard) {
+        std::move(shard_results.tasks.begin(), shard_results.tasks.end(),
+                  std::back_inserter(results.tasks));
+    }
+    std::stable_sort(results.tasks.begin(), results.tasks.end(),
+                     [](const TaskOutcome& a, const TaskOutcome& b) {
+                         if (a.submit != b.submit) {
+                             return a.submit < b.submit;
+                         }
+                         if (a.session != b.session) {
+                             return a.session < b.session;
+                         }
+                         return a.seq < b.seq;
+                     });
+
+    std::vector<std::vector<sched::SchedulerEvent>> shard_events;
+    shard_events.reserve(per_shard.size());
+    for (ExperimentResults& shard_results : per_shard) {
+        shard_events.push_back(std::move(shard_results.events));
+        results.sched_stats += shard_results.sched_stats;
+        results.read_ms.add_all(shard_results.read_ms.sorted());
+        results.write_ms.add_all(shard_results.write_ms.sorted());
+        results.store_bytes_written += shard_results.store_bytes_written;
+    }
+    results.events = sched::merge_events(shard_events);
+
+    // Fleet timeline: sum the per-shard (time, ±gpus) deltas into one
+    // step series. Equal-time deltas collapse into a single sample whose
+    // value is order-independent, so the merge is deterministic.
+    std::vector<std::pair<sim::Time, double>> gpu_deltas;
+    for (const auto& shard : shards) {
+        gpu_deltas.insert(gpu_deltas.end(), shard->gpu_deltas().begin(),
+                          shard->gpu_deltas().end());
+    }
+    results.provisioned_gpus = series_from_deltas(std::move(gpu_deltas));
+
+    // Subscription ratio: every shard ticks on the same grid, so samples
+    // merge positionally into sum(S) / (sum(G) * R) — the same formula
+    // Cluster::cluster_subscription_ratio applies to one fleet.
+    const std::size_t tick_count = shards.front()->tick_samples().size();
+    for (const auto& shard : shards) {
+        if (shard->tick_samples().size() != tick_count) {
+            throw std::logic_error(
+                "sharded fast engine: tick sample counts diverged");
+        }
+    }
+    const std::int32_t replicas =
+        std::max<std::int32_t>(1, config_.scheduler.kernel.replica_count);
+    for (std::size_t k = 0; k < tick_count; ++k) {
+        std::int64_t subscribed = 0;
+        std::int64_t gpus = 0;
+        for (const auto& shard : shards) {
+            const FastTickSample& sample = shard->tick_samples()[k];
+            subscribed += sample.subscribed_gpus;
+            gpus += sample.total_gpus;
+        }
+        const double ratio =
+            gpus <= 0 ? 0.0
+                      : static_cast<double>(subscribed) /
+                            (static_cast<double>(gpus) *
+                             static_cast<double>(replicas));
+        results.subscription_ratio.record(
+            shards.front()->tick_samples()[k].time, ratio);
+    }
+
+    results.committed_gpus = committed_series(results.tasks);
+    return results;
+}
+
+}  // namespace nbos::core

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * ShardedFastSim: the fast analytic engine partitioned across N
+ * independent shards (SchedulerConfig::shards), one per thread.
+ *
+ * Sessions are routed to shards by the seed-independent
+ * sched::ShardRouter hash, each shard runs the full analytic model over
+ * its slice on its own event loop (FastEngineShard), and the driver
+ * merges the per-shard aggregates in shard order, so
+ *
+ *  - parallel ≡ serial (shards share nothing; the fork/join is the only
+ *    synchronization, toggled by SchedulerConfig::shard_parallel), and
+ *  - shards == 1 is byte-identical to the pre-sharding monolithic fast
+ *    path (single shard, full trace, caller's seed, timeline recording).
+ *
+ * This is the scale path of ROADMAP open item 1: bench/scale_sessions.cpp
+ * drives it to >= 1M sessions at shards {1, 2, 4, 8}.
+ */
+#ifndef NBOS_CORE_SHARDED_FASTSIM_HPP
+#define NBOS_CORE_SHARDED_FASTSIM_HPP
+
+#include <cstdint>
+
+#include "core/results.hpp"
+#include "workload/trace.hpp"
+
+namespace nbos::core {
+
+struct PlatformConfig;
+
+class ShardedFastSim
+{
+  public:
+    /** @p trace and @p config must outlive the call to run(). */
+    ShardedFastSim(const workload::Trace& trace,
+                   const PlatformConfig& config);
+
+    /** Run the trace to completion and return the merged results.
+     *  Call at most once. */
+    ExperimentResults run();
+
+    /** Simulation events executed across every shard (valid after
+     *  run(); throughput accounting for the scale bench). */
+    std::uint64_t events_executed() const { return events_executed_; }
+
+  private:
+    const workload::Trace& trace_;
+    const PlatformConfig& config_;
+    std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace nbos::core
+
+#endif  // NBOS_CORE_SHARDED_FASTSIM_HPP

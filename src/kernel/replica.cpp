@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <charconv>
+#include <string_view>
 
 #include "nblang/analysis.hpp"
 #include "nblang/parser.hpp"
@@ -114,7 +116,19 @@ KernelReplica::raft_restore(const std::string& snapshot)
     if (sep != std::string::npos) {
         const std::string head = snapshot.substr(0, sep);
         if (head.rfind("EXEC ", 0) == 0) {
-            last_executor_ = std::atoi(head.c_str() + 5);
+            // Checked parse: atoi silently yielded executor 0 (a real
+            // replica index) for malformed heads; a corrupt snapshot must
+            // be an error, not a quiet misdirection of executor affinity.
+            const std::string_view raw = std::string_view(head).substr(5);
+            std::int32_t executor = 0;
+            const auto [ptr, ec] = std::from_chars(
+                raw.data(), raw.data() + raw.size(), executor);
+            if (ec != std::errc{} || ptr != raw.data() + raw.size()) {
+                throw nblang::Error(
+                    "malformed executor id in checkpoint head: '" + head +
+                    "'");
+            }
+            last_executor_ = executor;
         }
         body = snapshot.substr(sep + 1);
     }

@@ -1,7 +1,9 @@
 #include "kernel/state_sync.hpp"
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string_view>
 
 #include "nblang/token.hpp"
@@ -43,6 +45,92 @@ split(std::string_view text, char sep)
     }
     return parts;
 }
+
+/** @name Bounded field parsers
+ *  The record fields are string_views into the wire buffer, NOT
+ *  NUL-terminated at the field boundary, so every parse is bounded to
+ *  [data, data + size) and must consume the whole field (trailing garbage
+ *  is an error, as in workload/trace_io.cpp). Failures throw nblang::Error
+ *  naming the field and the offending record.
+ */
+///@{
+
+[[noreturn]] void
+fail_field(const char* field, std::string_view raw, const char* detail)
+{
+    throw nblang::Error(std::string("state record field '") + field +
+                        "': " + detail + " in '" + std::string(raw) + "'");
+}
+
+std::int64_t
+parse_i64_field(const char* field, std::string_view raw)
+{
+    std::int64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(raw.data(), raw.data() + raw.size(), value);
+    if (ec != std::errc{} || ptr != raw.data() + raw.size()) {
+        fail_field(field, raw, "not a number");
+    }
+    return value;
+}
+
+std::uint64_t
+parse_u64_field(const char* field, std::string_view raw)
+{
+    // from_chars<unsigned> rejects '-' outright — no silent wraparound.
+    std::uint64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(raw.data(), raw.data() + raw.size(), value);
+    if (ec != std::errc{} || ptr != raw.data() + raw.size()) {
+        fail_field(field, raw, "not an unsigned number");
+    }
+    return value;
+}
+
+double
+parse_double_field(const char* field, std::string_view raw)
+{
+    // strtod needs NUL termination, so copy the field into a bounded
+    // buffer first (the serializer emits %.17g, which always fits; a
+    // longer token cannot be one of ours).
+    char buf[64];
+    if (raw.empty() || raw.size() >= sizeof(buf)) {
+        fail_field(field, raw, "not a number");
+    }
+    std::memcpy(buf, raw.data(), raw.size());
+    buf[raw.size()] = '\0';
+    char* end = nullptr;
+    const double value = std::strtod(buf, &end);
+    if (end != buf + raw.size()) {
+        fail_field(field, raw, "not a number");
+    }
+    return value;
+}
+
+bool
+parse_bool_field(const char* field, std::string_view raw)
+{
+    if (raw == "1") {
+        return true;
+    }
+    if (raw == "0") {
+        return false;
+    }
+    fail_field(field, raw, "not a 0/1 flag");
+}
+
+nblang::ValueKind
+parse_kind_field(const char* field, std::string_view raw)
+{
+    const std::int64_t kind = parse_i64_field(field, raw);
+    if (kind < 0 || kind > static_cast<std::int64_t>(
+                               nblang::ValueKind::kDataset)) {
+        fail_field(field, raw, "value kind out of range");
+    }
+    return static_cast<nblang::ValueKind>(kind);
+}
+
+///@}
 
 }  // namespace
 
@@ -104,9 +192,10 @@ StateDelta
 deserialize_delta(const std::string& data)
 {
     StateDelta delta;
-    // Views point into @p data; the C numeric parsers below stop at the
-    // field separator (never a valid numeric character), so parsing straight
-    // from view.data() is safe and copies nothing but names and texts.
+    // Views point into @p data and are NOT NUL-terminated at field
+    // boundaries, so every numeric field goes through the bounded parsers
+    // above (full-field consumption, range-checked value kinds) instead
+    // of atoi/strtod on view.data().
     for (const std::string_view record : split(data, kRecordSep)) {
         if (record.empty()) {
             continue;
@@ -122,12 +211,11 @@ deserialize_delta(const std::string& data)
         }
         VarRecord var;
         var.name = fields[0];
-        var.value.kind =
-            static_cast<nblang::ValueKind>(std::atoi(fields[1].data()));
-        var.value.number = std::strtod(fields[2].data(), nullptr);
-        var.value.size_bytes = std::strtoull(fields[3].data(), nullptr, 10);
-        var.value.version = std::strtoull(fields[4].data(), nullptr, 10);
-        var.is_pointer = fields[5] == "1";
+        var.value.kind = parse_kind_field("kind", fields[1]);
+        var.value.number = parse_double_field("number", fields[2]);
+        var.value.size_bytes = parse_u64_field("size_bytes", fields[3]);
+        var.value.version = parse_u64_field("version", fields[4]);
+        var.is_pointer = parse_bool_field("is_pointer", fields[5]);
         var.value.text = fields[6];
         delta.vars.push_back(std::move(var));
     }

@@ -11,6 +11,8 @@
 #define NBOS_SCHED_SHARD_ROUTER_HPP
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 namespace nbos::sched {
 
@@ -22,6 +24,19 @@ splitmix64(std::uint64_t x)
     x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
     x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
     return x ^ (x >> 31);
+}
+
+/** Per-shard RNG seed shared by every sharded engine: shard 0 keeps the
+ *  caller's seed verbatim (monolithic byte-identity at shards == 1);
+ *  siblings mix the shard index in so their streams are independent. */
+constexpr std::uint64_t
+shard_seed(std::uint64_t seed, std::int32_t index)
+{
+    if (index == 0) {
+        return seed;
+    }
+    return splitmix64(seed + 0x632be59bd9b4e019ULL *
+                                 static_cast<std::uint64_t>(index));
 }
 
 /**
@@ -43,9 +58,18 @@ class ShardRouter
     std::int32_t shards() const { return shards_; }
 
     /** Shard owning @p session_id. Pure and stable: equal ids always map
-     *  to equal shards for a given shard count. */
+     *  to equal shards for a given shard count.
+     *  @throws std::invalid_argument on negative ids — they would
+     *  otherwise silently sign-cast into the hash, so a caller bug (e.g.
+     *  routing a kNoServer/-1 sentinel) produced a stable-looking but
+     *  meaningless shard instead of an error. */
     std::size_t shard_of(std::int64_t session_id) const
     {
+        if (session_id < 0) {
+            throw std::invalid_argument(
+                "ShardRouter::shard_of: negative session id " +
+                std::to_string(session_id));
+        }
         if (shards_ == 1) {
             return 0;
         }

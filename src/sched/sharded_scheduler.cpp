@@ -4,21 +4,9 @@
 
 namespace nbos::sched {
 
-namespace {
-
-/** Per-shard seed: shard 0 keeps the caller's seed verbatim (monolithic
- *  byte-identity at shards == 1); siblings mix the index in. */
-std::uint64_t
-shard_seed(std::uint64_t seed, std::int32_t index)
-{
-    if (index == 0) {
-        return seed;
-    }
-    return splitmix64(seed + 0x632be59bd9b4e019ULL *
-                                 static_cast<std::uint64_t>(index));
-}
-
-}  // namespace
+// Per-shard seeds come from sched::shard_seed (shard_router.hpp), shared
+// with the sharded fast engine so both sharding layers mix seeds the same
+// way.
 
 ShardedGlobalScheduler::ShardedGlobalScheduler(SchedulerConfig config,
                                                std::uint64_t seed)

@@ -390,5 +390,55 @@ TEST(DeterminismTest, ShardedPrototypeParallelBitIdenticalToSerial)
     test::expect_results_identical(parallel, serial);
 }
 
+/** The sharded FAST engine is deterministic: same seed, same shard
+ *  count -> bit-identical results, through the whole merge pipeline
+ *  (tasks, events, timelines, latency distributions). */
+TEST(DeterminismTest, ShardedFastSameSeedBitIdentical)
+{
+    const auto trace = test::tiny_trace(16, 3 * sim::kHour);
+    core::PlatformConfig config = test::platform_config(
+        core::Policy::kNotebookOS, /*seed=*/33, /*fast=*/true);
+    config.scheduler.shards = 4;
+    const auto a = core::Platform(config).run(trace);
+    const auto b = core::Platform(config).run(trace);
+    test::expect_results_identical(a, b);
+}
+
+/** Fast shards share nothing and merge in shard order, so running them
+ *  on concurrent threads must be bit-identical to running them serially
+ *  — the fast-engine analogue of ShardedPrototypeParallel...  */
+TEST(DeterminismTest, ShardedFastParallelBitIdenticalToSerial)
+{
+    const auto trace = test::tiny_trace(16, 3 * sim::kHour);
+    core::PlatformConfig config = test::platform_config(
+        core::Policy::kNotebookOS, /*seed=*/11, /*fast=*/true);
+    config.scheduler.shards = 4;
+    config.scheduler.shard_parallel = true;
+    const auto parallel = core::Platform(config).run(trace);
+    config.scheduler.shard_parallel = false;
+    const auto serial = core::Platform(config).run(trace);
+    test::expect_results_identical(parallel, serial);
+}
+
+/** shards == 1 must stay byte-identical to the historical monolithic
+ *  fast path regardless of the shard_parallel knob: the ShardedFastSim
+ *  driver collapses to one full-trace shard with the caller's seed and
+ *  in-engine timeline recording. (That the single-shard path itself
+ *  still matches the PRE-sharding engine is pinned by
+ *  SeedSweepAggregateMatchesGolden, whose golden numbers predate this
+ *  refactor and were not regenerated.) */
+TEST(DeterminismTest, ShardedFastShardsOneBitIdenticalToMonolithic)
+{
+    const auto trace = test::tiny_trace(12, 2 * sim::kHour);
+    const auto monolithic = test::run_policy(
+        trace, core::Policy::kNotebookOS, /*seed=*/17, /*fast=*/true);
+    core::PlatformConfig config = test::platform_config(
+        core::Policy::kNotebookOS, /*seed=*/17, /*fast=*/true);
+    config.scheduler.shards = 1;
+    config.scheduler.shard_parallel = false;
+    const auto single_shard = core::Platform(config).run(trace);
+    test::expect_results_identical(monolithic, single_shard);
+}
+
 }  // namespace
 }  // namespace nbos

@@ -5,13 +5,16 @@
  */
 #include <gtest/gtest.h>
 
+#include <initializer_list>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "kernel/protocol.hpp"
 #include "kernel/replica.hpp"
 #include "kernel/state_sync.hpp"
 #include "net/network.hpp"
+#include "nblang/token.hpp"
 #include "sim/simulation.hpp"
 #include "storage/datastore.hpp"
 
@@ -123,6 +126,84 @@ TEST(StateSyncTest, AssignedThenDeletedSkipped)
     const StateDelta delta = build_delta(ns, {"temp"}, {"temp"}, 1024);
     EXPECT_TRUE(delta.vars.empty());
     ASSERT_EQ(delta.deleted.size(), 1u);
+}
+
+/** Hand-assemble one wire record (fields joined by \x1f, terminated by
+ *  \x1e) so the parsing regressions below control every byte. */
+std::string
+wire_record(std::initializer_list<std::string> fields)
+{
+    std::string out;
+    bool first = true;
+    for (const std::string& field : fields) {
+        if (!first) {
+            out += '\x1f';
+        }
+        first = false;
+        out += field;
+    }
+    out += '\x1e';
+    return out;
+}
+
+/** Regression: the numeric fields are string_views into the wire buffer
+ *  with digits immediately on both sides of every separator; each parse
+ *  must stop exactly at its field boundary (the old atoi/strtoull calls
+ *  on view.data() relied on the separator not looking numeric and on the
+ *  buffer's terminator, neither of which the field contract guarantees). */
+TEST(StateSyncTest, AdjacentDigitFieldsParseExactly)
+{
+    const StateDelta parsed = deserialize_delta(
+        wire_record({"v", "3", "2.5", "10", "7", "1", "42"}));
+    ASSERT_EQ(parsed.vars.size(), 1u);
+    EXPECT_EQ(parsed.vars[0].name, "v");
+    EXPECT_EQ(parsed.vars[0].value.kind, nblang::ValueKind::kTensor);
+    EXPECT_DOUBLE_EQ(parsed.vars[0].value.number, 2.5);
+    EXPECT_EQ(parsed.vars[0].value.size_bytes, 10u);
+    EXPECT_EQ(parsed.vars[0].value.version, 7u);
+    EXPECT_TRUE(parsed.vars[0].is_pointer);
+    EXPECT_EQ(parsed.vars[0].value.text, "42");
+}
+
+/** Regression: the kind field used to be cast to nblang::ValueKind
+ *  unvalidated — out-of-range and non-numeric kinds must be rejected,
+ *  not smuggled into the enum. */
+TEST(StateSyncTest, GarbageValueKindsRejected)
+{
+    for (const std::string& kind : {"6", "42", "-1", "3x", "", "junk"}) {
+        SCOPED_TRACE("kind='" + kind + "'");
+        EXPECT_THROW(
+            deserialize_delta(
+                wire_record({"v", kind, "1.0", "0", "0", "0", ""})),
+            nblang::Error);
+    }
+}
+
+/** Regression: malformed numeric/flag fields silently parsed as 0 (atoi)
+ *  or wrapped (strtoull on "-5") — all must now fail loudly. */
+TEST(StateSyncTest, MalformedNumericFieldsRejected)
+{
+    // number field: trailing garbage and non-numbers.
+    EXPECT_THROW(deserialize_delta(
+                     wire_record({"v", "1", "1.5x", "0", "0", "0", ""})),
+                 nblang::Error);
+    EXPECT_THROW(deserialize_delta(
+                     wire_record({"v", "1", "abc", "0", "0", "0", ""})),
+                 nblang::Error);
+    // size_bytes / version: negative counts must not wrap to 2^64-5.
+    EXPECT_THROW(deserialize_delta(
+                     wire_record({"v", "1", "1.0", "-5", "0", "0", ""})),
+                 nblang::Error);
+    EXPECT_THROW(deserialize_delta(
+                     wire_record({"v", "1", "1.0", "0", "", "0", ""})),
+                 nblang::Error);
+    // is_pointer: strictly a 0/1 flag.
+    EXPECT_THROW(deserialize_delta(
+                     wire_record({"v", "1", "1.0", "0", "0", "2", ""})),
+                 nblang::Error);
+    // A well-formed record still parses (the guards are not over-eager).
+    EXPECT_NO_THROW(deserialize_delta(
+        wire_record({"v", "1", "1.0", "0", "0", "0", ""})));
 }
 
 TEST(StateSyncTest, CheckpointCoversWholeNamespace)
@@ -476,6 +557,27 @@ TEST(KernelFailoverTest, CheckpointRestoreRoundTrip)
     other.replicas[0]->restore_state(checkpoint);
     EXPECT_DOUBLE_EQ(other.replicas[0]->ns().at("x").number, 5.0);
     EXPECT_TRUE(other.replicas[0]->non_resident().count("weights"));
+}
+
+/** Regression: the checkpoint head's executor id went through atoi, so a
+ *  corrupt head silently restored executor 0 — a real replica index.
+ *  Malformed ids must be an explicit error; valid ones (including the
+ *  -1 "no executor yet" sentinel) round-trip exactly. */
+TEST(KernelFailoverTest, CheckpointExecutorIdCheckedParsing)
+{
+    constexpr char kSep = '\x1d';
+    KernelHarness h;
+    for (const std::string& head :
+         {std::string("EXEC junk"), std::string("EXEC "),
+          std::string("EXEC 1x"), std::string("EXEC 0 ")}) {
+        SCOPED_TRACE("head='" + head + "'");
+        EXPECT_THROW(h.replicas[0]->restore_state(head + kSep),
+                     nblang::Error);
+    }
+    h.replicas[0]->restore_state(std::string("EXEC -1") + kSep);
+    EXPECT_EQ(h.replicas[0]->last_executor(), -1);
+    h.replicas[0]->restore_state(std::string("EXEC 2") + kSep);
+    EXPECT_EQ(h.replicas[0]->last_executor(), 2);
 }
 
 TEST(KernelFailoverTest, SurvivesStandbyCrash)

@@ -332,5 +332,90 @@ TEST(ShardedSchedulerProperty, TotalStatsIndependentOfShardCount)
     });
 }
 
+/**
+ * The same sharding invariant for the FAST analytic engine: on a
+ * well-provisioned fleet (autoscaler off, every shard slice can host and
+ * commit every kernel routed to it, a session's cells spaced so they
+ * never overlap), the merged totals — SchedulerStats, task counts,
+ * aborts — are independent of the shard count. Per-shard RNG streams
+ * differ, so latency *values* legitimately move with the shard count;
+ * anything count-shaped must not.
+ */
+TEST(ShardedFastSimProperty, TotalsIndependentOfShardCount)
+{
+    test::check_property(3, [](sim::Rng& rng, std::size_t) {
+        workload::Trace trace;
+        trace.name = "props-fast-shards";
+        trace.makespan = 2 * sim::kHour;
+        const auto session_count =
+            static_cast<std::size_t>(5 + rng.uniform_int(0, 6));
+        for (std::size_t i = 0; i < session_count; ++i) {
+            workload::SessionSpec session;
+            session.id =
+                static_cast<std::int64_t>(100 + rng.uniform_int(0, 5000)) +
+                static_cast<std::int64_t>(i) * 10000;
+            session.start_time =
+                100 * sim::kSecond + rng.uniform_int(0, 60) * sim::kSecond;
+            session.end_time = trace.makespan;  // survives the trace
+            const auto gpus =
+                static_cast<std::int32_t>(rng.uniform_int(1, 2));
+            session.resources = cluster::ResourceSpec{
+                4000 * gpus, 16384LL * gpus, gpus, 16.0 * gpus};
+            const std::int64_t cells = 1 + rng.uniform_int(0, 3);
+            sim::Time at = session.start_time + 30 * sim::kSecond;
+            for (std::int64_t c = 0; c < cells; ++c) {
+                workload::CellTask task;
+                task.session = session.id;
+                task.seq = static_cast<std::int32_t>(c);
+                task.submit_time = at;
+                task.duration = rng.uniform_int(2, 6) * sim::kSecond;
+                task.is_gpu = rng.uniform_int(0, 3) != 0;
+                session.tasks.push_back(std::move(task));
+                // Next cell well after this one's end: sampled overheads
+                // are millisecond-scale, so executions never overlap.
+                at += 90 * sim::kSecond +
+                      rng.uniform_int(0, 20) * sim::kSecond;
+            }
+            trace.sessions.push_back(std::move(session));
+        }
+
+        sched::SchedulerStats reference{};
+        std::size_t reference_tasks = 0;
+        std::size_t reference_aborted = 0;
+        bool have_reference = false;
+        for (const std::int32_t shards : {1, 2, 4}) {
+            SCOPED_TRACE("shards=" + std::to_string(shards));
+            core::PlatformConfig config = test::platform_config(
+                core::Policy::kNotebookOS, /*seed=*/7, /*fast=*/true);
+            // Ample, evenly divisible fleet: every shard slice (16/4 = 4
+            // servers minimum) hosts and commits its kernels outright,
+            // so no scale-outs or migrations couple shards to capacity.
+            config.scheduler.initial_servers = 16;
+            config.scheduler.enable_autoscaler = false;
+            config.scheduler.shards = shards;
+            config.scheduler.shard_parallel = false;
+            const core::ExperimentResults results =
+                core::Platform(config).run(trace);
+
+            if (!have_reference) {
+                reference = results.sched_stats;
+                reference_tasks = results.tasks.size();
+                reference_aborted = results.aborted_count();
+                have_reference = true;
+            } else {
+                EXPECT_TRUE(results.sched_stats == reference)
+                    << "fast-engine totals changed with the shard count "
+                       "(kernels=" << results.sched_stats.kernels_created
+                    << " vs " << reference.kernels_created
+                    << ", completed="
+                    << results.sched_stats.executions_completed << " vs "
+                    << reference.executions_completed << ")";
+                EXPECT_EQ(results.tasks.size(), reference_tasks);
+                EXPECT_EQ(results.aborted_count(), reference_aborted);
+            }
+        }
+    });
+}
+
 }  // namespace
 }  // namespace nbos

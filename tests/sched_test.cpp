@@ -879,12 +879,23 @@ TEST(ShardRouterTest, StableAcrossInstancesAndRepeatedCalls)
 {
     const ShardRouter a(4);
     const ShardRouter b(4);
-    for (std::int64_t id = -500; id <= 5000; id += 13) {
+    for (std::int64_t id = 0; id <= 5000; id += 13) {
         const std::size_t shard = a.shard_of(id);
         ASSERT_LT(shard, 4u) << "id=" << id;
         ASSERT_EQ(shard, a.shard_of(id)) << "id=" << id;
         ASSERT_EQ(shard, b.shard_of(id)) << "id=" << id;
     }
+}
+
+/** Negative ids used to sign-cast silently into the hash; they are caller
+ *  bugs (e.g. routing a -1 sentinel) and must be rejected loudly — on
+ *  every shard count, including the shards == 1 fast path. */
+TEST(ShardRouterTest, RejectsNegativeSessionIds)
+{
+    EXPECT_THROW(ShardRouter(4).shard_of(-1), std::invalid_argument);
+    EXPECT_THROW(ShardRouter(4).shard_of(-500), std::invalid_argument);
+    EXPECT_THROW(ShardRouter(1).shard_of(-1), std::invalid_argument);
+    EXPECT_NO_THROW(ShardRouter(4).shard_of(0));
 }
 
 TEST(ShardRouterTest, SingleShardRoutesEverythingToZero)
