@@ -1,0 +1,164 @@
+#include "chaos/controller.hpp"
+
+#include <algorithm>
+
+namespace nbos::chaos {
+
+ChaosController::ChaosController(sim::Simulation& simulation,
+                                 net::Network& network)
+    : simulation_(simulation), network_(network)
+{
+}
+
+void
+ChaosController::install(const FaultPlan& plan)
+{
+    record_.seed = plan.seed;
+    for (const FaultEvent& event : plan.events) {
+        simulation_.schedule_at(event.at,
+                                [this, event] { fire(event); });
+    }
+}
+
+void
+ChaosController::fire(const FaultEvent& event)
+{
+    // The record stamps the actual fire time (schedule_at clamps past
+    // times to now), so a recorded schedule replays exactly as it ran.
+    FaultEvent applied = event;
+    applied.at = simulation_.now();
+
+    switch (event.kind) {
+        case FaultKind::kDropBurst: {
+            ++active_drop_bursts_;
+            network_.set_chaos_drop_probability(event.value);
+            if (event.duration > 0) {
+                simulation_.schedule_after(event.duration,
+                                           [this] { end_drop_burst(); });
+            }
+            ++stats_.drop_bursts;
+            record_.events.push_back(applied);
+            return;
+        }
+        case FaultKind::kPartition: {
+            if (!hooks_.resolve_endpoint) {
+                ++stats_.skipped;
+                return;
+            }
+            const net::NodeId na = hooks_.resolve_endpoint(event.a);
+            const net::NodeId nb = hooks_.resolve_endpoint(event.b);
+            if (na == net::kNoNode || nb == net::kNoNode || na == nb) {
+                ++stats_.skipped;
+                return;
+            }
+            network_.set_partitioned(na, nb, true);
+            active_partitions_[{event.a, event.b}].push_back({na, nb});
+            ++stats_.partitions;
+            record_.events.push_back(applied);
+            return;
+        }
+        case FaultKind::kHeal: {
+            // Heal the concrete link the matching kPartition cut, not
+            // whatever the slots resolve to now.
+            const auto it = active_partitions_.find({event.a, event.b});
+            if (it == active_partitions_.end() || it->second.empty()) {
+                ++stats_.skipped;
+                return;
+            }
+            const auto [na, nb] = it->second.back();
+            it->second.pop_back();
+            if (it->second.empty()) {
+                active_partitions_.erase(it);
+            }
+            network_.set_partitioned(na, nb, false);
+            ++stats_.heals;
+            record_.events.push_back(applied);
+            return;
+        }
+        case FaultKind::kCrash: {
+            if (!hooks_.crash_replica || !hooks_.crash_replica(event.a)) {
+                ++stats_.skipped;
+                return;
+            }
+            ++stats_.crashes;
+            record_.events.push_back(applied);
+            return;
+        }
+        case FaultKind::kRestart: {
+            if (!hooks_.restart_replica || !hooks_.restart_replica(event.a)) {
+                ++stats_.skipped;
+                return;
+            }
+            ++stats_.restarts;
+            record_.events.push_back(applied);
+            return;
+        }
+        case FaultKind::kClockSkew: {
+            if (!hooks_.resolve_endpoint) {
+                ++stats_.skipped;
+                return;
+            }
+            const net::NodeId node = hooks_.resolve_endpoint(event.a);
+            if (node == net::kNoNode) {
+                ++stats_.skipped;
+                return;
+            }
+            active_skew_[node] += event.delay;
+            network_.set_chaos_node_delay(node, active_skew_[node]);
+            if (event.duration > 0) {
+                const sim::Time delay = event.delay;
+                simulation_.schedule_after(
+                    event.duration,
+                    [this, node, delay] { end_clock_skew(node, delay); });
+            }
+            ++stats_.clock_skews;
+            record_.events.push_back(applied);
+            return;
+        }
+        case FaultKind::kLatencySpike: {
+            active_spike_total_ += event.delay;
+            network_.set_chaos_extra_latency(active_spike_total_);
+            if (event.duration > 0) {
+                const sim::Time delay = event.delay;
+                simulation_.schedule_after(
+                    event.duration,
+                    [this, delay] { end_latency_spike(delay); });
+            }
+            ++stats_.latency_spikes;
+            record_.events.push_back(applied);
+            return;
+        }
+    }
+    ++stats_.skipped;
+}
+
+void
+ChaosController::end_drop_burst()
+{
+    if (active_drop_bursts_ > 0 && --active_drop_bursts_ == 0) {
+        network_.set_chaos_drop_probability(0.0);
+    }
+}
+
+void
+ChaosController::end_latency_spike(sim::Time delay)
+{
+    active_spike_total_ = std::max<sim::Time>(0, active_spike_total_ - delay);
+    network_.set_chaos_extra_latency(active_spike_total_);
+}
+
+void
+ChaosController::end_clock_skew(net::NodeId node, sim::Time delay)
+{
+    const auto it = active_skew_.find(node);
+    if (it == active_skew_.end()) {
+        return;
+    }
+    it->second = std::max<sim::Time>(0, it->second - delay);
+    network_.set_chaos_node_delay(node, it->second);
+    if (it->second == 0) {
+        active_skew_.erase(it);
+    }
+}
+
+}  // namespace nbos::chaos

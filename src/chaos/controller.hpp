@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Installs a `FaultPlan` into a live simulation.
+ *
+ * The controller drives only existing public failure APIs — the network's
+ * chaos drop probability, partitions, latency knobs — plus caller-supplied
+ * hooks for replica crash/restart, so no core subsystem needs chaos-specific
+ * edits. Every fault it applies is appended to an in-memory record with its
+ * virtual fire time: serializing that record IS the RECORD mode, and
+ * installing a parsed schedule IS the REPLAY mode.
+ */
+#ifndef NBOS_CHAOS_CONTROLLER_HPP
+#define NBOS_CHAOS_CONTROLLER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chaos/fault_plan.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace nbos::chaos {
+
+/** Counters of injected (and skipped) faults, per fault class. */
+struct ChaosStats
+{
+    std::uint64_t drop_bursts = 0;
+    std::uint64_t partitions = 0;
+    std::uint64_t heals = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t clock_skews = 0;
+    std::uint64_t latency_spikes = 0;
+    /** Events whose target could not be resolved at fire time. */
+    std::uint64_t skipped = 0;
+
+    std::uint64_t injected() const
+    {
+        return drop_bursts + partitions + heals + crashes + restarts +
+               clock_skews + latency_spikes;
+    }
+};
+
+class ChaosController
+{
+  public:
+    /**
+     * Target-resolution hooks. Fault events name abstract slots; these map
+     * a slot onto the live cluster at fire time. All optional: without
+     * `resolve_endpoint` no partition/skew can resolve, without the replica
+     * hooks no crash/restart applies — such events count as skipped.
+     * Resolution MUST be deterministic (same run state, same answer) for
+     * record/replay to be byte-identical.
+     */
+    struct Hooks
+    {
+        /** Map an endpoint slot to a live node id (net::kNoNode = skip). */
+        std::function<net::NodeId(std::uint32_t)> resolve_endpoint;
+        /** Crash replica slot; return false if nothing could be crashed. */
+        std::function<bool(std::uint32_t)> crash_replica;
+        /** Restart replica slot; return false if nothing was down. */
+        std::function<bool(std::uint32_t)> restart_replica;
+    };
+
+    ChaosController(sim::Simulation& simulation, net::Network& network);
+
+    void set_hooks(Hooks hooks) { hooks_ = std::move(hooks); }
+
+    /** Schedule every event of @p plan into the simulation. */
+    void install(const FaultPlan& plan);
+
+    /** The faults actually injected so far, with their fire times. */
+    const FaultPlan& record() const { return record_; }
+
+    /** RECORD-mode serialization of the injected-fault record. */
+    std::string schedule_text() const { return serialize_plan(record_); }
+
+    const ChaosStats& stats() const { return stats_; }
+
+  private:
+    void fire(const FaultEvent& event);
+    void end_drop_burst();
+    void end_latency_spike(sim::Time delay);
+    void end_clock_skew(net::NodeId node, sim::Time delay);
+
+    sim::Simulation& simulation_;
+    net::Network& network_;
+    Hooks hooks_{};
+    FaultPlan record_;
+    ChaosStats stats_{};
+
+    // Windowed-fault bookkeeping so overlapping faults compose and every
+    // heal/restore undoes exactly what its start event did.
+    std::uint32_t active_drop_bursts_ = 0;
+    sim::Time active_spike_total_ = 0;
+    std::map<net::NodeId, sim::Time> active_skew_;
+    /** Slot-pair -> resolved node pairs cut by kPartition, so the matching
+     *  kHeal heals the same concrete link even if the live endpoint set
+     *  changed in between. */
+    std::map<std::pair<std::uint32_t, std::uint32_t>,
+             std::vector<std::pair<net::NodeId, net::NodeId>>>
+        active_partitions_;
+};
+
+}  // namespace nbos::chaos
+
+#endif  // NBOS_CHAOS_CONTROLLER_HPP

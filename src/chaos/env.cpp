@@ -1,0 +1,36 @@
+#include "chaos/env.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace nbos::chaos {
+
+EnvKnobs
+read_env_knobs()
+{
+    EnvKnobs knobs;
+    if (const char* seed = std::getenv("NBOS_CHAOS_SEED")) {
+        try {
+            knobs.seed = std::stoull(seed);
+        } catch (...) {
+        }
+    }
+    if (const char* rate = std::getenv("NBOS_CHAOS_RATE")) {
+        try {
+            const double scale = std::stod(rate);
+            if (scale >= 0.0) {
+                knobs.rate_scale = scale;
+            }
+        } catch (...) {
+        }
+    }
+    if (const char* record = std::getenv("NBOS_CHAOS_RECORD")) {
+        knobs.record_path = record;
+    }
+    if (const char* replay = std::getenv("NBOS_CHAOS_REPLAY")) {
+        knobs.replay_path = replay;
+    }
+    return knobs;
+}
+
+}  // namespace nbos::chaos

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * `NBOS_CHAOS_*` environment knobs, so benches and CI can steer the chaos
+ * tier without recompiling:
+ *
+ *   NBOS_CHAOS_SEED=<u64>     override the generator seed
+ *   NBOS_CHAOS_RATE=<double>  scale every fault-class rate
+ *   NBOS_CHAOS_RECORD=<path>  RECORD: write the injected schedule here
+ *   NBOS_CHAOS_REPLAY=<path>  REPLAY: re-execute this schedule file
+ */
+#ifndef NBOS_CHAOS_ENV_HPP
+#define NBOS_CHAOS_ENV_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace nbos::chaos {
+
+struct EnvKnobs
+{
+    std::uint64_t seed = 0;   ///< 0 = unset
+    double rate_scale = 1.0;  ///< multiplier on every fault-class rate
+    std::string record_path;  ///< empty = no RECORD file
+    std::string replay_path;  ///< empty = no REPLAY file
+};
+
+/** Read the NBOS_CHAOS_* variables (missing/malformed values keep defaults). */
+EnvKnobs read_env_knobs();
+
+}  // namespace nbos::chaos
+
+#endif  // NBOS_CHAOS_ENV_HPP

@@ -1,0 +1,194 @@
+#include "chaos/fault_plan.hpp"
+
+#include <array>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+namespace nbos::chaos {
+
+namespace {
+
+constexpr std::string_view kPlanHeader = "# nbos-chaos-schedule v1";
+
+constexpr std::array<std::string_view, 7> kKindNames = {
+    "drop_burst", "partition", "heal",         "crash",
+    "restart",    "clock_skew", "latency_spike",
+};
+
+bool
+parse_kind(std::string_view token, FaultKind& out)
+{
+    for (std::size_t i = 0; i < kKindNames.size(); ++i) {
+        if (kKindNames[i] == token) {
+            out = static_cast<FaultKind>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+[[noreturn]] void
+fail(std::size_t line_number, const std::string& line, const char* what)
+{
+    throw std::runtime_error("chaos schedule line " +
+                             std::to_string(line_number) + ": " + what +
+                             ": \"" + line + "\"");
+}
+
+void
+serialize_plan_body(std::ostringstream& out, const FaultPlan& plan)
+{
+    out << "seed " << plan.seed << "\n";
+    for (const FaultEvent& event : plan.events) {
+        out << "fault " << fault_kind_name(event.kind) << ' ' << event.at
+            << ' ' << event.a << ' ' << event.b << ' ' << event.value << ' '
+            << event.delay << ' ' << event.duration << "\n";
+    }
+}
+
+}  // namespace
+
+const char*
+fault_kind_name(FaultKind kind)
+{
+    const auto index = static_cast<std::size_t>(kind);
+    return index < kKindNames.size() ? kKindNames[index].data() : "unknown";
+}
+
+std::string
+serialize_plan(const FaultPlan& plan)
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << kPlanHeader << "\n";
+    serialize_plan_body(out, plan);
+    return out.str();
+}
+
+std::string
+serialize_schedule(const ScheduleFile& schedule)
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << kPlanHeader << "\n";
+    for (const auto& [shard, plan] : schedule.shards) {
+        out << "shard " << shard << "\n";
+        serialize_plan_body(out, plan);
+    }
+    return out.str();
+}
+
+namespace {
+
+/** Shared line parser for plans and schedule files. When @p schedule is
+ *  non-null, `shard <n>` lines open a new section; otherwise they are an
+ *  error and every line accumulates into @p plan. */
+void
+parse_lines(const std::string& text, FaultPlan* plan, ScheduleFile* schedule)
+{
+    std::istringstream in(text);
+    std::string line;
+    std::size_t line_number = 0;
+    bool saw_header = false;
+    FaultPlan* current = plan;
+    while (std::getline(in, line)) {
+        ++line_number;
+        if (line.empty()) {
+            continue;
+        }
+        if (line[0] == '#') {
+            if (!saw_header) {
+                if (line != kPlanHeader) {
+                    fail(line_number, line, "unrecognized header");
+                }
+                saw_header = true;
+            }
+            continue;
+        }
+        std::istringstream fields(line);
+        std::string keyword;
+        fields >> keyword;
+        if (keyword == "shard") {
+            if (schedule == nullptr) {
+                fail(line_number, line, "shard section in a single plan");
+            }
+            std::int32_t shard = 0;
+            if (!(fields >> shard)) {
+                fail(line_number, line, "bad shard index");
+            }
+            current = &schedule->shards[shard];
+            continue;
+        }
+        if (current == nullptr) {
+            fail(line_number, line, "fault line before any shard section");
+        }
+        if (keyword == "seed") {
+            if (!(fields >> current->seed)) {
+                fail(line_number, line, "bad seed");
+            }
+            continue;
+        }
+        if (keyword != "fault") {
+            fail(line_number, line, "unknown keyword");
+        }
+        std::string kind_token;
+        FaultEvent event;
+        if (!(fields >> kind_token >> event.at >> event.a >> event.b >>
+              event.value >> event.delay >> event.duration)) {
+            fail(line_number, line, "bad fault fields");
+        }
+        if (!parse_kind(kind_token, event.kind)) {
+            fail(line_number, line, "unknown fault kind");
+        }
+        current->events.push_back(event);
+    }
+    if (!saw_header) {
+        throw std::runtime_error("chaos schedule: missing \"" +
+                                 std::string(kPlanHeader) + "\" header");
+    }
+}
+
+}  // namespace
+
+FaultPlan
+parse_plan(const std::string& text)
+{
+    FaultPlan plan;
+    parse_lines(text, &plan, nullptr);
+    return plan;
+}
+
+ScheduleFile
+parse_schedule(const std::string& text)
+{
+    ScheduleFile schedule;
+    parse_lines(text, nullptr, &schedule);
+    return schedule;
+}
+
+bool
+save_schedule_file(const std::string& path, const ScheduleFile& schedule)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        return false;
+    }
+    out << serialize_schedule(schedule);
+    return static_cast<bool>(out);
+}
+
+ScheduleFile
+load_schedule_file(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw std::runtime_error("chaos schedule: cannot open " + path);
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return parse_schedule(text.str());
+}
+
+}  // namespace nbos::chaos

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Typed fault plans for the deterministic chaos tier.
+ *
+ * A `FaultPlan` is an ordered list of fault events — message drop bursts,
+ * link partitions and heals, replica crash/restart, clock skew, latency
+ * spikes — each stamped with the virtual time at which it fires. Plans are
+ * generated from a seed (generator.hpp), installed into a run
+ * (controller.hpp), serialized to a text schedule (RECORD), re-executed
+ * byte-identically from that schedule (REPLAY), and minimized by delta
+ * debugging (shrink.hpp), following the NodeFz record/replay-scheduler mold.
+ */
+#ifndef NBOS_CHAOS_FAULT_PLAN_HPP
+#define NBOS_CHAOS_FAULT_PLAN_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace nbos::chaos {
+
+/** The fault classes the chaos tier can inject. */
+enum class FaultKind : std::uint8_t
+{
+    /** Network-wide chaos drop probability `value` for `duration`. */
+    kDropBurst = 0,
+    /** Cut the link between endpoint slots `a` and `b`. */
+    kPartition = 1,
+    /** Heal the link between endpoint slots `a` and `b`. */
+    kHeal = 2,
+    /** Crash replica slot `a` (volatile state lost, durable state kept). */
+    kCrash = 3,
+    /** Restart replica slot `a` if it is still down. */
+    kRestart = 4,
+    /** Delay messages sent by endpoint slot `a` by `delay` for `duration`. */
+    kClockSkew = 5,
+    /** Delay every delivery by `delay` for `duration`. */
+    kLatencySpike = 6,
+};
+
+/** Stable lowercase token for a fault kind (used in the schedule format). */
+const char* fault_kind_name(FaultKind kind);
+
+/**
+ * One fault event. Endpoint/replica targets are abstract slots: the
+ * controller maps a slot onto a concrete live endpoint or replica at fire
+ * time, so the same plan applies to any cluster size, and a deterministic
+ * run resolves a slot to the same target on record and on replay.
+ */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::kDropBurst;
+    sim::Time at = 0;          ///< virtual fire time
+    std::uint32_t a = 0;       ///< first endpoint / replica slot
+    std::uint32_t b = 0;       ///< second endpoint slot (partition/heal)
+    double value = 0.0;        ///< drop probability (kDropBurst)
+    sim::Time delay = 0;       ///< injected delay (kClockSkew/kLatencySpike)
+    sim::Time duration = 0;    ///< how long a windowed fault stays active
+
+    friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/** A seeded, ordered fault schedule for one simulation. */
+struct FaultPlan
+{
+    std::uint64_t seed = 0;
+    std::vector<FaultEvent> events;
+
+    bool empty() const { return events.empty(); }
+    std::size_t size() const { return events.size(); }
+
+    friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+};
+
+/**
+ * Serialize a plan to the `nbos-chaos-schedule v1` text format:
+ *
+ *     # nbos-chaos-schedule v1
+ *     seed <u64>
+ *     fault <kind> <at_us> <a> <b> <value> <delay_us> <duration_us>
+ *     ...
+ *
+ * The format round-trips exactly: parse_plan(serialize_plan(p)) == p.
+ */
+std::string serialize_plan(const FaultPlan& plan);
+
+/** Parse a serialized plan. Throws std::runtime_error on malformed input. */
+FaultPlan parse_plan(const std::string& text);
+
+/**
+ * A schedule file: one plan per scheduler shard, so a sharded run records
+ * and replays every shard's fault stream. Monolithic runs use the single
+ * shard's identity, index 0.
+ */
+struct ScheduleFile
+{
+    std::map<std::int32_t, FaultPlan> shards;
+
+    friend bool operator==(const ScheduleFile&, const ScheduleFile&) = default;
+};
+
+/** Serialize a schedule file (shard sections in ascending shard order). */
+std::string serialize_schedule(const ScheduleFile& schedule);
+
+/** Parse a schedule file. Throws std::runtime_error on malformed input. */
+ScheduleFile parse_schedule(const std::string& text);
+
+/** Write a schedule to disk; returns false on I/O failure. */
+bool save_schedule_file(const std::string& path, const ScheduleFile& schedule);
+
+/** Read a schedule from disk. Throws std::runtime_error on I/O or parse error. */
+ScheduleFile load_schedule_file(const std::string& path);
+
+}  // namespace nbos::chaos
+
+#endif  // NBOS_CHAOS_FAULT_PLAN_HPP

@@ -1,0 +1,121 @@
+#include "chaos/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nbos::chaos {
+
+ChaosGenerator::ChaosGenerator(std::uint64_t seed) : seed_(seed), rng_(seed)
+{
+}
+
+FaultPlan
+ChaosGenerator::generate(const ChaosOptions& options)
+{
+    FaultPlan plan;
+    plan.seed = seed_;
+    if (options.horizon <= 0) {
+        return plan;
+    }
+    const double hours = sim::to_hours(options.horizon);
+    const sim::Time last = options.start + options.horizon - 1;
+
+    // Deterministic count for `rate` events/hour over the window: the
+    // integer part plus one Bernoulli draw for the fraction. (A full
+    // Poisson draw would work too; this keeps counts tightly coupled to
+    // the knob, which makes rate sweeps monotone and easy to reason about.)
+    const auto draw_count = [&](double rate_per_hour) -> std::uint64_t {
+        const double expected = std::max(0.0, rate_per_hour) * hours;
+        const double whole = std::floor(expected);
+        const double frac = expected - whole;
+        std::uint64_t count = static_cast<std::uint64_t>(whole);
+        if (frac > 0.0 && rng_.bernoulli(frac)) {
+            ++count;
+        }
+        return count;
+    };
+    const auto draw_time = [&]() -> sim::Time {
+        return rng_.uniform_int(options.start, last);
+    };
+    const auto draw_slot = [&](std::uint32_t slots) -> std::uint32_t {
+        return slots == 0
+                   ? 0
+                   : static_cast<std::uint32_t>(rng_.uniform_int(0, slots - 1));
+    };
+
+    const std::uint64_t drop_bursts = draw_count(options.rates.drop_burst);
+    for (std::uint64_t i = 0; i < drop_bursts; ++i) {
+        FaultEvent event;
+        event.kind = FaultKind::kDropBurst;
+        event.at = draw_time();
+        event.value = options.drop_probability;
+        event.duration = options.drop_duration;
+        plan.events.push_back(event);
+    }
+
+    const std::uint64_t partitions = draw_count(options.rates.partition);
+    for (std::uint64_t i = 0; i < partitions; ++i) {
+        FaultEvent cut;
+        cut.kind = FaultKind::kPartition;
+        cut.at = draw_time();
+        cut.a = draw_slot(options.endpoint_slots);
+        cut.b = draw_slot(options.endpoint_slots);
+        if (cut.a == cut.b) {
+            cut.b = (cut.b + 1) % std::max<std::uint32_t>(
+                                      2, options.endpoint_slots);
+        }
+        cut.duration = options.partition_duration;
+        FaultEvent heal = cut;
+        heal.kind = FaultKind::kHeal;
+        heal.at = cut.at + options.partition_duration;
+        heal.duration = 0;
+        plan.events.push_back(cut);
+        plan.events.push_back(heal);
+    }
+
+    const std::uint64_t crashes = draw_count(options.rates.crash);
+    for (std::uint64_t i = 0; i < crashes; ++i) {
+        FaultEvent crash;
+        crash.kind = FaultKind::kCrash;
+        crash.at = draw_time();
+        crash.a = draw_slot(options.replica_slots);
+        crash.duration = options.crash_downtime;
+        FaultEvent restart = crash;
+        restart.kind = FaultKind::kRestart;
+        restart.at = crash.at + options.crash_downtime;
+        restart.duration = 0;
+        plan.events.push_back(crash);
+        plan.events.push_back(restart);
+    }
+
+    const std::uint64_t skews = draw_count(options.rates.clock_skew);
+    for (std::uint64_t i = 0; i < skews; ++i) {
+        FaultEvent event;
+        event.kind = FaultKind::kClockSkew;
+        event.at = draw_time();
+        event.a = draw_slot(options.endpoint_slots);
+        event.delay = options.skew;
+        event.duration = options.skew_duration;
+        plan.events.push_back(event);
+    }
+
+    const std::uint64_t spikes = draw_count(options.rates.latency_spike);
+    for (std::uint64_t i = 0; i < spikes; ++i) {
+        FaultEvent event;
+        event.kind = FaultKind::kLatencySpike;
+        event.at = draw_time();
+        event.delay = options.spike;
+        event.duration = options.spike_duration;
+        plan.events.push_back(event);
+    }
+
+    // Stable sort by fire time: the draw order above is deterministic, so
+    // ties keep a deterministic order too.
+    std::stable_sort(plan.events.begin(), plan.events.end(),
+                     [](const FaultEvent& x, const FaultEvent& y) {
+                         return x.at < y.at;
+                     });
+    return plan;
+}
+
+}  // namespace nbos::chaos

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Seeded fault-plan generation with per-fault-class rate knobs.
+ *
+ * `ChaosGenerator` owns its own deterministic RNG stream, so generating a
+ * plan never perturbs the simulation or network randomness: the same
+ * (seed, options) pair yields the same `FaultPlan` on every platform, and a
+ * chaos run differs from a chaos-free run only by the injected faults.
+ */
+#ifndef NBOS_CHAOS_GENERATOR_HPP
+#define NBOS_CHAOS_GENERATOR_HPP
+
+#include <cstdint>
+
+#include "chaos/fault_plan.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace nbos::chaos {
+
+/** Expected fault events per simulated hour, one knob per fault class. */
+struct ChaosRates
+{
+    double drop_burst = 0.0;
+    double partition = 0.0;
+    double crash = 0.0;
+    double clock_skew = 0.0;
+    double latency_spike = 0.0;
+
+    /** Uniform rate across every class (convenience for sweeps). */
+    static ChaosRates uniform(double per_hour)
+    {
+        return ChaosRates{per_hour, per_hour, per_hour, per_hour, per_hour};
+    }
+
+    /** Multiply every class rate by @p factor. */
+    ChaosRates scaled(double factor) const
+    {
+        return ChaosRates{drop_burst * factor, partition * factor,
+                          crash * factor, clock_skew * factor,
+                          latency_spike * factor};
+    }
+};
+
+/** Shape of the generated plan: window, target-slot counts, magnitudes. */
+struct ChaosOptions
+{
+    /** Faults fire uniformly inside [start, start + horizon). */
+    sim::Time start = 30 * sim::kSecond;
+    sim::Time horizon = 4 * sim::kHour;
+
+    /** Abstract endpoint slots for partitions / clock skew; the controller
+     *  maps a slot onto a live endpoint at fire time. */
+    std::uint32_t endpoint_slots = 8;
+    /** Abstract replica slots for crash/restart. */
+    std::uint32_t replica_slots = 8;
+
+    ChaosRates rates{};
+
+    double drop_probability = 0.25;               ///< kDropBurst intensity
+    sim::Time drop_duration = 5 * sim::kSecond;   ///< kDropBurst window
+    sim::Time partition_duration = 10 * sim::kSecond;  ///< cut-to-heal gap
+    sim::Time crash_downtime = 5 * sim::kSecond;  ///< crash-to-restart gap
+    sim::Time skew = 200 * sim::kMillisecond;     ///< kClockSkew delay
+    sim::Time skew_duration = 30 * sim::kSecond;
+    sim::Time spike = 50 * sim::kMillisecond;     ///< kLatencySpike delay
+    sim::Time spike_duration = 5 * sim::kSecond;
+};
+
+/**
+ * Draws a `FaultPlan` from a seed. Windowed faults are emitted as event
+ * pairs — every kPartition gets a matching kHeal, every kCrash a matching
+ * kRestart — so a generated plan always heals what it breaks and the
+ * "converges after every heal" invariants are meaningful.
+ */
+class ChaosGenerator
+{
+  public:
+    explicit ChaosGenerator(std::uint64_t seed);
+
+    /** Generate a plan; consecutive calls draw further down the stream. */
+    FaultPlan generate(const ChaosOptions& options);
+
+  private:
+    std::uint64_t seed_;
+    sim::Rng rng_;
+};
+
+}  // namespace nbos::chaos
+
+#endif  // NBOS_CHAOS_GENERATOR_HPP

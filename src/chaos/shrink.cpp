@@ -1,0 +1,92 @@
+#include "chaos/shrink.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace nbos::chaos {
+
+namespace {
+
+FaultPlan
+with_events(const FaultPlan& base, std::vector<FaultEvent> events)
+{
+    FaultPlan plan;
+    plan.seed = base.seed;
+    plan.events = std::move(events);
+    return plan;
+}
+
+}  // namespace
+
+FaultPlan
+shrink(const FaultPlan& failing, const FailurePredicate& fails,
+       std::size_t* evaluations)
+{
+    std::size_t evals = 0;
+    const auto still_fails = [&](const std::vector<FaultEvent>& events) {
+        ++evals;
+        return fails(with_events(failing, events));
+    };
+
+    std::vector<FaultEvent> events = failing.events;
+    if (!still_fails(events)) {
+        // Not a failing plan: nothing to minimize.
+        if (evaluations != nullptr) {
+            *evaluations = evals;
+        }
+        return failing;
+    }
+
+    std::size_t granularity = 2;
+    while (events.size() >= 2) {
+        const std::size_t n = events.size();
+        const std::size_t chunks = std::min(granularity, n);
+        bool reduced = false;
+
+        // Chunk boundaries: chunk i covers [i*n/chunks, (i+1)*n/chunks).
+        const auto chunk_range = [&](std::size_t i) {
+            return std::pair{i * n / chunks, (i + 1) * n / chunks};
+        };
+
+        // Try each chunk alone (big jumps first)...
+        for (std::size_t i = 0; i < chunks && !reduced; ++i) {
+            const auto [lo, hi] = chunk_range(i);
+            std::vector<FaultEvent> candidate(events.begin() + lo,
+                                              events.begin() + hi);
+            if (candidate.size() < events.size() && still_fails(candidate)) {
+                events = std::move(candidate);
+                granularity = 2;
+                reduced = true;
+            }
+        }
+        // ...then each complement (remove one chunk).
+        for (std::size_t i = 0; i < chunks && !reduced; ++i) {
+            const auto [lo, hi] = chunk_range(i);
+            std::vector<FaultEvent> candidate;
+            candidate.reserve(n - (hi - lo));
+            candidate.insert(candidate.end(), events.begin(),
+                             events.begin() + lo);
+            candidate.insert(candidate.end(), events.begin() + hi,
+                             events.end());
+            if (candidate.size() < events.size() && still_fails(candidate)) {
+                events = std::move(candidate);
+                granularity = std::max<std::size_t>(2, chunks - 1);
+                reduced = true;
+            }
+        }
+
+        if (!reduced) {
+            if (chunks >= n) {
+                break;  // 1-minimal: no single event is removable.
+            }
+            granularity = std::min(n, granularity * 2);
+        }
+    }
+
+    if (evaluations != nullptr) {
+        *evaluations = evals;
+    }
+    return with_events(failing, std::move(events));
+}
+
+}  // namespace nbos::chaos

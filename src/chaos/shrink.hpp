@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Greedy delta-debugging minimization of failing fault schedules.
+ *
+ * Given a plan whose injection makes some invariant fail, `shrink()` runs
+ * the classic ddmin loop: split the event list into chunks, try each chunk
+ * and each complement against the user's failure predicate, keep the
+ * smallest variant that still fails, and refine the granularity until no
+ * single event can be removed. The result is 1-minimal: deleting any one
+ * remaining event makes the failure disappear.
+ */
+#ifndef NBOS_CHAOS_SHRINK_HPP
+#define NBOS_CHAOS_SHRINK_HPP
+
+#include <cstddef>
+#include <functional>
+
+#include "chaos/fault_plan.hpp"
+
+namespace nbos::chaos {
+
+/** Returns true when running @p plan still reproduces the failure. The
+ *  predicate must be deterministic — rerun the full (seeded) experiment
+ *  with the candidate plan installed and evaluate the invariant. */
+using FailurePredicate = std::function<bool(const FaultPlan&)>;
+
+/**
+ * Minimize @p failing to a smallest event subset that still satisfies
+ * @p fails, preserving event order and the plan seed. If @p failing does
+ * not fail in the first place it is returned unchanged. @p evaluations,
+ * when non-null, receives the number of predicate calls made.
+ */
+FaultPlan shrink(const FaultPlan& failing, const FailurePredicate& fails,
+                 std::size_t* evaluations = nullptr);
+
+}  // namespace nbos::chaos
+
+#endif  // NBOS_CHAOS_SHRINK_HPP

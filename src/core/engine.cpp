@@ -171,6 +171,10 @@ validate_config(const PlatformConfig& config)
     if (config.scheduler.shards < 1) {
         return "scheduler.shards must be >= 1";
     }
+    if (config.scheduler.chaos.enabled && config.fast_mode) {
+        return "chaos requires the discrete-event prototype engine; the "
+               "fast analytic engine has no network or replicas to break";
+    }
     return {};
 }
 

@@ -182,6 +182,7 @@ run_prototype_monolithic(const workload::Trace& trace,
     // Collect platform-side metrics.
     results.events = scheduler.events();
     results.sched_stats = scheduler.stats();
+    results.net_stats = scheduler.network_stats();
     results.sync_ms = scheduler.sync_latencies_ms();
     results.read_ms = scheduler.store().read_latencies();
     results.write_ms = scheduler.store().write_latencies();
@@ -370,6 +371,7 @@ run_prototype_sharded(const workload::Trace& trace,
 
     results.events = scheduler.events();
     results.sched_stats = scheduler.stats();
+    results.net_stats = scheduler.network_stats();
     results.sync_ms = scheduler.sync_latencies_ms();
     results.read_ms = scheduler.store_read_ms();
     results.write_ms = scheduler.store_write_ms();

@@ -84,6 +84,9 @@ struct ExperimentResults
     metrics::Percentiles write_ms;
     /** Scheduler counters (NotebookOS only). */
     sched::SchedulerStats sched_stats{};
+    /** Network delivery counters with the per-fault-class drop breakdown
+     *  (NotebookOS prototype engine only; zeros on the fast engine). */
+    net::NetworkStats net_stats{};
     /** Cumulative bytes written to the data store. */
     std::uint64_t store_bytes_written = 0;
 

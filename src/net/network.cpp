@@ -73,11 +73,26 @@ Network::send(NodeId src, NodeId dst, Payload payload)
         ++stats_.dropped;
         return;
     }
+    // Chaos-injected drop bursts are checked after the background drop so a
+    // chaos-free run consumes exactly the same random stream as before the
+    // chaos tier existed (no draw happens while the probability is 0).
+    if (chaos_drop_probability_ > 0.0 &&
+        rng_.bernoulli(chaos_drop_probability_)) {
+        ++stats_.dropped_chaos;
+        return;
+    }
     LatencyModel model = default_latency_;
     if (!link_latency_.empty()) {
         if (const auto it = link_latency_.find({src, dst});
             it != link_latency_.end()) {
             model = it->second;
+        }
+    }
+    sim::Time latency = model.sample(rng_) + chaos_extra_latency_;
+    if (!chaos_node_delay_.empty()) {
+        if (const auto it = chaos_node_delay_.find(src);
+            it != chaos_node_delay_.end()) {
+            latency += it->second;
         }
     }
     // Park the envelope in the in-flight slab; the delivery closure carries
@@ -87,8 +102,7 @@ Network::send(NodeId src, NodeId dst, Payload payload)
     message.src = src;
     message.dst = dst;
     message.payload = std::move(payload);
-    simulation_.schedule_after(model.sample(rng_),
-                               [this, slot] { deliver(slot); });
+    simulation_.schedule_after(latency, [this, slot] { deliver(slot); });
 }
 
 void
@@ -101,11 +115,19 @@ void
 Network::set_partitioned(NodeId a, NodeId b, bool partitioned)
 {
     if (partitioned) {
-        partitions_.insert({a, b});
-        partitions_.insert({b, a});
+        partitions_.insert(partition_key(a, b));
     } else {
-        partitions_.erase({a, b});
-        partitions_.erase({b, a});
+        partitions_.erase(partition_key(a, b));
+    }
+}
+
+void
+Network::set_chaos_node_delay(NodeId id, sim::Time extra)
+{
+    if (extra > 0) {
+        chaos_node_delay_[id] = extra;
+    } else {
+        chaos_node_delay_.erase(id);
     }
 }
 
@@ -122,7 +144,7 @@ Network::isolate(NodeId id, bool isolated)
 bool
 Network::is_partitioned(NodeId src, NodeId dst) const
 {
-    return !partitions_.empty() && partitions_.count({src, dst}) > 0;
+    return !partitions_.empty() && partitions_.count(partition_key(src, dst)) > 0;
 }
 
 void

@@ -50,14 +50,37 @@ struct LatencyModel
     sim::Time sample(sim::Rng& rng) const;
 };
 
-/** Delivery statistics for tests and experiment reports. */
+/** Delivery statistics for tests and experiment reports. The drop counters
+ *  form a per-fault-class breakdown: `dropped` counts the background
+ *  drop-probability losses, `dropped_chaos` the losses injected by the chaos
+ *  tier, and `blocked_partition` messages cut by a partition. */
 struct NetworkStats
 {
     std::uint64_t sent = 0;
     std::uint64_t delivered = 0;
     std::uint64_t dropped = 0;
+    std::uint64_t dropped_chaos = 0;
     std::uint64_t blocked_partition = 0;
     std::uint64_t dead_destination = 0;
+
+    NetworkStats& operator+=(const NetworkStats& other)
+    {
+        sent += other.sent;
+        delivered += other.delivered;
+        dropped += other.dropped;
+        dropped_chaos += other.dropped_chaos;
+        blocked_partition += other.blocked_partition;
+        dead_destination += other.dead_destination;
+        return *this;
+    }
+
+    friend bool operator==(const NetworkStats& a, const NetworkStats& b)
+    {
+        return a.sent == b.sent && a.delivered == b.delivered &&
+               a.dropped == b.dropped && a.dropped_chaos == b.dropped_chaos &&
+               a.blocked_partition == b.blocked_partition &&
+               a.dead_destination == b.dead_destination;
+    }
 };
 
 /**
@@ -100,6 +123,26 @@ class Network
     /** Probability in [0,1] that any message is silently dropped. */
     void set_drop_probability(double p) { drop_probability_ = p; }
 
+    /**
+     * Probability in [0,1] of a chaos-injected drop, accounted separately
+     * from the background drop probability (`NetworkStats::dropped_chaos`).
+     * At 0 (the default) no RNG draw happens, so enabling the chaos tier in
+     * one run cannot perturb the random stream of a chaos-free run.
+     */
+    void set_chaos_drop_probability(double p) { chaos_drop_probability_ = p; }
+
+    /** Current chaos drop probability (see set_chaos_drop_probability). */
+    double chaos_drop_probability() const { return chaos_drop_probability_; }
+
+    /** Chaos latency spike: extra delay added to every delivery. */
+    void set_chaos_extra_latency(sim::Time extra) { chaos_extra_latency_ = extra; }
+
+    /**
+     * Chaos clock skew: messages *sent by* @p id are delayed by @p extra,
+     * modelling a node whose clock lags the cluster. Pass 0 to clear.
+     */
+    void set_chaos_node_delay(NodeId id, sim::Time extra);
+
     /** Cut (or heal) the bidirectional link between two endpoints. */
     void set_partitioned(NodeId a, NodeId b, bool partitioned);
 
@@ -124,11 +167,21 @@ class Network
     std::uint32_t acquire_slot();
     void deliver(std::uint32_t slot);
 
+    /** Partitions are undirected: store each cut link once, as (min, max),
+     *  so set_partitioned(a, b) and is_partitioned(b, a) can never disagree. */
+    static std::pair<NodeId, NodeId> partition_key(NodeId a, NodeId b)
+    {
+        return a <= b ? std::pair{a, b} : std::pair{b, a};
+    }
+
     sim::Simulation& simulation_;
     sim::Rng rng_;
     NodeId next_id_ = 1;
     LatencyModel default_latency_{};
     double drop_probability_ = 0.0;
+    double chaos_drop_probability_ = 0.0;
+    sim::Time chaos_extra_latency_ = 0;
+    std::map<NodeId, sim::Time> chaos_node_delay_;
     std::unordered_map<NodeId, Handler> handlers_;
     std::map<std::pair<NodeId, NodeId>, LatencyModel> link_latency_;
     std::set<std::pair<NodeId, NodeId>> partitions_;

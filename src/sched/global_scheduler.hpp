@@ -114,6 +114,13 @@ class GlobalScheduler
     {
         return shard_.bound_devices(kernel_id, index);
     }
+    /** The chaos controller (null unless SchedulerConfig::chaos.enabled). */
+    chaos::ChaosController* chaos() { return shard_.chaos(); }
+    /** Network delivery stats (chaos observability). */
+    const net::NetworkStats& network_stats() const
+    {
+        return shard_.network_stats();
+    }
     /** The underlying single shard (sharding-equivalence tests). */
     SchedulerShard& shard() { return shard_; }
     ///@}

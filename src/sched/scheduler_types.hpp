@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "chaos/config.hpp"
 #include "cluster/resources.hpp"
 #include "cluster/server.hpp"
 #include "kernel/replica.hpp"
@@ -80,6 +81,15 @@ struct SchedulerConfig
      *  bit-identical to serial (pinned by determinism_test); disabling is
      *  only useful for debugging and for that equivalence test. */
     bool shard_parallel = true;
+    /**
+     * Deterministic fault injection (chaos tier). When enabled, each shard
+     * installs a seeded `chaos::FaultPlan` — drop bursts, partitions +
+     * heals, replica crash/restart, clock skew, latency spikes — into its
+     * own network/simulation, with optional RECORD / REPLAY attachments.
+     * Off by default; a disabled chaos config leaves every run byte-
+     * identical to the pre-chaos implementation.
+     */
+    chaos::ChaosConfig chaos{};
 };
 
 /** Cluster-level events for the Fig. 10 timeline. */

@@ -38,6 +38,7 @@ SchedulerShard::SchedulerShard(sim::Simulation& simulation,
     : simulation_(simulation),
       config_(config),
       identity_(identity),
+      seed_(seed),
       rng_(seed),
       network_(simulation, sim::Rng(seed ^ 0x5bd1e995)),
       cluster_(config.server_shape),
@@ -57,7 +58,14 @@ SchedulerShard::SchedulerShard(sim::Simulation& simulation,
            identity_.index < identity_.count);
 }
 
-SchedulerShard::~SchedulerShard() = default;
+SchedulerShard::~SchedulerShard()
+{
+    // RECORD mode: deposit the faults this shard actually injected so the
+    // caller can serialize and later replay the full schedule file.
+    if (chaos_ != nullptr && config_.chaos.record != nullptr) {
+        config_.chaos.record->put(identity_.index, chaos_->record());
+    }
+}
 
 sim::Time
 SchedulerShard::sample(sim::Time lo, sim::Time hi)
@@ -97,6 +105,114 @@ SchedulerShard::start()
     }
     simulation_.schedule_after(config_.health_check_interval,
                                [this] { run_health_check(); });
+    if (config_.chaos.enabled) {
+        install_chaos();
+    }
+}
+
+void
+SchedulerShard::install_chaos()
+{
+    chaos_ = std::make_unique<chaos::ChaosController>(simulation_, network_);
+    chaos::ChaosController::Hooks hooks;
+    hooks.resolve_endpoint = [this](std::uint32_t slot) {
+        return chaos_resolve_endpoint(slot);
+    };
+    hooks.crash_replica = [this](std::uint32_t slot) {
+        return chaos_crash_replica(slot);
+    };
+    hooks.restart_replica = [this](std::uint32_t slot) {
+        return chaos_restart_replica(slot);
+    };
+    chaos_->set_hooks(std::move(hooks));
+
+    chaos::FaultPlan plan;
+    if (config_.chaos.replay != nullptr) {
+        // REPLAY: this shard's section of the schedule file, verbatim.
+        const auto it = config_.chaos.replay->shards.find(identity_.index);
+        if (it != config_.chaos.replay->shards.end()) {
+            plan = it->second;
+        }
+    } else {
+        // Generate from the chaos seed (or the shard seed), mixed with the
+        // shard index so every shard draws an independent fault stream.
+        const std::uint64_t base =
+            config_.chaos.seed != 0 ? config_.chaos.seed : seed_;
+        chaos::ChaosGenerator generator(
+            base ^ (0x9e3779b97f4a7c15ULL *
+                    (static_cast<std::uint64_t>(identity_.index) + 1)));
+        plan = generator.generate(config_.chaos.options);
+    }
+    chaos_->install(plan);
+}
+
+std::vector<std::pair<cluster::KernelId, std::int32_t>>
+SchedulerShard::chaos_live_replicas() const
+{
+    // Deterministic enumeration: kernels in id order (std::map), slots in
+    // index order — identical on record and on replay of the same run.
+    std::vector<std::pair<cluster::KernelId, std::int32_t>> live;
+    for (const auto& [kernel_id, record] : kernels_) {
+        if (!record.alive || !record.created || record.migrating) {
+            continue;
+        }
+        for (std::size_t i = 0; i < record.slots.size(); ++i) {
+            const ReplicaSlot& slot = record.slots[i];
+            if (slot.alive && slot.replica && slot.replica->running()) {
+                live.push_back({kernel_id, static_cast<std::int32_t>(i)});
+            }
+        }
+    }
+    return live;
+}
+
+net::NodeId
+SchedulerShard::chaos_resolve_endpoint(std::uint32_t slot)
+{
+    const auto live = chaos_live_replicas();
+    if (live.empty()) {
+        return net::kNoNode;
+    }
+    const auto [kernel_id, index] = live[slot % live.size()];
+    const auto it = kernels_.find(kernel_id);
+    return it->second.slots[index].replica->raft().id();
+}
+
+bool
+SchedulerShard::chaos_crash_replica(std::uint32_t slot)
+{
+    const auto live = chaos_live_replicas();
+    if (live.empty()) {
+        return false;
+    }
+    const auto [kernel_id, index] = live[slot % live.size()];
+    chaos_downed_[slot] = {kernel_id, index};
+    inject_replica_failure(kernel_id, index);
+    return true;
+}
+
+bool
+SchedulerShard::chaos_restart_replica(std::uint32_t slot)
+{
+    const auto it = chaos_downed_.find(slot);
+    if (it == chaos_downed_.end()) {
+        return false;
+    }
+    const auto [kernel_id, index] = it->second;
+    chaos_downed_.erase(it);
+    const auto kit = kernels_.find(kernel_id);
+    if (kit == kernels_.end() || !kit->second.alive) {
+        return false;
+    }
+    ReplicaSlot& slot_ref = kit->second.slots[index];
+    if (!slot_ref.alive || slot_ref.replica == nullptr ||
+        slot_ref.replica->running()) {
+        // The health checker already replaced (or a migration repaired)
+        // this replica; both recovery paths are legitimate outcomes.
+        return false;
+    }
+    slot_ref.replica->restart();
+    return true;
 }
 
 double

@@ -27,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "chaos/controller.hpp"
 #include "cluster/cluster.hpp"
 #include "kernel/replica.hpp"
 #include "metrics/percentiles.hpp"
@@ -130,6 +131,13 @@ class SchedulerShard
     /** Crash a replica (fail-stop); the health checker will replace it. */
     void inject_replica_failure(cluster::KernelId kernel_id,
                                 std::int32_t index);
+    /** The shard's chaos controller (null unless chaos is enabled). */
+    chaos::ChaosController* chaos() { return chaos_.get(); }
+    /** Network delivery stats (chaos observability). */
+    const net::NetworkStats& network_stats() const
+    {
+        return network_.stats();
+    }
     /** Number of kernels still alive. */
     std::size_t live_kernels() const;
     /** Device ids currently bound to a replica's execution (§3.3). */
@@ -213,6 +221,12 @@ class SchedulerShard
     void run_prewarmer();
     void run_health_check();
     void replace_replica(cluster::KernelId kernel_id, std::int32_t index);
+    void install_chaos();
+    std::vector<std::pair<cluster::KernelId, std::int32_t>>
+    chaos_live_replicas() const;
+    net::NodeId chaos_resolve_endpoint(std::uint32_t slot);
+    bool chaos_crash_replica(std::uint32_t slot);
+    bool chaos_restart_replica(std::uint32_t slot);
     std::int32_t pick_designated(const KernelRecord& record) const;
     sim::Time sample(sim::Time lo, sim::Time hi);
     cluster::ServerId pick_migration_target(const KernelRecord& record);
@@ -221,6 +235,7 @@ class SchedulerShard
     sim::Simulation& simulation_;
     SchedulerConfig config_;
     ShardIdentity identity_;
+    std::uint64_t seed_;
     sim::Rng rng_;
     net::Network network_;
     cluster::Cluster cluster_;
@@ -244,6 +259,14 @@ class SchedulerShard
     std::vector<SchedulerEvent> events_;
     metrics::Percentiles sync_latencies_ms_;
     bool started_ = false;
+
+    /** Chaos tier (null unless SchedulerConfig::chaos.enabled). */
+    std::unique_ptr<chaos::ChaosController> chaos_;
+    /** Replicas downed by a chaos kCrash, keyed by the fault's replica
+     *  slot, so the matching kRestart revives the same replica (unless the
+     *  health checker already replaced it). */
+    std::map<std::uint32_t, std::pair<cluster::KernelId, std::int32_t>>
+        chaos_downed_;
 };
 
 }  // namespace nbos::sched

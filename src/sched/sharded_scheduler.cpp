@@ -263,4 +263,14 @@ ShardedGlobalScheduler::events_executed() const
     return total;
 }
 
+net::NetworkStats
+ShardedGlobalScheduler::network_stats() const
+{
+    net::NetworkStats total;
+    for (const auto& unit : shards_) {
+        total += unit->shard.network_stats();
+    }
+    return total;
+}
+
 }  // namespace nbos::sched

@@ -125,6 +125,8 @@ class ShardedGlobalScheduler
     double cluster_sr() const;
     /** Total simulation events executed across shards (throughput). */
     std::uint64_t events_executed() const;
+    /** Network delivery stats summed in shard order (chaos breakdown). */
+    net::NetworkStats network_stats() const;
     ///@}
 
   private:

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "chaos/config.hpp"
+#include "chaos/fault_plan.hpp"
 #include "core/seed_sweep.hpp"
 #include "harness.hpp"
 #include "net/network.hpp"
@@ -438,6 +440,63 @@ TEST(DeterminismTest, ShardedFastShardsOneBitIdenticalToMonolithic)
     config.scheduler.shard_parallel = false;
     const auto single_shard = core::Platform(config).run(trace);
     test::expect_results_identical(monolithic, single_shard);
+}
+
+/** Chaos-enabled prototype runs honor the same contract: same seed, same
+ *  generated fault plan, bit-identical results — including the injected
+ *  fault stream itself (the serialized RECORD schedules must match). */
+TEST(DeterminismTest, ChaosSameSeedBitIdentical)
+{
+    const auto trace = test::tiny_trace(8, 2 * sim::kHour);
+    core::PlatformConfig config =
+        test::platform_config(core::Policy::kNotebookOS, /*seed=*/33);
+    config.scheduler.chaos.enabled = true;
+    config.scheduler.chaos.options.start = 10 * sim::kMinute;
+    config.scheduler.chaos.options.horizon = 90 * sim::kMinute;
+    config.scheduler.chaos.options.rates =
+        chaos::ChaosRates{2.0, 2.0, 1.0, 1.0, 1.0};
+    auto record_a = std::make_shared<chaos::RecordSink>();
+    auto record_b = std::make_shared<chaos::RecordSink>();
+    config.scheduler.chaos.record = record_a;
+    const auto a = core::Platform(config).run(trace);
+    config.scheduler.chaos.record = record_b;
+    const auto b = core::Platform(config).run(trace);
+    test::expect_results_identical(a, b);
+    EXPECT_EQ(record_a->serialize(), record_b->serialize());
+    EXPECT_GT(a.net_stats.dropped_chaos +
+                  static_cast<std::uint64_t>(a.net_stats.blocked_partition),
+              0u);
+}
+
+/** REPLAY is byte-faithful: re-executing a RECORDed schedule reproduces
+ *  both the experiment results and the fault stream bit-for-bit. */
+TEST(DeterminismTest, ChaosReplayMatchesRecord)
+{
+    const auto trace = test::tiny_trace(8, 2 * sim::kHour);
+    core::PlatformConfig config =
+        test::platform_config(core::Policy::kNotebookOS, /*seed=*/33);
+    config.scheduler.chaos.enabled = true;
+    config.scheduler.chaos.options.start = 10 * sim::kMinute;
+    config.scheduler.chaos.options.horizon = 90 * sim::kMinute;
+    config.scheduler.chaos.options.rates =
+        chaos::ChaosRates{2.0, 2.0, 1.0, 1.0, 1.0};
+    auto recorded = std::make_shared<chaos::RecordSink>();
+    config.scheduler.chaos.record = recorded;
+    const auto original = core::Platform(config).run(trace);
+    const std::string schedule_text = recorded->serialize();
+
+    core::PlatformConfig replay =
+        test::platform_config(core::Policy::kNotebookOS, /*seed=*/33);
+    replay.scheduler.chaos.enabled = true;
+    replay.scheduler.chaos.replay =
+        std::make_shared<const chaos::ScheduleFile>(
+            chaos::parse_schedule(schedule_text));
+    auto replayed = std::make_shared<chaos::RecordSink>();
+    replay.scheduler.chaos.record = replayed;
+    const auto rerun = core::Platform(replay).run(trace);
+
+    test::expect_results_identical(original, rerun);
+    EXPECT_EQ(replayed->serialize(), schedule_text);
 }
 
 }  // namespace

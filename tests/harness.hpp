@@ -225,6 +225,12 @@ expect_results_identical(const core::ExperimentResults& a,
     expect_percentiles_identical(a.write_ms, b.write_ms, "write_ms");
 
     EXPECT_EQ(a.store_bytes_written, b.store_bytes_written);
+    EXPECT_TRUE(a.net_stats == b.net_stats)
+        << "net_stats: sent " << a.net_stats.sent << "/" << b.net_stats.sent
+        << " delivered " << a.net_stats.delivered << "/"
+        << b.net_stats.delivered << " dropped " << a.net_stats.dropped << "/"
+        << b.net_stats.dropped << " dropped_chaos "
+        << a.net_stats.dropped_chaos << "/" << b.net_stats.dropped_chaos;
     EXPECT_EQ(a.sched_stats.kernels_created, b.sched_stats.kernels_created);
     EXPECT_EQ(a.sched_stats.migrations, b.sched_stats.migrations);
     EXPECT_EQ(a.sched_stats.scale_outs, b.sched_stats.scale_outs);

@@ -598,6 +598,133 @@ TEST(KernelFailoverTest, SurvivesStandbyCrash)
     EXPECT_EQ(h.results[1].status, ExecutionStatus::kOk);
 }
 
+/** Index of the replica currently holding the Raft lead, or -1. */
+std::int32_t
+raft_leader_index(KernelHarness& h)
+{
+    for (std::int32_t i = 0; i < 3; ++i) {
+        if (h.replicas[i]->running() &&
+            h.replicas[i]->raft().role() == raft::Role::kLeader) {
+            return i;
+        }
+    }
+    return -1;
+}
+
+/** Every running replica applied the same log: equal commit indexes and
+ *  equal user namespaces. */
+void
+expect_replicas_converged(KernelHarness& h)
+{
+    raft::Index commit = 0;
+    for (const auto& replica : h.replicas) {
+        if (!replica->running()) {
+            continue;
+        }
+        if (commit == 0) {
+            commit = replica->raft().commit_index();
+        }
+        EXPECT_EQ(replica->raft().commit_index(), commit)
+            << "replica " << replica->replica_index();
+    }
+    for (const auto& replica : h.replicas) {
+        if (!replica->running()) {
+            continue;
+        }
+        for (const auto& other : h.replicas) {
+            if (!other->running()) {
+                continue;
+            }
+            EXPECT_EQ(replica->ns().size(), other->ns().size());
+            for (const auto& [name, value] : replica->ns()) {
+                ASSERT_TRUE(other->ns().count(name))
+                    << name << " missing on replica "
+                    << other->replica_index();
+            }
+        }
+    }
+}
+
+TEST(KernelFailoverTest, FollowerCrashRestartMidAppendConverges)
+{
+    KernelHarness h;
+    const std::int32_t leader = raft_leader_index(h);
+    ASSERT_NE(leader, -1);
+    const std::int32_t follower = (leader + 1) % 3;
+
+    // Kill the follower while the LEAD/DONE entries for election 1 are
+    // still being appended, then let the surviving pair finish the cell.
+    h.submit(1, "x = 1\ngpu_compute(1)");
+    h.run_for(5 * sim::kMillisecond);
+    h.replicas[follower]->stop();
+    h.gpu_available[follower] = false;
+    h.run_for(60 * sim::kSecond);
+    ASSERT_EQ(h.results.size(), 1u);
+    h.submit(2, "y = 2\ngpu_compute(1)");
+    h.run_for(60 * sim::kSecond);
+    ASSERT_EQ(h.results.size(), 2u);
+
+    // Restore the follower: it must converge onto the same log.
+    h.replicas[follower]->restart();
+    h.gpu_available[follower] = true;
+    h.run_for(30 * sim::kSecond);
+    expect_replicas_converged(h);
+    EXPECT_TRUE(h.replicas[follower]->ns().count("x"));
+    EXPECT_TRUE(h.replicas[follower]->ns().count("y"));
+    // Catch-up went through plain appends (compaction is off), so the
+    // checkpoint-restore path ran zero times — nothing was restored twice.
+    EXPECT_EQ(h.replicas[follower]->raft().stats().snapshots_installed, 0u);
+    // Replaying the log on restart must not re-announce results: still
+    // exactly one ExecutionResult per election.
+    for (const ElectionId election : {1u, 2u}) {
+        int announced = 0;
+        for (const ExecutionResult& result : h.results) {
+            announced += result.election == election ? 1 : 0;
+        }
+        EXPECT_EQ(announced, 1) << "election " << election;
+    }
+}
+
+TEST(KernelFailoverTest, LeaderCrashRestartMidAppendConverges)
+{
+    KernelHarness h;
+    const std::int32_t leader = raft_leader_index(h);
+    ASSERT_NE(leader, -1);
+
+    // Kill the Raft leader mid-append: election 1's entries may or may not
+    // have reached a quorum, but work must never duplicate. The leader
+    // yields the execution election (no GPU) so the cell itself survives
+    // its crash; what dies with it is the append in flight.
+    h.gpu_available[leader] = false;
+    h.submit(1, "x = 1\ngpu_compute(1)");
+    h.run_for(5 * sim::kMillisecond);
+    h.replicas[leader]->stop();
+    h.run_for(60 * sim::kSecond);  // the survivors re-elect and finish
+
+    ASSERT_NE(raft_leader_index(h), -1);
+    h.submit(2, "y = 2\ngpu_compute(1)");
+    h.run_for(60 * sim::kSecond);
+
+    // Restore the old leader; it rejoins as a follower and catches up.
+    h.replicas[leader]->restart();
+    h.gpu_available[leader] = true;
+    h.run_for(30 * sim::kSecond);
+    expect_replicas_converged(h);
+    EXPECT_TRUE(h.replicas[leader]->ns().count("y"));
+    EXPECT_EQ(h.replicas[leader]->raft().stats().snapshots_installed, 0u);
+
+    // Election 2 ran on the surviving pair, exactly once. Election 1 was
+    // cut mid-append: it either committed once or was lost with the
+    // leader, never executed twice.
+    int first = 0, second = 0;
+    for (const ExecutionResult& result : h.results) {
+        first += result.election == 1 ? 1 : 0;
+        second += result.election == 2 ? 1 : 0;
+    }
+    EXPECT_EQ(second, 1);
+    EXPECT_LE(first, 1);
+}
+
 TEST(KernelFailoverTest, ElectionLatencyRecorded)
 {
     KernelHarness h;

@@ -153,6 +153,27 @@ TEST(NetworkTest, HealedPartitionDelivers)
     EXPECT_EQ(received, 1);
 }
 
+TEST(NetworkTest, PartitionPairOrderingIsNormalized)
+{
+    // Regression: partitions are keyed on the normalized (min, max) pair,
+    // so cutting (a, b) and healing (b, a) address the same link.
+    Fixture f;
+    const NodeId a = f.network.register_node([](const Message&) {});
+    const NodeId b = f.network.register_node([](const Message&) {});
+    f.network.set_partitioned(a, b, true);
+    EXPECT_TRUE(f.network.is_partitioned(a, b));
+    EXPECT_TRUE(f.network.is_partitioned(b, a));
+    f.network.set_partitioned(b, a, false);  // heal with swapped operands
+    EXPECT_FALSE(f.network.is_partitioned(a, b));
+    EXPECT_FALSE(f.network.is_partitioned(b, a));
+
+    // And the reverse: cut swapped, heal in the original order.
+    f.network.set_partitioned(b, a, true);
+    EXPECT_TRUE(f.network.is_partitioned(a, b));
+    f.network.set_partitioned(a, b, false);
+    EXPECT_FALSE(f.network.is_partitioned(b, a));
+}
+
 TEST(NetworkTest, PartitionCutsInFlightMessages)
 {
     Fixture f;
@@ -219,6 +240,98 @@ TEST(NetworkTest, DropProbabilityApproximatelyRespected)
     }
     f.simulation.run();
     EXPECT_NEAR(static_cast<double>(received) / n, 0.75, 0.02);
+}
+
+TEST(NetworkTest, StatsSeparateChaosDropsFromBackgroundDrops)
+{
+    // The per-fault-class breakdown: chaos drops, background probability
+    // drops, and partition blocks land in three distinct counters.
+    Fixture f;
+    const NodeId a = f.network.register_node([](const Message&) {});
+    const NodeId b = f.network.register_node([](const Message&) {});
+    const NodeId c = f.network.register_node([](const Message&) {});
+
+    f.network.set_chaos_drop_probability(1.0);
+    f.network.send(a, b, 1);
+    f.network.set_chaos_drop_probability(0.0);
+
+    f.network.set_drop_probability(1.0);
+    f.network.send(a, b, 2);
+    f.network.set_drop_probability(0.0);
+
+    f.network.set_partitioned(a, c, true);
+    f.network.send(a, c, 3);
+
+    f.simulation.run();
+    EXPECT_EQ(f.network.stats().dropped_chaos, 1u);
+    EXPECT_EQ(f.network.stats().dropped, 1u);
+    EXPECT_EQ(f.network.stats().blocked_partition, 1u);
+    EXPECT_EQ(f.network.stats().delivered, 0u);
+    EXPECT_EQ(f.network.stats().sent, 3u);
+}
+
+TEST(NetworkTest, ChaosDropZeroDrawsNothingFromTheRngStream)
+{
+    // With the chaos knob at its default 0.0 the delivery RNG stream is
+    // untouched, so a chaos-capable build replays legacy runs bit-for-bit.
+    Fixture with_knob;
+    Fixture without;
+    auto arrivals = [](Fixture& f) {
+        std::vector<sim::Time> times;
+        const NodeId a = f.network.register_node([](const Message&) {});
+        const NodeId b = f.network.register_node(
+            [&f, &times](const Message&) { times.push_back(f.simulation.now()); });
+        f.network.set_default_latency({sim::kMillisecond, sim::kMillisecond});
+        f.network.set_drop_probability(0.2);
+        for (int i = 0; i < 100; ++i) {
+            f.network.send(a, b, i);
+        }
+        f.simulation.run();
+        return times;
+    };
+    with_knob.network.set_chaos_drop_probability(0.0);  // explicit no-op
+    EXPECT_EQ(arrivals(with_knob), arrivals(without));
+}
+
+TEST(NetworkTest, ChaosExtraLatencyDelaysDeliveries)
+{
+    Fixture f;
+    f.network.set_default_latency({sim::kMillisecond, 0});
+    sim::Time delivered_at = -1;
+    const NodeId a = f.network.register_node([](const Message&) {});
+    const NodeId b = f.network.register_node(
+        [&](const Message&) { delivered_at = f.simulation.now(); });
+    f.network.set_chaos_extra_latency(30 * sim::kMillisecond);
+    f.network.send(a, b, 1);
+    f.simulation.run();
+    EXPECT_EQ(delivered_at, 31 * sim::kMillisecond);
+}
+
+TEST(NetworkTest, ChaosNodeDelaySkewsOnlyThatSender)
+{
+    Fixture f;
+    f.network.set_default_latency({sim::kMillisecond, 0});
+    std::vector<std::pair<NodeId, sim::Time>> arrivals;
+    auto log = [&](const Message& m) {
+        arrivals.push_back({m.src, f.simulation.now()});
+    };
+    const NodeId a = f.network.register_node(log);
+    const NodeId b = f.network.register_node(log);
+    f.network.set_chaos_node_delay(a, 10 * sim::kMillisecond);
+    f.network.send(a, b, 1);
+    f.network.send(b, a, 2);
+    f.simulation.run();
+    ASSERT_EQ(arrivals.size(), 2u);
+    for (const auto& [src, at] : arrivals) {
+        EXPECT_EQ(at, src == a ? 11 * sim::kMillisecond : sim::kMillisecond);
+    }
+    // Clearing the skew restores baseline latency.
+    f.network.set_chaos_node_delay(a, 0);
+    arrivals.clear();
+    f.network.send(a, b, 3);
+    f.simulation.run();
+    ASSERT_EQ(arrivals.size(), 1u);
+    EXPECT_EQ(arrivals[0].second, f.simulation.now());
 }
 
 TEST(NetworkTest, RegisterWithExplicitId)
