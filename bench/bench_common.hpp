@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "core/results.hpp"
 #include "core/runner.hpp"
 #include "core/seed_sweep.hpp"
+#include "sched/routing.hpp"
 #include "workload/generator.hpp"
 
 namespace nbos::bench {
@@ -130,6 +132,31 @@ bench_shards()
         return 1;
     }
     return parsed > 64 ? 64 : static_cast<std::int32_t>(parsed);
+}
+
+/** Routing policy for sharded runs (`NBOS_BENCH_ROUTING=least_loaded`):
+ *  run_policies applies it to every spec's scheduler config alongside
+ *  NBOS_BENCH_SHARDS, so any bench row can be rerun under a different
+ *  session -> shard policy (routing smoke tier in CI). Unset or empty
+ *  means static_hash — the pre-routing hash, byte-identical outputs;
+ *  unknown names warn on stderr and fall back to static_hash so a typo
+ *  cannot silently pass as a measurement of the default. */
+inline sched::RoutingPolicyKind
+bench_routing()
+{
+    const char* raw = std::getenv("NBOS_BENCH_ROUTING");
+    if (raw == nullptr || raw[0] == '\0') {
+        return sched::RoutingPolicyKind::kStaticHash;
+    }
+    try {
+        return sched::routing_policy_from_string(raw);
+    } catch (const std::invalid_argument&) {
+        std::fprintf(stderr,
+                     "[bench] unknown NBOS_BENCH_ROUTING=%s, using "
+                     "static_hash\n",
+                     raw);
+        return sched::RoutingPolicyKind::kStaticHash;
+    }
 }
 
 /**
@@ -343,6 +370,7 @@ run_policies(const workload::Trace& trace,
         spec.trace = &trace;
         spec.config = core::PlatformConfig::prototype_defaults();
         spec.config.scheduler.shards = bench_shards();
+        spec.config.scheduler.routing = bench_routing();
         spec.seed = runs[i].seed;
         specs.push_back(std::move(spec));
         positions.push_back(i);

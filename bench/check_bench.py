@@ -103,10 +103,12 @@ def deterministic_hash(stdout: str) -> str:
 def run_bench(build_dir: str, name: str) -> dict:
     env = dict(os.environ)
     env["NBOS_BENCH_SMOKE"] = "1"
-    # The gate measures the deterministic single-seed, monolithic tier.
+    # The gate measures the deterministic single-seed, monolithic,
+    # statically routed tier.
     env.pop("NBOS_BENCH_SEEDS", None)
     env.pop("NBOS_BENCH_POLICIES", None)
     env.pop("NBOS_BENCH_SHARDS", None)
+    env.pop("NBOS_BENCH_ROUTING", None)
     path = os.path.join(build_dir, "bench", name)
     start = time.monotonic()
     proc = subprocess.run(

@@ -33,6 +33,7 @@ struct ShardRunResult
     std::uint64_t executions = 0;
     std::uint64_t timed_events = 0;
     double seconds = 0.0;
+    double imbalance = 0.0;
 };
 
 ShardRunResult
@@ -114,6 +115,7 @@ run_at(std::int32_t shards, std::int64_t sessions, std::int64_t cells)
     result.timed_events = scheduler.events_executed() - events_before;
     result.seconds =
         std::chrono::duration<double>(wall_end - wall_start).count();
+    result.imbalance = scheduler.stats().shard_imbalance();
     return result;
 }
 
@@ -148,10 +150,13 @@ main()
             base_rate = rate;
         }
         // Wall-clock lines: stripped from the CI gate's stdout hash.
+        // imbalance is max/mean of per-shard events (routing telemetry;
+        // 0.0 at shards=1, which has no per-shard view).
         std::printf("# TIMING shards=%d seconds=%.4f events_per_sec=%.0f "
-                    "speedup_vs_1=%.2f\n",
+                    "speedup_vs_1=%.2f imbalance=%.3f\n",
                     shards, result.seconds, rate,
-                    base_rate > 0.0 ? rate / base_rate : 0.0);
+                    base_rate > 0.0 ? rate / base_rate : 0.0,
+                    result.imbalance);
     }
     return 0;
 }

@@ -185,9 +185,11 @@ main()
             base_seconds = run.seconds;
         }
         // Wall-clock/memory lines: stripped from the CI gate's hash.
+        // imbalance is max/mean of per-shard events (routing telemetry;
+        // 0.0 for the monolithic shards=1 run, which has no shard view).
         std::printf("# TIMING shards=%d seconds=%.4f events_per_sec=%.0f "
                     "sessions_per_sec=%.0f speedup_vs_1=%.2f "
-                    "peak_rss_mb=%.1f\n",
+                    "peak_rss_mb=%.1f imbalance=%.3f\n",
                     shards, run.seconds,
                     run.seconds > 0.0
                         ? static_cast<double>(run.sim_events) / run.seconds
@@ -198,7 +200,7 @@ main()
                     run.seconds > 0.0 && base_seconds > 0.0
                         ? base_seconds / run.seconds
                         : 0.0,
-                    peak_rss_mb());
+                    peak_rss_mb(), stats.shard_imbalance());
     }
     return 0;
 }

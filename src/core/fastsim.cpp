@@ -48,7 +48,9 @@ FastEngineShard::start()
     for (std::int32_t i = 0; i < plan_.initial_servers; ++i) {
         add_server();
     }
-    schedule_workload();
+    if (!plan_.windowed) {
+        schedule_workload();
+    }
     schedule_tick();
 }
 
@@ -163,6 +165,7 @@ FastEngineShard::start_session(const workload::SessionSpec& session)
     FastKernel& kernel = kernels_[session.id];
     kernel.session = session.id;
     kernel.spec = session.resources;
+    ++live_sessions_;
     place_kernel(session.id);
 }
 
@@ -189,8 +192,14 @@ FastEngineShard::place_kernel(workload::SessionId id)
     for (const cluster::ServerId server_id : servers) {
         cluster_.find(server_id)->subscribe(kernel.spec);
     }
-    results_.sched_stats.kernels_created += 1;
-    record_event(sched::SchedulerEvent::Kind::kKernelCreated);
+    // Count each session's kernel exactly once: a session adopted from
+    // another shard arrives with counted set, so the merged
+    // kernels_created total is independent of the routing policy.
+    if (!kernel.counted) {
+        kernel.counted = true;
+        results_.sched_stats.kernels_created += 1;
+        record_event(sched::SchedulerEvent::Kind::kKernelCreated);
+    }
 }
 
 void
@@ -207,6 +216,7 @@ void
 FastEngineShard::end_session(const workload::SessionSpec& session)
 {
     FastKernel& kernel = kernels_[session.id];
+    --live_sessions_;
     if (!kernel.alive) {
         pending_kernels_.erase(session.id);
         return;
@@ -240,6 +250,12 @@ FastEngineShard::run_task(const workload::SessionSpec& session,
     new_outcome(session, task);
     const std::size_t index = results_.tasks.size() - 1;
     FastKernel& kernel = kernels_[session.id];
+    if (plan_.windowed) {
+        if (kernel.window_tasks == 0) {
+            window_active_.push_back(session.id);
+        }
+        ++kernel.window_tasks;
+    }
     if (!kernel.alive) {
         // Kernel still waiting for placement: treat as queued until
         // the next tick re-attempts; abort for simplicity if it never
@@ -252,6 +268,9 @@ FastEngineShard::run_task(const workload::SessionSpec& session,
         complete(index, start, start + task.duration, 0, session.id);
         return;
     }
+    // A GPU cell is now in flight (immediately or through a migration
+    // chain); the session is pinned to this shard until it completes.
+    kernel.inflight += 1;
     // Overheads along the critical path: hops + executor election +
     // GPU binding (sampled rather than message-by-message).
     const sim::Time overhead =
@@ -351,6 +370,9 @@ FastEngineShard::migrate_and_run(std::size_t index,
             provisioning_ == 0) {
             results_.sched_stats.migrations_aborted += 1;
             results_.tasks[index].aborted = true;
+            if (kernel.inflight > 0) {
+                kernel.inflight -= 1;
+            }
             return;
         }
         if (provisioning_ == 0) {
@@ -435,13 +457,18 @@ FastEngineShard::complete(std::size_t index, sim::Time start, sim::Time end,
                           sim::Time extra_reply,
                           workload::SessionId session_id)
 {
-    (void)session_id;
     TaskOutcome& outcome = results_.tasks[index];
     outcome.exec_start = start;
     outcome.exec_end = end;
     outcome.reply = end + extra_reply +
                     sample(2 * sim::kMillisecond, 6 * sim::kMillisecond);
     results_.sched_stats.executions_completed += 1;
+    if (outcome.is_gpu) {
+        FastKernel& kernel = kernels_[session_id];
+        if (kernel.inflight > 0) {
+            kernel.inflight -= 1;
+        }
+    }
 }
 
 void
@@ -520,6 +547,103 @@ FastEngineShard::tick()
             simulation_.now(), cluster_.total_subscribed_gpus(),
             cluster_.total_gpus()});
     }
+}
+
+void
+FastEngineShard::inject_session_start(const workload::SessionSpec* sp)
+{
+    simulation_.schedule_at(sp->start_time,
+                            [this, sp] { start_session(*sp); });
+}
+
+void
+FastEngineShard::inject_session_end(const workload::SessionSpec* sp)
+{
+    simulation_.schedule_at(sp->end_time,
+                            [this, sp] { end_session(*sp); });
+}
+
+void
+FastEngineShard::inject_task(const workload::SessionSpec* sp,
+                             const workload::CellTask* tp)
+{
+    simulation_.schedule_at(tp->submit_time,
+                            [this, sp, tp] { run_task(*sp, *tp); });
+}
+
+bool
+FastEngineShard::session_movable(workload::SessionId id) const
+{
+    const auto it = kernels_.find(id);
+    return it != kernels_.end() && it->second.alive &&
+           it->second.inflight == 0;
+}
+
+bool
+FastEngineShard::extract_session(workload::SessionId id,
+                                 FastSessionExtract& out)
+{
+    const auto it = kernels_.find(id);
+    if (it == kernels_.end() || !it->second.alive ||
+        it->second.inflight != 0) {
+        return false;
+    }
+    FastKernel& kernel = it->second;
+    out.session = id;
+    out.spec = kernel.spec;
+    out.executions = kernel.executions;
+    for (const cluster::ServerId server_id : kernel.servers) {
+        if (cluster::GpuServer* server = cluster_.find(server_id)) {
+            server->unsubscribe(kernel.spec);
+        }
+    }
+    kernels_.erase(it);
+    --live_sessions_;
+    return true;
+}
+
+void
+FastEngineShard::adopt_session(const FastSessionExtract& extract)
+{
+    FastKernel& kernel = kernels_[extract.session];
+    kernel.session = extract.session;
+    kernel.spec = extract.spec;
+    kernel.executions = extract.executions;
+    kernel.servers.clear();
+    kernel.last_executor = cluster::kNoServer;
+    kernel.alive = false;
+    kernel.inflight = 0;
+    kernel.window_tasks = 0;
+    // Already counted on the shard that first placed it.
+    kernel.counted = true;
+    ++live_sessions_;
+    place_kernel(extract.session);
+}
+
+void
+FastEngineShard::harvest_window_load(sched::ShardLoad& load,
+                                     std::vector<sched::SessionLoad>&
+                                         sessions)
+{
+    load.sessions = live_sessions_;
+    load.weight = 0;
+    sessions.clear();
+    // Canonical id order: the merged per-shard lists (and therefore the
+    // rebalance plan) are a pure function of session state, independent
+    // of the event interleaving that filled window_active_.
+    std::sort(window_active_.begin(), window_active_.end());
+    sessions.reserve(window_active_.size());
+    for (const workload::SessionId id : window_active_) {
+        FastKernel& kernel = kernels_[id];
+        if (kernel.window_tasks == 0) {
+            continue;
+        }
+        load.weight += kernel.window_tasks;
+        sessions.push_back(sched::SessionLoad{id, kernel.window_tasks,
+                                              session_movable(id)});
+        kernel.window_tasks = 0;
+    }
+    window_active_.clear();
 }
 
 void

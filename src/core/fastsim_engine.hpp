@@ -27,6 +27,7 @@
 #include "core/platform.hpp"
 #include "core/results.hpp"
 #include "sched/placement.hpp"
+#include "sched/routing.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulation.hpp"
 #include "storage/datastore.hpp"
@@ -52,6 +53,14 @@ struct FastShardPlan
      * gpu_deltas() / tick_samples() feeds across shards.
      */
     bool record_timeline = true;
+    /**
+     * Windowed (rebalance) mode: the driver injects trace events window
+     * by window (inject_session_start / inject_task / ...) instead of
+     * start() pre-scheduling the whole slice, because a session's owner
+     * can change at any window boundary. `sessions` is unused; the tick
+     * grid is unchanged.
+     */
+    bool windowed = false;
 };
 
 /** One fleet-wide autoscaler-signal sample taken at a tick. Tick times are
@@ -113,6 +122,57 @@ class FastEngineShard
         return tick_samples_;
     }
 
+    /** @name Windowed mode (routing layer)
+     *
+     * Used only by the ShardedFastSim rebalance driver: trace events are
+     * injected into the *current* owner shard one lockstep window at a
+     * time, and whole sessions move between shards at window boundaries.
+     * All calls happen on the driving thread between windows.
+     */
+    ///@{
+    /** A whole analytic session packed for a cross-shard move. The
+     *  executor binding stays behind (server ids are shard-local); the
+     *  session's kernels_created contribution moves with it so merged
+     *  totals stay policy-invariant. */
+    struct FastSessionExtract
+    {
+        workload::SessionId session = -1;
+        cluster::ResourceSpec spec{};
+        std::uint64_t executions = 0;
+    };
+
+    /** Schedule @p sp's start on this shard's event loop. */
+    void inject_session_start(const workload::SessionSpec* sp);
+    /** Schedule @p sp's end (caller gates on end_time < makespan,
+     *  exactly like schedule_workload). */
+    void inject_session_end(const workload::SessionSpec* sp);
+    /** Schedule one cell of @p sp on this shard's event loop. */
+    void inject_task(const workload::SessionSpec* sp,
+                     const workload::CellTask* tp);
+
+    /** True when @p id can migrate right now: placed, alive, and no
+     *  analytic execution (or migration chain) in flight. */
+    bool session_movable(workload::SessionId id) const;
+
+    /** Pack @p id for a cross-shard move: unsubscribe its replicas and
+     *  drop the binding. @return false (no change) if not movable. */
+    bool extract_session(workload::SessionId id, FastSessionExtract& out);
+
+    /** Adopt an extracted session: rebind and re-place it here (pending
+     *  placement aborts its tasks until placed — the analytic model's
+     *  migration cost). Its kernels_created count does not repeat. */
+    void adopt_session(const FastSessionExtract& extract);
+
+    /** Report the closing window's load — live sessions and per-session
+     *  analytic task counts (id order) — and reset the window counters.
+     *  ShardLoad::events is the caller's delta. */
+    void harvest_window_load(sched::ShardLoad& load,
+                             std::vector<sched::SessionLoad>& sessions);
+
+    /** Sessions started and not yet ended or extracted here. */
+    std::int64_t live_sessions() const { return live_sessions_; }
+    ///@}
+
   private:
     struct FastKernel
     {
@@ -122,6 +182,16 @@ class FastEngineShard
         cluster::ServerId last_executor = cluster::kNoServer;
         bool alive = false;
         std::uint64_t executions = 0;
+        /** Outstanding GPU executions / migration chains; a session is
+         *  only movable at 0 (its completion closures index kernels_). */
+        std::uint64_t inflight = 0;
+        /** Analytic tasks submitted in the open window (windowed mode;
+         *  harvested and reset at each boundary). */
+        std::uint64_t window_tasks = 0;
+        /** kernels_created already counted for this session (set at the
+         *  first successful placement; carried across adoptions so the
+         *  merged total is policy-invariant). */
+        bool counted = false;
     };
 
     void add_server();
@@ -160,6 +230,10 @@ class FastEngineShard
     cluster::PrewarmPool prewarm_;
     std::map<workload::SessionId, FastKernel> kernels_;
     std::set<workload::SessionId> pending_kernels_;
+    /** Sessions with window_tasks > 0 (windowed mode; pushed on the
+     *  0 -> 1 transition, sorted + cleared by harvest_window_load). */
+    std::vector<workload::SessionId> window_active_;
+    std::int64_t live_sessions_ = 0;
     std::int32_t provisioning_ = 0;
     /** Previous cluster_.total_gpus(), for delta-form fleet recording. */
     double last_total_gpus_ = 0.0;

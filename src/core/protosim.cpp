@@ -380,6 +380,223 @@ run_prototype_sharded(const workload::Trace& trace,
     return results;
 }
 
+/**
+ * The routed sharded engine (`least_loaded` / `rebalance` policies):
+ * sessions are admitted through the routing policy instead of the static
+ * hash, shards own the session -> kernel bindings, and — under
+ * `rebalance` — whole sessions migrate between shards at window
+ * boundaries.
+ *
+ * Because a session's owner can change between windows, trace events are
+ * not pre-scheduled into shard simulations up front. Instead the driver
+ * keeps one globally sorted injection list and, at each window boundary,
+ * injects the next window's events into the *current* owner's simulation
+ * before advancing the lockstep clock. Migrations only happen on the
+ * driving thread between windows, so every injected closure addresses a
+ * shard that owns the session for that whole window.
+ *
+ * Determinism matches the static driver's: admission and the rebalance
+ * plan are pure functions of shard-order-merged loads, injections are
+ * processed in (time, session, kind) order, and the final task merge is
+ * canonical — so parallel windows stay bit-identical to serial ones.
+ */
+ExperimentResults
+run_prototype_routed(const workload::Trace& trace,
+                     const PlatformConfig& config)
+{
+    sched::ShardedGlobalScheduler scheduler(config.scheduler, config.seed);
+    scheduler.start();
+
+    ExperimentResults results;
+    results.policy = Policy::kNotebookOS;
+    results.trace_name = trace.name;
+    results.makespan = trace.makespan;
+
+    // Pre-allocate one outcome slot per trace cell. Slots are written by
+    // whichever shard owns the session at completion time (carried work
+    // keeps its callback across migrations), so the vector must never
+    // reallocate while windows run; cells the shards drop (submitted
+    // after session end) leave their slot unsubmitted and are compacted
+    // away below, mirroring the legacy drivers where such cells never
+    // produce an outcome.
+    std::size_t total_tasks = 0;
+    for (const workload::SessionSpec& session : trace.sessions) {
+        total_tasks += session.tasks.size();
+    }
+    results.tasks.resize(total_tasks);
+    std::vector<char> submitted(total_tasks, 0);
+
+    // One globally sorted injection list. Kind order at equal times
+    // mirrors the static driver's per-session scheduling order (start,
+    // end, then tasks), so a cell submitted exactly at its session's end
+    // time is dropped in both engines.
+    enum Kind : std::int32_t
+    {
+        kStart = 0,
+        kEnd = 1,
+        kTask = 2,
+    };
+    struct Injection
+    {
+        sim::Time time;
+        const workload::SessionSpec* sp;
+        std::int32_t kind;
+        const workload::CellTask* task;
+        std::size_t outcome;
+    };
+    std::vector<Injection> injections;
+    injections.reserve(trace.sessions.size() * 2 + total_tasks);
+    std::size_t outcome_index = 0;
+    for (const workload::SessionSpec& session : trace.sessions) {
+        const workload::SessionSpec* sp = &session;
+        injections.push_back(
+            Injection{session.start_time, sp, kStart, nullptr, 0});
+        if (session.end_time < trace.makespan) {
+            injections.push_back(
+                Injection{session.end_time, sp, kEnd, nullptr, 0});
+        }
+        for (const workload::CellTask& task : session.tasks) {
+            TaskOutcome& outcome = results.tasks[outcome_index];
+            outcome.session = session.id;
+            outcome.seq = task.seq;
+            outcome.is_gpu = task.is_gpu;
+            outcome.gpus = session.resources.gpus;
+            injections.push_back(Injection{task.submit_time, sp, kTask,
+                                           &task, outcome_index});
+            ++outcome_index;
+        }
+    }
+    std::stable_sort(injections.begin(), injections.end(),
+                     [](const Injection& a, const Injection& b) {
+                         if (a.time != b.time) {
+                             return a.time < b.time;
+                         }
+                         if (a.sp->id != b.sp->id) {
+                             return a.sp->id < b.sp->id;
+                         }
+                         return a.kind < b.kind;
+                     });
+
+    // Lockstep windows on the sampling grid: inject the window's events
+    // into their owners, advance every shard to t (in parallel when
+    // configured), sample the merged autoscaler signals, then let the
+    // policy rebalance before the next window's events are routed.
+    std::size_t cursor = 0;
+    for (sim::Time t = 0;; t += config.sample_interval) {
+        while (cursor < injections.size() &&
+               injections[cursor].time <= t) {
+            const Injection& inj = injections[cursor++];
+            const std::size_t owner =
+                inj.kind == kStart
+                    ? scheduler.admit_session(inj.sp->id)
+                    : scheduler.shard_of(inj.sp->id);
+            sched::SchedulerShard* shard = &scheduler.shard(owner);
+            sim::Simulation& simulation = scheduler.simulation(owner);
+            const workload::SessionSpec* sp = inj.sp;
+            switch (inj.kind) {
+                case kStart:
+                    simulation.schedule_at(inj.time, [shard, sp] {
+                        shard->begin_session(sp->id, sp->resources);
+                    });
+                    break;
+                case kEnd:
+                    simulation.schedule_at(inj.time, [shard, sp] {
+                        shard->end_session(sp->id);
+                    });
+                    break;
+                case kTask: {
+                    const workload::CellTask* tp = inj.task;
+                    const std::size_t index = inj.outcome;
+                    sim::Simulation* sim_ptr = &simulation;
+                    simulation.schedule_at(
+                        inj.time, [shard, sim_ptr, sp, tp, index,
+                                   &results, &submitted] {
+                            TaskOutcome& outcome = results.tasks[index];
+                            outcome.submit = sim_ptr->now();
+                            const bool accepted = shard->submit_session(
+                                sp->id, tp->code, tp->is_gpu,
+                                sim_ptr->now(),
+                                [&results, index](
+                                    const kernel::ExecutionResult& result,
+                                    const sched::RequestTrace&
+                                        request_trace) {
+                                    TaskOutcome& done =
+                                        results.tasks[index];
+                                    done.trace = request_trace;
+                                    done.exec_start =
+                                        request_trace.execution_started;
+                                    done.exec_end =
+                                        request_trace.execution_finished;
+                                    done.reply =
+                                        request_trace.client_replied;
+                                    done.migrated =
+                                        request_trace.migrated;
+                                    done.aborted =
+                                        request_trace.aborted ||
+                                        result.status ==
+                                            kernel::ExecutionStatus::
+                                                kError;
+                                    if (done.aborted) {
+                                        done.error = result.error;
+                                    }
+                                });
+                            if (accepted) {
+                                submitted[index] = 1;
+                            }
+                        });
+                    break;
+                }
+                default:
+                    break;
+            }
+        }
+        scheduler.run_until(t);
+        results.provisioned_gpus.record(
+            t, static_cast<double>(scheduler.total_gpus()));
+        results.subscription_ratio.record(t, scheduler.cluster_sr());
+        if (t >= trace.makespan) {
+            break;
+        }
+        scheduler.rebalance_window();
+    }
+    // Drain window for in-flight cells.
+    scheduler.run_until(trace.makespan + 12 * sim::kHour);
+
+    // Compact dropped cells, then canonicalize to (submit, session, seq)
+    // exactly as the static sharded driver does.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < results.tasks.size(); ++i) {
+        if (!submitted[i]) {
+            continue;
+        }
+        if (kept != i) {
+            results.tasks[kept] = std::move(results.tasks[i]);
+        }
+        ++kept;
+    }
+    results.tasks.resize(kept);
+    std::stable_sort(results.tasks.begin(), results.tasks.end(),
+                     [](const TaskOutcome& a, const TaskOutcome& b) {
+                         if (a.submit != b.submit) {
+                             return a.submit < b.submit;
+                         }
+                         if (a.session != b.session) {
+                             return a.session < b.session;
+                         }
+                         return a.seq < b.seq;
+                     });
+
+    results.events = scheduler.events();
+    results.sched_stats = scheduler.stats();
+    results.net_stats = scheduler.network_stats();
+    results.sync_ms = scheduler.sync_latencies_ms();
+    results.read_ms = scheduler.store_read_ms();
+    results.write_ms = scheduler.store_write_ms();
+    results.store_bytes_written = scheduler.store_bytes_written();
+    finalize_committed_series(results);
+    return results;
+}
+
 }  // namespace
 
 ExperimentResults
@@ -392,7 +609,10 @@ run_prototype_notebookos(const workload::Trace& trace,
     if (config.scheduler.shards == 1) {
         return run_prototype_monolithic(trace, config);
     }
-    return run_prototype_sharded(trace, config);
+    if (config.scheduler.routing == sched::RoutingPolicyKind::kStaticHash) {
+        return run_prototype_sharded(trace, config);
+    }
+    return run_prototype_routed(trace, config);
 }
 
 }  // namespace nbos::core

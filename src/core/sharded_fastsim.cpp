@@ -1,6 +1,7 @@
 #include "core/sharded_fastsim.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <iterator>
 #include <memory>
 #include <stdexcept>
@@ -10,6 +11,7 @@
 
 #include "core/fastsim_engine.hpp"
 #include "core/platform.hpp"
+#include "sched/routing.hpp"
 #include "sched/shard_router.hpp"
 
 namespace nbos::core {
@@ -32,6 +34,148 @@ committed_series(const std::vector<TaskOutcome>& tasks)
         }
     }
     return series_from_deltas(std::move(committed));
+}
+
+/** Shard-order base plans: the trace metadata, the round-robin split of
+ *  the initial fleet (shares differ by at most one server), and the
+ *  per-shard seeds (sched::shard_seed; shard 0 keeps the caller's). */
+std::vector<FastShardPlan>
+base_plans(const workload::Trace& trace, const PlatformConfig& config,
+           std::int32_t count)
+{
+    std::vector<FastShardPlan> plans(static_cast<std::size_t>(count));
+    const std::int32_t base_servers =
+        config.scheduler.initial_servers / count;
+    const std::int32_t extra_servers =
+        config.scheduler.initial_servers % count;
+    for (std::int32_t i = 0; i < count; ++i) {
+        FastShardPlan& plan = plans[static_cast<std::size_t>(i)];
+        plan.trace_name = trace.name;
+        plan.makespan = trace.makespan;
+        plan.initial_servers = base_servers + (i < extra_servers ? 1 : 0);
+        plan.seed = sched::shard_seed(config.seed, i);
+        plan.record_timeline = false;
+    }
+    return plans;
+}
+
+double
+elapsed_seconds(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+/** Deterministic cross-shard merge, always in shard order — shared by
+ *  every multi-shard policy path. Consumes the shards (finish()). */
+ExperimentResults
+merge_shards(std::vector<std::unique_ptr<FastEngineShard>>& shards,
+             const workload::Trace& trace, const PlatformConfig& config)
+{
+    std::vector<ExperimentResults> per_shard;
+    per_shard.reserve(shards.size());
+    std::size_t total_tasks = 0;
+    for (const auto& shard : shards) {
+        per_shard.push_back(shard->finish());
+        total_tasks += per_shard.back().tasks.size();
+    }
+
+    ExperimentResults results;
+    results.policy = Policy::kNotebookOS;
+    results.trace_name = trace.name;
+    results.makespan = trace.makespan;
+
+    // Tasks: concatenate in shard order, then canonicalize to
+    // (submit, session, seq) — a total order because a session's
+    // (session, seq) pairs are unique.
+    results.tasks.reserve(total_tasks);
+    for (ExperimentResults& shard_results : per_shard) {
+        std::move(shard_results.tasks.begin(), shard_results.tasks.end(),
+                  std::back_inserter(results.tasks));
+    }
+    std::stable_sort(results.tasks.begin(), results.tasks.end(),
+                     [](const TaskOutcome& a, const TaskOutcome& b) {
+                         if (a.submit != b.submit) {
+                             return a.submit < b.submit;
+                         }
+                         if (a.session != b.session) {
+                             return a.session < b.session;
+                         }
+                         return a.seq < b.seq;
+                     });
+
+    std::vector<std::vector<sched::SchedulerEvent>> shard_events;
+    shard_events.reserve(per_shard.size());
+    for (ExperimentResults& shard_results : per_shard) {
+        shard_events.push_back(std::move(shard_results.events));
+        results.sched_stats += shard_results.sched_stats;
+        results.read_ms.add_all(shard_results.read_ms.sorted());
+        results.write_ms.add_all(shard_results.write_ms.sorted());
+        results.store_bytes_written += shard_results.store_bytes_written;
+    }
+    results.events = sched::merge_events(shard_events);
+
+    // Per-shard load telemetry (shard order): how the run's events spread
+    // over the shards, surfaced on the benches' # TIMING lines.
+    std::uint64_t total_events = 0;
+    for (const auto& shard : shards) {
+        total_events += shard->events_executed();
+    }
+    results.sched_stats.shard_loads.reserve(shards.size());
+    for (const auto& shard : shards) {
+        sched::ShardLoadSample sample;
+        sample.sessions = shard->live_sessions();
+        sample.events = shard->events_executed();
+        sample.busy_fraction =
+            total_events == 0
+                ? 0.0
+                : static_cast<double>(sample.events) /
+                      static_cast<double>(total_events);
+        results.sched_stats.shard_loads.push_back(sample);
+    }
+
+    // Fleet timeline: sum the per-shard (time, ±gpus) deltas into one
+    // step series. Equal-time deltas collapse into a single sample whose
+    // value is order-independent, so the merge is deterministic.
+    std::vector<std::pair<sim::Time, double>> gpu_deltas;
+    for (const auto& shard : shards) {
+        gpu_deltas.insert(gpu_deltas.end(), shard->gpu_deltas().begin(),
+                          shard->gpu_deltas().end());
+    }
+    results.provisioned_gpus = series_from_deltas(std::move(gpu_deltas));
+
+    // Subscription ratio: every shard ticks on the same grid, so samples
+    // merge positionally into sum(S) / (sum(G) * R) — the same formula
+    // Cluster::cluster_subscription_ratio applies to one fleet.
+    const std::size_t tick_count = shards.front()->tick_samples().size();
+    for (const auto& shard : shards) {
+        if (shard->tick_samples().size() != tick_count) {
+            throw std::logic_error(
+                "sharded fast engine: tick sample counts diverged");
+        }
+    }
+    const std::int32_t replicas =
+        std::max<std::int32_t>(1, config.scheduler.kernel.replica_count);
+    for (std::size_t k = 0; k < tick_count; ++k) {
+        std::int64_t subscribed = 0;
+        std::int64_t gpus = 0;
+        for (const auto& shard : shards) {
+            const FastTickSample& sample = shard->tick_samples()[k];
+            subscribed += sample.subscribed_gpus;
+            gpus += sample.total_gpus;
+        }
+        const double ratio =
+            gpus <= 0 ? 0.0
+                      : static_cast<double>(subscribed) /
+                            (static_cast<double>(gpus) *
+                             static_cast<double>(replicas));
+        results.subscription_ratio.record(
+            shards.front()->tick_samples()[k].time, ratio);
+    }
+
+    results.committed_gpus = committed_series(results.tasks);
+    return results;
 }
 
 }  // namespace
@@ -70,26 +214,217 @@ ShardedFastSim::run()
         return results;
     }
 
-    // Partition: the stable session-id hash assigns every session to one
-    // shard (seed-independent, so seed sweeps compare like against like);
-    // within a shard, sessions keep their trace order. The initial fleet
-    // is divided round-robin so shares differ by at most one server.
-    const sched::ShardRouter router(count);
-    std::vector<FastShardPlan> plans(static_cast<std::size_t>(count));
-    const std::int32_t base_servers =
-        config_.scheduler.initial_servers / count;
-    const std::int32_t extra_servers =
-        config_.scheduler.initial_servers % count;
-    for (std::int32_t i = 0; i < count; ++i) {
-        FastShardPlan& plan = plans[static_cast<std::size_t>(i)];
-        plan.trace_name = trace_.name;
-        plan.makespan = trace_.makespan;
-        plan.initial_servers = base_servers + (i < extra_servers ? 1 : 0);
-        plan.seed = sched::shard_seed(config_.seed, i);
-        plan.record_timeline = false;
+    std::vector<FastShardPlan> plans = base_plans(trace_, config_, count);
+    const sim::Time horizon = trace_.makespan + 12 * sim::kHour;
+    shard_busy_seconds_.assign(static_cast<std::size_t>(count), 0.0);
+
+    if (config_.scheduler.routing == sched::RoutingPolicyKind::kRebalance) {
+        // ---- Windowed rebalance path -------------------------------
+        //
+        // Sessions are admitted by the stable hash, but trace events are
+        // injected one lockstep window at a time into the session's
+        // *current* owner, and sched::plan_rebalance moves whole
+        // sessions between shards at the autoscale-grid boundaries. The
+        // plan is a pure function of the shard-order-merged window
+        // loads, so parallel windows stay bit-identical to serial ones.
+        for (FastShardPlan& plan : plans) {
+            plan.windowed = true;
+        }
+        std::vector<std::unique_ptr<FastEngineShard>> shards;
+        shards.reserve(plans.size());
+        for (FastShardPlan& plan : plans) {
+            shards.push_back(
+                std::make_unique<FastEngineShard>(std::move(plan),
+                                                  config_));
+        }
+        for (const auto& shard : shards) {
+            shard->start();
+        }
+
+        // One globally sorted injection list; kind order at equal times
+        // mirrors schedule_workload's per-session order (start, end,
+        // tasks).
+        enum Kind : std::int32_t
+        {
+            kStart = 0,
+            kEnd = 1,
+            kTask = 2,
+        };
+        struct Injection
+        {
+            sim::Time time;
+            const workload::SessionSpec* sp;
+            std::int32_t kind;
+            const workload::CellTask* task;
+        };
+        std::vector<Injection> injections;
+        std::size_t total_tasks = 0;
+        for (const workload::SessionSpec& session : trace_.sessions) {
+            total_tasks += session.tasks.size();
+        }
+        injections.reserve(trace_.sessions.size() * 2 + total_tasks);
+        for (const workload::SessionSpec& session : trace_.sessions) {
+            const workload::SessionSpec* sp = &session;
+            injections.push_back(
+                Injection{session.start_time, sp, kStart, nullptr});
+            if (session.end_time < trace_.makespan) {
+                injections.push_back(
+                    Injection{session.end_time, sp, kEnd, nullptr});
+            }
+            for (const workload::CellTask& task : session.tasks) {
+                injections.push_back(
+                    Injection{task.submit_time, sp, kTask, &task});
+            }
+        }
+        std::stable_sort(injections.begin(), injections.end(),
+                         [](const Injection& a, const Injection& b) {
+                             if (a.time != b.time) {
+                                 return a.time < b.time;
+                             }
+                             if (a.sp->id != b.sp->id) {
+                                 return a.sp->id < b.sp->id;
+                             }
+                             return a.kind < b.kind;
+                         });
+
+        const auto advance = [&](sim::Time t) {
+            if (config_.scheduler.shard_parallel && shards.size() > 1) {
+                std::vector<std::thread> threads;
+                threads.reserve(shards.size() - 1);
+                for (std::size_t i = 1; i < shards.size(); ++i) {
+                    FastEngineShard* shard = shards[i].get();
+                    double* busy = &shard_busy_seconds_[i];
+                    threads.emplace_back([shard, busy, t] {
+                        const auto begin =
+                            std::chrono::steady_clock::now();
+                        shard->run_until(t);
+                        *busy += elapsed_seconds(begin);
+                    });
+                }
+                const auto begin = std::chrono::steady_clock::now();
+                shards.front()->run_until(t);
+                shard_busy_seconds_[0] += elapsed_seconds(begin);
+                for (std::thread& thread : threads) {
+                    thread.join();
+                }
+            } else {
+                for (std::size_t i = 0; i < shards.size(); ++i) {
+                    const auto begin = std::chrono::steady_clock::now();
+                    shards[i]->run_until(t);
+                    shard_busy_seconds_[i] += elapsed_seconds(begin);
+                }
+            }
+        };
+
+        sched::RoutingTable table(count);
+        std::vector<std::uint64_t> window_events(shards.size(), 0);
+        std::size_t cursor = 0;
+        for (sim::Time t = 0;; t += config_.scheduler.autoscale_interval) {
+            while (cursor < injections.size() &&
+                   injections[cursor].time <= t) {
+                const Injection& inj = injections[cursor++];
+                FastEngineShard& owner =
+                    *shards[table.shard_of(inj.sp->id)];
+                switch (inj.kind) {
+                    case kStart:
+                        owner.inject_session_start(inj.sp);
+                        break;
+                    case kEnd:
+                        owner.inject_session_end(inj.sp);
+                        break;
+                    case kTask:
+                        owner.inject_task(inj.sp, inj.task);
+                        break;
+                    default:
+                        break;
+                }
+            }
+            advance(t);
+            if (t >= trace_.makespan) {
+                break;
+            }
+            // Window boundary: merge loads in shard order, plan, apply.
+            std::vector<sched::ShardLoad> loads(shards.size());
+            std::vector<std::vector<sched::SessionLoad>> sessions(
+                shards.size());
+            for (std::size_t i = 0; i < shards.size(); ++i) {
+                shards[i]->harvest_window_load(loads[i], sessions[i]);
+                const std::uint64_t executed =
+                    shards[i]->events_executed();
+                loads[i].events = executed - window_events[i];
+                window_events[i] = executed;
+            }
+            const std::vector<sched::MigrationDecision> plan =
+                sched::plan_rebalance(loads, sessions);
+            for (const sched::MigrationDecision& move : plan) {
+                FastEngineShard::FastSessionExtract extract;
+                if (!shards[static_cast<std::size_t>(move.from)]
+                         ->extract_session(move.session, extract)) {
+                    continue;
+                }
+                shards[static_cast<std::size_t>(move.to)]->adopt_session(
+                    extract);
+                table.assign(move.session, move.to);
+                ++sessions_rebalanced_;
+            }
+        }
+        // Drain window for in-flight cells.
+        advance(horizon);
+
+        events_executed_ = 0;
+        shard_events_.clear();
+        for (const auto& shard : shards) {
+            shard_events_.push_back(shard->events_executed());
+            events_executed_ += shard->events_executed();
+        }
+        return merge_shards(shards, trace_, config_);
     }
-    for (const workload::SessionSpec& session : trace_.sessions) {
-        plans[router.shard_of(session.id)].sessions.push_back(&session);
+
+    if (config_.scheduler.routing ==
+        sched::RoutingPolicyKind::kLeastLoaded) {
+        // Admission-time partition: visit sessions in (start_time, id)
+        // order — the order a live admission controller would see them —
+        // and assign each to the shard with the least accumulated task
+        // weight (ties: fewest sessions, then lowest index). The rest of
+        // the run uses the same static machinery as the hash path.
+        std::vector<const workload::SessionSpec*> order;
+        order.reserve(trace_.sessions.size());
+        for (const workload::SessionSpec& session : trace_.sessions) {
+            order.push_back(&session);
+        }
+        std::stable_sort(order.begin(), order.end(),
+                         [](const workload::SessionSpec* a,
+                            const workload::SessionSpec* b) {
+                             if (a->start_time != b->start_time) {
+                                 return a->start_time < b->start_time;
+                             }
+                             return a->id < b->id;
+                         });
+        std::vector<std::uint64_t> weight(plans.size(), 0);
+        std::vector<std::int64_t> assigned(plans.size(), 0);
+        for (const workload::SessionSpec* sp : order) {
+            std::size_t pick = 0;
+            for (std::size_t i = 1; i < plans.size(); ++i) {
+                if (weight[i] < weight[pick] ||
+                    (weight[i] == weight[pick] &&
+                     assigned[i] < assigned[pick])) {
+                    pick = i;
+                }
+            }
+            plans[pick].sessions.push_back(sp);
+            weight[pick] += sp->tasks.size() + 1;
+            assigned[pick] += 1;
+        }
+    } else {
+        // Static-hash partition, kept verbatim: the stable session-id
+        // hash assigns every session to one shard (seed-independent, so
+        // seed sweeps compare like against like); within a shard,
+        // sessions keep their trace order.
+        const sched::ShardRouter router(count);
+        for (const workload::SessionSpec& session : trace_.sessions) {
+            plans[router.shard_of(session.id)].sessions.push_back(
+                &session);
+        }
     }
 
     std::vector<std::unique_ptr<FastEngineShard>> shards;
@@ -104,114 +439,37 @@ ShardedFastSim::run()
     // thread. thread::join is the happens-before edge for the merges
     // below; with shard_parallel off the same passes run serially,
     // bit-identically.
-    const sim::Time horizon = trace_.makespan + 12 * sim::kHour;
-    const auto run_shard = [horizon](FastEngineShard* shard) {
+    const auto run_shard = [horizon](FastEngineShard* shard,
+                                     double* busy) {
+        const auto begin = std::chrono::steady_clock::now();
         shard->start();
         shard->run_until(horizon);
+        *busy += elapsed_seconds(begin);
     };
     if (config_.scheduler.shard_parallel) {
         std::vector<std::thread> threads;
         threads.reserve(shards.size() - 1);
         for (std::size_t i = 1; i < shards.size(); ++i) {
-            threads.emplace_back(run_shard, shards[i].get());
+            threads.emplace_back(run_shard, shards[i].get(),
+                                 &shard_busy_seconds_[i]);
         }
-        run_shard(shards.front().get());
+        run_shard(shards.front().get(), &shard_busy_seconds_[0]);
         for (std::thread& thread : threads) {
             thread.join();
         }
     } else {
-        for (const auto& shard : shards) {
-            run_shard(shard.get());
+        for (std::size_t i = 0; i < shards.size(); ++i) {
+            run_shard(shards[i].get(), &shard_busy_seconds_[i]);
         }
     }
 
-    // Deterministic merge, always in shard order.
-    std::vector<ExperimentResults> per_shard;
-    per_shard.reserve(shards.size());
-    std::size_t total_tasks = 0;
     events_executed_ = 0;
+    shard_events_.clear();
     for (const auto& shard : shards) {
+        shard_events_.push_back(shard->events_executed());
         events_executed_ += shard->events_executed();
-        per_shard.push_back(shard->finish());
-        total_tasks += per_shard.back().tasks.size();
     }
-
-    ExperimentResults results;
-    results.policy = Policy::kNotebookOS;
-    results.trace_name = trace_.name;
-    results.makespan = trace_.makespan;
-
-    // Tasks: concatenate in shard order, then canonicalize to
-    // (submit, session, seq) — a total order because a session's
-    // (session, seq) pairs are unique.
-    results.tasks.reserve(total_tasks);
-    for (ExperimentResults& shard_results : per_shard) {
-        std::move(shard_results.tasks.begin(), shard_results.tasks.end(),
-                  std::back_inserter(results.tasks));
-    }
-    std::stable_sort(results.tasks.begin(), results.tasks.end(),
-                     [](const TaskOutcome& a, const TaskOutcome& b) {
-                         if (a.submit != b.submit) {
-                             return a.submit < b.submit;
-                         }
-                         if (a.session != b.session) {
-                             return a.session < b.session;
-                         }
-                         return a.seq < b.seq;
-                     });
-
-    std::vector<std::vector<sched::SchedulerEvent>> shard_events;
-    shard_events.reserve(per_shard.size());
-    for (ExperimentResults& shard_results : per_shard) {
-        shard_events.push_back(std::move(shard_results.events));
-        results.sched_stats += shard_results.sched_stats;
-        results.read_ms.add_all(shard_results.read_ms.sorted());
-        results.write_ms.add_all(shard_results.write_ms.sorted());
-        results.store_bytes_written += shard_results.store_bytes_written;
-    }
-    results.events = sched::merge_events(shard_events);
-
-    // Fleet timeline: sum the per-shard (time, ±gpus) deltas into one
-    // step series. Equal-time deltas collapse into a single sample whose
-    // value is order-independent, so the merge is deterministic.
-    std::vector<std::pair<sim::Time, double>> gpu_deltas;
-    for (const auto& shard : shards) {
-        gpu_deltas.insert(gpu_deltas.end(), shard->gpu_deltas().begin(),
-                          shard->gpu_deltas().end());
-    }
-    results.provisioned_gpus = series_from_deltas(std::move(gpu_deltas));
-
-    // Subscription ratio: every shard ticks on the same grid, so samples
-    // merge positionally into sum(S) / (sum(G) * R) — the same formula
-    // Cluster::cluster_subscription_ratio applies to one fleet.
-    const std::size_t tick_count = shards.front()->tick_samples().size();
-    for (const auto& shard : shards) {
-        if (shard->tick_samples().size() != tick_count) {
-            throw std::logic_error(
-                "sharded fast engine: tick sample counts diverged");
-        }
-    }
-    const std::int32_t replicas =
-        std::max<std::int32_t>(1, config_.scheduler.kernel.replica_count);
-    for (std::size_t k = 0; k < tick_count; ++k) {
-        std::int64_t subscribed = 0;
-        std::int64_t gpus = 0;
-        for (const auto& shard : shards) {
-            const FastTickSample& sample = shard->tick_samples()[k];
-            subscribed += sample.subscribed_gpus;
-            gpus += sample.total_gpus;
-        }
-        const double ratio =
-            gpus <= 0 ? 0.0
-                      : static_cast<double>(subscribed) /
-                            (static_cast<double>(gpus) *
-                             static_cast<double>(replicas));
-        results.subscription_ratio.record(
-            shards.front()->tick_samples()[k].time, ratio);
-    }
-
-    results.committed_gpus = committed_series(results.tasks);
-    return results;
+    return merge_shards(shards, trace_, config_);
 }
 
 }  // namespace nbos::core

@@ -3,23 +3,41 @@
  * ShardedFastSim: the fast analytic engine partitioned across N
  * independent shards (SchedulerConfig::shards), one per thread.
  *
- * Sessions are routed to shards by the seed-independent
- * sched::ShardRouter hash, each shard runs the full analytic model over
- * its slice on its own event loop (FastEngineShard), and the driver
- * merges the per-shard aggregates in shard order, so
+ * Sessions are routed to shards through the routing layer
+ * (SchedulerConfig::routing, sched/routing.hpp):
+ *
+ *  - `static_hash` (default): the seed-independent sched::ShardRouter
+ *    hash, byte-identical to the pre-routing implementation.
+ *  - `least_loaded`: admission-time partition — sessions are assigned in
+ *    (start_time, id) order to the shard with the least accumulated task
+ *    weight, then run on the same static machinery.
+ *  - `rebalance`: hash admission plus deterministic window-boundary
+ *    whole-session migration. Shards advance in lockstep windows on the
+ *    autoscale_interval grid; at each boundary the driver merges
+ *    per-shard loads in shard order, plans migrations with
+ *    sched::plan_rebalance (a pure function of the merged stats), and
+ *    moves the chosen sessions before injecting the next window's trace
+ *    events into their current owners.
+ *
+ * Each shard runs the full analytic model over its slice on its own
+ * event loop (FastEngineShard), and the driver merges the per-shard
+ * aggregates in shard order, so
  *
  *  - parallel ≡ serial (shards share nothing; the fork/join is the only
  *    synchronization, toggled by SchedulerConfig::shard_parallel), and
  *  - shards == 1 is byte-identical to the pre-sharding monolithic fast
  *    path (single shard, full trace, caller's seed, timeline recording).
  *
- * This is the scale path of ROADMAP open item 1: bench/scale_sessions.cpp
- * drives it to >= 1M sessions at shards {1, 2, 4, 8}.
+ * This is the scale path of ROADMAP open items 1 and 2:
+ * bench/scale_sessions.cpp drives it to >= 1M sessions at shards
+ * {1, 2, 4, 8}, and bench/scale_skewed.cpp compares the routing policies
+ * on skewed traces.
  */
 #ifndef NBOS_CORE_SHARDED_FASTSIM_HPP
 #define NBOS_CORE_SHARDED_FASTSIM_HPP
 
 #include <cstdint>
+#include <vector>
 
 #include "core/results.hpp"
 #include "workload/trace.hpp"
@@ -43,10 +61,38 @@ class ShardedFastSim
      *  run(); throughput accounting for the scale bench). */
     std::uint64_t events_executed() const { return events_executed_; }
 
+    /** Per-shard simulation events, in shard order (valid after run();
+     *  empty for monolithic runs). Feeds the imbalance telemetry. */
+    const std::vector<std::uint64_t>& shard_events() const
+    {
+        return shard_events_;
+    }
+
+    /** Wall seconds spent advancing each shard's event loop, in shard
+     *  order (valid after run(); empty for monolithic runs). With
+     *  shard_parallel off every loop is timed alone on the calling
+     *  thread, so max(shard_busy_seconds) is the run's critical path —
+     *  the scale benches use that for core-count-independent
+     *  events/sec comparisons. */
+    const std::vector<double>& shard_busy_seconds() const
+    {
+        return shard_busy_seconds_;
+    }
+
+    /** Whole sessions moved across shards (`rebalance` policy only;
+     *  valid after run()). */
+    std::uint64_t sessions_rebalanced() const
+    {
+        return sessions_rebalanced_;
+    }
+
   private:
     const workload::Trace& trace_;
     const PlatformConfig& config_;
     std::uint64_t events_executed_ = 0;
+    std::vector<std::uint64_t> shard_events_;
+    std::vector<double> shard_busy_seconds_;
+    std::uint64_t sessions_rebalanced_ = 0;
 };
 
 }  // namespace nbos::core

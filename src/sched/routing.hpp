@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Load-aware session -> shard routing (ROADMAP item 2).
+ *
+ * The routing layer generalizes the static splitmix64 ShardRouter into
+ * three cooperating pieces:
+ *
+ *  - RoutingTable: an explicit session -> shard map with the stable hash
+ *    as the default/fallback route. With no overrides it is byte-for-byte
+ *    the ShardRouter, which is how `static_hash` keeps every pre-routing
+ *    golden and bench hash bit-identical.
+ *  - RoutingPolicy: the decision procedure. `admit` places a new session
+ *    given the merged per-shard loads; `plan` emits window-boundary
+ *    migration decisions. Both are pure functions of their inputs, and
+ *    the inputs are always merged in shard order, so a plan is
+ *    reproducible across runs, thread interleavings, and platforms.
+ *  - plan_rebalance: the deterministic greedy planner shared by the
+ *    `rebalance` policy and its unit tests.
+ *
+ * Determinism contract: nothing in this header reads clocks, RNGs, or
+ * addresses. Ties break on the lowest shard index / lowest session id.
+ */
+#ifndef NBOS_SCHED_ROUTING_HPP
+#define NBOS_SCHED_ROUTING_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sched/shard_router.hpp"
+
+namespace nbos::sched {
+
+/** The routing policies understood by every sharded engine. */
+enum class RoutingPolicyKind
+{
+    /** Pure splitmix64 hash (the default; pre-routing behavior). */
+    kStaticHash,
+    /** New sessions go to the least-loaded shard at admission. */
+    kLeastLoaded,
+    /** Hash admission + deterministic window-boundary migration. */
+    kRebalance,
+};
+
+const char* to_string(RoutingPolicyKind kind);
+
+/** Parse a policy name ("static_hash", "least_loaded", "rebalance").
+ *  @throws std::invalid_argument on anything else. */
+RoutingPolicyKind routing_policy_from_string(const std::string& name);
+
+/** One shard's load as seen at a window boundary (merged in shard
+ *  order before any policy decision). */
+struct ShardLoad
+{
+    /** Sessions currently resident on the shard. */
+    std::int64_t sessions = 0;
+    /** Activity weight accumulated over the closing window (submitted
+     *  cells for the schedulers; analytic tasks for the fast engine). */
+    std::uint64_t weight = 0;
+    /** Simulation events the shard executed in the closing window. */
+    std::uint64_t events = 0;
+};
+
+/** One session's share of its shard's window weight. Shards report only
+ *  sessions with non-zero window weight (idle sessions are never worth
+ *  moving), each tagged with whether it can migrate right now. */
+struct SessionLoad
+{
+    std::int64_t session = -1;
+    std::uint64_t weight = 0;
+    /** False while the session is mid-operation (kernel still being
+     *  created, an intra-shard migration or an analytic task in
+     *  flight); the planner must skip it this window. */
+    bool movable = true;
+};
+
+/** One planned whole-session move. */
+struct MigrationDecision
+{
+    std::int64_t session = -1;
+    std::int32_t from = -1;
+    std::int32_t to = -1;
+};
+
+/**
+ * Explicit session -> shard map over the stable hash fallback.
+ *
+ * Reads are cheap and const; writes happen only from the driving thread
+ * at admission or window boundaries, never inside a shard window, so the
+ * table needs no synchronization.
+ */
+class RoutingTable
+{
+  public:
+    /** @throws std::invalid_argument on shards < 1 (no silent clamp in
+     *  the routing layer; validate_config rejects it upstream too). */
+    explicit RoutingTable(std::int32_t shards) : router_(shards) {}
+
+    std::int32_t shards() const { return router_.shards(); }
+
+    /** The hash fallback (static-hash equivalence tests). */
+    const ShardRouter& router() const { return router_; }
+
+    /** Current owner of @p session: the explicit assignment if present,
+     *  else the hash route. @throws std::invalid_argument on negative
+     *  ids (via ShardRouter::shard_of). */
+    std::size_t shard_of(std::int64_t session) const
+    {
+        const auto it = overrides_.find(session);
+        if (it != overrides_.end()) {
+            return static_cast<std::size_t>(it->second);
+        }
+        return router_.shard_of(session);
+    }
+
+    /** Pin @p session to @p shard. An assignment equal to the hash route
+     *  is dropped so the override map only holds real deviations.
+     *  @throws std::out_of_range on a shard outside [0, shards). */
+    void assign(std::int64_t session, std::int32_t shard)
+    {
+        if (shard < 0 || shard >= router_.shards()) {
+            throw std::out_of_range(
+                "RoutingTable::assign: shard " + std::to_string(shard) +
+                " outside [0, " + std::to_string(router_.shards()) + ")");
+        }
+        if (router_.shard_of(session) ==
+            static_cast<std::size_t>(shard)) {
+            overrides_.erase(session);
+        } else {
+            overrides_[session] = shard;
+        }
+    }
+
+    /** Drop @p session's override (session ended; bounds the map). */
+    void forget(std::int64_t session) { overrides_.erase(session); }
+
+    /** Number of sessions currently routed away from their hash shard. */
+    std::size_t overrides() const { return overrides_.size(); }
+
+  private:
+    ShardRouter router_;
+    std::unordered_map<std::int64_t, std::int32_t> overrides_;
+};
+
+/**
+ * A routing decision procedure. Implementations must be pure: equal
+ * inputs (table contents, shard-order-merged loads) produce equal
+ * outputs, with no hidden state besides the table itself.
+ */
+class RoutingPolicy
+{
+  public:
+    virtual ~RoutingPolicy() = default;
+
+    virtual RoutingPolicyKind kind() const = 0;
+
+    /**
+     * Route a newly admitted @p session. @p loads holds one entry per
+     * shard, merged in shard order at the most recent boundary (empty on
+     * the very first window). @return the target shard in [0, shards).
+     */
+    virtual std::int32_t admit(std::int64_t session,
+                               const RoutingTable& table,
+                               const std::vector<ShardLoad>& loads) = 0;
+
+    /**
+     * Plan window-boundary migrations. @p loads has one entry per shard
+     * and @p sessions one vector per shard (both in shard order); the
+     * per-shard session lists are sorted by descending weight then
+     * ascending id before planning. @return whole-session moves to apply
+     * before the next window (empty for non-rebalancing policies).
+     */
+    virtual std::vector<MigrationDecision> plan(
+        const std::vector<ShardLoad>& loads,
+        const std::vector<std::vector<SessionLoad>>& sessions) = 0;
+};
+
+/** Build the policy implementing @p kind. */
+std::unique_ptr<RoutingPolicy> make_routing_policy(RoutingPolicyKind kind);
+
+/**
+ * The deterministic greedy rebalance planner.
+ *
+ * Repeatedly takes the heaviest and lightest shards (ties: lowest
+ * index) and moves the heaviest movable session that strictly narrows
+ * the gap — preferring the largest session not exceeding half the gap,
+ * falling back to the lightest improving one — until no improving move
+ * exists or the gap falls under `slack` (a "close enough" band that
+ * prevents ping-ponging sessions over rounding-level imbalance).
+ *
+ * Pure function: equal inputs give equal plans. Weights are the window
+ * weights from SessionLoad; shard weights start from ShardLoad::weight
+ * and are updated as moves are planned.
+ */
+std::vector<MigrationDecision> plan_rebalance(
+    const std::vector<ShardLoad>& loads,
+    const std::vector<std::vector<SessionLoad>>& sessions);
+
+}  // namespace nbos::sched
+
+#endif  // NBOS_SCHED_ROUTING_HPP

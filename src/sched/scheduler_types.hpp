@@ -18,6 +18,7 @@
 #include "cluster/server.hpp"
 #include "kernel/replica.hpp"
 #include "sched/autoscaler.hpp"
+#include "sched/routing.hpp"
 #include "sim/time.hpp"
 #include "storage/datastore.hpp"
 
@@ -82,6 +83,17 @@ struct SchedulerConfig
      *  only useful for debugging and for that equivalence test. */
     bool shard_parallel = true;
     /**
+     * Session -> shard routing policy (sched/routing.hpp). The default,
+     * `static_hash`, is the pure splitmix64 route — byte-identical to the
+     * pre-routing implementation at every shard count. `least_loaded`
+     * routes new sessions by merged per-shard load at admission;
+     * `rebalance` keeps hash admission but migrates whole sessions
+     * between shards at window boundaries, with the plan computed as a
+     * pure function of shard-order-merged load stats. Ignored at
+     * shards == 1 (a single shard has nothing to balance).
+     */
+    RoutingPolicyKind routing = RoutingPolicyKind::kStaticHash;
+    /**
      * Deterministic fault injection (chaos tier). When enabled, each shard
      * installs a seeded `chaos::FaultPlan` — drop bursts, partitions +
      * heals, replica crash/restart, clock skew, latency spikes — into its
@@ -123,6 +135,18 @@ struct RequestTrace
     bool aborted = false;
 };
 
+/** One shard's share of a sharded run (load/imbalance telemetry). */
+struct ShardLoadSample
+{
+    /** Sessions (live kernels) resident when the sample was taken. */
+    std::int64_t sessions = 0;
+    /** Simulation events the shard has executed so far. */
+    std::uint64_t events = 0;
+    /** This shard's fraction of all shard events (the shard's share of
+     *  the run's busy time under the events-as-work proxy). */
+    double busy_fraction = 0.0;
+};
+
 /** Scheduler-wide counters. */
 struct SchedulerStats
 {
@@ -141,6 +165,37 @@ struct SchedulerStats
     std::uint64_t prewarm_hits = 0;
     std::uint64_t cold_starts = 0;
     std::uint64_t replica_failovers = 0;
+
+    /**
+     * Per-shard load telemetry, in shard order (empty for monolithic
+     * runs). NOT a counter: the sharded front-ends fill it after their
+     * own merge, so it is deliberately excluded from operator+= and
+     * operator== — routing policies change how work spreads over shards
+     * without changing any merged total, and the policy-invariance /
+     * shard-count-invariance property tests compare the counters only.
+     */
+    std::vector<ShardLoadSample> shard_loads;
+
+    /** Imbalance factor: max over mean of per-shard events (1.0 is a
+     *  perfect spread; the multi-core speedup cap is shards/imbalance).
+     *  0 when no per-shard telemetry is present. */
+    double shard_imbalance() const
+    {
+        if (shard_loads.empty()) {
+            return 0.0;
+        }
+        std::uint64_t max_events = 0, total = 0;
+        for (const ShardLoadSample& shard : shard_loads) {
+            max_events = std::max(max_events, shard.events);
+            total += shard.events;
+        }
+        if (total == 0) {
+            return 0.0;
+        }
+        const double mean = static_cast<double>(total) /
+                            static_cast<double>(shard_loads.size());
+        return static_cast<double>(max_events) / mean;
+    }
 };
 
 /** Field-wise accumulation (cross-shard merge runs in shard order). */

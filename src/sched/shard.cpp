@@ -292,18 +292,30 @@ SchedulerShard::on_server_ready(cluster::ServerId id)
     try_place_pending_kernels();
 }
 
-void
+cluster::KernelId
 SchedulerShard::start_kernel(const cluster::ResourceSpec& spec,
                               StartKernelCallback callback)
+{
+    return start_kernel_internal(spec, std::move(callback),
+                                 /*count_created=*/true);
+}
+
+cluster::KernelId
+SchedulerShard::start_kernel_internal(const cluster::ResourceSpec& spec,
+                                      StartKernelCallback callback,
+                                      bool count_created)
 {
     PendingKernel pending;
     pending.id = next_kernel_id_;
     next_kernel_id_ += identity_.count;
     pending.spec = spec;
     pending.callback = std::move(callback);
+    pending.count_created = count_created;
+    const cluster::KernelId id = pending.id;
     pending_kernels_.push_back(std::move(pending));
     simulation_.schedule_after(config_.gs_processing,
                                [this] { try_place_pending_kernels(); });
+    return id;
 }
 
 void
@@ -340,6 +352,7 @@ SchedulerShard::place_kernel(PendingKernel pending,
     KernelRecord& record = kernels_[pending.id];
     record.id = pending.id;
     record.spec = pending.spec;
+    record.count_created = pending.count_created;
     record.slots.resize(servers.size());
 
     auto remaining = std::make_shared<std::size_t>(servers.size());
@@ -415,10 +428,12 @@ SchedulerShard::place_kernel(PendingKernel pending,
                             }
                         }
                         if (has_leader || ++*tries > 300) {
-                            ++stats_.kernels_created;
+                            if (kit->second.count_created) {
+                                ++stats_.kernels_created;
+                                record_event(
+                                    SchedulerEvent::Kind::kKernelCreated);
+                            }
                             kit->second.created = true;
-                            record_event(
-                                SchedulerEvent::Kind::kKernelCreated);
                             (*callback)(kid, true);
                             return;
                         }
@@ -562,6 +577,212 @@ SchedulerShard::stop_kernel(cluster::KernelId kernel_id)
         }
     }
     record.pending.clear();
+}
+
+void
+SchedulerShard::begin_session(std::int64_t session,
+                              const cluster::ResourceSpec& spec)
+{
+    SessionRecord& record = sessions_[session];
+    record.spec = spec;
+    record.kernel = start_kernel_internal(
+        spec,
+        [this, session](cluster::KernelId kernel, bool ok) {
+            on_session_kernel(session, kernel, ok, std::string());
+        },
+        /*count_created=*/true);
+}
+
+void
+SchedulerShard::on_session_kernel(std::int64_t session,
+                                  cluster::KernelId kernel, bool ok,
+                                  const std::string& checkpoint)
+{
+    const auto it = sessions_.find(session);
+    if (it == sessions_.end()) {
+        // Session extracted away while its kernel was still being
+        // created — cannot happen (creating sessions are not movable),
+        // but fail safe: release the orphan kernel.
+        if (ok) {
+            stop_kernel(kernel);
+        }
+        return;
+    }
+    SessionRecord& record = it->second;
+    record.kernel = kernel;
+    if (!ok) {
+        // Placement ultimately failed: buffered cells stay unsubmitted,
+        // mirroring the monolithic driver whose client never drains its
+        // queue when start_kernel reports failure.
+        record.failed = true;
+        return;
+    }
+    record.created = true;
+    if (!checkpoint.empty()) {
+        const auto kit = kernels_.find(kernel);
+        if (kit != kernels_.end()) {
+            for (ReplicaSlot& slot : kit->second.slots) {
+                if (slot.alive && slot.replica) {
+                    slot.replica->restore_state(checkpoint);
+                }
+            }
+        }
+    }
+    if (record.ended) {
+        record.buffered.clear();
+        stop_kernel(kernel);
+        return;
+    }
+    while (!record.buffered.empty()) {
+        CarriedExecution cell = std::move(record.buffered.front());
+        record.buffered.pop_front();
+        submit_execute(kernel, std::move(cell.code), cell.is_gpu,
+                       cell.submitted_at, std::move(cell.callback));
+    }
+}
+
+bool
+SchedulerShard::submit_session(std::int64_t session, std::string code,
+                               bool is_gpu, sim::Time submitted_at,
+                               ExecuteCallback callback)
+{
+    const auto it = sessions_.find(session);
+    if (it == sessions_.end() || it->second.ended || it->second.failed) {
+        return false;
+    }
+    SessionRecord& record = it->second;
+    ++record.window_weight;
+    if (record.created) {
+        submit_execute(record.kernel, std::move(code), is_gpu,
+                       submitted_at, std::move(callback));
+        return true;
+    }
+    record.buffered.push_back(CarriedExecution{
+        std::move(code), is_gpu, submitted_at, std::move(callback)});
+    return true;
+}
+
+void
+SchedulerShard::end_session(std::int64_t session)
+{
+    const auto it = sessions_.find(session);
+    if (it == sessions_.end() || it->second.ended) {
+        return;
+    }
+    SessionRecord& record = it->second;
+    record.ended = true;
+    record.buffered.clear();
+    if (record.created) {
+        stop_kernel(record.kernel);
+    }
+    // Still-creating kernels are stopped by on_session_kernel when the
+    // creation callback observes the ended flag.
+}
+
+bool
+SchedulerShard::session_movable(std::int64_t session) const
+{
+    const auto it = sessions_.find(session);
+    if (it == sessions_.end() || !it->second.created ||
+        it->second.ended || it->second.failed) {
+        return false;
+    }
+    const auto kit = kernels_.find(it->second.kernel);
+    return kit != kernels_.end() && kit->second.alive &&
+           kit->second.created && !kit->second.migrating;
+}
+
+bool
+SchedulerShard::extract_session(std::int64_t session, SessionExtract& out)
+{
+    if (!session_movable(session)) {
+        return false;
+    }
+    SessionRecord& record = sessions_[session];
+    KernelRecord& kernel = kernels_[record.kernel];
+    out.session = session;
+    out.spec = record.spec;
+    out.checkpoint.clear();
+    for (const ReplicaSlot& slot : kernel.slots) {
+        if (slot.alive && slot.replica) {
+            out.checkpoint = slot.replica->checkpoint_state();
+            break;
+        }
+    }
+    // Queued work travels with the session: pending executions first (in
+    // election — i.e. submission — order; their in-flight continuations
+    // find the pending entry gone and bail), then the pre-creation
+    // buffer. stop_kernel drops pending without firing callbacks, so
+    // moving them out first is what keeps every cell exactly-once.
+    out.work.clear();
+    for (auto& [election, pending] : kernel.pending) {
+        (void)election;
+        out.work.push_back(CarriedExecution{
+            std::move(pending.code), pending.is_gpu,
+            pending.trace.submitted_at, std::move(pending.callback)});
+    }
+    kernel.pending.clear();
+    stop_kernel(kernel.id);
+    for (CarriedExecution& cell : record.buffered) {
+        out.work.push_back(std::move(cell));
+    }
+    sessions_.erase(session);
+    return true;
+}
+
+void
+SchedulerShard::adopt_session(SessionExtract extract)
+{
+    SessionRecord& record = sessions_[extract.session];
+    record.spec = extract.spec;
+    record.created = false;
+    record.failed = false;
+    record.ended = false;
+    record.buffered = std::deque<CarriedExecution>(
+        std::make_move_iterator(extract.work.begin()),
+        std::make_move_iterator(extract.work.end()));
+    const std::int64_t session = extract.session;
+    record.kernel = start_kernel_internal(
+        extract.spec,
+        [this, session, checkpoint = std::move(extract.checkpoint)](
+            cluster::KernelId kernel, bool ok) {
+            on_session_kernel(session, kernel, ok, checkpoint);
+        },
+        /*count_created=*/false);
+}
+
+std::size_t
+SchedulerShard::session_count() const
+{
+    std::size_t live = 0;
+    for (const auto& [id, record] : sessions_) {
+        (void)id;
+        if (!record.ended) {
+            ++live;
+        }
+    }
+    return live;
+}
+
+void
+SchedulerShard::harvest_window_load(ShardLoad& load,
+                                    std::vector<SessionLoad>& sessions)
+{
+    load.sessions = 0;
+    load.weight = 0;
+    sessions.clear();
+    for (auto& [id, record] : sessions_) {
+        if (!record.ended) {
+            ++load.sessions;
+        }
+        if (record.window_weight == 0) {
+            continue;
+        }
+        load.weight += record.window_weight;
+        sessions.push_back(SessionLoad{id, record.window_weight,
+                                       session_movable(id)});
+        record.window_weight = 0;
+    }
 }
 
 std::int32_t

@@ -91,9 +91,11 @@ class SchedulerShard
      * Create a distributed kernel with @p spec (§3.2.1). The callback
      * fires once all replicas run and their Raft group has a leader, or
      * with ok=false if placement ultimately failed.
+     * @return the kernel id (allocated synchronously from this shard's
+     * disjoint id stride; also passed to the callback).
      */
-    void start_kernel(const cluster::ResourceSpec& spec,
-                      StartKernelCallback callback);
+    cluster::KernelId start_kernel(const cluster::ResourceSpec& spec,
+                                   StartKernelCallback callback);
 
     /** Terminate a kernel and release its subscriptions. */
     void stop_kernel(cluster::KernelId kernel_id);
@@ -105,6 +107,85 @@ class SchedulerShard
     void submit_execute(cluster::KernelId kernel_id, std::string code,
                         bool is_gpu, sim::Time submitted_at,
                         ExecuteCallback callback);
+
+    /** @name Session-addressed API (routing layer)
+     *
+     * The routed sharded driver addresses work by session id and lets the
+     * shard own the session -> kernel binding, so a whole session — its
+     * kernel state, queued work, and bookkeeping — can migrate between
+     * shards at a window boundary without the driver tracking kernel
+     * ids. The static-hash path never calls these, keeping it
+     * byte-identical to the pre-routing implementation.
+     */
+    ///@{
+    /** One queued cell travelling with a migrating session. */
+    struct CarriedExecution
+    {
+        std::string code;
+        bool is_gpu = true;
+        sim::Time submitted_at = 0;
+        ExecuteCallback callback;
+    };
+
+    /** A whole session packed for a cross-shard move: resource spec,
+     *  the kernel's checkpointed namespace, and every queued cell (in
+     *  submission order) that had not completed when the window closed. */
+    struct SessionExtract
+    {
+        std::int64_t session = -1;
+        cluster::ResourceSpec spec{};
+        std::string checkpoint;
+        std::vector<CarriedExecution> work;
+    };
+
+    /** Admit @p session: create its kernel and bind it to the session id.
+     *  Cells submitted before the kernel is ready are buffered in-shard
+     *  and drained on creation. */
+    void begin_session(std::int64_t session,
+                       const cluster::ResourceSpec& spec);
+
+    /** Submit a cell addressed by session id (buffered until the
+     *  session's kernel is ready).
+     *  @return false when the cell was dropped — session unknown, ended,
+     *  or its kernel creation failed — mirroring the monolithic driver's
+     *  client-side guards, where such cells never produce an outcome. */
+    bool submit_session(std::int64_t session, std::string code,
+                        bool is_gpu, sim::Time submitted_at,
+                        ExecuteCallback callback);
+
+    /** End @p session: stop its kernel (now or when creation finishes)
+     *  and drop any still-buffered work. */
+    void end_session(std::int64_t session);
+
+    /** True when @p session can migrate right now: kernel fully created,
+     *  alive, and not mid-(intra-shard)-migration — §3.2.3 migrations
+     *  hold partially released victim resources that must not be
+     *  double-released by an extract. */
+    bool session_movable(std::int64_t session) const;
+
+    /** Pack @p session for a cross-shard move: checkpoint its kernel
+     *  from the first live replica, collect pending + buffered work in
+     *  submission order, stop the kernel, and erase the binding.
+     *  @return false (leaving the session untouched) if it is not
+     *  movable. Call only between windows, from the driving thread. */
+    bool extract_session(std::int64_t session, SessionExtract& out);
+
+    /** Adopt an extracted session: rebind it, start a kernel here,
+     *  restore the checkpointed namespace into every replica, and
+     *  resubmit the carried work in order. Call only between windows. */
+    void adopt_session(SessionExtract extract);
+
+    /** Sessions currently bound here (live, not ended). */
+    std::size_t session_count() const;
+
+    /** Report this shard's closing-window load — resident sessions and
+     *  summed per-session cell weight into @p load (events are the
+     *  caller's delta), plus one SessionLoad per session that submitted
+     *  work this window — and reset the window counters. Deterministic:
+     *  sessions are visited in id order. */
+    void harvest_window_load(ShardLoad& load,
+                             std::vector<SessionLoad>& sessions);
+    ///@}
 
     /** @name Introspection */
     ///@{
@@ -179,6 +260,8 @@ class SchedulerShard
         /** True once all replicas started and the group elected a leader
          *  (gates the health-checker's orphan repair). */
         bool created = false;
+        /** See PendingKernel::count_created. */
+        bool count_created = true;
     };
 
     struct PendingKernel
@@ -187,8 +270,36 @@ class SchedulerShard
         cluster::ResourceSpec spec;
         StartKernelCallback callback;
         bool scale_out_requested = false;
+        /** False for kernels re-created by a cross-shard session
+         *  adoption: the session's kernel was already counted (and its
+         *  kKernelCreated event recorded) where it first placed, so
+         *  merged totals stay independent of the routing policy. */
+        bool count_created = true;
     };
 
+    /** Session -> kernel binding plus pre-creation buffering (routed
+     *  sharded driver only; empty on the static-hash path). */
+    struct SessionRecord
+    {
+        cluster::KernelId kernel = cluster::kNoKernel;
+        cluster::ResourceSpec spec{};
+        bool created = false;
+        bool failed = false;
+        bool ended = false;
+        /** Cells submitted over the current lockstep window. */
+        std::uint64_t window_weight = 0;
+        /** Cells awaiting kernel creation. */
+        std::deque<CarriedExecution> buffered;
+    };
+
+    cluster::KernelId start_kernel_internal(const cluster::ResourceSpec& spec,
+                                            StartKernelCallback callback,
+                                            bool count_created);
+    /** Creation callback shared by begin_session and adopt_session:
+     *  binds the kernel, restores @p checkpoint (adoptions), and drains
+     *  the session's buffered work. */
+    void on_session_kernel(std::int64_t session, cluster::KernelId kernel,
+                           bool ok, const std::string& checkpoint);
     void provision_server(SchedulerEvent::Kind reason);
     void on_server_ready(cluster::ServerId id);
     void try_place_pending_kernels();
@@ -244,6 +355,7 @@ class SchedulerShard
     std::unique_ptr<PlacementPolicy> placement_;
 
     std::map<cluster::KernelId, KernelRecord> kernels_;
+    std::map<std::int64_t, SessionRecord> sessions_;
     std::deque<PendingKernel> pending_kernels_;
     /** Migrations whose victim resources were already released (guards
      *  the retry path against double release). */

@@ -49,10 +49,19 @@ shard_seed(std::uint64_t seed, std::int32_t index)
 class ShardRouter
 {
   public:
-    /** @param shards shard count (clamped to >= 1). */
-    explicit ShardRouter(std::int32_t shards)
-        : shards_(shards < 1 ? 1 : shards)
+    /** @param shards shard count.
+     *  @throws std::invalid_argument on shards < 1 — an earlier revision
+     *  silently clamped to 1 while shard_of threw on negative ids, so a
+     *  config bug produced a quietly monolithic run instead of an error
+     *  (validate_config rejects it upstream; this catches direct
+     *  constructions too). */
+    explicit ShardRouter(std::int32_t shards) : shards_(shards)
     {
+        if (shards < 1) {
+            throw std::invalid_argument(
+                "ShardRouter: shard count must be >= 1, got " +
+                std::to_string(shards));
+        }
     }
 
     std::int32_t shards() const { return shards_; }

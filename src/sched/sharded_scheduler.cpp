@@ -10,14 +10,18 @@ namespace nbos::sched {
 
 ShardedGlobalScheduler::ShardedGlobalScheduler(SchedulerConfig config,
                                                std::uint64_t seed)
-    : config_(std::move(config)), router_(config_.shards)
+    : config_(std::move(config)),
+      table_(config_.shards),
+      policy_(make_routing_policy(config_.routing))
 {
-    const std::int32_t count = router_.shards();
+    const std::int32_t count = table_.shards();
     shards_.reserve(static_cast<std::size_t>(count));
     for (std::int32_t i = 0; i < count; ++i) {
         shards_.push_back(std::make_unique<ShardUnit>(
             config_, shard_seed(seed, i), ShardIdentity{i, count}));
     }
+    loads_.assign(shards_.size(), ShardLoad{});
+    window_events_.assign(shards_.size(), 0);
 }
 
 ShardedGlobalScheduler::~ShardedGlobalScheduler() = default;
@@ -99,6 +103,101 @@ ShardedGlobalScheduler::inject_replica_failure(cluster::KernelId kernel_id,
         kernel_id, index);
 }
 
+std::size_t
+ShardedGlobalScheduler::admit_session(std::int64_t session)
+{
+    const std::int32_t target =
+        policy_->admit(session, table_, loads_);
+    table_.assign(session, target);
+    const auto index = static_cast<std::size_t>(target);
+    loads_[index].sessions += 1;
+    loads_[index].weight += 1;
+    return index;
+}
+
+void
+ShardedGlobalScheduler::begin_session(std::int64_t session,
+                                      const cluster::ResourceSpec& spec)
+{
+    shards_[shard_of(session)]->shard.begin_session(session, spec);
+}
+
+bool
+ShardedGlobalScheduler::submit_session_execute(std::int64_t session,
+                                               std::string code,
+                                               bool is_gpu,
+                                               sim::Time submitted_at,
+                                               ExecuteCallback callback)
+{
+    return shards_[shard_of(session)]->shard.submit_session(
+        session, std::move(code), is_gpu, submitted_at,
+        std::move(callback));
+}
+
+void
+ShardedGlobalScheduler::end_session(std::int64_t session)
+{
+    shards_[shard_of(session)]->shard.end_session(session);
+    table_.forget(session);
+}
+
+std::size_t
+ShardedGlobalScheduler::rebalance_window()
+{
+    // Harvest in shard order: the merged loads (and every decision made
+    // from them) are a pure function of per-shard state, independent of
+    // whether the closing window ran its shards serially or in parallel.
+    std::vector<ShardLoad> loads(shards_.size());
+    std::vector<std::vector<SessionLoad>> sessions(shards_.size());
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        shards_[i]->shard.harvest_window_load(loads[i], sessions[i]);
+        const std::uint64_t executed =
+            shards_[i]->simulation.events_executed();
+        loads[i].events = executed - window_events_[i];
+        window_events_[i] = executed;
+    }
+    loads_ = loads;
+    const std::vector<MigrationDecision> plan =
+        policy_->plan(loads, sessions);
+    std::size_t applied = 0;
+    for (const MigrationDecision& move : plan) {
+        SchedulerShard::SessionExtract extract;
+        if (!shards_[static_cast<std::size_t>(move.from)]
+                 ->shard.extract_session(move.session, extract)) {
+            continue;
+        }
+        shards_[static_cast<std::size_t>(move.to)]->shard.adopt_session(
+            std::move(extract));
+        table_.assign(move.session, move.to);
+        ++sessions_rebalanced_;
+        ++applied;
+    }
+    return applied;
+}
+
+std::vector<ShardLoadSample>
+ShardedGlobalScheduler::shard_loads() const
+{
+    std::vector<ShardLoadSample> samples;
+    samples.reserve(shards_.size());
+    std::uint64_t total = 0;
+    for (const auto& unit : shards_) {
+        total += unit->simulation.events_executed();
+    }
+    for (const auto& unit : shards_) {
+        ShardLoadSample sample;
+        sample.sessions =
+            static_cast<std::int64_t>(unit->shard.live_kernels());
+        sample.events = unit->simulation.events_executed();
+        sample.busy_fraction =
+            total == 0 ? 0.0
+                       : static_cast<double>(sample.events) /
+                             static_cast<double>(total);
+        samples.push_back(sample);
+    }
+    return samples;
+}
+
 void
 ShardedGlobalScheduler::run_until(sim::Time t)
 {
@@ -133,6 +232,9 @@ ShardedGlobalScheduler::stats() const
     SchedulerStats merged;
     for (const auto& unit : shards_) {
         merged += unit->shard.stats();
+    }
+    if (shards_.size() > 1) {
+        merged.shard_loads = shard_loads();
     }
     return merged;
 }

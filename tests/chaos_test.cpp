@@ -674,6 +674,35 @@ TEST(ChaosPlatformTest, ShardedRunRecordsEveryShardsFaults)
     test::expect_results_identical(a, b);
 }
 
+/** Window-boundary session migration under injected faults: with the
+ *  `rebalance` routing policy and chaos (partitions, crashes, drops)
+ *  active, cells still complete or abort exactly once — never lost, even
+ *  when their session moved shards mid-run — and the whole run stays
+ *  bit-identical for a fixed seed. */
+TEST(ChaosPlatformTest, RebalanceUnderFaultsLosesNoTask)
+{
+    const workload::Trace trace = test::tiny_trace();
+    test::check_property(2, [&](sim::Rng& rng, std::size_t) {
+        core::PlatformConfig config =
+            chaos_platform_config(rng.next_u64() % 1000 + 1);
+        config.scheduler.shards = 2;
+        config.scheduler.routing = sched::RoutingPolicyKind::kRebalance;
+        const core::ExperimentResults a = core::Platform(config).run(trace);
+        for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+            const core::TaskOutcome& task = a.tasks[i];
+            EXPECT_TRUE(task.aborted || task.reply >= task.submit)
+                << "task " << i << " was lost (no reply, not aborted)";
+        }
+        // One outcome per submitted cell, no duplicates: the routed
+        // windowed driver records at most one slot per trace task.
+        EXPECT_LE(a.tasks.size(), trace.task_count());
+        EXPECT_GT(a.tasks.size(), 0u);
+
+        const core::ExperimentResults b = core::Platform(config).run(trace);
+        test::expect_results_identical(a, b);
+    });
+}
+
 TEST(ChaosPlatformTest, FastEngineRejectsChaos)
 {
     core::PlatformConfig config =

@@ -22,6 +22,7 @@
 #include "harness.hpp"
 #include "net/network.hpp"
 #include "raft/raft.hpp"
+#include "sched/routing.hpp"
 #include "sim/simulation.hpp"
 
 namespace nbos {
@@ -440,6 +441,55 @@ TEST(DeterminismTest, ShardedFastShardsOneBitIdenticalToMonolithic)
     config.scheduler.shard_parallel = false;
     const auto single_shard = core::Platform(config).run(trace);
     test::expect_results_identical(monolithic, single_shard);
+}
+
+/** The non-static routing policies keep the whole determinism contract
+ *  on the prototype engine: same seed -> bit-identical, and parallel
+ *  lockstep windows ≡ serial sweeps (migration plans are pure functions
+ *  of shard-order-merged loads, so the windowed drivers never observe
+ *  thread timing). */
+TEST(DeterminismTest, RoutedPrototypeDeterministicAndParallelAgnostic)
+{
+    const auto trace = test::tiny_trace(8, 2 * sim::kHour);
+    for (const sched::RoutingPolicyKind routing :
+         {sched::RoutingPolicyKind::kLeastLoaded,
+          sched::RoutingPolicyKind::kRebalance}) {
+        SCOPED_TRACE(sched::to_string(routing));
+        core::PlatformConfig config =
+            test::platform_config(core::Policy::kNotebookOS, /*seed=*/21);
+        config.scheduler.shards = 3;
+        config.scheduler.routing = routing;
+        config.scheduler.shard_parallel = false;
+        const auto serial_a = core::Platform(config).run(trace);
+        const auto serial_b = core::Platform(config).run(trace);
+        test::expect_results_identical(serial_a, serial_b);
+        config.scheduler.shard_parallel = true;
+        const auto parallel = core::Platform(config).run(trace);
+        test::expect_results_identical(serial_a, parallel);
+    }
+}
+
+/** Same contract for the sharded fast engine under the non-static
+ *  routing policies (rebalance exercises the windowed injection path). */
+TEST(DeterminismTest, RoutedFastDeterministicAndParallelAgnostic)
+{
+    const auto trace = test::tiny_trace(16, 3 * sim::kHour);
+    for (const sched::RoutingPolicyKind routing :
+         {sched::RoutingPolicyKind::kLeastLoaded,
+          sched::RoutingPolicyKind::kRebalance}) {
+        SCOPED_TRACE(sched::to_string(routing));
+        core::PlatformConfig config = test::platform_config(
+            core::Policy::kNotebookOS, /*seed=*/21, /*fast=*/true);
+        config.scheduler.shards = 4;
+        config.scheduler.routing = routing;
+        config.scheduler.shard_parallel = false;
+        const auto serial_a = core::Platform(config).run(trace);
+        const auto serial_b = core::Platform(config).run(trace);
+        test::expect_results_identical(serial_a, serial_b);
+        config.scheduler.shard_parallel = true;
+        const auto parallel = core::Platform(config).run(trace);
+        test::expect_results_identical(serial_a, parallel);
+    }
 }
 
 /** Chaos-enabled prototype runs honor the same contract: same seed, same

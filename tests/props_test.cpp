@@ -417,5 +417,97 @@ TEST(ShardedFastSimProperty, TotalsIndependentOfShardCount)
     });
 }
 
+/**
+ * Routing-policy invariance: the routing layer decides WHERE a session
+ * runs, never WHAT runs. On an ample fleet the policy-invariant totals
+ * — kernels created (each session's kernel is counted exactly once,
+ * adoptions never recount) and task outcomes — must match across
+ * static_hash, least_loaded, and rebalance, on both engines. Placement-
+ * flavoured counters (cold starts, executor reuses, migrations) are
+ * legitimately policy-dependent and are deliberately NOT compared.
+ */
+TEST(RoutingPolicyProperty, InvariantTotalsIndependentOfPolicy)
+{
+    test::check_property(2, [](sim::Rng& rng, std::size_t) {
+        workload::Trace trace;
+        trace.name = "props-routing";
+        trace.makespan = 2 * sim::kHour;
+        const auto session_count =
+            static_cast<std::size_t>(5 + rng.uniform_int(0, 4));
+        for (std::size_t i = 0; i < session_count; ++i) {
+            workload::SessionSpec session;
+            session.id =
+                static_cast<std::int64_t>(100 + rng.uniform_int(0, 5000)) +
+                static_cast<std::int64_t>(i) * 10000;
+            session.start_time =
+                100 * sim::kSecond + rng.uniform_int(0, 60) * sim::kSecond;
+            session.end_time = trace.makespan;  // survives the trace
+            session.resources = cluster::ResourceSpec{4000, 16384, 1, 16.0};
+            const std::int64_t cells = 1 + rng.uniform_int(0, 3);
+            sim::Time at = session.start_time + 30 * sim::kSecond;
+            for (std::int64_t c = 0; c < cells; ++c) {
+                workload::CellTask task;
+                task.session = session.id;
+                task.seq = static_cast<std::int32_t>(c);
+                task.submit_time = at;
+                const std::int64_t seconds = rng.uniform_int(2, 6);
+                task.duration = seconds * sim::kSecond;
+                task.is_gpu = rng.uniform_int(0, 3) != 0;
+                // The prototype engine executes this for real; an empty
+                // cell body would error out and abort every task.
+                task.code =
+                    (task.is_gpu ? "gpu_compute(" : "cpu_compute(") +
+                    std::to_string(seconds) + ")";
+                session.tasks.push_back(std::move(task));
+                at += 90 * sim::kSecond +
+                      rng.uniform_int(0, 20) * sim::kSecond;
+            }
+            trace.sessions.push_back(std::move(session));
+        }
+
+        for (const bool fast : {false, true}) {
+            SCOPED_TRACE(fast ? "fast" : "prototype");
+            std::uint64_t kernels = 0, outcomes = 0;
+            std::size_t tasks = 0;
+            bool have_reference = false;
+            for (const sched::RoutingPolicyKind routing :
+                 {sched::RoutingPolicyKind::kStaticHash,
+                  sched::RoutingPolicyKind::kLeastLoaded,
+                  sched::RoutingPolicyKind::kRebalance}) {
+                SCOPED_TRACE(sched::to_string(routing));
+                core::PlatformConfig config = test::platform_config(
+                    core::Policy::kNotebookOS, /*seed=*/7, fast);
+                // Ample, evenly divisible fleet, as in the shard-count
+                // property above: capacity never couples the policies.
+                config.scheduler.initial_servers = 16;
+                config.scheduler.enable_autoscaler = false;
+                config.scheduler.shards = 4;
+                config.scheduler.shard_parallel = false;
+                config.scheduler.routing = routing;
+                const core::ExperimentResults results =
+                    core::Platform(config).run(trace);
+                const sched::SchedulerStats& stats = results.sched_stats;
+                const std::uint64_t completed_or_aborted =
+                    stats.executions_completed + stats.executions_aborted;
+                if (!have_reference) {
+                    kernels = stats.kernels_created;
+                    outcomes = completed_or_aborted;
+                    tasks = results.tasks.size();
+                    have_reference = true;
+                    // Every session got its kernel and every cell got an
+                    // outcome under the reference policy too.
+                    EXPECT_EQ(kernels,
+                              static_cast<std::uint64_t>(session_count));
+                    EXPECT_EQ(static_cast<std::uint64_t>(tasks), outcomes);
+                } else {
+                    EXPECT_EQ(stats.kernels_created, kernels);
+                    EXPECT_EQ(completed_or_aborted, outcomes);
+                    EXPECT_EQ(results.tasks.size(), tasks);
+                }
+            }
+        }
+    });
+}
+
 }  // namespace
 }  // namespace nbos

@@ -11,6 +11,7 @@
 #include "sched/autoscaler.hpp"
 #include "sched/global_scheduler.hpp"
 #include "sched/placement.hpp"
+#include "sched/routing.hpp"
 #include "sched/shard_router.hpp"
 #include "sched/sharded_scheduler.hpp"
 #include "sim/simulation.hpp"
@@ -904,9 +905,10 @@ TEST(ShardRouterTest, SingleShardRoutesEverythingToZero)
     for (std::int64_t id = 0; id < 100; ++id) {
         EXPECT_EQ(router.shard_of(id), 0u);
     }
-    // Degenerate count clamps to one shard instead of dividing by zero.
-    EXPECT_EQ(ShardRouter(0).shards(), 1);
-    EXPECT_EQ(ShardRouter(-3).shards(), 1);
+    // Degenerate counts used to clamp to one shard, hiding config bugs
+    // behind a quietly monolithic run; now they are rejected loudly.
+    EXPECT_THROW(ShardRouter(0), std::invalid_argument);
+    EXPECT_THROW(ShardRouter(-3), std::invalid_argument);
 }
 
 /** splitmix64 spreads consecutive ids: no shard should be starved or
@@ -1103,6 +1105,335 @@ TEST(ShardedSchedulerTest, RoutesSessionsAndMergesAcrossShards)
     // Stopping a kernel releases only its shard's subscriptions.
     sched.stop_kernel(kernels.at(sessions[0]));
     EXPECT_EQ(sched.live_kernels(), sessions.size() - 1);
+}
+
+/** `static_hash` through the routing table must be the ShardRouter hash,
+ *  bit for bit, at every shard count — this is the equivalence that keeps
+ *  every pre-routing golden (and all 18 bench hashes) unchanged. */
+TEST(RoutingTableTest, StaticHashMatchesShardRouterAtEveryShardCount)
+{
+    for (const std::int32_t shards : {1, 2, 3, 4, 8, 16}) {
+        const RoutingTable table(shards);
+        const ShardRouter router(shards);
+        const auto policy =
+            make_routing_policy(RoutingPolicyKind::kStaticHash);
+        for (std::int64_t id = 0; id <= 4000; id += 7) {
+            ASSERT_EQ(table.shard_of(id), router.shard_of(id))
+                << "shards=" << shards << " id=" << id;
+            ASSERT_EQ(static_cast<std::size_t>(
+                          policy->admit(id, table, {})),
+                      router.shard_of(id))
+                << "shards=" << shards << " id=" << id;
+        }
+    }
+}
+
+TEST(RoutingTableTest, RejectsDegenerateShardCounts)
+{
+    EXPECT_THROW(RoutingTable(0), std::invalid_argument);
+    EXPECT_THROW(RoutingTable(-2), std::invalid_argument);
+    EXPECT_NO_THROW(RoutingTable(1));
+}
+
+TEST(RoutingTableTest, AssignOverridesHashAndForgetRestoresIt)
+{
+    RoutingTable table(4);
+    const std::int64_t session = 17;
+    const auto home = table.router().shard_of(session);
+    const auto away =
+        static_cast<std::int32_t>((home + 1) % 4);
+
+    table.assign(session, away);
+    EXPECT_EQ(table.shard_of(session), static_cast<std::size_t>(away));
+    EXPECT_EQ(table.overrides(), 1u);
+
+    // Re-assigning the hash route is not a deviation: the map stays
+    // bounded by the number of sessions actually routed away.
+    table.assign(session, static_cast<std::int32_t>(home));
+    EXPECT_EQ(table.shard_of(session), home);
+    EXPECT_EQ(table.overrides(), 0u);
+
+    table.assign(session, away);
+    table.forget(session);
+    EXPECT_EQ(table.shard_of(session), home);
+    EXPECT_EQ(table.overrides(), 0u);
+
+    EXPECT_THROW(table.assign(session, 4), std::out_of_range);
+    EXPECT_THROW(table.assign(session, -1), std::out_of_range);
+}
+
+TEST(RoutingPolicyTest, NamesRoundTripAndFactoryMatches)
+{
+    for (const RoutingPolicyKind kind :
+         {RoutingPolicyKind::kStaticHash, RoutingPolicyKind::kLeastLoaded,
+          RoutingPolicyKind::kRebalance}) {
+        EXPECT_EQ(routing_policy_from_string(to_string(kind)), kind);
+        EXPECT_EQ(make_routing_policy(kind)->kind(), kind);
+    }
+    EXPECT_THROW(routing_policy_from_string("round_robin"),
+                 std::invalid_argument);
+    EXPECT_THROW(routing_policy_from_string(""), std::invalid_argument);
+}
+
+TEST(RoutingPolicyTest, LeastLoadedAdmitsToLightestShard)
+{
+    const RoutingTable table(3);
+    const auto policy =
+        make_routing_policy(RoutingPolicyKind::kLeastLoaded);
+
+    std::vector<ShardLoad> loads(3);
+    loads[0].weight = 5;
+    loads[1].weight = 1;
+    loads[2].weight = 7;
+    EXPECT_EQ(policy->admit(42, table, loads), 1);
+
+    // Weight tie: fewer resident sessions wins; full tie: lowest index.
+    loads[1].weight = 5;
+    loads[2].weight = 5;
+    loads[0].sessions = 3;
+    loads[1].sessions = 3;
+    loads[2].sessions = 1;
+    EXPECT_EQ(policy->admit(42, table, loads), 2);
+    loads[2].sessions = 3;
+    EXPECT_EQ(policy->admit(42, table, loads), 0);
+
+    // A load vector of the wrong arity falls back to the hash route.
+    EXPECT_EQ(static_cast<std::size_t>(policy->admit(42, table, {})),
+              table.router().shard_of(42));
+}
+
+TEST(PlanRebalanceTest, EmptyWhenMonolithicOrBalanced)
+{
+    EXPECT_TRUE(plan_rebalance({}, {}).empty());
+    EXPECT_TRUE(plan_rebalance({ShardLoad{}}, {{}}).empty());
+
+    std::vector<ShardLoad> loads(2);
+    loads[0].weight = 6;
+    loads[1].weight = 6;
+    std::vector<std::vector<SessionLoad>> sessions(2);
+    sessions[0].push_back(SessionLoad{1, 6, true});
+    sessions[1].push_back(SessionLoad{2, 6, true});
+    EXPECT_TRUE(plan_rebalance(loads, sessions).empty());
+}
+
+/** The planner drains the heaviest shard toward the lightest, choosing
+ *  the largest session that does not overshoot the midpoint, and stops
+ *  once no move can narrow the gap further. */
+TEST(PlanRebalanceTest, MovesLargestFittingSessionFromHeaviestShard)
+{
+    std::vector<ShardLoad> loads(2);
+    loads[0].weight = 10;
+    loads[1].weight = 0;
+    std::vector<std::vector<SessionLoad>> sessions(2);
+    sessions[0].push_back(SessionLoad{100, 6, true});
+    sessions[0].push_back(SessionLoad{200, 4, true});
+
+    const auto plan = plan_rebalance(loads, sessions);
+    // Moving the 6 would overshoot (6*2 > 10); the 4 lands the shards at
+    // 6/4, inside the slack band — exactly one move.
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_EQ(plan[0].session, 200);
+    EXPECT_EQ(plan[0].from, 0);
+    EXPECT_EQ(plan[0].to, 1);
+}
+
+TEST(PlanRebalanceTest, SkipsPinnedSessions)
+{
+    std::vector<ShardLoad> loads(2);
+    loads[0].weight = 10;
+    loads[1].weight = 0;
+    std::vector<std::vector<SessionLoad>> sessions(2);
+    sessions[0].push_back(SessionLoad{100, 6, true});
+    sessions[0].push_back(SessionLoad{200, 4, false});  // mid-operation
+
+    const auto plan = plan_rebalance(loads, sessions);
+    for (const MigrationDecision& move : plan) {
+        EXPECT_NE(move.session, 200);
+    }
+    // With the 4 pinned, the 6 is the only donor candidate.
+    ASSERT_EQ(plan.size(), 1u);
+    EXPECT_EQ(plan[0].session, 100);
+}
+
+/** The plan is a pure function of the shard-order-merged inputs — the
+ *  property that makes parallel and serial windows produce identical
+ *  migration histories. */
+TEST(PlanRebalanceTest, PureFunctionOfInputs)
+{
+    std::vector<ShardLoad> loads(4);
+    loads[0].weight = 20;
+    loads[1].weight = 3;
+    loads[2].weight = 9;
+    loads[3].weight = 1;
+    std::vector<std::vector<SessionLoad>> sessions(4);
+    sessions[0] = {SessionLoad{7, 8, true}, SessionLoad{9, 8, true},
+                   SessionLoad{11, 4, true}};
+    sessions[1] = {SessionLoad{2, 3, true}};
+    sessions[2] = {SessionLoad{5, 9, false}};
+    sessions[3] = {SessionLoad{3, 1, true}};
+
+    const auto a = plan_rebalance(loads, sessions);
+    const auto b = plan_rebalance(loads, sessions);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].session, b[i].session);
+        EXPECT_EQ(a[i].from, b[i].from);
+        EXPECT_EQ(a[i].to, b[i].to);
+    }
+    EXPECT_FALSE(a.empty());
+}
+
+/** Window-boundary migration end to end on the real scheduler shards: a
+ *  whole session (kernel, checkpointed state, pending work) moves to the
+ *  other shard, its interpreter state survives the move, every submitted
+ *  cell completes exactly once, and the routing table tracks the new
+ *  owner until the session ends. */
+TEST(ShardedSchedulerTest, RebalanceMigratesSessionKeepingState)
+{
+    SchedulerConfig config = SchedFixture::default_config();
+    config.initial_servers = 8;
+    config.shards = 2;
+    config.shard_parallel = false;  // callbacks write shared test state
+    config.routing = RoutingPolicyKind::kRebalance;
+    ShardedGlobalScheduler sched(config, 99);
+    sched.start();
+
+    // Two sessions that hash to the same shard: a guaranteed imbalance
+    // for the planner to fix.
+    std::vector<std::int64_t> sessions;
+    for (std::int64_t id = 1; sessions.size() < 2; ++id) {
+        if (sched.router().shard_of(id) == 0) {
+            sessions.push_back(id);
+        }
+    }
+    for (const std::int64_t session : sessions) {
+        EXPECT_EQ(sched.admit_session(session), 0u);
+        sched.begin_session(session, kernel_request(2));
+    }
+    sched.run_until(240 * sim::kSecond);
+    EXPECT_EQ(sched.shard(0).session_count(), 2u);
+    EXPECT_EQ(sched.shard(1).session_count(), 0u);
+
+    // One completed cell per session gives each a window weight of 1.
+    std::map<std::int64_t, int> completions;
+    auto submit = [&](std::int64_t session, const std::string& code) {
+        ASSERT_TRUE(sched.submit_session_execute(
+            session, code, true, sched.now(),
+            [&completions, session](const kernel::ExecutionResult& r,
+                                    const RequestTrace&) {
+                EXPECT_EQ(r.status, kernel::ExecutionStatus::kOk);
+                ++completions[session];
+            }));
+    };
+    for (const std::int64_t session : sessions) {
+        submit(session, "counter = 1\ngpu_compute(1)");
+    }
+    sched.run_until(sched.now() + 300 * sim::kSecond);
+
+    // Close the window: 2/0 splits to 1/1 by moving exactly one session.
+    EXPECT_EQ(sched.rebalance_window(), 1u);
+    EXPECT_EQ(sched.sessions_rebalanced(), 1u);
+    EXPECT_EQ(sched.shard(0).session_count(), 1u);
+    EXPECT_EQ(sched.shard(1).session_count(), 1u);
+    EXPECT_EQ(sched.routing_table().overrides(), 1u);
+
+    // The moved session is whichever no longer routes to shard 0.
+    const std::int64_t moved =
+        sched.shard_of(sessions[0]) == 1 ? sessions[0] : sessions[1];
+    EXPECT_EQ(sched.shard_of(moved), 1u);
+    sched.run_until(sched.now() + 300 * sim::kSecond);
+
+    // State survives the move: the migrated kernel still sees `counter`.
+    bool checked = false;
+    ASSERT_TRUE(sched.submit_session_execute(
+        moved, "counter = counter + 1\nprint(counter)\ngpu_compute(1)",
+        true, sched.now(),
+        [&checked](const kernel::ExecutionResult& r, const RequestTrace&) {
+            EXPECT_EQ(r.status, kernel::ExecutionStatus::kOk);
+            EXPECT_EQ(r.output, "2\n");
+            checked = true;
+        }));
+    sched.run_until(sched.now() + 300 * sim::kSecond);
+    EXPECT_TRUE(checked);
+
+    // No lost or duplicated cells across the migration.
+    for (const std::int64_t session : sessions) {
+        EXPECT_EQ(completions[session], 1) << "session " << session;
+    }
+
+    // Ending the migrated session drops its override.
+    sched.end_session(moved);
+    sched.run_until(sched.now() + 60 * sim::kSecond);
+    EXPECT_EQ(sched.routing_table().overrides(), 0u);
+    EXPECT_EQ(sched.shard(1).session_count(), 0u);
+
+    // Merged totals stay policy-invariant: 2 kernels, 3 completions.
+    EXPECT_EQ(sched.stats().kernels_created, 2u);
+    EXPECT_EQ(sched.stats().executions_completed, 3u);
+}
+
+/** A cell submitted while the session is mid-migration (extracted but
+ *  work buffered) is carried with the session and still completes —
+ *  the shard buffers instead of dropping. */
+TEST(ShardedSchedulerTest, BufferedWorkTravelsWithMigratedSession)
+{
+    SchedulerConfig config = SchedFixture::default_config();
+    config.initial_servers = 8;
+    config.shards = 2;
+    config.shard_parallel = false;
+    config.routing = RoutingPolicyKind::kRebalance;
+    ShardedGlobalScheduler sched(config, 99);
+    sched.start();
+
+    std::vector<std::int64_t> sessions;
+    for (std::int64_t id = 1; sessions.size() < 2; ++id) {
+        if (sched.router().shard_of(id) == 0) {
+            sessions.push_back(id);
+        }
+    }
+    for (const std::int64_t session : sessions) {
+        sched.admit_session(session);
+        sched.begin_session(session, kernel_request(2));
+    }
+    sched.run_until(240 * sim::kSecond);
+
+    std::map<std::int64_t, int> completions;
+    for (const std::int64_t session : sessions) {
+        ASSERT_TRUE(sched.submit_session_execute(
+            session, "x = 7\ngpu_compute(1)", true, sched.now(),
+            [&completions, session](const kernel::ExecutionResult& r,
+                                    const RequestTrace&) {
+                EXPECT_EQ(r.status, kernel::ExecutionStatus::kOk);
+                ++completions[session];
+            }));
+    }
+    sched.run_until(sched.now() + 300 * sim::kSecond);
+    ASSERT_EQ(sched.rebalance_window(), 1u);
+    const std::int64_t moved =
+        sched.shard_of(sessions[0]) == 1 ? sessions[0] : sessions[1];
+
+    // Submit to the moved session *before* advancing time: the adopted
+    // kernel is still re-electing on its new shard, so the cell lands in
+    // the session buffer and drains when the kernel comes up.
+    ASSERT_TRUE(sched.submit_session_execute(
+        moved, "x = x + 1\nprint(x)\ngpu_compute(1)", true, sched.now(),
+        [&completions, moved](const kernel::ExecutionResult& r,
+                              const RequestTrace&) {
+            EXPECT_EQ(r.status, kernel::ExecutionStatus::kOk);
+            EXPECT_EQ(r.output, "8\n");
+            ++completions[moved];
+        }));
+    sched.run_until(sched.now() + 600 * sim::kSecond);
+    EXPECT_EQ(completions[moved], 2);
+
+    // Submitting to an ended session is refused, not silently dropped.
+    sched.end_session(moved);
+    sched.run_until(sched.now() + 60 * sim::kSecond);
+    EXPECT_FALSE(sched.submit_session_execute(
+        moved, "gpu_compute(1)", true, sched.now(),
+        [](const kernel::ExecutionResult&, const RequestTrace&) {
+            FAIL() << "callback for a dropped cell";
+        }));
 }
 
 TEST(GlobalSchedulerTest, MultipleKernelsOversubscribe)
