@@ -25,6 +25,7 @@
 #include "core/seed_sweep.hpp"
 #include "sched/routing.hpp"
 #include "workload/generator.hpp"
+#include "workload/profiles.hpp"
 
 namespace nbos::bench {
 
@@ -55,38 +56,104 @@ apply_smoke(workload::GeneratorOptions options)
     return options;
 }
 
-/** The 17.5-hour AdobeTrace excerpt used by the prototype evaluation. */
+/** Workload profile override (`NBOS_BENCH_PROFILE=flash_crowd`): when set
+ *  to a workload::ProfileRegistry name, excerpt_trace / summer_trace
+ *  regenerate their canonical workloads through that profile (same seed,
+ *  same makespan/session shape), so every bench row can be rerun under a
+ *  different scenario — the profile smoke tier in CI sweeps two of them.
+ *  Unset or empty keeps the historical adobe workloads byte-identical
+ *  (all baseline.json hashes are pinned with the knob unset); unknown
+ *  names warn on stderr and fall back to the default so a typo cannot
+ *  silently pass as a measurement of another scenario. */
+inline std::string
+bench_profile()
+{
+    const char* raw = std::getenv("NBOS_BENCH_PROFILE");
+    if (raw == nullptr || raw[0] == '\0') {
+        return {};
+    }
+    if (!workload::ProfileRegistry::instance().contains(raw)) {
+        std::fprintf(stderr,
+                     "[bench] unknown NBOS_BENCH_PROFILE=%s, using the "
+                     "default adobe workload\n",
+                     raw);
+        return {};
+    }
+    return raw;
+}
+
+/** Generate (@p profile, @p options) at the bench seed and tag the trace
+ *  `<profile><suffix>` so figure tables name the scenario under study. */
+inline workload::Trace
+profile_trace(const std::string& profile,
+              const workload::GeneratorOptions& options,
+              const std::string& suffix)
+{
+    const auto scenario =
+        workload::ProfileRegistry::instance().create(profile);
+    workload::Trace trace = scenario->generate(kSeed, options);
+    trace.name = profile + suffix;
+    return trace;
+}
+
+/** The 17.5-hour AdobeTrace excerpt used by the prototype evaluation
+ *  (regenerated through NBOS_BENCH_PROFILE when set). */
 inline workload::Trace
 excerpt_trace()
 {
-    workload::WorkloadGenerator generator{sim::Rng(kSeed)};
+    const std::string profile = bench_profile();
     if (smoke_mode()) {
         workload::GeneratorOptions options;
         options.makespan = 90 * sim::kMinute;
         options.max_sessions = 12;
         options.sessions_survive_trace = true;
+        if (!profile.empty()) {
+            return profile_trace(profile, options, "-excerpt-smoke");
+        }
+        workload::WorkloadGenerator generator{sim::Rng(kSeed)};
         workload::Trace trace =
             generator.generate(workload::TraceProfile::adobe(), options);
         trace.name = "adobe-excerpt-smoke";
         return trace;
     }
+    if (!profile.empty()) {
+        workload::GeneratorOptions options;
+        options.makespan = 17 * sim::kHour + 30 * sim::kMinute;
+        options.max_sessions = 90;
+        options.sessions_survive_trace = true;
+        return profile_trace(profile, options, "-excerpt");
+    }
+    workload::WorkloadGenerator generator{sim::Rng(kSeed)};
     return generator.adobe_excerpt_17_5h();
 }
 
-/** The 90-day summer trace used by the simulation studies. */
+/** The 90-day summer trace used by the simulation studies (regenerated
+ *  through NBOS_BENCH_PROFILE when set; profile runs keep the profile's
+ *  own calibration rather than the summer re-parameterization, so
+ *  scenarios compare like against like across benches). */
 inline workload::Trace
 summer_trace()
 {
-    workload::WorkloadGenerator generator{sim::Rng(kSeed)};
+    const std::string profile = bench_profile();
     if (smoke_mode()) {
         workload::GeneratorOptions options;
         options.makespan = 7 * sim::kDay;
         options.max_sessions = 40;
+        if (!profile.empty()) {
+            return profile_trace(profile, options, "-summer-smoke");
+        }
+        workload::WorkloadGenerator generator{sim::Rng(kSeed)};
         workload::Trace trace =
             generator.generate(workload::TraceProfile::adobe(), options);
         trace.name = "adobe-summer-smoke";
         return trace;
     }
+    if (!profile.empty()) {
+        workload::GeneratorOptions options;
+        options.makespan = 90 * sim::kDay;
+        return profile_trace(profile, options, "-summer");
+    }
+    workload::WorkloadGenerator generator{sim::Rng(kSeed)};
     return generator.adobe_summer_90d();
 }
 

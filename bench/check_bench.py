@@ -109,6 +109,7 @@ def run_bench(build_dir: str, name: str) -> dict:
     env.pop("NBOS_BENCH_POLICIES", None)
     env.pop("NBOS_BENCH_SHARDS", None)
     env.pop("NBOS_BENCH_ROUTING", None)
+    env.pop("NBOS_BENCH_PROFILE", None)
     path = os.path.join(build_dir, "bench", name)
     start = time.monotonic()
     proc = subprocess.run(

@@ -1,12 +1,16 @@
 #include "core/protosim.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <iterator>
+#include <limits>
 #include <map>
 #include <memory>
+#include <queue>
 #include <stdexcept>
+#include <utility>
 
 #include "core/platform.hpp"
 #include "sched/global_scheduler.hpp"
@@ -598,6 +602,253 @@ run_prototype_routed(const workload::Trace& trace,
 }
 
 }  // namespace
+
+ExperimentResults
+run_prototype_streamed(workload::SessionSource& source,
+                       const PlatformConfig& config)
+{
+    if (config.scheduler.shards < 1) {
+        throw std::invalid_argument("scheduler.shards must be >= 1");
+    }
+    sched::ShardedGlobalScheduler scheduler(config.scheduler, config.seed);
+    scheduler.start();
+
+    const sim::Time makespan = source.makespan();
+    ExperimentResults results;
+    results.policy = Policy::kNotebookOS;
+    results.trace_name = source.trace_name();
+    results.makespan = makespan;
+
+    // Outcome slots are appended as sessions stream in (always on the
+    // driving thread, between windows). Closures hold &results plus an
+    // index and dereference at run time, so growth-triggered reallocation
+    // between windows is safe.
+    std::vector<char> submitted;
+
+    enum Kind : std::int32_t
+    {
+        kStart = 0,
+        kEnd = 1,
+        kTask = 2,
+    };
+    struct Injection
+    {
+        sim::Time time;
+        const workload::SessionSpec* sp;
+        std::int32_t kind;
+        const workload::CellTask* task;
+        std::size_t outcome;
+        std::uint64_t seq;
+    };
+    // Min-heap in exactly the routed driver's injection order: (time, id,
+    // kind), with the insertion sequence breaking the only possible
+    // remaining tie (two tasks of one session submitted the same tick,
+    // which the materialized driver keeps in insertion order via
+    // stable_sort).
+    struct InjectionAfter
+    {
+        bool operator()(const Injection& a, const Injection& b) const
+        {
+            if (a.time != b.time) {
+                return a.time > b.time;
+            }
+            if (a.sp->id != b.sp->id) {
+                return a.sp->id > b.sp->id;
+            }
+            if (a.kind != b.kind) {
+                return a.kind > b.kind;
+            }
+            return a.seq > b.seq;
+        }
+    };
+    std::priority_queue<Injection, std::vector<Injection>, InjectionAfter>
+        injections;
+    std::uint64_t next_seq = 0;
+
+    // Live session store: specs stay pinned (map nodes are stable) until
+    // their last trace event has executed, then retire. Memory therefore
+    // tracks the concurrent-session population, not the trace length.
+    struct LiveSession
+    {
+        workload::SessionSpec spec;
+        sim::Time last_event = 0;
+    };
+    std::map<workload::SessionId, LiveSession> live;
+    using Retire = std::pair<sim::Time, workload::SessionId>;
+    std::priority_queue<Retire, std::vector<Retire>, std::greater<Retire>>
+        retire;
+
+    sim::Time last_start = std::numeric_limits<sim::Time>::min();
+    auto admit_one = [&](workload::SessionSpec&& incoming) {
+        if (incoming.start_time < last_start) {
+            throw std::invalid_argument(
+                "streamed session source is not sorted by start time");
+        }
+        last_start = incoming.start_time;
+        const auto [it, inserted] =
+            live.emplace(incoming.id, LiveSession{std::move(incoming), 0});
+        if (!inserted) {
+            throw std::invalid_argument(
+                "streamed session source repeated session id " +
+                std::to_string(it->first));
+        }
+        const workload::SessionSpec* sp = &it->second.spec;
+        sim::Time last_event = sp->start_time;
+        injections.push(Injection{sp->start_time, sp, kStart, nullptr, 0,
+                                  next_seq++});
+        if (sp->end_time < makespan) {
+            injections.push(Injection{sp->end_time, sp, kEnd, nullptr, 0,
+                                      next_seq++});
+            last_event = std::max(last_event, sp->end_time);
+        }
+        for (const workload::CellTask& task : sp->tasks) {
+            results.tasks.push_back(TaskOutcome{});
+            TaskOutcome& outcome = results.tasks.back();
+            outcome.session = sp->id;
+            outcome.seq = task.seq;
+            outcome.is_gpu = task.is_gpu;
+            outcome.gpus = sp->resources.gpus;
+            submitted.push_back(0);
+            injections.push(Injection{task.submit_time, sp, kTask, &task,
+                                      results.tasks.size() - 1,
+                                      next_seq++});
+            last_event = std::max(last_event, task.submit_time);
+        }
+        it->second.last_event = last_event;
+        retire.push(Retire{last_event, sp->id});
+    };
+
+    // Lockstep windows on the sampling grid, exactly as the routed
+    // driver: pull the window's sessions, inject their due events into
+    // the current owners, advance, sample, retire drained specs, then
+    // let the policy rebalance.
+    workload::SessionSpec pending;
+    bool has_pending = source.next(pending);
+    for (sim::Time t = 0;; t += config.sample_interval) {
+        while (has_pending && pending.start_time <= t) {
+            workload::SessionSpec spec = std::move(pending);
+            has_pending = source.next(pending);
+            admit_one(std::move(spec));
+        }
+        while (!injections.empty() && injections.top().time <= t) {
+            const Injection inj = injections.top();
+            injections.pop();
+            const std::size_t owner =
+                inj.kind == kStart
+                    ? scheduler.admit_session(inj.sp->id)
+                    : scheduler.shard_of(inj.sp->id);
+            sched::SchedulerShard* shard = &scheduler.shard(owner);
+            sim::Simulation& simulation = scheduler.simulation(owner);
+            const workload::SessionSpec* sp = inj.sp;
+            switch (inj.kind) {
+                case kStart:
+                    simulation.schedule_at(inj.time, [shard, sp] {
+                        shard->begin_session(sp->id, sp->resources);
+                    });
+                    break;
+                case kEnd:
+                    simulation.schedule_at(inj.time, [shard, sp] {
+                        shard->end_session(sp->id);
+                    });
+                    break;
+                case kTask: {
+                    const workload::CellTask* tp = inj.task;
+                    const std::size_t index = inj.outcome;
+                    sim::Simulation* sim_ptr = &simulation;
+                    simulation.schedule_at(
+                        inj.time, [shard, sim_ptr, sp, tp, index,
+                                   &results, &submitted] {
+                            TaskOutcome& outcome = results.tasks[index];
+                            outcome.submit = sim_ptr->now();
+                            const bool accepted = shard->submit_session(
+                                sp->id, tp->code, tp->is_gpu,
+                                sim_ptr->now(),
+                                [&results, index](
+                                    const kernel::ExecutionResult& result,
+                                    const sched::RequestTrace&
+                                        request_trace) {
+                                    TaskOutcome& done =
+                                        results.tasks[index];
+                                    done.trace = request_trace;
+                                    done.exec_start =
+                                        request_trace.execution_started;
+                                    done.exec_end =
+                                        request_trace.execution_finished;
+                                    done.reply =
+                                        request_trace.client_replied;
+                                    done.migrated =
+                                        request_trace.migrated;
+                                    done.aborted =
+                                        request_trace.aborted ||
+                                        result.status ==
+                                            kernel::ExecutionStatus::
+                                                kError;
+                                    if (done.aborted) {
+                                        done.error = result.error;
+                                    }
+                                });
+                            if (accepted) {
+                                submitted[index] = 1;
+                            }
+                        });
+                    break;
+                }
+                default:
+                    break;
+            }
+        }
+        scheduler.run_until(t);
+        results.provisioned_gpus.record(
+            t, static_cast<double>(scheduler.total_gpus()));
+        results.subscription_ratio.record(t, scheduler.cluster_sr());
+        // Every event of a session with last_event <= t has been popped
+        // and executed inside run_until, so its spec is unreferenced.
+        while (!retire.empty() && retire.top().first <= t) {
+            live.erase(retire.top().second);
+            retire.pop();
+        }
+        if (t >= makespan) {
+            break;
+        }
+        scheduler.rebalance_window();
+    }
+    // Drain window for in-flight cells.
+    scheduler.run_until(makespan + 12 * sim::kHour);
+
+    // Compact dropped cells, then canonicalize to (submit, session, seq)
+    // exactly as the materialized drivers do.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < results.tasks.size(); ++i) {
+        if (!submitted[i]) {
+            continue;
+        }
+        if (kept != i) {
+            results.tasks[kept] = std::move(results.tasks[i]);
+        }
+        ++kept;
+    }
+    results.tasks.resize(kept);
+    std::stable_sort(results.tasks.begin(), results.tasks.end(),
+                     [](const TaskOutcome& a, const TaskOutcome& b) {
+                         if (a.submit != b.submit) {
+                             return a.submit < b.submit;
+                         }
+                         if (a.session != b.session) {
+                             return a.session < b.session;
+                         }
+                         return a.seq < b.seq;
+                     });
+
+    results.events = scheduler.events();
+    results.sched_stats = scheduler.stats();
+    results.net_stats = scheduler.network_stats();
+    results.sync_ms = scheduler.sync_latencies_ms();
+    results.read_ms = scheduler.store_read_ms();
+    results.write_ms = scheduler.store_write_ms();
+    results.store_bytes_written = scheduler.store_bytes_written();
+    finalize_committed_series(results);
+    return results;
+}
 
 ExperimentResults
 run_prototype_notebookos(const workload::Trace& trace,

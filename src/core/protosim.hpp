@@ -10,6 +10,7 @@
 #define NBOS_CORE_PROTOSIM_HPP
 
 #include "core/results.hpp"
+#include "workload/session_source.hpp"
 #include "workload/trace.hpp"
 
 namespace nbos::core {
@@ -20,6 +21,28 @@ struct PlatformConfig;
  *  Same-seed runs are bit-identical (see tests/determinism_test.cpp). */
 ExperimentResults run_prototype_notebookos(const workload::Trace& trace,
                                            const PlatformConfig& config);
+
+/**
+ * Run a streamed injection @p source through the prototype engine's
+ * windowed sharded driver without ever materializing the trace: sessions
+ * are pulled as the lockstep clock reaches their start window, their
+ * events enter a globally ordered injection heap, and each session's
+ * specs are freed once its last trace event has executed — so memory
+ * tracks the *live* session population, not the trace length.
+ *
+ * Sessions are admitted through the configured routing policy on the
+ * same window grid as the routed driver; with a
+ * workload::TraceSessionSource over a materialized trace, results are
+ * bit-identical to run_prototype_notebookos for the `least_loaded` and
+ * `rebalance` policies (pinned by determinism_test). `static_hash` also
+ * runs (admission degenerates to the stable hash), but through this
+ * windowed driver rather than the pre-scheduled static one.
+ *
+ * @throws std::invalid_argument when @p source violates its nondecreasing
+ *         (start_time, id) contract or repeats a session id.
+ */
+ExperimentResults run_prototype_streamed(workload::SessionSource& source,
+                                         const PlatformConfig& config);
 
 }  // namespace nbos::core
 

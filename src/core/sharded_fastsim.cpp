@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <iterator>
+#include <limits>
+#include <map>
 #include <memory>
+#include <queue>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -40,8 +44,8 @@ committed_series(const std::vector<TaskOutcome>& tasks)
  *  the initial fleet (shares differ by at most one server), and the
  *  per-shard seeds (sched::shard_seed; shard 0 keeps the caller's). */
 std::vector<FastShardPlan>
-base_plans(const workload::Trace& trace, const PlatformConfig& config,
-           std::int32_t count)
+base_plans(const std::string& trace_name, sim::Time makespan,
+           const PlatformConfig& config, std::int32_t count)
 {
     std::vector<FastShardPlan> plans(static_cast<std::size_t>(count));
     const std::int32_t base_servers =
@@ -50,8 +54,8 @@ base_plans(const workload::Trace& trace, const PlatformConfig& config,
         config.scheduler.initial_servers % count;
     for (std::int32_t i = 0; i < count; ++i) {
         FastShardPlan& plan = plans[static_cast<std::size_t>(i)];
-        plan.trace_name = trace.name;
-        plan.makespan = trace.makespan;
+        plan.trace_name = trace_name;
+        plan.makespan = makespan;
         plan.initial_servers = base_servers + (i < extra_servers ? 1 : 0);
         plan.seed = sched::shard_seed(config.seed, i);
         plan.record_timeline = false;
@@ -71,7 +75,8 @@ elapsed_seconds(std::chrono::steady_clock::time_point since)
  *  every multi-shard policy path. Consumes the shards (finish()). */
 ExperimentResults
 merge_shards(std::vector<std::unique_ptr<FastEngineShard>>& shards,
-             const workload::Trace& trace, const PlatformConfig& config)
+             const std::string& trace_name, sim::Time makespan,
+             const PlatformConfig& config)
 {
     std::vector<ExperimentResults> per_shard;
     per_shard.reserve(shards.size());
@@ -83,8 +88,8 @@ merge_shards(std::vector<std::unique_ptr<FastEngineShard>>& shards,
 
     ExperimentResults results;
     results.policy = Policy::kNotebookOS;
-    results.trace_name = trace.name;
-    results.makespan = trace.makespan;
+    results.trace_name = trace_name;
+    results.makespan = makespan;
 
     // Tasks: concatenate in shard order, then canonicalize to
     // (submit, session, seq) — a total order because a session's
@@ -214,7 +219,8 @@ ShardedFastSim::run()
         return results;
     }
 
-    std::vector<FastShardPlan> plans = base_plans(trace_, config_, count);
+    std::vector<FastShardPlan> plans =
+        base_plans(trace_.name, trace_.makespan, config_, count);
     const sim::Time horizon = trace_.makespan + 12 * sim::kHour;
     shard_busy_seconds_.assign(static_cast<std::size_t>(count), 0.0);
 
@@ -377,7 +383,7 @@ ShardedFastSim::run()
             shard_events_.push_back(shard->events_executed());
             events_executed_ += shard->events_executed();
         }
-        return merge_shards(shards, trace_, config_);
+        return merge_shards(shards, trace_.name, trace_.makespan, config_);
     }
 
     if (config_.scheduler.routing ==
@@ -469,7 +475,251 @@ ShardedFastSim::run()
         shard_events_.push_back(shard->events_executed());
         events_executed_ += shard->events_executed();
     }
-    return merge_shards(shards, trace_, config_);
+    return merge_shards(shards, trace_.name, trace_.makespan, config_);
+}
+
+StreamedFastRun
+run_fast_streamed(workload::SessionSource& source,
+                  const PlatformConfig& config)
+{
+    const std::int32_t count = config.scheduler.shards;
+    if (count < 1) {
+        throw std::invalid_argument("scheduler.shards must be >= 1");
+    }
+
+    const std::string trace_name = source.trace_name();
+    const sim::Time makespan = source.makespan();
+    const sim::Time horizon = makespan + 12 * sim::kHour;
+    const bool rebalancing =
+        config.scheduler.routing == sched::RoutingPolicyKind::kRebalance;
+    const bool least_loaded =
+        config.scheduler.routing == sched::RoutingPolicyKind::kLeastLoaded;
+
+    StreamedFastRun out;
+    out.shard_busy_seconds.assign(static_cast<std::size_t>(count), 0.0);
+
+    // Every policy streams through the windowed engine: events are
+    // injected window by window into the session's current owner, exactly
+    // as ShardedFastSim's rebalance path does for materialized traces.
+    std::vector<FastShardPlan> plans =
+        base_plans(trace_name, makespan, config, count);
+    for (FastShardPlan& plan : plans) {
+        plan.windowed = true;
+    }
+    std::vector<std::unique_ptr<FastEngineShard>> shards;
+    shards.reserve(plans.size());
+    for (FastShardPlan& plan : plans) {
+        shards.push_back(
+            std::make_unique<FastEngineShard>(std::move(plan), config));
+    }
+    for (const auto& shard : shards) {
+        shard->start();
+    }
+
+    const auto advance = [&](sim::Time t) {
+        if (config.scheduler.shard_parallel && shards.size() > 1) {
+            std::vector<std::thread> threads;
+            threads.reserve(shards.size() - 1);
+            for (std::size_t i = 1; i < shards.size(); ++i) {
+                FastEngineShard* shard = shards[i].get();
+                double* busy = &out.shard_busy_seconds[i];
+                threads.emplace_back([shard, busy, t] {
+                    const auto begin = std::chrono::steady_clock::now();
+                    shard->run_until(t);
+                    *busy += elapsed_seconds(begin);
+                });
+            }
+            const auto begin = std::chrono::steady_clock::now();
+            shards.front()->run_until(t);
+            out.shard_busy_seconds[0] += elapsed_seconds(begin);
+            for (std::thread& thread : threads) {
+                thread.join();
+            }
+        } else {
+            for (std::size_t i = 0; i < shards.size(); ++i) {
+                const auto begin = std::chrono::steady_clock::now();
+                shards[i]->run_until(t);
+                out.shard_busy_seconds[i] += elapsed_seconds(begin);
+            }
+        }
+    };
+
+    enum Kind : std::int32_t
+    {
+        kStart = 0,
+        kEnd = 1,
+        kTask = 2,
+    };
+    struct Injection
+    {
+        sim::Time time;
+        const workload::SessionSpec* sp;
+        std::int32_t kind;
+        const workload::CellTask* task;
+        std::uint64_t seq;
+    };
+    // Min-heap in the materialized driver's injection order (time, id,
+    // kind); the insertion sequence breaks the one remaining tie
+    // (same-session same-tick tasks) the way stable_sort does.
+    struct InjectionAfter
+    {
+        bool operator()(const Injection& a, const Injection& b) const
+        {
+            if (a.time != b.time) {
+                return a.time > b.time;
+            }
+            if (a.sp->id != b.sp->id) {
+                return a.sp->id > b.sp->id;
+            }
+            if (a.kind != b.kind) {
+                return a.kind > b.kind;
+            }
+            return a.seq > b.seq;
+        }
+    };
+    std::priority_queue<Injection, std::vector<Injection>, InjectionAfter>
+        injections;
+    std::uint64_t next_seq = 0;
+
+    // Live specs stay pinned (map nodes are stable) until their last
+    // trace event has executed; memory tracks the concurrent-session
+    // population, not the trace length.
+    struct LiveSession
+    {
+        workload::SessionSpec spec;
+        sim::Time last_event = 0;
+    };
+    std::map<workload::SessionId, LiveSession> live;
+    using Retire = std::pair<sim::Time, workload::SessionId>;
+    std::priority_queue<Retire, std::vector<Retire>, std::greater<Retire>>
+        retire;
+
+    sched::RoutingTable table(count);
+    std::vector<std::uint64_t> weight(static_cast<std::size_t>(count), 0);
+    std::vector<std::int64_t> assigned(static_cast<std::size_t>(count), 0);
+
+    sim::Time last_start = std::numeric_limits<sim::Time>::min();
+    const auto admit_one = [&](workload::SessionSpec&& incoming) {
+        if (incoming.start_time < last_start) {
+            throw std::invalid_argument(
+                "streamed session source is not sorted by start time");
+        }
+        last_start = incoming.start_time;
+        const auto [it, inserted] =
+            live.emplace(incoming.id, LiveSession{std::move(incoming), 0});
+        if (!inserted) {
+            throw std::invalid_argument(
+                "streamed session source repeated session id " +
+                std::to_string(it->first));
+        }
+        const workload::SessionSpec* sp = &it->second.spec;
+        if (least_loaded) {
+            // The same running-weight pick ShardedFastSim applies to the
+            // (start_time, id)-sorted materialized trace — which is
+            // exactly the order a conforming source streams in.
+            std::size_t pick = 0;
+            for (std::size_t i = 1; i < weight.size(); ++i) {
+                if (weight[i] < weight[pick] ||
+                    (weight[i] == weight[pick] &&
+                     assigned[i] < assigned[pick])) {
+                    pick = i;
+                }
+            }
+            table.assign(sp->id, static_cast<std::int32_t>(pick));
+            weight[pick] += sp->tasks.size() + 1;
+            assigned[pick] += 1;
+        }
+        sim::Time last_event = sp->start_time;
+        injections.push(Injection{sp->start_time, sp, kStart, nullptr,
+                                  next_seq++});
+        if (sp->end_time < makespan) {
+            injections.push(
+                Injection{sp->end_time, sp, kEnd, nullptr, next_seq++});
+            last_event = std::max(last_event, sp->end_time);
+        }
+        for (const workload::CellTask& task : sp->tasks) {
+            injections.push(Injection{task.submit_time, sp, kTask, &task,
+                                      next_seq++});
+            last_event = std::max(last_event, task.submit_time);
+        }
+        it->second.last_event = last_event;
+        retire.push(Retire{last_event, sp->id});
+    };
+
+    std::vector<std::uint64_t> window_events(shards.size(), 0);
+    workload::SessionSpec pending;
+    bool has_pending = source.next(pending);
+    for (sim::Time t = 0;; t += config.scheduler.autoscale_interval) {
+        while (has_pending && pending.start_time <= t) {
+            workload::SessionSpec spec = std::move(pending);
+            has_pending = source.next(pending);
+            admit_one(std::move(spec));
+        }
+        while (!injections.empty() && injections.top().time <= t) {
+            const Injection inj = injections.top();
+            injections.pop();
+            FastEngineShard& owner = *shards[table.shard_of(inj.sp->id)];
+            switch (inj.kind) {
+                case kStart:
+                    owner.inject_session_start(inj.sp);
+                    break;
+                case kEnd:
+                    owner.inject_session_end(inj.sp);
+                    break;
+                case kTask:
+                    owner.inject_task(inj.sp, inj.task);
+                    break;
+                default:
+                    break;
+            }
+        }
+        advance(t);
+        // Every event of a session with last_event <= t has been injected
+        // and executed inside advance, so its spec is unreferenced
+        // (in-flight engine work holds copies, not trace pointers).
+        while (!retire.empty() && retire.top().first <= t) {
+            live.erase(retire.top().second);
+            retire.pop();
+        }
+        if (t >= makespan) {
+            break;
+        }
+        if (rebalancing) {
+            std::vector<sched::ShardLoad> loads(shards.size());
+            std::vector<std::vector<sched::SessionLoad>> sessions(
+                shards.size());
+            for (std::size_t i = 0; i < shards.size(); ++i) {
+                shards[i]->harvest_window_load(loads[i], sessions[i]);
+                const std::uint64_t executed =
+                    shards[i]->events_executed();
+                loads[i].events = executed - window_events[i];
+                window_events[i] = executed;
+            }
+            const std::vector<sched::MigrationDecision> plan =
+                sched::plan_rebalance(loads, sessions);
+            for (const sched::MigrationDecision& move : plan) {
+                FastEngineShard::FastSessionExtract extract;
+                if (!shards[static_cast<std::size_t>(move.from)]
+                         ->extract_session(move.session, extract)) {
+                    continue;
+                }
+                shards[static_cast<std::size_t>(move.to)]->adopt_session(
+                    extract);
+                table.assign(move.session, move.to);
+                ++out.sessions_rebalanced;
+            }
+        }
+    }
+    // Drain window for in-flight cells.
+    advance(horizon);
+
+    out.events_executed = 0;
+    for (const auto& shard : shards) {
+        out.shard_events.push_back(shard->events_executed());
+        out.events_executed += shard->events_executed();
+    }
+    out.results = merge_shards(shards, trace_name, makespan, config);
+    return out;
 }
 
 }  // namespace nbos::core

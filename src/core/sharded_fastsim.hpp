@@ -40,11 +40,52 @@
 #include <vector>
 
 #include "core/results.hpp"
+#include "workload/session_source.hpp"
 #include "workload/trace.hpp"
 
 namespace nbos::core {
 
 struct PlatformConfig;
+
+/** Results plus the scale telemetry of one streamed fast-engine run
+ *  (run_fast_streamed) — the same figures ShardedFastSim exposes through
+ *  accessors after run(). */
+struct StreamedFastRun
+{
+    ExperimentResults results;
+    /** Simulation events executed across every shard. */
+    std::uint64_t events_executed = 0;
+    /** Per-shard simulation events, in shard order. */
+    std::vector<std::uint64_t> shard_events;
+    /** Wall seconds advancing each shard's event loop, in shard order. */
+    std::vector<double> shard_busy_seconds;
+    /** Whole sessions moved across shards (`rebalance` only). */
+    std::uint64_t sessions_rebalanced = 0;
+};
+
+/**
+ * Drive the sharded fast engine from a streamed injection @p source
+ * without materializing the trace: sessions are pulled as the lockstep
+ * window grid reaches their start time, admitted through the configured
+ * routing policy (`static_hash` / `rebalance`: the stable hash;
+ * `least_loaded`: running-weight admission in arrival order), their
+ * events injected into the current owner window by window, and their
+ * specs freed once the last trace event has executed — memory tracks the
+ * live session population, not the trace length (pinned by the
+ * scale_profiles bench).
+ *
+ * Every policy runs the windowed engine (FastShardPlan::windowed). Under
+ * `rebalance` this is the exact materialized windowed path, so a
+ * workload::TraceSessionSource over a materialized trace is bit-identical
+ * to ShardedFastSim::run (pinned by determinism_test); the other policies
+ * are deterministic but windowed, unlike their pre-scheduled
+ * ShardedFastSim counterparts.
+ *
+ * @throws std::invalid_argument when @p source violates its nondecreasing
+ *         (start_time, id) contract or repeats a session id.
+ */
+StreamedFastRun run_fast_streamed(workload::SessionSource& source,
+                                  const PlatformConfig& config);
 
 class ShardedFastSim
 {

@@ -103,7 +103,8 @@ WorkloadGenerator::generate(const TraceProfile& profile,
     trace.makespan = options.makespan;
 
     const double arrival_mean_s =
-        3600.0 / std::max(1e-9, profile.session_arrival_per_hour);
+        3600.0 / std::max(1e-9, profile.session_arrival_per_hour *
+                                    options.arrival_rate_scale);
     sim::Time t = sim::from_seconds(rng_.exponential(arrival_mean_s));
     SessionId next_id = 1;
     while (t < options.makespan &&
@@ -201,9 +202,17 @@ WorkloadGenerator::make_session(const TraceProfile& profile, SessionId id,
         task.session = id;
         task.seq = seq++;
         task.submit_time = submit;
-        const double duration_s = std::clamp(
-            rng_.lognormal(profile.duration_mu, profile.duration_sigma),
-            profile.duration_floor_s, kMaxDurationSeconds);
+        // Heavy-tail knob: Pareto durations replace the lognormal draw
+        // entirely (one code path per profile, so the off position
+        // consumes exactly the historical stream).
+        const double duration_s =
+            profile.duration_pareto_alpha > 0.0
+                ? std::clamp(rng_.pareto(profile.duration_pareto_xm,
+                                         profile.duration_pareto_alpha),
+                             profile.duration_floor_s, kMaxDurationSeconds)
+                : std::clamp(rng_.lognormal(profile.duration_mu,
+                                            profile.duration_sigma),
+                             profile.duration_floor_s, kMaxDurationSeconds);
         task.duration = sim::from_seconds(duration_s);
         task.is_gpu = rng_.bernoulli(profile.gpu_task_fraction);
         task.code = synthesize_cell_code(session, task);

@@ -85,6 +85,20 @@ struct TraceProfile
     double hot_boost = 1.0;
     ///@}
 
+    /** @name Heavy-tailed cell costs (the `heavy_tail` profile)
+     *
+     * When duration_pareto_alpha > 0, task durations are drawn from
+     * Pareto(duration_pareto_xm, duration_pareto_alpha) instead of the
+     * lognormal — alpha near 1 produces the infinite-variance tails that
+     * stress migration and the SR cap. Off (0, the default) the lognormal
+     * draw is consumed exactly as before, so every historical trace stays
+     * byte-identical.
+     */
+    ///@{
+    double duration_pareto_alpha = 0.0;
+    double duration_pareto_xm = 20.0;
+    ///@}
+
     /** Profile matching the AdobeTrace percentiles in §2.3
      *  (p50 dur 120 s, p50 IAT 300 s, min IAT 240 s). */
     static TraceProfile adobe();
@@ -101,14 +115,36 @@ struct GeneratorOptions
 {
     /** Trace makespan. */
     sim::Time makespan = 17 * sim::kHour + 30 * sim::kMinute;
-    /** Cap on generated sessions (<0 means unlimited). */
+    /** Cap on generated sessions (<0 means unlimited). For multi-tenant
+     *  profiles the cap applies per tenant stream, so merged totals stay
+     *  the sum of the per-tenant marginals. */
     std::int64_t max_sessions = -1;
     /** If true, sessions outlive the trace end (the 17.5-hour excerpt in
      *  Fig. 7 only ever accumulates sessions). */
     bool sessions_survive_trace = false;
+    /** Multiplier on the profile's session arrival rate — the scale tier
+     *  drives million-session streams through the calibrated profiles
+     *  without stretching the makespan. 1.0 (the default) multiplies the
+     *  rate exactly, so every historical trace stays byte-identical. */
+    double arrival_rate_scale = 1.0;
 };
 
-/** Deterministic workload synthesizer. */
+/**
+ * Deterministic workload synthesizer.
+ *
+ * @par Authoring new workload profiles
+ * Named profiles (workload/profiles.hpp) compose this generator rather
+ * than reimplementing it: a profile owns the arrival process — *when*
+ * sessions start — and delegates every per-session draw to make_session
+ * on its own generator instance, so session shapes stay calibrated to
+ * the §2.3 marginals. The contract that keeps the `adobe` / `philly` /
+ * `alibaba` streams byte-identical forever: draws on rng() happen in
+ * exactly the historical order (arrival gap, then the session's draws,
+ * repeated), and any *new* randomness — burst schedules, thinning
+ * accept/reject, tenant interleaves — comes from a stream derived via
+ * sim::Rng::split() or an independently seeded Rng, never from extra
+ * draws on the main stream.
+ */
 class WorkloadGenerator
 {
   public:
@@ -125,10 +161,18 @@ class WorkloadGenerator
     /** Generate the 90-day "summer portion" (Fig. 20, §5.5). */
     Trace adobe_summer_90d();
 
-  private:
+    /** Draw one session starting at @p start — the profile-authoring
+     *  surface (see the class note): custom arrival processes call this
+     *  per arrival and get byte-identical sessions to generate()'s. */
     SessionSpec make_session(const TraceProfile& profile, SessionId id,
                              sim::Time start, sim::Time trace_end,
                              bool survive_trace);
+
+    /** The generator's main RNG stream, exposed so custom arrival
+     *  processes draw their inter-arrival gaps in the historical order. */
+    sim::Rng& rng() { return rng_; }
+
+  private:
     std::string synthesize_cell_code(const SessionSpec& session,
                                      const CellTask& task) const;
 

@@ -1,0 +1,647 @@
+#include "workload/profiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+#include "workload/trace_io.hpp"
+
+namespace nbos::workload {
+
+namespace {
+
+constexpr double kTau = 6.283185307179586476925287;
+
+/** Diurnal modulation amplitude: 1.75x peak, 0.25x trough. */
+constexpr double kDiurnalAmplitude = 0.75;
+
+/** Flash-crowd shape: a burst every ~4 hours (scaled with
+ *  arrival_rate_scale), 8-40 sessions each, arriving on a ~90 s ramp. */
+constexpr double kBurstIntervalS = 4.0 * 3600.0;
+constexpr std::int64_t kBurstMinSessions = 8;
+constexpr std::int64_t kBurstMaxSessions = 40;
+constexpr double kBurstRampS = 90.0;
+
+/** Tenant id namespaces: tenant k owns [k*stride, (k+1)*stride). */
+constexpr SessionId kTenantIdStride = 1'000'000'000'000LL;
+
+double
+arrival_mean_seconds(const TraceProfile& profile,
+                     const GeneratorOptions& options)
+{
+    return 3600.0 / std::max(1e-9, profile.session_arrival_per_hour *
+                                       options.arrival_rate_scale);
+}
+
+/** Derive tenant @p tenant's independent generator stream: children are
+ *  split off a root seeded with the caller's seed, so any one tenant's
+ *  marginal stream is reproducible without opening the others. */
+sim::Rng
+tenant_stream(std::uint64_t seed, std::size_t tenant)
+{
+    sim::Rng root(seed);
+    sim::Rng child = root.split();
+    for (std::size_t i = 0; i < tenant; ++i) {
+        child = root.split();
+    }
+    return child;
+}
+
+/**
+ * The base Poisson arrival stream: a pull-shaped replay of
+ * WorkloadGenerator::generate's loop (arrival gap drawn on the main
+ * stream, then the session's own draws), so on the same Rng it produces
+ * byte-identical sessions to the in-memory generator. @p id_offset moves
+ * the emitted ids into a tenant's namespace without touching any draw.
+ */
+class ArrivalStream final : public SessionSource
+{
+  public:
+    ArrivalStream(sim::Rng rng, TraceProfile profile,
+                  GeneratorOptions options, std::string trace_name,
+                  SessionId id_offset)
+        : gen_(rng),
+          profile_(std::move(profile)),
+          options_(options),
+          name_(std::move(trace_name)),
+          id_offset_(id_offset)
+    {
+    }
+
+    const std::string& trace_name() const override { return name_; }
+    sim::Time makespan() const override { return options_.makespan; }
+
+    bool next(SessionSpec& out) override
+    {
+        if (done_) {
+            return false;
+        }
+        const double mean = arrival_mean_seconds(profile_, options_);
+        if (!primed_) {
+            t_ = sim::from_seconds(gen_.rng().exponential(mean));
+            primed_ = true;
+        } else {
+            t_ += sim::from_seconds(gen_.rng().exponential(mean));
+        }
+        if (t_ >= options_.makespan ||
+            (options_.max_sessions >= 0 &&
+             next_id_ > options_.max_sessions)) {
+            done_ = true;
+            return false;
+        }
+        out = gen_.make_session(profile_, id_offset_ + next_id_++, t_,
+                                options_.makespan,
+                                options_.sessions_survive_trace);
+        return true;
+    }
+
+  private:
+    WorkloadGenerator gen_;
+    TraceProfile profile_;
+    GeneratorOptions options_;
+    std::string name_;
+    SessionId id_offset_;
+    SessionId next_id_ = 1;
+    sim::Time t_ = 0;
+    bool primed_ = false;
+    bool done_ = false;
+};
+
+/** Single-stream profile over one fixed TraceProfile. */
+class BasicProfile final : public WorkloadProfile
+{
+  public:
+    BasicProfile(std::string name, std::string description,
+                 TraceProfile profile)
+        : WorkloadProfile(std::move(name), std::move(description)),
+          profile_(std::move(profile))
+    {
+    }
+
+    std::unique_ptr<SessionSource> open(
+        std::uint64_t seed, const GeneratorOptions& options) const override
+    {
+        return std::make_unique<ArrivalStream>(sim::Rng(seed), profile_,
+                                               options, name(), 0);
+    }
+
+  private:
+    TraceProfile profile_;
+};
+
+/** Non-homogeneous Poisson arrivals by Lewis-Shedler thinning: candidate
+ *  gaps are drawn at the peak rate on the generator's main stream, the
+ *  accept/reject draws on a split stream, so the session shapes stay on
+ *  the calibrated marginals. */
+class DiurnalStream final : public SessionSource
+{
+  public:
+    DiurnalStream(std::uint64_t seed, TraceProfile profile,
+                  GeneratorOptions options, std::string trace_name)
+        : gen_(sim::Rng(0)),
+          profile_(std::move(profile)),
+          options_(options),
+          name_(std::move(trace_name))
+    {
+        sim::Rng root(seed);
+        thin_rng_ = root.split();
+        gen_ = WorkloadGenerator(root);
+    }
+
+    const std::string& trace_name() const override { return name_; }
+    sim::Time makespan() const override { return options_.makespan; }
+
+    bool next(SessionSpec& out) override
+    {
+        if (done_) {
+            return false;
+        }
+        const double peak = diurnal_modulation_peak();
+        const double mean_peak_s =
+            arrival_mean_seconds(profile_, options_) / peak;
+        for (;;) {
+            t_ += sim::from_seconds(gen_.rng().exponential(mean_peak_s));
+            if (t_ >= options_.makespan ||
+                (options_.max_sessions >= 0 &&
+                 next_id_ > options_.max_sessions)) {
+                done_ = true;
+                return false;
+            }
+            if (thin_rng_.uniform() < diurnal_modulation(t_) / peak) {
+                out = gen_.make_session(profile_, next_id_++, t_,
+                                        options_.makespan,
+                                        options_.sessions_survive_trace);
+                return true;
+            }
+        }
+    }
+
+  private:
+    WorkloadGenerator gen_;
+    sim::Rng thin_rng_;
+    TraceProfile profile_;
+    GeneratorOptions options_;
+    std::string name_;
+    SessionId next_id_ = 1;
+    sim::Time t_ = 0;
+    bool done_ = false;
+};
+
+class DiurnalProfile final : public WorkloadProfile
+{
+  public:
+    DiurnalProfile()
+        : WorkloadProfile(kProfileDiurnal,
+                          "adobe sessions on a sinusoidal day/night "
+                          "arrival cycle (1.75x noon peak, 0.25x "
+                          "midnight trough)")
+    {
+    }
+
+    std::unique_ptr<SessionSource> open(
+        std::uint64_t seed, const GeneratorOptions& options) const override
+    {
+        TraceProfile profile = TraceProfile::adobe();
+        profile.name = kProfileDiurnal;
+        return std::make_unique<DiurnalStream>(seed, std::move(profile),
+                                               options, name());
+    }
+};
+
+/** Adobe baseline arrivals with Poisson bursts of short-lived sessions
+ *  layered on top: burst times/sizes/ramps come from a split stream, the
+ *  sessions themselves from the main stream in emission order. */
+class FlashCrowdStream final : public SessionSource
+{
+  public:
+    FlashCrowdStream(std::uint64_t seed, GeneratorOptions options,
+                     std::string trace_name)
+        : gen_(sim::Rng(0)), options_(options), name_(std::move(trace_name))
+    {
+        sim::Rng root(seed);
+        burst_rng_ = root.split();
+        gen_ = WorkloadGenerator(root);
+
+        base_profile_ = TraceProfile::adobe();
+        base_profile_.name = kProfileFlashCrowd;
+        // Crowd sessions: short-lived, eager, always-training arrivals —
+        // the spike the autoscaler has to absorb.
+        burst_profile_ = base_profile_;
+        burst_profile_.session_lifetime_mu = std::log(2.0 * 3600.0);
+        burst_profile_.session_lifetime_sigma = 0.6;
+        burst_profile_.long_gap_probability = 0.05;
+
+        const double inter_burst_s =
+            kBurstIntervalS / std::max(1e-9, options_.arrival_rate_scale);
+        next_base_ = sim::from_seconds(gen_.rng().exponential(
+            arrival_mean_seconds(base_profile_, options_)));
+        next_burst_start_ =
+            sim::from_seconds(burst_rng_.exponential(inter_burst_s));
+        inter_burst_s_ = inter_burst_s;
+    }
+
+    const std::string& trace_name() const override { return name_; }
+    sim::Time makespan() const override { return options_.makespan; }
+
+    bool next(SessionSpec& out) override
+    {
+        if (done_) {
+            return false;
+        }
+        if (options_.max_sessions >= 0 &&
+            next_id_ > options_.max_sessions) {
+            done_ = true;
+            return false;
+        }
+        // Expand every burst that starts before the earliest pending
+        // candidate, so the global minimum below is the true next arrival.
+        for (;;) {
+            const sim::Time horizon =
+                pending_.empty() ? next_base_
+                                 : std::min(next_base_, pending_.top());
+            if (next_burst_start_ >= horizon ||
+                next_burst_start_ >= options_.makespan) {
+                break;
+            }
+            const std::int64_t count = burst_rng_.uniform_int(
+                kBurstMinSessions, kBurstMaxSessions);
+            sim::Time at = next_burst_start_;
+            for (std::int64_t i = 0; i < count; ++i) {
+                at += sim::from_seconds(
+                    burst_rng_.exponential(kBurstRampS));
+                if (at < options_.makespan) {
+                    pending_.push(at);
+                }
+            }
+            next_burst_start_ +=
+                sim::from_seconds(burst_rng_.exponential(inter_burst_s_));
+        }
+        sim::Time t = 0;
+        bool burst = false;
+        if (!pending_.empty() && pending_.top() <= next_base_) {
+            t = pending_.top();
+            pending_.pop();
+            burst = true;
+        } else {
+            t = next_base_;
+            next_base_ += sim::from_seconds(gen_.rng().exponential(
+                arrival_mean_seconds(base_profile_, options_)));
+        }
+        if (t >= options_.makespan) {
+            done_ = true;
+            return false;
+        }
+        out = gen_.make_session(burst ? burst_profile_ : base_profile_,
+                                next_id_++, t, options_.makespan,
+                                options_.sessions_survive_trace);
+        return true;
+    }
+
+  private:
+    WorkloadGenerator gen_;
+    sim::Rng burst_rng_;
+    GeneratorOptions options_;
+    std::string name_;
+    TraceProfile base_profile_;
+    TraceProfile burst_profile_;
+    std::priority_queue<sim::Time, std::vector<sim::Time>,
+                        std::greater<sim::Time>>
+        pending_;
+    sim::Time next_base_ = 0;
+    sim::Time next_burst_start_ = 0;
+    double inter_burst_s_ = kBurstIntervalS;
+    SessionId next_id_ = 1;
+    bool done_ = false;
+};
+
+class FlashCrowdProfile final : public WorkloadProfile
+{
+  public:
+    FlashCrowdProfile()
+        : WorkloadProfile(kProfileFlashCrowd,
+                          "Poisson bursts of 8-40 short-lived sessions "
+                          "on a ~90 s ramp atop the adobe baseline")
+    {
+    }
+
+    std::unique_ptr<SessionSource> open(
+        std::uint64_t seed, const GeneratorOptions& options) const override
+    {
+        return std::make_unique<FlashCrowdStream>(seed, options, name());
+    }
+};
+
+/** Lazy K-way merge of per-tenant streams by (start_time, id). */
+class MergeSource final : public SessionSource
+{
+  public:
+    MergeSource(std::string trace_name, sim::Time makespan,
+                std::vector<std::unique_ptr<SessionSource>> children)
+        : name_(std::move(trace_name)),
+          makespan_(makespan),
+          children_(std::move(children)),
+          pending_(children_.size()),
+          has_pending_(children_.size(), false)
+    {
+        for (std::size_t i = 0; i < children_.size(); ++i) {
+            has_pending_[i] = children_[i]->next(pending_[i]);
+        }
+    }
+
+    const std::string& trace_name() const override { return name_; }
+    sim::Time makespan() const override { return makespan_; }
+
+    bool next(SessionSpec& out) override
+    {
+        std::size_t pick = children_.size();
+        for (std::size_t i = 0; i < children_.size(); ++i) {
+            if (!has_pending_[i]) {
+                continue;
+            }
+            if (pick == children_.size() ||
+                pending_[i].start_time < pending_[pick].start_time ||
+                (pending_[i].start_time == pending_[pick].start_time &&
+                 pending_[i].id < pending_[pick].id)) {
+                pick = i;
+            }
+        }
+        if (pick == children_.size()) {
+            return false;
+        }
+        out = std::move(pending_[pick]);
+        has_pending_[pick] = children_[pick]->next(pending_[pick]);
+        return true;
+    }
+
+  private:
+    std::string name_;
+    sim::Time makespan_;
+    std::vector<std::unique_ptr<SessionSource>> children_;
+    std::vector<SessionSpec> pending_;
+    std::vector<char> has_pending_;
+};
+
+/** K tenant classes with distinct TraceProfiles merged on one timeline;
+ *  tenant k generates on an independent derived stream inside its own id
+ *  namespace, so the merged stream is exactly the union of the per-tenant
+ *  marginals (the property the props tier pins). */
+class MultiTenantProfile final : public WorkloadProfile
+{
+  public:
+    MultiTenantProfile(std::string name, std::string description,
+                       std::vector<TraceProfile> tenants)
+        : WorkloadProfile(std::move(name), std::move(description)),
+          tenants_(std::move(tenants))
+    {
+    }
+
+    std::size_t tenant_count() const override { return tenants_.size(); }
+
+    std::unique_ptr<SessionSource> open_tenant(
+        std::size_t tenant, std::uint64_t seed,
+        const GeneratorOptions& options) const override
+    {
+        if (tenant >= tenants_.size()) {
+            throw std::out_of_range("tenant index out of range for " +
+                                    name());
+        }
+        return std::make_unique<ArrivalStream>(
+            tenant_stream(seed, tenant), tenants_[tenant], options, name(),
+            kTenantIdStride * static_cast<SessionId>(tenant));
+    }
+
+    std::unique_ptr<SessionSource> open(
+        std::uint64_t seed, const GeneratorOptions& options) const override
+    {
+        std::vector<std::unique_ptr<SessionSource>> children;
+        children.reserve(tenants_.size());
+        for (std::size_t i = 0; i < tenants_.size(); ++i) {
+            children.push_back(open_tenant(i, seed, options));
+        }
+        return std::make_unique<MergeSource>(name(), options.makespan,
+                                             std::move(children));
+    }
+
+  private:
+    std::vector<TraceProfile> tenants_;
+};
+
+TraceProfile
+scaled(TraceProfile profile, const char* name, double arrival_scale)
+{
+    profile.name = name;
+    profile.session_arrival_per_hour *= arrival_scale;
+    return profile;
+}
+
+std::unique_ptr<WorkloadProfile>
+make_multi_tenant()
+{
+    std::vector<TraceProfile> tenants;
+    tenants.push_back(scaled(TraceProfile::adobe(), kProfileMultiTenant,
+                             1.0));
+    tenants.push_back(scaled(TraceProfile::philly(), kProfileMultiTenant,
+                             0.6));
+    tenants.push_back(scaled(TraceProfile::alibaba(), kProfileMultiTenant,
+                             0.5));
+    return std::make_unique<MultiTenantProfile>(
+        kProfileMultiTenant,
+        "adobe + philly + alibaba tenant classes merged on one timeline",
+        std::move(tenants));
+}
+
+std::unique_ptr<WorkloadProfile>
+make_batch_interactive()
+{
+    std::vector<TraceProfile> tenants;
+    // Interactive tenant: serial notebook users (cells wait for the
+    // previous completion).
+    tenants.push_back(scaled(TraceProfile::adobe(),
+                             kProfileBatchInteractive, 0.7));
+    // Batch tenant: concurrent long jobs (30 min median, heavy spread).
+    TraceProfile batch = TraceProfile::philly();
+    batch.duration_mu = std::log(1800.0);
+    batch.duration_sigma = 2.0;
+    tenants.push_back(scaled(std::move(batch), kProfileBatchInteractive,
+                             0.3));
+    return std::make_unique<MultiTenantProfile>(
+        kProfileBatchInteractive,
+        "serial notebook tenant blended with a long-duration batch "
+        "tenant",
+        std::move(tenants));
+}
+
+std::unique_ptr<WorkloadProfile>
+make_heavy_tail()
+{
+    TraceProfile profile = TraceProfile::alibaba();
+    profile.name = kProfileHeavyTail;
+    profile.duration_pareto_alpha = 1.1;
+    profile.duration_pareto_xm = 20.0;
+    return std::make_unique<BasicProfile>(
+        kProfileHeavyTail,
+        "alibaba arrivals with Pareto(20 s, 1.1) cell costs "
+        "(infinite-variance tails)",
+        std::move(profile));
+}
+
+void
+register_builtins(ProfileRegistry& registry)
+{
+    registry.register_profile(kProfileAdobe, [] {
+        return std::make_unique<BasicProfile>(
+            kProfileAdobe, "the AdobeTrace calibration (§2.3)",
+            TraceProfile::adobe());
+    });
+    registry.register_profile(kProfilePhilly, [] {
+        return std::make_unique<BasicProfile>(
+            kProfilePhilly, "the PhillyTrace calibration (§2.3)",
+            TraceProfile::philly());
+    });
+    registry.register_profile(kProfileAlibaba, [] {
+        return std::make_unique<BasicProfile>(
+            kProfileAlibaba, "the AlibabaTrace calibration (§2.3)",
+            TraceProfile::alibaba());
+    });
+    registry.register_profile(kProfileDiurnal, [] {
+        return std::make_unique<DiurnalProfile>();
+    });
+    registry.register_profile(kProfileFlashCrowd, [] {
+        return std::make_unique<FlashCrowdProfile>();
+    });
+    registry.register_profile(kProfileHeavyTail,
+                              [] { return make_heavy_tail(); });
+    registry.register_profile(kProfileMultiTenant,
+                              [] { return make_multi_tenant(); });
+    registry.register_profile(kProfileBatchInteractive,
+                              [] { return make_batch_interactive(); });
+}
+
+}  // namespace
+
+std::unique_ptr<SessionSource>
+WorkloadProfile::open_tenant(std::size_t tenant, std::uint64_t seed,
+                             const GeneratorOptions& options) const
+{
+    if (tenant != 0) {
+        throw std::out_of_range("tenant index out of range for " + name_);
+    }
+    return open(seed, options);
+}
+
+Trace
+WorkloadProfile::generate(std::uint64_t seed,
+                          const GeneratorOptions& options) const
+{
+    const std::unique_ptr<SessionSource> source = open(seed, options);
+    Trace trace;
+    trace.name = source->trace_name();
+    trace.makespan = source->makespan();
+    SessionSpec session;
+    while (source->next(session)) {
+        trace.sessions.push_back(std::move(session));
+    }
+    return trace;
+}
+
+ProfileRegistry&
+ProfileRegistry::instance()
+{
+    static ProfileRegistry* registry = [] {
+        auto* fresh = new ProfileRegistry();
+        register_builtins(*fresh);
+        return fresh;
+    }();
+    return *registry;
+}
+
+bool
+ProfileRegistry::register_profile(const std::string& name, Factory factory)
+{
+    if (!factory) {
+        return false;
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return factories_.emplace(name, std::move(factory)).second;
+}
+
+std::unique_ptr<WorkloadProfile>
+ProfileRegistry::create(const std::string& name) const
+{
+    Factory factory;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = factories_.find(name);
+        if (it == factories_.end()) {
+            return nullptr;
+        }
+        factory = it->second;
+    }
+    return factory();
+}
+
+bool
+ProfileRegistry::contains(const std::string& name) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return factories_.find(name) != factories_.end();
+}
+
+std::vector<std::string>
+ProfileRegistry::names() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(factories_.size());
+    for (const auto& [name, factory] : factories_) {
+        names.push_back(name);
+    }
+    return names;  // std::map iterates sorted
+}
+
+double
+diurnal_modulation(sim::Time t)
+{
+    const double hours = static_cast<double>(t) /
+                         static_cast<double>(sim::kHour);
+    return 1.0 + kDiurnalAmplitude * std::sin(kTau * (hours - 6.0) / 24.0);
+}
+
+double
+diurnal_modulation_peak()
+{
+    return 1.0 + kDiurnalAmplitude;
+}
+
+void
+generate_trace_stream(const WorkloadProfile& profile, std::uint64_t seed,
+                      const GeneratorOptions& options, std::ostream& out)
+{
+    // Pass 1: count sessions (the header is the first line of the
+    // format). Both passes open the same deterministic stream, so the
+    // written sessions are exactly the counted ones.
+    std::uint64_t count = 0;
+    {
+        const std::unique_ptr<SessionSource> source =
+            profile.open(seed, options);
+        SessionSpec session;
+        while (source->next(session)) {
+            ++count;
+        }
+    }
+    // Pass 2: write session by session with bounded memory.
+    const std::unique_ptr<SessionSource> source =
+        profile.open(seed, options);
+    TraceWriter writer(out, source->trace_name(), source->makespan(),
+                       count);
+    SessionSpec session;
+    while (source->next(session)) {
+        writer.write_session(session);
+    }
+    writer.finish();
+}
+
+}  // namespace nbos::workload

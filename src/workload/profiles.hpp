@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The workload-profile family: named, registrable scenario generators
+ * beyond the single AdobeTrace calibration (ROADMAP item 3).
+ *
+ * A WorkloadProfile owns an arrival process and composes the calibrated
+ * WorkloadGenerator/TraceProfile machinery for the per-session draws (see
+ * the authoring note on WorkloadGenerator). Profiles are resolved by name
+ * through the process-wide ProfileRegistry — mirroring core::EngineRegistry
+ * — so benches and sweeps enumerate scenarios the same way they enumerate
+ * engines (`NBOS_BENCH_PROFILE`).
+ *
+ * Built-in profiles:
+ *   adobe / philly / alibaba  the §2.3 calibrations, byte-identical to
+ *                             WorkloadGenerator::generate on the same seed
+ *   diurnal                   sinusoidal arrival-rate modulation (thinned
+ *                             Poisson, peak mid-day)
+ *   flash_crowd               Poisson bursts of short-lived sessions atop
+ *                             the adobe baseline
+ *   heavy_tail                Pareto cell costs (infinite-variance tails)
+ *   multi_tenant              adobe + philly + alibaba tenant classes
+ *                             merged on one timeline
+ *   batch_interactive         serial notebook tenant blended with a
+ *                             long-duration batch tenant
+ *
+ * Every profile's randomness beyond the historical per-session stream
+ * comes from split/derived RNG streams, so the three base traces never
+ * move (pinned by determinism_test).
+ */
+#ifndef NBOS_WORKLOAD_PROFILES_HPP
+#define NBOS_WORKLOAD_PROFILES_HPP
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "workload/generator.hpp"
+#include "workload/session_source.hpp"
+
+namespace nbos::workload {
+
+/** Abstract named workload scenario: opens deterministic session streams
+ *  at a seed and materializes traces from them. */
+class WorkloadProfile
+{
+  public:
+    WorkloadProfile(std::string name, std::string description)
+        : name_(std::move(name)), description_(std::move(description))
+    {
+    }
+    virtual ~WorkloadProfile() = default;
+
+    /** Registry name (e.g. "flash_crowd"). */
+    const std::string& name() const { return name_; }
+    /** One-line scenario summary. */
+    const std::string& description() const { return description_; }
+
+    /** Number of independently generated tenant classes the profile
+     *  merges (1 for single-stream profiles). */
+    virtual std::size_t tenant_count() const { return 1; }
+
+    /** Open the session stream for (@p seed, @p options). Streams are
+     *  deterministic: same arguments, same sessions, every time. */
+    virtual std::unique_ptr<SessionSource> open(
+        std::uint64_t seed, const GeneratorOptions& options) const = 0;
+
+    /** Open tenant @p tenant's marginal stream. The merged open() stream
+     *  contains exactly the union of the per-tenant marginals (same ids,
+     *  same sessions), so per-tenant totals always sum to the merged
+     *  total. @throws std::out_of_range for tenant >= tenant_count(). */
+    virtual std::unique_ptr<SessionSource> open_tenant(
+        std::size_t tenant, std::uint64_t seed,
+        const GeneratorOptions& options) const;
+
+    /** Materialize the whole stream as a Trace (collects open()). */
+    Trace generate(std::uint64_t seed, const GeneratorOptions& options) const;
+
+  private:
+    std::string name_;
+    std::string description_;
+};
+
+/**
+ * Thread-safe name -> factory registry of workload profiles, mirroring
+ * core::EngineRegistry: the process-wide instance() comes pre-populated
+ * with the built-ins, callers register additional profiles at startup and
+ * resolve them by name.
+ */
+class ProfileRegistry
+{
+  public:
+    using Factory = std::function<std::unique_ptr<WorkloadProfile>()>;
+
+    /** The process-wide registry, pre-populated with the built-ins. */
+    static ProfileRegistry& instance();
+
+    /** Register @p factory under @p name.
+     *  @return false (and leave the registry unchanged) when @p name is
+     *          already taken or @p factory is empty. */
+    bool register_profile(const std::string& name, Factory factory);
+
+    /** Instantiate profile @p name, or nullptr when unknown. */
+    std::unique_ptr<WorkloadProfile> create(const std::string& name) const;
+
+    bool contains(const std::string& name) const;
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, Factory> factories_;
+};
+
+/** Names of the built-in profiles (always registered). */
+inline constexpr const char* kProfileAdobe = "adobe";
+inline constexpr const char* kProfilePhilly = "philly";
+inline constexpr const char* kProfileAlibaba = "alibaba";
+inline constexpr const char* kProfileDiurnal = "diurnal";
+inline constexpr const char* kProfileFlashCrowd = "flash_crowd";
+inline constexpr const char* kProfileHeavyTail = "heavy_tail";
+inline constexpr const char* kProfileMultiTenant = "multi_tenant";
+inline constexpr const char* kProfileBatchInteractive = "batch_interactive";
+
+/** The sinusoidal arrival-rate multiplier the `diurnal` profile thins
+ *  against: 1 + A·sin(2π·(hour_of_day − 6)/24) with A = 0.75 — peak 1.75x
+ *  at noon, trough 0.25x at midnight. Exposed so the property tier can
+ *  check generated hourly arrival counts against the curve. */
+double diurnal_modulation(sim::Time t);
+
+/** Peak value of diurnal_modulation (the thinning envelope). */
+double diurnal_modulation_peak();
+
+/**
+ * Stream-generate (@p profile, @p seed, @p options) straight to @p out in
+ * the nbos-trace-v1 format, byte-identical to
+ * save_trace(profile.generate(seed, options)) but with O(live session)
+ * memory: one counting pass pins the header's session count, a second
+ * pass re-opens the same deterministic stream and writes session by
+ * session, so month-scale traces never materialize.
+ */
+void generate_trace_stream(const WorkloadProfile& profile,
+                           std::uint64_t seed,
+                           const GeneratorOptions& options,
+                           std::ostream& out);
+
+}  // namespace nbos::workload
+
+#endif  // NBOS_WORKLOAD_PROFILES_HPP

@@ -168,77 +168,86 @@ resynthesize_code(const SessionSpec& session, const CellTask& task)
 
 }  // namespace
 
+TraceWriter::TraceWriter(std::ostream& out, const std::string& name,
+                         sim::Time makespan, std::uint64_t session_count)
+    : out_(out), expected_(session_count)
+{
+    out_ << kMagic << "," << name << "," << makespan << "," << session_count
+         << "\n";
+}
+
 void
-save_trace(const Trace& trace, std::ostream& out)
+TraceWriter::write_session(const SessionSpec& session)
 {
-    out << kMagic << "," << trace.name << "," << trace.makespan << ","
-        << trace.sessions.size() << "\n";
-    for (const SessionSpec& session : trace.sessions) {
-        out << "S," << session.id << "," << session.start_time << ","
-            << session.end_time << "," << session.resources.millicpus << ","
-            << session.resources.memory_mb << "," << session.resources.gpus
-            << "," << session.resources.vram_gb << ","
-            << static_cast<int>(session.domain) << "," << session.model
-            << "," << session.dataset << "," << session.tasks.size()
-            << "\n";
-        for (const CellTask& task : session.tasks) {
-            out << "T," << task.seq << "," << task.submit_time << ","
-                << task.duration << "," << (task.is_gpu ? 1 : 0) << "\n";
-        }
+    if (written_ == expected_) {
+        throw std::logic_error(
+            "TraceWriter: session written past the declared count of " +
+            std::to_string(expected_));
+    }
+    ++written_;
+    out_ << "S," << session.id << "," << session.start_time << ","
+         << session.end_time << "," << session.resources.millicpus << ","
+         << session.resources.memory_mb << "," << session.resources.gpus
+         << "," << session.resources.vram_gb << ","
+         << static_cast<int>(session.domain) << "," << session.model << ","
+         << session.dataset << "," << session.tasks.size() << "\n";
+    for (const CellTask& task : session.tasks) {
+        out_ << "T," << task.seq << "," << task.submit_time << ","
+             << task.duration << "," << (task.is_gpu ? 1 : 0) << "\n";
     }
 }
 
-bool
-save_trace_file(const Trace& trace, const std::string& path)
+void
+TraceWriter::finish()
 {
-    std::ofstream out(path);
-    if (!out) {
-        return false;
+    if (written_ != expected_) {
+        throw std::logic_error(
+            "TraceWriter: wrote " + std::to_string(written_) +
+            " sessions but the header declared " +
+            std::to_string(expected_));
     }
-    save_trace(trace, out);
-    return static_cast<bool>(out);
 }
 
-Trace
-load_trace(std::istream& in, const std::string& source_name)
+TraceReader::TraceReader(std::istream& in, std::string source_name)
+    : in_(in), source_(std::move(source_name))
 {
-    ParseContext ctx{source_name, 0};
     std::string line;
-    if (!std::getline(in, line)) {
+    if (!std::getline(in_, line)) {
+        const ParseContext ctx{source_, 0};
         ctx.fail("header", "empty trace stream");
     }
-    ctx.line = 1;
+    line_ = 1;
+    const ParseContext ctx{source_, line_};
     const auto header = split_csv(line);
     if (header.size() < 4 || header[0] != kMagic) {
         ctx.fail("header", "bad trace header: " + line);
     }
-    Trace trace;
-    trace.name = header[1];
-    trace.makespan = parse_i64(ctx, "makespan", header[2]);
-    const std::uint64_t session_count =
-        parse_u64(ctx, "session_count", header[3]);
-    // Reserve is only a hint: cap it so a malformed huge count surfaces as
-    // the final "session count mismatch" TraceParseError instead of
-    // length_error/bad_alloc from the allocator.
-    constexpr std::uint64_t kReserveCap = 1u << 20;
-    trace.sessions.reserve(std::min(session_count, kReserveCap));
+    name_ = header[1];
+    makespan_ = parse_i64(ctx, "makespan", header[2]);
+    session_count_ = parse_u64(ctx, "session_count", header[3]);
+}
 
-    SessionSpec* current = nullptr;
-    std::size_t expected_tasks = 0;
-    while (std::getline(in, line)) {
-        ++ctx.line;
+bool
+TraceReader::next(SessionSpec& out)
+{
+    if (done_) {
+        return false;
+    }
+    std::string line;
+    while (std::getline(in_, line)) {
+        ++line_;
         if (line.empty()) {
             continue;
         }
+        const ParseContext ctx{source_, line_};
         const auto fields = split_csv(line);
         if (fields[0] == "S") {
             if (fields.size() != 12) {
                 ctx.fail("session_row", "bad session row: " + line);
             }
-            if (current != nullptr &&
-                current->tasks.size() != expected_tasks) {
+            if (has_current_ && current_.tasks.size() != expected_tasks_) {
                 ctx.fail("task_count", "task count mismatch in session " +
-                                           std::to_string(current->id));
+                                           std::to_string(current_.id));
             }
             SessionSpec session;
             session.id = parse_i64(ctx, "session_id", fields[1]);
@@ -255,30 +264,89 @@ load_trace(std::istream& in, const std::string& source_name)
                 parse_i32(ctx, "domain", fields[8]));
             session.model = fields[9];
             session.dataset = fields[10];
-            expected_tasks = parse_u64(ctx, "task_count", fields[11]);
-            trace.sessions.push_back(std::move(session));
-            current = &trace.sessions.back();
+            expected_tasks_ = parse_u64(ctx, "task_count", fields[11]);
+            if (has_current_) {
+                out = std::move(current_);
+                current_ = std::move(session);
+                ++emitted_;
+                return true;
+            }
+            current_ = std::move(session);
+            has_current_ = true;
         } else if (fields[0] == "T") {
-            if (current == nullptr || fields.size() != 5) {
+            if (!has_current_ || fields.size() != 5) {
                 ctx.fail("task_row", "orphan/bad task row: " + line);
             }
             CellTask task;
-            task.session = current->id;
+            task.session = current_.id;
             task.seq = parse_i32(ctx, "seq", fields[1]);
             task.submit_time = parse_i64(ctx, "submit_time", fields[2]);
             task.duration = parse_i64(ctx, "duration", fields[3]);
             task.is_gpu = fields[4] == "1";
-            task.code = resynthesize_code(*current, task);
-            current->tasks.push_back(std::move(task));
+            task.code = resynthesize_code(current_, task);
+            current_.tasks.push_back(std::move(task));
         } else {
             ctx.fail("row_type", "unknown row type: " + line);
         }
     }
-    if (current != nullptr && current->tasks.size() != expected_tasks) {
-        ctx.fail("task_count", "task count mismatch in final session");
+    // End of stream: flush the final session (after its task-count check),
+    // then verify the tally against the header — the same check order, at
+    // the same line numbers, as the historical one-shot parser.
+    const ParseContext ctx{source_, line_};
+    if (has_current_) {
+        if (current_.tasks.size() != expected_tasks_) {
+            ctx.fail("task_count", "task count mismatch in final session");
+        }
+        has_current_ = false;
+        ++emitted_;
+        out = std::move(current_);
+        current_ = SessionSpec{};
+        return true;
     }
-    if (trace.sessions.size() != session_count) {
+    done_ = true;
+    if (emitted_ != session_count_) {
         ctx.fail("session_count", "session count mismatch");
+    }
+    return false;
+}
+
+void
+save_trace(const Trace& trace, std::ostream& out)
+{
+    TraceWriter writer(out, trace.name, trace.makespan,
+                       trace.sessions.size());
+    for (const SessionSpec& session : trace.sessions) {
+        writer.write_session(session);
+    }
+    writer.finish();
+}
+
+bool
+save_trace_file(const Trace& trace, const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out) {
+        return false;
+    }
+    save_trace(trace, out);
+    return static_cast<bool>(out);
+}
+
+Trace
+load_trace(std::istream& in, const std::string& source_name)
+{
+    TraceReader reader(in, source_name);
+    Trace trace;
+    trace.name = reader.name();
+    trace.makespan = reader.makespan();
+    // Reserve is only a hint: cap it so a malformed huge count surfaces as
+    // the final "session count mismatch" TraceParseError instead of
+    // length_error/bad_alloc from the allocator.
+    constexpr std::uint64_t kReserveCap = 1u << 20;
+    trace.sessions.reserve(std::min(reader.session_count(), kReserveCap));
+    SessionSpec session;
+    while (reader.next(session)) {
+        trace.sessions.push_back(std::move(session));
     }
     return trace;
 }

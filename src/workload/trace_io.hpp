@@ -12,10 +12,13 @@
 #define NBOS_WORKLOAD_TRACE_IO_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
 
+#include "sim/time.hpp"
+#include "workload/session_source.hpp"
 #include "workload/trace.hpp"
 
 namespace nbos::workload {
@@ -45,6 +48,107 @@ class TraceParseError : public std::runtime_error
     std::string source_;
     std::size_t line_;
     std::string field_;
+};
+
+/**
+ * Streaming serializer for the nbos-trace-v1 format: the header goes out
+ * at construction, sessions one at a time, so month-scale traces can be
+ * written with O(one session) memory. save_trace is implemented on top of
+ * this writer, so streamed and materialized output are byte-identical.
+ *
+ * The format pins the session count in the header, so the count must be
+ * known up front (generate_trace_stream counts with a first pass);
+ * finish() throws std::logic_error when the written count diverges.
+ */
+class TraceWriter
+{
+  public:
+    /** Write the header row for a trace of exactly @p session_count
+     *  sessions. */
+    TraceWriter(std::ostream& out, const std::string& name,
+                sim::Time makespan, std::uint64_t session_count);
+
+    /** Append one session (its `S` row plus all `T` rows).
+     *  @throws std::logic_error past the declared session count. */
+    void write_session(const SessionSpec& session);
+
+    /** Sessions written so far. */
+    std::uint64_t written() const { return written_; }
+
+    /** Declare the trace complete.
+     *  @throws std::logic_error when the written count does not match the
+     *          header. */
+    void finish();
+
+  private:
+    std::ostream& out_;
+    std::uint64_t expected_;
+    std::uint64_t written_ = 0;
+};
+
+/**
+ * Streaming parser for the nbos-trace-v1 format: the header is parsed at
+ * construction, sessions are pulled one at a time with O(one session)
+ * memory. load_trace is implemented on top of this reader, so it accepts
+ * and rejects exactly the same inputs with exactly the same
+ * TraceParseError source/line/field.
+ */
+class TraceReader
+{
+  public:
+    /** Parse the header from @p in.
+     *  @param source_name label used in parse errors.
+     *  @throws TraceParseError on a malformed header. */
+    explicit TraceReader(std::istream& in,
+                         std::string source_name = "<stream>");
+
+    /** Trace name from the header. */
+    const std::string& name() const { return name_; }
+    /** Trace makespan from the header. */
+    sim::Time makespan() const { return makespan_; }
+    /** Session count the header declares. */
+    std::uint64_t session_count() const { return session_count_; }
+
+    /** Parse the next complete session into @p out.
+     *  @return false when the stream is exhausted (@p out untouched).
+     *  @throws TraceParseError on malformed rows, task-count mismatches,
+     *          and a final session tally differing from the header. */
+    bool next(SessionSpec& out);
+
+  private:
+    std::istream& in_;
+    std::string source_;
+    std::size_t line_ = 0;
+    std::string name_;
+    sim::Time makespan_ = 0;
+    std::uint64_t session_count_ = 0;
+    std::uint64_t emitted_ = 0;
+    SessionSpec current_;
+    std::uint64_t expected_tasks_ = 0;
+    bool has_current_ = false;
+    bool done_ = false;
+};
+
+/** SessionSource over a TraceReader: lets the engines' streamed drivers
+ *  inject a serialized trace without ever materializing it. */
+class TraceStreamSource final : public SessionSource
+{
+  public:
+    explicit TraceStreamSource(std::istream& in,
+                               std::string source_name = "<stream>")
+        : reader_(in, std::move(source_name))
+    {
+    }
+
+    const std::string& trace_name() const override { return reader_.name(); }
+    sim::Time makespan() const override { return reader_.makespan(); }
+    bool next(SessionSpec& out) override { return reader_.next(out); }
+
+    /** The underlying reader (header metadata access). */
+    const TraceReader& reader() const { return reader_; }
+
+  private:
+    TraceReader reader_;
 };
 
 /** Serialize @p trace to @p out (CSV-ish, line oriented). */

@@ -16,14 +16,20 @@
 #include <string>
 #include <vector>
 
+#include <sstream>
+
 #include "chaos/config.hpp"
 #include "chaos/fault_plan.hpp"
+#include "core/protosim.hpp"
 #include "core/seed_sweep.hpp"
+#include "core/sharded_fastsim.hpp"
 #include "harness.hpp"
 #include "net/network.hpp"
 #include "raft/raft.hpp"
 #include "sched/routing.hpp"
 #include "sim/simulation.hpp"
+#include "workload/profiles.hpp"
+#include "workload/trace_io.hpp"
 
 namespace nbos {
 namespace {
@@ -547,6 +553,186 @@ TEST(DeterminismTest, ChaosReplayMatchesRecord)
 
     test::expect_results_identical(original, rerun);
     EXPECT_EQ(replayed->serialize(), schedule_text);
+}
+
+/** FNV-1a over a serialized trace: the golden fingerprint the profile
+ *  determinism pins below use. */
+std::uint64_t
+trace_bytes_fnv1a(const std::string& bytes)
+{
+    std::uint64_t hash = 14695981039346656037ULL;
+    for (const unsigned char byte : bytes) {
+        hash ^= byte;
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+std::string
+profile_trace_bytes(const workload::WorkloadProfile& profile,
+                    std::uint64_t seed,
+                    const workload::GeneratorOptions& options)
+{
+    std::ostringstream out;
+    workload::save_trace(profile.generate(seed, options), out);
+    return out.str();
+}
+
+/**
+ * Golden trace hashes for every built-in profile at seeds 1..4 (4-hour
+ * makespan, 24-session cap). The adobe/philly/alibaba rows double as the
+ * guarantee that the profile layer never moved the three historical
+ * calibrations; the other rows pin the new arrival processes. Any
+ * legitimate distribution change must regenerate this table on purpose.
+ */
+TEST(ProfileDeterminismTest, ProfileTraceBytesMatchGoldenHashes)
+{
+    const struct
+    {
+        const char* name;
+        std::uint64_t hash[4];
+    } goldens[] = {
+        {"adobe",
+         {0x06f5b921f4484e93ULL, 0xc5038f2a85b04a9dULL,
+          0x4038e67d9535ca89ULL, 0x17cfcd7c36c86c67ULL}},
+        {"alibaba",
+         {0x03ded11cfeb88698ULL, 0x8ede5ccc84a8c0beULL,
+          0x4892b305c63051e2ULL, 0x4e297564133f735eULL}},
+        {"batch_interactive",
+         {0xb4575935d3d8dfc1ULL, 0xe09805dffb301b5bULL,
+          0x1199c03ea40b2ee0ULL, 0xae3a51f3f6945eecULL}},
+        {"diurnal",
+         {0xa8f9a92b640f364dULL, 0x341e484f7c3e4c54ULL,
+          0x2f5f471a926fa522ULL, 0xdf14a2302b204dfeULL}},
+        {"flash_crowd",
+         {0x40045f8017d617bcULL, 0x804effd94c76ced6ULL,
+          0x117f59d7fae6d0cfULL, 0x7fd179384cef2d85ULL}},
+        {"heavy_tail",
+         {0xe2c51f9bc551796fULL, 0x6ecfe81a5970ef37ULL,
+          0x5fe0543ac51543f7ULL, 0x955c1cd0d0da92bcULL}},
+        {"multi_tenant",
+         {0xde9e9ee55afd529bULL, 0x47d2af59ce0a7964ULL,
+          0xb4f621fccf627927ULL, 0xd0e47898e13892bcULL}},
+        {"philly",
+         {0x175cc215670ea25fULL, 0x77da7201dc845752ULL,
+          0x44aebebf7a68b9a4ULL, 0xfd763cf65632361cULL}},
+    };
+    workload::GeneratorOptions options;
+    options.makespan = 4 * sim::kHour;
+    options.max_sessions = 24;
+    const workload::ProfileRegistry& registry =
+        workload::ProfileRegistry::instance();
+    EXPECT_EQ(registry.names().size(), std::size(goldens));
+    for (const auto& golden : goldens) {
+        SCOPED_TRACE(golden.name);
+        const auto profile = registry.create(golden.name);
+        ASSERT_NE(profile, nullptr);
+        for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+            const std::string bytes =
+                profile_trace_bytes(*profile, seed, options);
+            EXPECT_EQ(trace_bytes_fnv1a(bytes), golden.hash[seed - 1])
+                << "seed " << seed;
+        }
+    }
+}
+
+/** Chunked generate-to-stream is byte-identical to materializing the
+ *  trace and saving it, for every profile. */
+TEST(ProfileDeterminismTest, StreamedGenerateMatchesMaterializedSave)
+{
+    workload::GeneratorOptions options;
+    options.makespan = 3 * sim::kHour;
+    options.max_sessions = 16;
+    const workload::ProfileRegistry& registry =
+        workload::ProfileRegistry::instance();
+    for (const std::string& name : registry.names()) {
+        SCOPED_TRACE(name);
+        const auto profile = registry.create(name);
+        ASSERT_NE(profile, nullptr);
+        std::ostringstream streamed;
+        workload::generate_trace_stream(*profile, /*seed=*/9, options,
+                                        streamed);
+        EXPECT_EQ(streamed.str(),
+                  profile_trace_bytes(*profile, /*seed=*/9, options));
+    }
+}
+
+/** The prototype engine's streamed driver is bit-identical to the
+ *  materialized routed drivers when fed the same trace through
+ *  TraceSessionSource, for both non-static routing policies. */
+TEST(ProfileDeterminismTest, PrototypeStreamedMatchesMaterializedRouted)
+{
+    const auto trace = test::tiny_trace(8, 2 * sim::kHour);
+    for (const sched::RoutingPolicyKind routing :
+         {sched::RoutingPolicyKind::kLeastLoaded,
+          sched::RoutingPolicyKind::kRebalance}) {
+        SCOPED_TRACE(sched::to_string(routing));
+        core::PlatformConfig config =
+            test::platform_config(core::Policy::kNotebookOS, /*seed=*/21);
+        config.scheduler.shards = 3;
+        config.scheduler.routing = routing;
+        config.scheduler.shard_parallel = false;
+        const auto materialized = core::Platform(config).run(trace);
+        workload::TraceSessionSource source_a(trace);
+        const auto streamed_a =
+            core::run_prototype_streamed(source_a, config);
+        test::expect_results_identical(materialized, streamed_a);
+        workload::TraceSessionSource source_b(trace);
+        const auto streamed_b =
+            core::run_prototype_streamed(source_b, config);
+        test::expect_results_identical(streamed_a, streamed_b);
+    }
+}
+
+/** Same pin for the sharded fast engine: the streamed driver under
+ *  rebalance routing matches the materialized run bit-for-bit, with
+ *  shard threads on or off. */
+TEST(ProfileDeterminismTest, FastStreamedMatchesMaterializedRebalance)
+{
+    const auto trace = test::tiny_trace(16, 3 * sim::kHour);
+    core::PlatformConfig config = test::platform_config(
+        core::Policy::kNotebookOS, /*seed=*/21, /*fast=*/true);
+    config.scheduler.shards = 4;
+    config.scheduler.routing = sched::RoutingPolicyKind::kRebalance;
+    config.scheduler.shard_parallel = false;
+    const auto materialized = core::Platform(config).run(trace);
+    workload::TraceSessionSource source_serial(trace);
+    const core::StreamedFastRun serial =
+        core::run_fast_streamed(source_serial, config);
+    test::expect_results_identical(materialized, serial.results);
+    config.scheduler.shard_parallel = true;
+    workload::TraceSessionSource source_parallel(trace);
+    const core::StreamedFastRun parallel =
+        core::run_fast_streamed(source_parallel, config);
+    test::expect_results_identical(serial.results, parallel.results);
+    EXPECT_EQ(parallel.events_executed, serial.events_executed);
+    EXPECT_EQ(parallel.sessions_rebalanced, serial.sessions_rebalanced);
+}
+
+/** Streamed profile runs keep the same-seed contract end to end: two
+ *  fresh streams of the same profile through the streamed fast driver
+ *  are bit-identical. */
+TEST(ProfileDeterminismTest, FastStreamedProfileRunSameSeedBitIdentical)
+{
+    workload::GeneratorOptions options;
+    options.makespan = 2 * sim::kHour;
+    options.max_sessions = 24;
+    options.arrival_rate_scale = 4.0;
+    const auto profile = workload::ProfileRegistry::instance().create(
+        workload::kProfileFlashCrowd);
+    ASSERT_NE(profile, nullptr);
+    core::PlatformConfig config = test::platform_config(
+        core::Policy::kNotebookOS, /*seed=*/33, /*fast=*/true);
+    config.scheduler.shards = 4;
+    config.scheduler.routing = sched::RoutingPolicyKind::kLeastLoaded;
+    config.scheduler.shard_parallel = true;
+    const auto source_a = profile->open(/*seed=*/33, options);
+    const core::StreamedFastRun a = core::run_fast_streamed(*source_a, config);
+    const auto source_b = profile->open(/*seed=*/33, options);
+    const core::StreamedFastRun b = core::run_fast_streamed(*source_b, config);
+    test::expect_results_identical(a.results, b.results);
+    EXPECT_EQ(a.events_executed, b.events_executed);
+    EXPECT_GT(a.results.tasks.size(), 0u);
 }
 
 }  // namespace

@@ -10,14 +10,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "harness.hpp"
 #include "metrics/percentiles.hpp"
 #include "metrics/stats.hpp"
 #include "sched/sharded_scheduler.hpp"
+#include "workload/profiles.hpp"
 
 namespace nbos {
 namespace {
@@ -507,6 +512,160 @@ TEST(RoutingPolicyProperty, InvariantTotalsIndependentOfPolicy)
             }
         }
     });
+}
+
+/**
+ * Workload-profile family invariants: every registered profile, at every
+ * seed, yields a trace sorted by (start_time, id) with unique ids,
+ * in-makespan arrivals, and internally consistent sessions (serial task
+ * sequence numbers, monotone submit times, positive durations). These are
+ * the structural preconditions the streamed engine drivers and the
+ * nbos-trace-v1 serializer both rely on.
+ */
+TEST(WorkloadProfileProperty, EveryProfileStreamSortedAndConsistent)
+{
+    const workload::ProfileRegistry& registry =
+        workload::ProfileRegistry::instance();
+    const std::vector<std::string> names = registry.names();
+    ASSERT_GE(names.size(), 8u);
+    test::check_property(4, [&names, &registry](sim::Rng& rng, std::size_t) {
+        const std::uint64_t seed = rng.next_u64();
+        workload::GeneratorOptions options;
+        options.makespan = 4 * sim::kHour;
+        options.max_sessions = 20;
+        for (const std::string& name : names) {
+            SCOPED_TRACE(name + " seed=" + std::to_string(seed));
+            const auto profile = registry.create(name);
+            ASSERT_NE(profile, nullptr);
+            EXPECT_EQ(profile->name(), name);
+            const workload::Trace trace = profile->generate(seed, options);
+            ASSERT_FALSE(trace.sessions.empty());
+            EXPECT_EQ(trace.makespan, options.makespan);
+            std::set<std::int64_t> ids;
+            const workload::SessionSpec* previous = nullptr;
+            for (const workload::SessionSpec& session : trace.sessions) {
+                ASSERT_GE(session.start_time, 0);
+                ASSERT_LT(session.start_time, trace.makespan);
+                ASSERT_GE(session.end_time, session.start_time);
+                ASSERT_TRUE(ids.insert(session.id).second)
+                    << "duplicate session id " << session.id;
+                if (previous != nullptr) {
+                    ASSERT_TRUE(
+                        previous->start_time < session.start_time ||
+                        (previous->start_time == session.start_time &&
+                         previous->id < session.id))
+                        << "sessions out of (start_time, id) order at id "
+                        << session.id;
+                }
+                previous = &session;
+                sim::Time at = session.start_time;
+                std::int32_t seq = 0;
+                for (const workload::CellTask& task : session.tasks) {
+                    ASSERT_EQ(task.session, session.id);
+                    ASSERT_EQ(task.seq, seq++);
+                    ASSERT_GE(task.submit_time, at);
+                    at = task.submit_time;
+                    ASSERT_GT(task.duration, 0);
+                    ASSERT_FALSE(task.code.empty());
+                }
+            }
+        }
+    });
+}
+
+/** The merged multi_tenant stream is exactly the union of its per-tenant
+ *  marginals: same ids, same sessions, totals that sum — the property
+ *  that makes per-tenant analyses decomposable. */
+TEST(WorkloadProfileProperty, MultiTenantTotalsSumOfMarginals)
+{
+    const auto profile = workload::ProfileRegistry::instance().create(
+        workload::kProfileMultiTenant);
+    ASSERT_NE(profile, nullptr);
+    ASSERT_EQ(profile->tenant_count(), 3u);
+    test::check_property(3, [&profile](sim::Rng& rng, std::size_t) {
+        const std::uint64_t seed = rng.next_u64();
+        workload::GeneratorOptions options;
+        options.makespan = 6 * sim::kHour;
+        options.max_sessions = 15;
+        std::map<std::int64_t, workload::SessionSpec> marginal;
+        std::size_t marginal_total = 0;
+        for (std::size_t tenant = 0; tenant < profile->tenant_count();
+             ++tenant) {
+            const auto source = profile->open_tenant(tenant, seed, options);
+            workload::SessionSpec session;
+            while (source->next(session)) {
+                ++marginal_total;
+                ASSERT_TRUE(marginal.emplace(session.id, session).second)
+                    << "tenant id namespaces overlap at " << session.id;
+            }
+        }
+        const workload::Trace merged = profile->generate(seed, options);
+        ASSERT_EQ(merged.sessions.size(), marginal_total);
+        for (const workload::SessionSpec& session : merged.sessions) {
+            const auto it = marginal.find(session.id);
+            ASSERT_NE(it, marginal.end()) << "merged-only id " << session.id;
+            const workload::SessionSpec& expected = it->second;
+            ASSERT_EQ(session.start_time, expected.start_time);
+            ASSERT_EQ(session.end_time, expected.end_time);
+            ASSERT_EQ(session.model, expected.model);
+            ASSERT_EQ(session.tasks.size(), expected.tasks.size());
+            for (std::size_t t = 0; t < session.tasks.size(); ++t) {
+                ASSERT_EQ(session.tasks[t].submit_time,
+                          expected.tasks[t].submit_time);
+                ASSERT_EQ(session.tasks[t].duration,
+                          expected.tasks[t].duration);
+            }
+        }
+        EXPECT_THROW(
+            profile->open_tenant(profile->tenant_count(), seed, options),
+            std::out_of_range);
+    });
+}
+
+/** Diurnal thinning really shapes the arrival process: hour-of-day
+ *  arrival counts track the published modulation curve within sampling
+ *  tolerance, and the mid-day peak dominates the midnight trough. */
+TEST(WorkloadProfileProperty, DiurnalArrivalsTrackModulationCurve)
+{
+    const auto profile = workload::ProfileRegistry::instance().create(
+        workload::kProfileDiurnal);
+    ASSERT_NE(profile, nullptr);
+    workload::GeneratorOptions options;
+    options.makespan = 48 * sim::kHour;
+    options.arrival_rate_scale = 60.0;
+    const workload::Trace trace = profile->generate(test::kTestSeed, options);
+    ASSERT_GT(trace.sessions.size(), 5000u);
+
+    std::array<double, 24> counts{};
+    for (const workload::SessionSpec& session : trace.sessions) {
+        counts[static_cast<std::size_t>(
+            (session.start_time / sim::kHour) % 24)] += 1.0;
+    }
+    std::array<double, 24> modulation{};
+    double modulation_total = 0.0;
+    for (int hour = 0; hour < 24; ++hour) {
+        modulation[static_cast<std::size_t>(hour)] =
+            workload::diurnal_modulation(hour * sim::kHour +
+                                         30 * sim::kMinute);
+        modulation_total += modulation[static_cast<std::size_t>(hour)];
+    }
+    const auto total = static_cast<double>(trace.sessions.size());
+    for (int hour = 0; hour < 24; ++hour) {
+        const double expected =
+            total * modulation[static_cast<std::size_t>(hour)] /
+            modulation_total;
+        if (expected >= 100.0) {
+            EXPECT_NEAR(counts[static_cast<std::size_t>(hour)], expected,
+                        0.30 * expected)
+                << "hour " << hour;
+        }
+    }
+    const double peak =
+        counts[10] + counts[11] + counts[12] + counts[13];
+    const double trough =
+        counts[22] + counts[23] + counts[0] + counts[1];
+    EXPECT_GE(peak, 3.0 * trough)
+        << "mid-day window must dominate the midnight window";
 }
 
 }  // namespace

@@ -6,11 +6,14 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 #include "nblang/interpreter.hpp"
 #include "workload/generator.hpp"
+#include "workload/profiles.hpp"
 #include "workload/trace_io.hpp"
 
 namespace nbos::workload {
@@ -585,6 +588,166 @@ TEST_P(ProfileProperty, StructurallyValid)
 
 INSTANTIATE_TEST_SUITE_P(Profiles, ProfileProperty,
                          ::testing::Values(0, 1, 2));
+
+TEST(ProfileRegistryTest, BuiltinsRegisteredAndLookupsResolve)
+{
+    ProfileRegistry& registry = ProfileRegistry::instance();
+    for (const char* name :
+         {kProfileAdobe, kProfilePhilly, kProfileAlibaba, kProfileDiurnal,
+          kProfileFlashCrowd, kProfileHeavyTail, kProfileMultiTenant,
+          kProfileBatchInteractive}) {
+        EXPECT_TRUE(registry.contains(name)) << name;
+        const auto profile = registry.create(name);
+        ASSERT_NE(profile, nullptr) << name;
+        EXPECT_EQ(profile->name(), name);
+        EXPECT_FALSE(profile->description().empty()) << name;
+        EXPECT_GE(profile->tenant_count(), 1u) << name;
+    }
+    EXPECT_FALSE(registry.contains("no_such_profile"));
+    EXPECT_EQ(registry.create("no_such_profile"), nullptr);
+    const std::vector<std::string> names = registry.names();
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(ProfileRegistryTest, RegisterRejectsDuplicatesAndEmptyFactories)
+{
+    ProfileRegistry& registry = ProfileRegistry::instance();
+    EXPECT_FALSE(registry.register_profile(kProfileAdobe, [] {
+        return ProfileRegistry::instance().create(kProfilePhilly);
+    }));
+    EXPECT_FALSE(
+        registry.register_profile("empty_factory", ProfileRegistry::Factory{}));
+    EXPECT_FALSE(registry.contains("empty_factory"));
+}
+
+TEST(TraceWriterTest, CountMismatchesThrowLogicError)
+{
+    const Trace trace = small_adobe_trace(80);
+    ASSERT_GE(trace.sessions.size(), 2u);
+    std::stringstream buffer;
+    TraceWriter writer(buffer, trace.name, trace.makespan, 1);
+    writer.write_session(trace.sessions[0]);
+    EXPECT_EQ(writer.written(), 1u);
+    EXPECT_THROW(writer.write_session(trace.sessions[1]), std::logic_error);
+    EXPECT_NO_THROW(writer.finish());
+
+    std::stringstream undercount;
+    TraceWriter short_writer(undercount, trace.name, trace.makespan, 2);
+    short_writer.write_session(trace.sessions[0]);
+    EXPECT_THROW(short_writer.finish(), std::logic_error);
+}
+
+TEST(TraceIoTest, TraceStreamSourceStreamsExactlyTheLoadedSessions)
+{
+    const Trace original = small_adobe_trace(81);
+    std::stringstream buffer;
+    save_trace(original, buffer);
+    TraceStreamSource source(buffer);
+    EXPECT_EQ(source.trace_name(), original.name);
+    EXPECT_EQ(source.makespan(), original.makespan);
+    EXPECT_EQ(source.reader().session_count(), original.sessions.size());
+    std::size_t index = 0;
+    SessionSpec session;
+    while (source.next(session)) {
+        ASSERT_LT(index, original.sessions.size());
+        EXPECT_EQ(session.id, original.sessions[index].id);
+        EXPECT_EQ(session.start_time, original.sessions[index].start_time);
+        EXPECT_EQ(session.tasks.size(), original.sessions[index].tasks.size());
+        ++index;
+    }
+    EXPECT_EQ(index, original.sessions.size());
+    EXPECT_FALSE(source.next(session));
+}
+
+/** Round-trip fuzz corpus: a random trace from every registered profile
+ *  must survive save -> stream-load -> save byte-identically. */
+TEST(TraceIoFuzzTest, ProfileTracesSurviveStreamRoundTripByteIdentically)
+{
+    const ProfileRegistry& registry = ProfileRegistry::instance();
+    for (const std::string& name : registry.names()) {
+        SCOPED_TRACE(name);
+        const auto profile = registry.create(name);
+        ASSERT_NE(profile, nullptr);
+        for (const std::uint64_t seed : {3u, 17u}) {
+            GeneratorOptions options;
+            options.makespan = 3 * sim::kHour;
+            options.max_sessions = 12;
+            const Trace trace = profile->generate(seed, options);
+            std::stringstream first;
+            save_trace(trace, first);
+            std::stringstream copy(first.str());
+            const Trace loaded = load_trace(copy);
+            std::stringstream second;
+            save_trace(loaded, second);
+            EXPECT_EQ(first.str(), second.str()) << "seed " << seed;
+        }
+    }
+}
+
+/** Truncation fuzz: a trace cut at any random byte offset must either
+ *  raise a TraceParseError naming source/line/field, or — only when the
+ *  cut removes nothing but the final newline — parse to the full trace.
+ *  Silent truncation is the failure mode this pins out. */
+TEST(TraceIoFuzzTest, TruncatedInputsAlwaysRaiseStructuredErrors)
+{
+    const Trace trace = small_adobe_trace(82);
+    std::stringstream buffer;
+    save_trace(trace, buffer);
+    const std::string bytes = buffer.str();
+    ASSERT_GT(bytes.size(), 100u);
+    sim::Rng rng(2024);
+    for (int i = 0; i < 64; ++i) {
+        const auto cut = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(bytes.size()) - 1));
+        SCOPED_TRACE("cut=" + std::to_string(cut));
+        std::stringstream truncated(bytes.substr(0, cut));
+        try {
+            const Trace loaded = load_trace(truncated);
+            // Only losing the trailing newline may parse — and then it
+            // must reproduce the complete trace.
+            EXPECT_GE(cut, bytes.size() - 1);
+            std::stringstream reserialized;
+            save_trace(loaded, reserialized);
+            EXPECT_EQ(reserialized.str(), bytes);
+        } catch (const TraceParseError& error) {
+            EXPECT_EQ(error.source(), "<stream>");
+            EXPECT_FALSE(error.field().empty());
+            EXPECT_NE(std::string(error.what()).find("<stream>"),
+                      std::string::npos);
+        }
+    }
+}
+
+/** Byte-mutation fuzz: flipping any single byte to a random printable
+ *  character either raises TraceParseError or parses cleanly (digit ->
+ *  digit flips are legitimate) — never a crash and never an exception
+ *  without parse context. */
+TEST(TraceIoFuzzTest, MutatedInputsThrowParseErrorsNotCrashes)
+{
+    const Trace trace = small_adobe_trace(83);
+    std::stringstream buffer;
+    save_trace(trace, buffer);
+    const std::string bytes = buffer.str();
+    sim::Rng rng(4096);
+    for (int i = 0; i < 128; ++i) {
+        std::string mutated = bytes;
+        const auto position = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(bytes.size()) - 1));
+        mutated[position] =
+            static_cast<char>('!' + rng.uniform_int(0, 93));
+        SCOPED_TRACE("byte " + std::to_string(position) + " -> '" +
+                     std::string(1, mutated[position]) + "'");
+        std::stringstream in(mutated);
+        try {
+            const Trace loaded = load_trace(in);
+            (void)loaded;
+        } catch (const TraceParseError& error) {
+            EXPECT_FALSE(error.field().empty());
+            EXPECT_FALSE(std::string(error.what()).empty());
+        }
+        // Any other exception type escapes and fails the test.
+    }
+}
 
 }  // namespace
 }  // namespace nbos::workload
