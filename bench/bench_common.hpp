@@ -32,6 +32,152 @@ namespace nbos::bench {
 /** Fixed seed so every bench is reproducible run-to-run. */
 inline constexpr std::uint64_t kSeed = 2026;
 
+/** Raw values of the five NBOS_BENCH_* knobs (null = unset). Captured as
+ *  a struct so parsing is a pure, testable function of its inputs. */
+struct BenchEnv
+{
+    const char* smoke = nullptr;     ///< NBOS_BENCH_SMOKE
+    const char* profile = nullptr;   ///< NBOS_BENCH_PROFILE
+    const char* seeds = nullptr;     ///< NBOS_BENCH_SEEDS
+    const char* shards = nullptr;    ///< NBOS_BENCH_SHARDS
+    const char* routing = nullptr;   ///< NBOS_BENCH_ROUTING
+    const char* policies = nullptr;  ///< NBOS_BENCH_POLICIES
+
+    static BenchEnv capture()
+    {
+        BenchEnv env;
+        env.smoke = std::getenv("NBOS_BENCH_SMOKE");
+        env.profile = std::getenv("NBOS_BENCH_PROFILE");
+        env.seeds = std::getenv("NBOS_BENCH_SEEDS");
+        env.shards = std::getenv("NBOS_BENCH_SHARDS");
+        env.routing = std::getenv("NBOS_BENCH_ROUTING");
+        env.policies = std::getenv("NBOS_BENCH_POLICIES");
+        return env;
+    }
+};
+
+/**
+ * The validated bench option set: every NBOS_BENCH_* knob parsed once,
+ * in one place. Malformed values are a hard error with the offending
+ * variable named — historically a bad NBOS_BENCH_SHARDS silently fell
+ * back to 1 and an unknown profile only warned, so a typo could pass as
+ * a measurement of the default scenario.
+ */
+struct BenchOptions
+{
+    /** Shrunken workloads for CI (`ctest -L smoke`); first char '0' or
+     *  unset/empty means off, anything else on. */
+    bool smoke = false;
+    /** workload::ProfileRegistry scenario override; empty keeps the
+     *  canonical adobe workloads byte-identical. */
+    std::string profile;
+    /** Seed-sweep width, [1, 64]; 1 = single-seed figures only. */
+    std::size_t seeds = 1;
+    /** Fast-engine shard count, [1, 64]; 1 = the monolithic path. */
+    std::int32_t shards = 1;
+    /** Session -> shard routing policy for sharded runs. */
+    sched::RoutingPolicyKind routing = sched::RoutingPolicyKind::kStaticHash;
+    /** Raw engine filter (comma-separated names); empty = run all. */
+    std::string policies;
+};
+
+/** Parse @p env into @p out. Pure (no process state, no exit).
+ *  @return false and set @p error — naming the variable and the valid
+ *          range — when any value is malformed. */
+inline bool
+parse_bench_options(const BenchEnv& env, BenchOptions& out,
+                    std::string& error)
+{
+    const auto parse_count = [&error](const char* raw, const char* name,
+                                      long& value) {
+        char* end = nullptr;
+        value = std::strtol(raw, &end, 10);
+        if (end == raw || *end != '\0' || value < 1 || value > 64) {
+            error = std::string(name) + "='" + raw +
+                    "' is not an integer in [1, 64]";
+            return false;
+        }
+        return true;
+    };
+
+    out = BenchOptions{};
+    if (env.smoke != nullptr && env.smoke[0] != '\0') {
+        out.smoke = env.smoke[0] != '0';
+    }
+    if (env.profile != nullptr && env.profile[0] != '\0') {
+        if (!workload::ProfileRegistry::instance().contains(env.profile)) {
+            error = std::string("NBOS_BENCH_PROFILE='") + env.profile +
+                    "' is not a registered workload profile (known:";
+            for (const std::string& name :
+                 workload::ProfileRegistry::instance().names()) {
+                error += " " + name;
+            }
+            error += ")";
+            return false;
+        }
+        out.profile = env.profile;
+    }
+    if (env.seeds != nullptr && env.seeds[0] != '\0') {
+        long value = 0;
+        if (!parse_count(env.seeds, "NBOS_BENCH_SEEDS", value)) {
+            return false;
+        }
+        out.seeds = static_cast<std::size_t>(value);
+    }
+    if (env.shards != nullptr && env.shards[0] != '\0') {
+        long value = 0;
+        if (!parse_count(env.shards, "NBOS_BENCH_SHARDS", value)) {
+            return false;
+        }
+        out.shards = static_cast<std::int32_t>(value);
+    }
+    if (env.routing != nullptr && env.routing[0] != '\0') {
+        try {
+            out.routing = sched::routing_policy_from_string(env.routing);
+        } catch (const std::invalid_argument&) {
+            error = std::string("NBOS_BENCH_ROUTING='") + env.routing +
+                    "' is not a routing policy (known: static_hash "
+                    "least_loaded rebalance)";
+            return false;
+        }
+    }
+    if (env.policies != nullptr) {
+        out.policies = env.policies;
+    }
+    return true;
+}
+
+/**
+ * The process's active bench options: the five NBOS_BENCH_* variables
+ * parsed and validated together. A malformed value prints the error and
+ * exits 2 (a typo must never pass as a measurement of the default); the
+ * first call prints the active option set once, to stderr so the
+ * hash-pinned stdout of every bench is unaffected.
+ */
+inline BenchOptions
+options_or_exit()
+{
+    BenchOptions options;
+    std::string error;
+    if (!parse_bench_options(BenchEnv::capture(), options, error)) {
+        std::fprintf(stderr, "[bench] %s\n", error.c_str());
+        std::exit(2);
+    }
+    static bool announced = false;
+    if (!announced) {
+        announced = true;
+        std::fprintf(
+            stderr,
+            "[bench] options: smoke=%d profile=%s seeds=%zu shards=%d "
+            "routing=%s policies=%s\n",
+            options.smoke ? 1 : 0,
+            options.profile.empty() ? "(default)" : options.profile.c_str(),
+            options.seeds, options.shards, sched::to_string(options.routing),
+            options.policies.empty() ? "(all)" : options.policies.c_str());
+    }
+    return options;
+}
+
 /** Smoke mode (`NBOS_BENCH_SMOKE=1`, set by the `ctest -L smoke` entries)
  *  shrinks every canonical workload so all bench binaries together finish
  *  in well under a minute while still exercising their full code paths.
@@ -39,8 +185,7 @@ inline constexpr std::uint64_t kSeed = 2026;
 inline bool
 smoke_mode()
 {
-    const char* flag = std::getenv("NBOS_BENCH_SMOKE");
-    return flag != nullptr && flag[0] != '\0' && flag[0] != '0';
+    return options_or_exit().smoke;
 }
 
 /** Clamp self-built workload options when running under smoke mode. */
@@ -63,23 +208,12 @@ apply_smoke(workload::GeneratorOptions options)
  *  different scenario — the profile smoke tier in CI sweeps two of them.
  *  Unset or empty keeps the historical adobe workloads byte-identical
  *  (all baseline.json hashes are pinned with the knob unset); unknown
- *  names warn on stderr and fall back to the default so a typo cannot
- *  silently pass as a measurement of another scenario. */
+ *  names are a hard error (options_or_exit) so a typo cannot silently
+ *  pass as a measurement of another scenario. */
 inline std::string
 bench_profile()
 {
-    const char* raw = std::getenv("NBOS_BENCH_PROFILE");
-    if (raw == nullptr || raw[0] == '\0') {
-        return {};
-    }
-    if (!workload::ProfileRegistry::instance().contains(raw)) {
-        std::fprintf(stderr,
-                     "[bench] unknown NBOS_BENCH_PROFILE=%s, using the "
-                     "default adobe workload\n",
-                     raw);
-        return {};
-    }
-    return raw;
+    return options_or_exit().profile;
 }
 
 /** Generate (@p profile, @p options) at the bench seed and tag the trace
@@ -161,21 +295,12 @@ summer_trace()
  *  run_policies / run_specs_or_exit fan every experiment out over N
  *  consecutive seeds and print a `mean ± ci95` summary table in addition
  *  to the usual single-seed figures (which keep using the first seed, so
- *  they stay byte-identical). Unset, empty, or unparsable values mean 1;
- *  the count is clamped to [1, 64]. */
+ *  they stay byte-identical). Unset or empty means 1; malformed or
+ *  out-of-range values are a hard error (options_or_exit). */
 inline std::size_t
 bench_seeds()
 {
-    const char* raw = std::getenv("NBOS_BENCH_SEEDS");
-    if (raw == nullptr || raw[0] == '\0') {
-        return 1;
-    }
-    char* end = nullptr;
-    const long parsed = std::strtol(raw, &end, 10);
-    if (end == raw || *end != '\0' || parsed < 1) {
-        return 1;
-    }
-    return parsed > 64 ? 64 : static_cast<std::size_t>(parsed);
+    return options_or_exit().seeds;
 }
 
 /** Shard count for the fast analytic engine (`NBOS_BENCH_SHARDS=N`):
@@ -183,22 +308,13 @@ bench_seeds()
  *  bench row using a fast engine partitions its sessions over N
  *  analytic shards (one thread each). Discrete-event engines ignore it
  *  only in the sense that their sharding is already config-driven; the
- *  value is set uniformly either way. Unset, empty, or unparsable
- *  values mean 1 (the monolithic fast path, byte-identical to the
- *  pre-shard outputs); the count is clamped to [1, 64]. */
+ *  value is set uniformly either way. Unset or empty means 1 (the
+ *  monolithic fast path, byte-identical to the pre-shard outputs);
+ *  malformed or out-of-range values are a hard error (options_or_exit). */
 inline std::int32_t
 bench_shards()
 {
-    const char* raw = std::getenv("NBOS_BENCH_SHARDS");
-    if (raw == nullptr || raw[0] == '\0') {
-        return 1;
-    }
-    char* end = nullptr;
-    const long parsed = std::strtol(raw, &end, 10);
-    if (end == raw || *end != '\0' || parsed < 1) {
-        return 1;
-    }
-    return parsed > 64 ? 64 : static_cast<std::int32_t>(parsed);
+    return options_or_exit().shards;
 }
 
 /** Routing policy for sharded runs (`NBOS_BENCH_ROUTING=least_loaded`):
@@ -206,24 +322,12 @@ bench_shards()
  *  NBOS_BENCH_SHARDS, so any bench row can be rerun under a different
  *  session -> shard policy (routing smoke tier in CI). Unset or empty
  *  means static_hash — the pre-routing hash, byte-identical outputs;
- *  unknown names warn on stderr and fall back to static_hash so a typo
- *  cannot silently pass as a measurement of the default. */
+ *  unknown names are a hard error (options_or_exit) so a typo cannot
+ *  silently pass as a measurement of the default. */
 inline sched::RoutingPolicyKind
 bench_routing()
 {
-    const char* raw = std::getenv("NBOS_BENCH_ROUTING");
-    if (raw == nullptr || raw[0] == '\0') {
-        return sched::RoutingPolicyKind::kStaticHash;
-    }
-    try {
-        return sched::routing_policy_from_string(raw);
-    } catch (const std::invalid_argument&) {
-        std::fprintf(stderr,
-                     "[bench] unknown NBOS_BENCH_ROUTING=%s, using "
-                     "static_hash\n",
-                     raw);
-        return sched::RoutingPolicyKind::kStaticHash;
-    }
+    return options_or_exit().routing;
 }
 
 /**
@@ -294,7 +398,7 @@ inline bool
 engine_enabled(const std::string& engine,
                const std::string& policy_name = {})
 {
-    return policy_filter_allows(std::getenv("NBOS_BENCH_POLICIES"), engine,
+    return policy_filter_allows(options_or_exit().policies.c_str(), engine,
                                 policy_name);
 }
 

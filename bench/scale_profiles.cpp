@@ -14,7 +14,7 @@
  * trace bytes — 1.9x).
  *
  * Phase 2: the profile × routing grid at shards = 8 through the fast
- * engine's streamed driver (core::run_fast_streamed) — every named
+ * engine's streamed driver (core::run with a SessionSource) — every named
  * profile under static_hash / least_loaded / rebalance on one table.
  *
  * Phase 3: a small streamed prototype-engine spot check (diurnal at
@@ -40,8 +40,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/protosim.hpp"
-#include "core/sharded_fastsim.hpp"
+#include "core/engine_api.hpp"
 #include "workload/profiles.hpp"
 #include "workload/trace_io.hpp"
 
@@ -192,19 +191,18 @@ run_grid_phase(bool smoke)
              {sched::RoutingPolicyKind::kStaticHash,
               sched::RoutingPolicyKind::kLeastLoaded,
               sched::RoutingPolicyKind::kRebalance}) {
-            core::PlatformConfig config =
-                core::PlatformConfig::prototype_defaults();
-            config.policy = core::Policy::kNotebookOS;
-            config.fast_mode = true;
-            config.seed = bench::kSeed;
-            config.scheduler.shards = 8;
-            config.scheduler.shard_parallel = true;
-            config.scheduler.routing = routing;
+            core::RunRequest request;
+            request.engine = core::kEngineFast;
+            request.config = core::PlatformConfig::prototype_defaults();
+            request.config.scheduler.shards = 8;
+            request.config.scheduler.shard_parallel = true;
+            request.seed = bench::kSeed;
+            request.routing = routing;
 
             const auto wall_start = std::chrono::steady_clock::now();
             const auto source = profile->open(bench::kSeed, options);
-            const core::StreamedFastRun run =
-                core::run_fast_streamed(*source, config);
+            request.source = source.get();
+            const core::RunResponse run = core::run(request);
             const double seconds = elapsed_seconds(wall_start);
 
             const sched::SchedulerStats& stats = run.results.sched_stats;
@@ -241,19 +239,20 @@ run_prototype_phase(bool smoke)
         "shards=2, rebalance" +
         std::string(smoke ? " [smoke tier]" : ""));
 
-    core::PlatformConfig config =
-        core::PlatformConfig::prototype_defaults();
-    config.policy = core::Policy::kNotebookOS;
-    config.seed = bench::kSeed;
-    config.scheduler.shards = 2;
-    config.scheduler.routing = sched::RoutingPolicyKind::kRebalance;
+    core::RunRequest request;
+    request.engine = core::kEnginePrototype;
+    request.config = core::PlatformConfig::prototype_defaults();
+    request.seed = bench::kSeed;
+    request.shards = 2;
+    request.routing = sched::RoutingPolicyKind::kRebalance;
 
     const auto profile = workload::ProfileRegistry::instance().create(
         workload::kProfileDiurnal);
     const auto wall_start = std::chrono::steady_clock::now();
     const auto source = profile->open(bench::kSeed, options);
+    request.source = source.get();
     const core::ExperimentResults results =
-        core::run_prototype_streamed(*source, config);
+        core::run(request).results;
     const double seconds = elapsed_seconds(wall_start);
 
     std::printf("%-12s %9s %10s %9s %11s\n", "profile", "tasks",

@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/platform.hpp"
+#include "core/engine_api.hpp"
 #include "workload/generator.hpp"
 
 using namespace nbos;
@@ -33,12 +33,13 @@ main()
     options.sessions_survive_trace = false;
     const workload::Trace trace = generator.generate(profile, options);
 
-    core::PlatformConfig config = core::PlatformConfig::prototype_defaults();
-    config.policy = core::Policy::kNotebookOS;
-    config.fast_mode = true;  // analytic engine, instant run
-    config.seed = 3;
-    config.scheduler.initial_servers = 2;
-    const auto results = core::Platform(config).run(trace);
+    core::RunRequest request;
+    request.engine = core::kEngineFast;  // analytic engine, instant run
+    request.config = core::PlatformConfig::prototype_defaults();
+    request.config.scheduler.initial_servers = 2;
+    request.trace = &trace;
+    request.seed = 3;
+    const auto results = core::run(request).results;
 
     const auto sessions = core::active_sessions_series(trace);
     std::printf("burst day: %zu sessions, %zu tasks\n\n",

@@ -12,7 +12,7 @@
 #include <string>
 #include <vector>
 
-#include "core/platform.hpp"
+#include "core/engine_api.hpp"
 #include "workload/generator.hpp"
 
 using namespace nbos;
@@ -43,14 +43,17 @@ main()
                     first.tasks[i].code.c_str());
     }
 
-    // Run the same session stream under Reservation and NotebookOS.
-    core::PlatformConfig config = core::PlatformConfig::prototype_defaults();
-    config.seed = 7;
+    // Run the same session stream under Reservation and NotebookOS
+    // through the unified run API, varying only the engine name.
+    core::RunRequest request;
+    request.config = core::PlatformConfig::prototype_defaults();
+    request.trace = &trace;
+    request.seed = 7;
 
-    config.policy = core::Policy::kReservation;
-    const auto reservation = core::Platform(config).run(trace);
-    config.policy = core::Policy::kNotebookOS;
-    const auto nbos = core::Platform(config).run(trace);
+    request.engine = core::kEngineReservation;
+    const auto reservation = core::run(request).results;
+    request.engine = core::kEnginePrototype;
+    const auto nbos = core::run(request).results;
 
     std::printf("\n%-14s %14s %14s %14s\n", "policy", "GPU-hours",
                 "delay-p50(s)", "tct-p50(s)");

@@ -1,9 +1,21 @@
 #include "cluster/cluster.hpp"
 
+#include <algorithm>
+
 namespace nbos::cluster {
 
 Cluster::Cluster(ResourceSpec server_shape) : server_shape_(server_shape)
 {
+}
+
+std::size_t
+Cluster::index_of(ServerId id) const
+{
+    const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+    if (it == ids_.end() || *it != id) {
+        return kNpos;
+    }
+    return static_cast<std::size_t>(it - ids_.begin());
 }
 
 GpuServer&
@@ -15,49 +27,52 @@ Cluster::add_server()
 GpuServer&
 Cluster::add_server(const ResourceSpec& shape)
 {
+    // Ids are monotonic, so appending keeps the arrays id-sorted.
     const ServerId id = next_id_++;
     auto server = std::make_unique<GpuServer>(id, shape);
     GpuServer& ref = *server;
-    servers_.emplace(id, std::move(server));
+    ids_.push_back(id);
+    nodes_.push_back(std::move(server));
     return ref;
 }
 
 bool
 Cluster::remove_server(ServerId id)
 {
-    return servers_.erase(id) > 0;
+    const std::size_t index = index_of(id);
+    if (index == kNpos) {
+        return false;
+    }
+    ids_.erase(ids_.begin() + static_cast<std::ptrdiff_t>(index));
+    nodes_.erase(nodes_.begin() + static_cast<std::ptrdiff_t>(index));
+    return true;
 }
 
 GpuServer*
 Cluster::find(ServerId id)
 {
-    const auto it = servers_.find(id);
-    return it == servers_.end() ? nullptr : it->second.get();
+    const std::size_t index = index_of(id);
+    return index == kNpos ? nullptr : nodes_[index].get();
 }
 
 const GpuServer*
 Cluster::find(ServerId id) const
 {
-    const auto it = servers_.find(id);
-    return it == servers_.end() ? nullptr : it->second.get();
+    const std::size_t index = index_of(id);
+    return index == kNpos ? nullptr : nodes_[index].get();
 }
 
 std::vector<ServerId>
 Cluster::server_ids() const
 {
-    std::vector<ServerId> ids;
-    ids.reserve(servers_.size());
-    for (const auto& [id, server] : servers_) {
-        ids.push_back(id);
-    }
-    return ids;
+    return ids_;
 }
 
 std::int32_t
 Cluster::total_gpus() const
 {
     std::int32_t total = 0;
-    for (const auto& [id, server] : servers_) {
+    for (const auto& server : nodes_) {
         total += server->capacity().gpus;
     }
     return total;
@@ -67,7 +82,7 @@ std::int32_t
 Cluster::total_subscribed_gpus() const
 {
     std::int32_t total = 0;
-    for (const auto& [id, server] : servers_) {
+    for (const auto& server : nodes_) {
         total += server->subscribed_gpus();
     }
     return total;
@@ -77,7 +92,7 @@ std::int32_t
 Cluster::total_committed_gpus() const
 {
     std::int32_t total = 0;
-    for (const auto& [id, server] : servers_) {
+    for (const auto& server : nodes_) {
         total += server->committed_gpus();
     }
     return total;
@@ -87,7 +102,7 @@ std::int64_t
 Cluster::total_committed_millicpus() const
 {
     std::int64_t total = 0;
-    for (const auto& [id, server] : servers_) {
+    for (const auto& server : nodes_) {
         total += server->committed().millicpus;
     }
     return total;

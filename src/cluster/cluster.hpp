@@ -8,6 +8,7 @@
 
 #include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "cluster/server.hpp"
@@ -17,10 +18,67 @@ namespace nbos::cluster {
 /**
  * Registry of GPU servers. Servers can be added (scale-out) and removed
  * (scale-in) at runtime.
+ *
+ * Layout: parallel arrays (ids, nodes) kept in id order — ids are handed
+ * out monotonically, so scale-out is a push_back and the autoscaler /
+ * prewarmer / health-check window scans stream two dense arrays instead
+ * of chasing map nodes. Lookup is a binary search on the contiguous id
+ * column; scale-in (rare) pays the O(n) erase.
  */
 class Cluster
 {
   public:
+    /** Id-ordered iteration over the parallel arrays, yielding
+     *  (ServerId, GpuServer*) pairs so range-for destructuring reads the
+     *  same as it did over the old id -> server map. */
+    class ServerView
+    {
+      public:
+        class Iterator
+        {
+          public:
+            Iterator(const ServerId* id,
+                     const std::unique_ptr<GpuServer>* node)
+                : id_(id), node_(node)
+            {
+            }
+            std::pair<ServerId, GpuServer*> operator*() const
+            {
+                return {*id_, node_->get()};
+            }
+            Iterator& operator++()
+            {
+                ++id_;
+                ++node_;
+                return *this;
+            }
+            bool operator!=(const Iterator& other) const
+            {
+                return id_ != other.id_;
+            }
+
+          private:
+            const ServerId* id_;
+            const std::unique_ptr<GpuServer>* node_;
+        };
+
+        ServerView(const std::vector<ServerId>& ids,
+                   const std::vector<std::unique_ptr<GpuServer>>& nodes)
+            : ids_(ids), nodes_(nodes)
+        {
+        }
+        Iterator begin() const { return {ids_.data(), nodes_.data()}; }
+        Iterator end() const
+        {
+            return {ids_.data() + ids_.size(), nodes_.data() + nodes_.size()};
+        }
+        std::size_t size() const { return ids_.size(); }
+
+      private:
+        const std::vector<ServerId>& ids_;
+        const std::vector<std::unique_ptr<GpuServer>>& nodes_;
+    };
+
     explicit Cluster(ResourceSpec server_shape = ResourceSpec::server_8gpu());
 
     /** Provision one server of the default shape. */
@@ -39,13 +97,13 @@ class Cluster
     const GpuServer* find(ServerId id) const;
 
     /** Number of provisioned servers. */
-    std::size_t size() const { return servers_.size(); }
+    std::size_t size() const { return ids_.size(); }
 
     /** Iterate over servers in id order. */
-    const std::map<ServerId, std::unique_ptr<GpuServer>>& servers() const
-    {
-        return servers_;
-    }
+    ServerView servers() const { return {ids_, nodes_}; }
+
+    /** The dense id column (id order; parallel to the node column). */
+    const std::vector<ServerId>& ids() const { return ids_; }
 
     /** All server ids in id order. */
     std::vector<ServerId> server_ids() const;
@@ -72,9 +130,15 @@ class Cluster
     const ResourceSpec& server_shape() const { return server_shape_; }
 
   private:
+    /** Index of @p id in the parallel arrays, or npos. */
+    std::size_t index_of(ServerId id) const;
+
+    static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
     ResourceSpec server_shape_;
     ServerId next_id_ = 1;
-    std::map<ServerId, std::unique_ptr<GpuServer>> servers_;
+    std::vector<ServerId> ids_;
+    std::vector<std::unique_ptr<GpuServer>> nodes_;
 };
 
 /**

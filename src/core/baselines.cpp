@@ -377,7 +377,7 @@ class BatchEngine : public BaselineEngine
             cluster::GpuServer* host = nullptr;
             for (const auto& [id, server] : cluster_.servers()) {
                 if (server->can_commit(next.session->resources)) {
-                    host = server.get();
+                    host = server;
                     break;
                 }
             }

@@ -1,0 +1,111 @@
+#include "core/engine_api.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "core/engine.hpp"
+#include "core/protosim.hpp"
+#include "core/sharded_fastsim.hpp"
+
+namespace nbos::core {
+namespace {
+
+/** Throw the exact message Platform::run has always thrown. */
+void
+validate_or_throw(const PlatformConfig& config)
+{
+    const std::string error = validate_config(config);
+    if (!error.empty()) {
+        throw std::invalid_argument("PlatformConfig: " + error);
+    }
+}
+
+}  // namespace
+
+RunResponse
+run(const RunRequest& request)
+{
+    if ((request.trace != nullptr) == (request.source != nullptr)) {
+        throw std::invalid_argument(
+            "RunRequest: set exactly one of trace and source");
+    }
+
+    PlatformConfig config = request.config;
+    if (request.seed) {
+        config.seed = *request.seed;
+    }
+    if (request.shards) {
+        config.scheduler.shards = *request.shards;
+    }
+    if (request.routing) {
+        config.scheduler.routing = *request.routing;
+    }
+    if (request.chaos) {
+        config.scheduler.chaos = *request.chaos;
+    }
+
+    RunMode mode = request.mode;
+    if (mode == RunMode::kAuto) {
+        mode = request.source != nullptr ? RunMode::kStreamed
+                                         : RunMode::kMaterialized;
+    }
+    if (mode == RunMode::kStreamed && request.source == nullptr) {
+        throw std::invalid_argument(
+            "RunRequest: streamed mode requires a SessionSource");
+    }
+    if (mode == RunMode::kMaterialized && request.trace == nullptr) {
+        throw std::invalid_argument(
+            "RunRequest: materialized mode requires a trace");
+    }
+
+    // Resolve the engine. An empty name reproduces Platform::run exactly:
+    // validate the caller's (policy, fast_mode) pair as-is — so an
+    // inconsistent pair still surfaces as "PlatformConfig: fast_mode is
+    // only supported..." — then derive the built-in name from it. A named
+    // engine reproduces the ExperimentRunner: resolve first (unknown name
+    // beats config problems), then force policy/fast_mode from the engine
+    // before validating.
+    std::string name = request.engine;
+    std::unique_ptr<PolicyEngine> engine;
+    if (name.empty()) {
+        validate_or_throw(config);
+        name = engine_name(config.policy, config.fast_mode);
+        engine = EngineRegistry::instance().create(name);
+    } else {
+        engine = EngineRegistry::instance().create(name);
+        if (engine == nullptr) {
+            throw std::invalid_argument("unknown engine '" + name + "'");
+        }
+        config.policy = engine->policy();
+        config.fast_mode = name == kEngineFast;
+        validate_or_throw(config);
+    }
+
+    RunResponse response;
+    if (mode == RunMode::kStreamed) {
+        // Only the two NotebookOS engines have windowed streamed drivers.
+        if (name == kEngineFast) {
+            StreamedFastRun streamed =
+                run_fast_streamed(*request.source, config);
+            response.results = std::move(streamed.results);
+            response.events_executed = streamed.events_executed;
+            response.shard_events = std::move(streamed.shard_events);
+            response.shard_busy_seconds =
+                std::move(streamed.shard_busy_seconds);
+            response.sessions_rebalanced = streamed.sessions_rebalanced;
+        } else if (name == kEnginePrototype) {
+            response.results =
+                run_prototype_streamed(*request.source, config);
+        } else {
+            throw std::invalid_argument("engine '" + name +
+                                        "' has no streamed driver");
+        }
+        return response;
+    }
+
+    response.results = engine->run(*request.trace, config);
+    return response;
+}
+
+}  // namespace nbos::core

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The unified engine-run API: one request struct and one function in
+ * front of every way this codebase can execute a workload.
+ *
+ * Four entry points grew up side by side — core::Platform (policy facade),
+ * the ExperimentRunner's per-spec path (registry engines by name),
+ * run_prototype_streamed, and run_fast_streamed — each with its own
+ * argument conventions for seeds, routing, sharding, and chaos. RunRequest
+ * subsumes all four: name an engine (or let the config's policy pick one),
+ * hand it a materialized trace or a streamed SessionSource, and core::run
+ * dispatches to the right driver. The legacy entry points remain as thin
+ * adapters over this function (byte-identical results, pinned by
+ * determinism_test), so existing call sites keep working unchanged.
+ *
+ * Example — the four legacy shapes, unified:
+ *
+ *   core::RunRequest request;
+ *   request.config = config;
+ *   request.trace = &trace;                 // Platform(config).run(trace)
+ *
+ *   request.engine = core::kEngineFast;     // ExperimentSpec{engine, ...}
+ *   request.seed = 42;
+ *
+ *   request.trace = nullptr;                // run_fast_streamed(src, cfg)
+ *   request.source = &source;
+ *
+ *   request.engine.clear();                 // run_prototype_streamed(...)
+ *   request.config.fast_mode = false;
+ *
+ *   core::RunResponse response = core::run(request);
+ */
+#ifndef NBOS_CORE_ENGINE_API_HPP
+#define NBOS_CORE_ENGINE_API_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chaos/config.hpp"
+#include "core/engine.hpp"
+#include "core/platform.hpp"
+#include "core/results.hpp"
+#include "sched/routing.hpp"
+#include "workload/session_source.hpp"
+#include "workload/trace.hpp"
+
+namespace nbos::core {
+
+/** How core::run drives the engine. */
+enum class RunMode
+{
+    /** Streamed when a SessionSource is given, else materialized. */
+    kAuto,
+    /** Materialize the whole trace up front (registry engine path). */
+    kMaterialized,
+    /** Windowed streamed injection; requires @ref RunRequest::source and
+     *  a NotebookOS engine (prototype or fast). */
+    kStreamed,
+};
+
+/**
+ * Everything one engine run needs. Exactly one of @ref trace / @ref source
+ * must be set; neither is owned and both must outlive the run() call.
+ *
+ * The optional override fields exist so sweep drivers can vary one knob
+ * per run without copying and editing nested config structs — when set,
+ * they are applied onto a copy of @ref config before anything else.
+ */
+struct RunRequest
+{
+    /** EngineRegistry name ("reservation", "notebookos-fast", ...).
+     *  Empty derives the built-in engine from the config's
+     *  (policy, fast_mode) pair, exactly like core::Platform. */
+    std::string engine;
+
+    /** Engine knobs. When @ref engine is named, its policy/fast_mode are
+     *  overridden from the engine, exactly like the ExperimentRunner. */
+    PlatformConfig config{};
+
+    /** Materialized input (RunMode::kMaterialized / kAuto). */
+    const workload::Trace* trace = nullptr;
+
+    /** Streamed input (RunMode::kStreamed / kAuto). */
+    workload::SessionSource* source = nullptr;
+
+    RunMode mode = RunMode::kAuto;
+
+    /** @name Per-run config overrides (applied first when set) */
+    ///@{
+    std::optional<std::uint64_t> seed;                  ///< config.seed
+    std::optional<std::int32_t> shards;                 ///< scheduler.shards
+    std::optional<sched::RoutingPolicyKind> routing;    ///< scheduler.routing
+    std::optional<chaos::ChaosConfig> chaos;            ///< scheduler.chaos
+    ///@}
+};
+
+/**
+ * Results of one core::run. The telemetry block mirrors StreamedFastRun
+ * and is populated only by the streamed fast engine; other drivers leave
+ * it zero/empty.
+ */
+struct RunResponse
+{
+    ExperimentResults results;
+    /** Simulation events executed across every shard (streamed fast). */
+    std::uint64_t events_executed = 0;
+    /** Per-shard simulation events, in shard order (streamed fast). */
+    std::vector<std::uint64_t> shard_events;
+    /** Wall seconds advancing each shard's loop (streamed fast). */
+    std::vector<double> shard_busy_seconds;
+    /** Whole sessions moved across shards (`rebalance` only). */
+    std::uint64_t sessions_rebalanced = 0;
+};
+
+/**
+ * Execute @p request and return the full metric set.
+ *
+ * Deterministic for a fixed request (same bits as the legacy entry point
+ * it dispatches to). Thread-safe in the ExperimentRunner sense: every run
+ * builds its own engine world.
+ *
+ * @throws std::invalid_argument when the request is inconsistent: both or
+ *         neither of trace/source set, a mode without its input kind, an
+ *         unknown engine name, a non-NotebookOS engine in streamed mode,
+ *         or a config rejected by validate_config ("PlatformConfig: ..."),
+ *         matching Platform::run's message byte for byte.
+ */
+RunResponse run(const RunRequest& request);
+
+}  // namespace nbos::core
+
+#endif  // NBOS_CORE_ENGINE_API_HPP

@@ -30,6 +30,10 @@ FastEngineShard::FastEngineShard(FastShardPlan plan,
                                  const PlatformConfig& config)
     : plan_(std::move(plan)),
       config_(config),
+      // Recycle simulation buffers across shard runs: a sweep constructs
+      // one shard per spec and the cold-page faults dominated re-runs.
+      simulation_(sim::Simulation::Options{
+          true, &sim::SimMemoryPool::global()}),
       rng_(plan_.seed),
       store_(simulation_, config.scheduler.store_backend,
              sim::Rng(plan_.seed ^ 0x2545f491)),
@@ -162,7 +166,7 @@ FastEngineShard::schedule_workload()
 void
 FastEngineShard::start_session(const workload::SessionSpec& session)
 {
-    FastKernel& kernel = kernels_[session.id];
+    FastKernel& kernel = kernel_at(session.id);
     kernel.session = session.id;
     kernel.spec = session.resources;
     ++live_sessions_;
@@ -172,7 +176,7 @@ FastEngineShard::start_session(const workload::SessionSpec& session)
 void
 FastEngineShard::place_kernel(workload::SessionId id)
 {
-    FastKernel& kernel = kernels_[id];
+    FastKernel& kernel = kernel_at(id);
     const auto replicas = static_cast<std::size_t>(
         config_.scheduler.kernel.replica_count);
     const auto servers = placement_.pick(
@@ -215,7 +219,7 @@ FastEngineShard::place_pending_kernels()
 void
 FastEngineShard::end_session(const workload::SessionSpec& session)
 {
-    FastKernel& kernel = kernels_[session.id];
+    FastKernel& kernel = kernel_at(session.id);
     --live_sessions_;
     if (!kernel.alive) {
         pending_kernels_.erase(session.id);
@@ -249,7 +253,7 @@ FastEngineShard::run_task(const workload::SessionSpec& session,
 {
     new_outcome(session, task);
     const std::size_t index = results_.tasks.size() - 1;
-    FastKernel& kernel = kernels_[session.id];
+    FastKernel& kernel = kernel_at(session.id);
     if (plan_.windowed) {
         if (kernel.window_tasks == 0) {
             window_active_.push_back(session.id);
@@ -320,7 +324,7 @@ FastEngineShard::begin_execution(std::size_t index,
                                  cluster::ServerId server_id,
                                  sim::Time start, sim::Time duration)
 {
-    FastKernel& kernel = kernels_[session_id];
+    FastKernel& kernel = kernel_at(session_id);
     cluster::GpuServer* server = cluster_.find(server_id);
     if (server == nullptr || !server->commit(kernel.spec)) {
         // Raced out; go through migration.
@@ -336,7 +340,7 @@ FastEngineShard::begin_execution(std::size_t index,
     simulation_.schedule_at(end, [this, index, session_id, server_id,
                                   start, end] {
         if (cluster::GpuServer* host = cluster_.find(server_id)) {
-            host->release(kernels_[session_id].spec);
+            host->release(kernel_at(session_id).spec);
         }
         complete(index, start, end, 0, session_id);
     });
@@ -348,7 +352,7 @@ FastEngineShard::migrate_and_run(std::size_t index,
                                  const workload::CellTask& task,
                                  int retries, sim::Time duration_override)
 {
-    FastKernel& kernel = kernels_[session_id];
+    FastKernel& kernel = kernel_at(session_id);
     const sim::Time duration =
         duration_override >= 0 ? duration_override : task.duration;
     // Migration target: any server outside the kernel with capacity.
@@ -464,7 +468,7 @@ FastEngineShard::complete(std::size_t index, sim::Time start, sim::Time end,
                     sample(2 * sim::kMillisecond, 6 * sim::kMillisecond);
     results_.sched_stats.executions_completed += 1;
     if (outcome.is_gpu) {
-        FastKernel& kernel = kernels_[session_id];
+        FastKernel& kernel = kernel_at(session_id);
         if (kernel.inflight > 0) {
             kernel.inflight -= 1;
         }
@@ -574,21 +578,26 @@ FastEngineShard::inject_task(const workload::SessionSpec* sp,
 bool
 FastEngineShard::session_movable(workload::SessionId id) const
 {
-    const auto it = kernels_.find(id);
-    return it != kernels_.end() && it->second.alive &&
-           it->second.inflight == 0;
+    const std::int32_t row = kernels_.find(id);
+    if (row < 0) {
+        return false;
+    }
+    const FastKernel& kernel = kernels_.cold_at(row);
+    return kernel.alive && kernel.inflight == 0;
 }
 
 bool
 FastEngineShard::extract_session(workload::SessionId id,
                                  FastSessionExtract& out)
 {
-    const auto it = kernels_.find(id);
-    if (it == kernels_.end() || !it->second.alive ||
-        it->second.inflight != 0) {
+    const std::int32_t row = kernels_.find(id);
+    if (row < 0) {
         return false;
     }
-    FastKernel& kernel = it->second;
+    FastKernel& kernel = kernels_.cold_at(row);
+    if (!kernel.alive || kernel.inflight != 0) {
+        return false;
+    }
     out.session = id;
     out.spec = kernel.spec;
     out.executions = kernel.executions;
@@ -597,7 +606,7 @@ FastEngineShard::extract_session(workload::SessionId id,
             server->unsubscribe(kernel.spec);
         }
     }
-    kernels_.erase(it);
+    kernels_.erase(id);
     --live_sessions_;
     return true;
 }
@@ -605,7 +614,7 @@ FastEngineShard::extract_session(workload::SessionId id,
 void
 FastEngineShard::adopt_session(const FastSessionExtract& extract)
 {
-    FastKernel& kernel = kernels_[extract.session];
+    FastKernel& kernel = kernel_at(extract.session);
     kernel.session = extract.session;
     kernel.spec = extract.spec;
     kernel.executions = extract.executions;
@@ -634,7 +643,7 @@ FastEngineShard::harvest_window_load(sched::ShardLoad& load,
     std::sort(window_active_.begin(), window_active_.end());
     sessions.reserve(window_active_.size());
     for (const workload::SessionId id : window_active_) {
-        FastKernel& kernel = kernels_[id];
+        FastKernel& kernel = kernel_at(id);
         if (kernel.window_tasks == 0) {
             continue;
         }

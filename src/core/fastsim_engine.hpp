@@ -28,6 +28,7 @@
 #include "core/results.hpp"
 #include "sched/placement.hpp"
 #include "sched/routing.hpp"
+#include "sched/session_table.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulation.hpp"
 #include "storage/datastore.hpp"
@@ -228,7 +229,17 @@ class FastEngineShard
     cluster::Cluster cluster_;
     sched::LeastLoadedPolicy placement_;
     cluster::PrewarmPool prewarm_;
-    std::map<workload::SessionId, FastKernel> kernels_;
+    /** Find-or-create @p id's row (the old map operator[] semantics). */
+    FastKernel& kernel_at(workload::SessionId id)
+    {
+        return kernels_.cold_at(kernels_.insert(id));
+    }
+
+    /** Dense table replacing the old id -> FastKernel std::map: the
+     *  per-task lookups are O(1) hashes into contiguous rows instead of
+     *  tree-node pointer chases. Rows are not reference-stable across
+     *  insert/erase — look up again after any call that may mutate. */
+    sched::SessionTable<FastKernel> kernels_;
     std::set<workload::SessionId> pending_kernels_;
     /** Sessions with window_tasks > 0 (windowed mode; pushed on the
      *  0 -> 1 transition, sorted + cleared by harvest_window_load). */

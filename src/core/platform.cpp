@@ -1,8 +1,6 @@
 #include "core/platform.hpp"
 
-#include <stdexcept>
-
-#include "core/engine.hpp"
+#include "core/engine_api.hpp"
 
 namespace nbos::core {
 
@@ -26,13 +24,14 @@ Platform::Platform(PlatformConfig config) : config_(std::move(config))
 ExperimentResults
 Platform::run(const workload::Trace& trace)
 {
-    const std::string error = validate_config(config_);
-    if (!error.empty()) {
-        throw std::invalid_argument("PlatformConfig: " + error);
-    }
-    const auto engine = EngineRegistry::instance().create(
-        engine_name(config_.policy, config_.fast_mode));
-    return engine->run(trace, config_);
+    // Thin adapter over the unified run API: an empty engine name makes
+    // core::run derive the built-in engine from (policy, fast_mode) and
+    // validate first, which is this facade's historical contract.
+    RunRequest request;
+    request.config = config_;
+    request.trace = &trace;
+    request.mode = RunMode::kMaterialized;
+    return core::run(request).results;
 }
 
 }  // namespace nbos::core

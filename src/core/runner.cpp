@@ -7,7 +7,7 @@
 #include <thread>
 #include <utility>
 
-#include "core/engine.hpp"
+#include "core/engine_api.hpp"
 
 namespace nbos::core {
 namespace {
@@ -23,20 +23,26 @@ run_one(const ExperimentSpec& spec, std::size_t index)
         outcome.error = "spec has no trace";
         return outcome;
     }
+    // An empty name is an unknown engine here, not "derive from policy"
+    // as in core::run — ExperimentSpec::engine is documented as a
+    // registry name and the registry never holds an empty key.
+    if (spec.engine.empty()) {
+        outcome.error = "unknown engine ''";
+        return outcome;
+    }
     // The whole pipeline runs inside the try: a throwing user-registered
     // factory must surface as outcome.error, not escape the worker
-    // thread (which would std::terminate the process).
+    // thread (which would std::terminate the process). core::run keeps
+    // the historical error strings — an unknown name still reads
+    // "unknown engine '<name>'".
     try {
-        const auto engine = EngineRegistry::instance().create(spec.engine);
-        if (engine == nullptr) {
-            outcome.error = "unknown engine '" + spec.engine + "'";
-            return outcome;
-        }
-        PlatformConfig config = spec.config;
-        config.policy = engine->policy();
-        config.fast_mode = spec.engine == kEngineFast;
-        config.seed = spec.seed;
-        outcome.results = engine->run(*spec.trace, config);
+        RunRequest request;
+        request.engine = spec.engine;
+        request.config = spec.config;
+        request.trace = spec.trace;
+        request.mode = RunMode::kMaterialized;
+        request.seed = spec.seed;
+        outcome.results = run(request).results;
         outcome.ok = true;
     } catch (const std::exception& error) {
         outcome.error = error.what();

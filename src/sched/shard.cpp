@@ -583,14 +583,19 @@ void
 SchedulerShard::begin_session(std::int64_t session,
                               const cluster::ResourceSpec& spec)
 {
-    SessionRecord& record = sessions_[session];
-    record.spec = spec;
-    record.kernel = start_kernel_internal(
+    sessions_.cold_at(sessions_.insert(session)).spec = spec;
+    const cluster::KernelId kernel = start_kernel_internal(
         spec,
-        [this, session](cluster::KernelId kernel, bool ok) {
-            on_session_kernel(session, kernel, ok, std::string());
+        [this, session](cluster::KernelId id, bool ok) {
+            on_session_kernel(session, id, ok, std::string());
         },
         /*count_created=*/true);
+    // Re-find: the creation callback may have fired synchronously (failed
+    // placement) and table rows are not reference-stable across inserts.
+    const std::int32_t row = sessions_.find(session);
+    if (row >= 0) {
+        sessions_.cold_at(row).kernel = kernel;
+    }
 }
 
 void
@@ -598,8 +603,8 @@ SchedulerShard::on_session_kernel(std::int64_t session,
                                   cluster::KernelId kernel, bool ok,
                                   const std::string& checkpoint)
 {
-    const auto it = sessions_.find(session);
-    if (it == sessions_.end()) {
+    const std::int32_t row = sessions_.find(session);
+    if (row < 0) {
         // Session extracted away while its kernel was still being
         // created — cannot happen (creating sessions are not movable),
         // but fail safe: release the orphan kernel.
@@ -608,16 +613,17 @@ SchedulerShard::on_session_kernel(std::int64_t session,
         }
         return;
     }
-    SessionRecord& record = it->second;
+    SessionRecord& record = sessions_.cold_at(row);
+    std::uint8_t& flags = sessions_.flags_at(row);
     record.kernel = kernel;
     if (!ok) {
         // Placement ultimately failed: buffered cells stay unsubmitted,
         // mirroring the monolithic driver whose client never drains its
         // queue when start_kernel reports failure.
-        record.failed = true;
+        flags |= kSessionFailed;
         return;
     }
-    record.created = true;
+    flags |= kSessionCreated;
     if (!checkpoint.empty()) {
         const auto kit = kernels_.find(kernel);
         if (kit != kernels_.end()) {
@@ -628,7 +634,7 @@ SchedulerShard::on_session_kernel(std::int64_t session,
             }
         }
     }
-    if (record.ended) {
+    if ((flags & kSessionEnded) != 0) {
         record.buffered.clear();
         stop_kernel(kernel);
         return;
@@ -646,13 +652,17 @@ SchedulerShard::submit_session(std::int64_t session, std::string code,
                                bool is_gpu, sim::Time submitted_at,
                                ExecuteCallback callback)
 {
-    const auto it = sessions_.find(session);
-    if (it == sessions_.end() || it->second.ended || it->second.failed) {
+    const std::int32_t row = sessions_.find(session);
+    if (row < 0) {
         return false;
     }
-    SessionRecord& record = it->second;
-    ++record.window_weight;
-    if (record.created) {
+    const std::uint8_t flags = sessions_.flags_at(row);
+    if ((flags & (kSessionEnded | kSessionFailed)) != 0) {
+        return false;
+    }
+    ++sessions_.weight_at(row);
+    SessionRecord& record = sessions_.cold_at(row);
+    if ((flags & kSessionCreated) != 0) {
         submit_execute(record.kernel, std::move(code), is_gpu,
                        submitted_at, std::move(callback));
         return true;
@@ -665,14 +675,15 @@ SchedulerShard::submit_session(std::int64_t session, std::string code,
 void
 SchedulerShard::end_session(std::int64_t session)
 {
-    const auto it = sessions_.find(session);
-    if (it == sessions_.end() || it->second.ended) {
+    const std::int32_t row = sessions_.find(session);
+    if (row < 0 || (sessions_.flags_at(row) & kSessionEnded) != 0) {
         return;
     }
-    SessionRecord& record = it->second;
-    record.ended = true;
+    std::uint8_t& flags = sessions_.flags_at(row);
+    flags |= kSessionEnded;
+    SessionRecord& record = sessions_.cold_at(row);
     record.buffered.clear();
-    if (record.created) {
+    if ((flags & kSessionCreated) != 0) {
         stop_kernel(record.kernel);
     }
     // Still-creating kernels are stopped by on_session_kernel when the
@@ -682,12 +693,16 @@ SchedulerShard::end_session(std::int64_t session)
 bool
 SchedulerShard::session_movable(std::int64_t session) const
 {
-    const auto it = sessions_.find(session);
-    if (it == sessions_.end() || !it->second.created ||
-        it->second.ended || it->second.failed) {
+    const std::int32_t row = sessions_.find(session);
+    if (row < 0) {
         return false;
     }
-    const auto kit = kernels_.find(it->second.kernel);
+    const std::uint8_t flags = sessions_.flags_at(row);
+    if ((flags & kSessionCreated) == 0 ||
+        (flags & (kSessionEnded | kSessionFailed)) != 0) {
+        return false;
+    }
+    const auto kit = kernels_.find(sessions_.cold_at(row).kernel);
     return kit != kernels_.end() && kit->second.alive &&
            kit->second.created && !kit->second.migrating;
 }
@@ -698,7 +713,7 @@ SchedulerShard::extract_session(std::int64_t session, SessionExtract& out)
     if (!session_movable(session)) {
         return false;
     }
-    SessionRecord& record = sessions_[session];
+    SessionRecord& record = sessions_.cold_at(sessions_.find(session));
     KernelRecord& kernel = kernels_[record.kernel];
     out.session = session;
     out.spec = record.spec;
@@ -733,31 +748,36 @@ SchedulerShard::extract_session(std::int64_t session, SessionExtract& out)
 void
 SchedulerShard::adopt_session(SessionExtract extract)
 {
-    SessionRecord& record = sessions_[extract.session];
-    record.spec = extract.spec;
-    record.created = false;
-    record.failed = false;
-    record.ended = false;
-    record.buffered = std::deque<CarriedExecution>(
-        std::make_move_iterator(extract.work.begin()),
-        std::make_move_iterator(extract.work.end()));
     const std::int64_t session = extract.session;
-    record.kernel = start_kernel_internal(
+    {
+        const std::int32_t row = sessions_.insert(session);
+        SessionRecord& record = sessions_.cold_at(row);
+        record.spec = extract.spec;
+        sessions_.flags_at(row) = 0;
+        record.buffered = std::deque<CarriedExecution>(
+            std::make_move_iterator(extract.work.begin()),
+            std::make_move_iterator(extract.work.end()));
+    }
+    const cluster::KernelId kernel = start_kernel_internal(
         extract.spec,
         [this, session, checkpoint = std::move(extract.checkpoint)](
-            cluster::KernelId kernel, bool ok) {
-            on_session_kernel(session, kernel, ok, checkpoint);
+            cluster::KernelId id, bool ok) {
+            on_session_kernel(session, id, ok, checkpoint);
         },
         /*count_created=*/false);
+    // Re-find (see begin_session): the callback may fire synchronously.
+    const std::int32_t row = sessions_.find(session);
+    if (row >= 0) {
+        sessions_.cold_at(row).kernel = kernel;
+    }
 }
 
 std::size_t
 SchedulerShard::session_count() const
 {
     std::size_t live = 0;
-    for (const auto& [id, record] : sessions_) {
-        (void)id;
-        if (!record.ended) {
+    for (const std::uint8_t flags : sessions_.flags()) {
+        if ((flags & kSessionEnded) == 0) {
             ++live;
         }
     }
@@ -771,17 +791,31 @@ SchedulerShard::harvest_window_load(ShardLoad& load,
     load.sessions = 0;
     load.weight = 0;
     sessions.clear();
-    for (auto& [id, record] : sessions_) {
-        if (!record.ended) {
+    // SoA streaming scan: the flags and weights columns are the only
+    // bytes touched for the idle majority. The table iterates in
+    // insertion/swap order, so sort the (small) weighted subset back into
+    // the id order the routing planner's inputs are pinned to.
+    const auto& ids = sessions_.ids();
+    const auto& flags = sessions_.flags();
+    const auto& weights = sessions_.weights();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        if ((flags[i] & kSessionEnded) == 0) {
             ++load.sessions;
         }
-        if (record.window_weight == 0) {
+        const std::uint64_t weight = weights[i];
+        if (weight == 0) {
             continue;
         }
-        load.weight += record.window_weight;
-        sessions.push_back(SessionLoad{id, record.window_weight,
-                                       session_movable(id)});
-        record.window_weight = 0;
+        load.weight += weight;
+        sessions.push_back(SessionLoad{ids[i], weight, false});
+        sessions_.weight_at(static_cast<std::int32_t>(i)) = 0;
+    }
+    std::sort(sessions.begin(), sessions.end(),
+              [](const SessionLoad& a, const SessionLoad& b) {
+                  return a.session < b.session;
+              });
+    for (SessionLoad& entry : sessions) {
+        entry.movable = session_movable(entry.session);
     }
 }
 

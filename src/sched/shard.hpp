@@ -34,6 +34,7 @@
 #include "net/network.hpp"
 #include "sched/placement.hpp"
 #include "sched/scheduler_types.hpp"
+#include "sched/session_table.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulation.hpp"
 #include "storage/datastore.hpp"
@@ -278,19 +279,22 @@ class SchedulerShard
     };
 
     /** Session -> kernel binding plus pre-creation buffering (routed
-     *  sharded driver only; empty on the static-hash path). */
+     *  sharded driver only; empty on the static-hash path). This is the
+     *  cold column of the SoA SessionTable; the hot per-window state
+     *  (window weight, created/failed/ended flags) lives in the table's
+     *  parallel arrays so the boundary scans never touch this record. */
     struct SessionRecord
     {
         cluster::KernelId kernel = cluster::kNoKernel;
         cluster::ResourceSpec spec{};
-        bool created = false;
-        bool failed = false;
-        bool ended = false;
-        /** Cells submitted over the current lockstep window. */
-        std::uint64_t window_weight = 0;
         /** Cells awaiting kernel creation. */
         std::deque<CarriedExecution> buffered;
     };
+
+    /** SessionTable flag bits. */
+    static constexpr std::uint8_t kSessionCreated = 1;
+    static constexpr std::uint8_t kSessionFailed = 2;
+    static constexpr std::uint8_t kSessionEnded = 4;
 
     cluster::KernelId start_kernel_internal(const cluster::ResourceSpec& spec,
                                             StartKernelCallback callback,
@@ -355,7 +359,7 @@ class SchedulerShard
     std::unique_ptr<PlacementPolicy> placement_;
 
     std::map<cluster::KernelId, KernelRecord> kernels_;
-    std::map<std::int64_t, SessionRecord> sessions_;
+    SessionTable<SessionRecord> sessions_;
     std::deque<PendingKernel> pending_kernels_;
     /** Migrations whose victim resources were already released (guards
      *  the retry path against double release). */

@@ -187,10 +187,14 @@ class ShardedGlobalScheduler
     {
         ShardUnit(const SchedulerConfig& config, std::uint64_t seed,
                   ShardIdentity identity)
-            : shard(simulation, config, seed, identity)
+            : simulation(sim::Simulation::Options{
+                  true, &sim::SimMemoryPool::global()}),
+              shard(simulation, config, seed, identity)
         {
         }
 
+        /** Backing buffers recycle through the global pool so repeated
+         *  specs in a sweep stop re-faulting cold pages. */
         sim::Simulation simulation;
         SchedulerShard shard;
     };

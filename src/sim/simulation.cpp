@@ -1,5 +1,6 @@
 #include "sim/simulation.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <stdexcept>
 #include <string>
@@ -26,6 +27,47 @@ format_time(Time t)
                   static_cast<long long>(m), static_cast<long long>(s),
                   static_cast<long long>(ms));
     return buf;
+}
+
+struct Simulation::Memory
+{
+    std::vector<Slot> slots;
+    std::vector<Ticket> heap;
+    std::vector<std::vector<Ticket>> wheel;
+};
+
+Simulation::Simulation(const Options& options)
+    : wheel_enabled_(options.timer_wheel), pool_(options.recycle)
+{
+    if (pool_ != nullptr) {
+        if (auto memory = pool_->acquire()) {
+            slots_ = std::move(memory->slots);
+            heap_ = std::move(memory->heap);
+            wheel_ = std::move(memory->wheel);
+        }
+    }
+    if (wheel_enabled_) {
+        wheel_.resize(static_cast<std::size_t>(kWheelLevels * kWheelSlots));
+    }
+}
+
+Simulation::~Simulation()
+{
+    if (pool_ == nullptr) {
+        return;
+    }
+    // Hand the backing buffers back cleared (running any pending callback
+    // destructors now) but with capacity intact.
+    slots_.clear();
+    heap_.clear();
+    for (auto& bucket : wheel_) {
+        bucket.clear();
+    }
+    auto memory = std::make_unique<Memory>();
+    memory->slots = std::move(slots_);
+    memory->heap = std::move(heap_);
+    memory->wheel = std::move(wheel_);
+    pool_->release(std::move(memory));
 }
 
 std::uint32_t
@@ -57,6 +99,109 @@ Simulation::release_slot(std::uint32_t slot)
     free_head_ = slot;
 }
 
+void
+Simulation::heap_push(const Ticket& ticket)
+{
+    heap_.push_back(ticket);
+    std::push_heap(heap_.begin(), heap_.end(), TicketOrder{});
+}
+
+void
+Simulation::heap_pop()
+{
+    std::pop_heap(heap_.begin(), heap_.end(), TicketOrder{});
+    heap_.pop_back();
+}
+
+bool
+Simulation::wheel_place(const Ticket& ticket, std::int64_t min_delta)
+{
+    const std::int64_t slot0 = ticket.time >> kWheelShift;
+    if (slot0 - wheel_next_ < min_delta) {
+        return false;
+    }
+    for (unsigned level = 0; level < kWheelLevels; ++level) {
+        const unsigned shift = kWheelLevelBits * level;
+        const std::int64_t index = slot0 >> shift;
+        if (index - (wheel_next_ >> shift) < kWheelSlots) {
+            wheel_[static_cast<std::size_t>(
+                       static_cast<std::int64_t>(level) * kWheelSlots +
+                       (index & kWheelMask))]
+                .push_back(ticket);
+            ++wheel_count_;
+            ++level_count_[level];
+            return true;
+        }
+    }
+    return false;  // Beyond the top level's span: the heap absorbs it.
+}
+
+void
+Simulation::refill_levels()
+{
+    for (unsigned level = kWheelLevels - 1; level >= 1; --level) {
+        const unsigned shift = kWheelLevelBits * level;
+        const std::int64_t window_mask = (std::int64_t{1} << shift) - 1;
+        if ((wheel_next_ & window_mask) != 0 || level_count_[level] == 0) {
+            continue;
+        }
+        auto& bucket = wheel_[static_cast<std::size_t>(
+            static_cast<std::int64_t>(level) * kWheelSlots +
+            ((wheel_next_ >> shift) & kWheelMask))];
+        if (bucket.empty()) {
+            continue;
+        }
+        wheel_count_ -= bucket.size();
+        level_count_[level] -= bucket.size();
+        refill_scratch_.clear();
+        refill_scratch_.swap(bucket);
+        for (const Ticket& ticket : refill_scratch_) {
+            if (!is_live(ticket)) {
+                continue;  // Cancelled while staged: drop here, not in the heap.
+            }
+            // Re-placement from level l always lands below l (the window
+            // just entered spans fewer than 64^l level-0 slots).
+            wheel_place(ticket, 0);
+        }
+        refill_scratch_.clear();
+    }
+}
+
+void
+Simulation::cascade_step()
+{
+    refill_levels();
+    if (level_count_[0] == 0) {
+        // No level-0 work pending: hop the cursor to the next window
+        // boundary where a higher-level bucket could refill level 0.
+        std::int64_t boundary =
+            ((wheel_next_ >> kWheelLevelBits) + 1) << kWheelLevelBits;
+        if (level_count_[1] == 0) {
+            boundary = ((wheel_next_ >> (2 * kWheelLevelBits)) + 1)
+                       << (2 * kWheelLevelBits);
+            if (level_count_[2] == 0) {
+                boundary = ((wheel_next_ >> (3 * kWheelLevelBits)) + 1)
+                           << (3 * kWheelLevelBits);
+            }
+        }
+        wheel_next_ = boundary;
+        return;
+    }
+    auto& bucket =
+        wheel_[static_cast<std::size_t>(wheel_next_ & kWheelMask)];
+    if (!bucket.empty()) {
+        wheel_count_ -= bucket.size();
+        level_count_[0] -= bucket.size();
+        for (const Ticket& ticket : bucket) {
+            if (is_live(ticket)) {
+                heap_push(ticket);
+            }
+        }
+        bucket.clear();
+    }
+    ++wheel_next_;
+}
+
 EventId
 Simulation::schedule_at(Time t, EventFn fn)
 {
@@ -73,7 +218,12 @@ Simulation::schedule_at(Time t, EventFn fn)
     const EventId id = make_id(seq, slot);
     slots_[slot].fn = std::move(fn);
     slots_[slot].id = id;
-    queue_.push(Ticket{t, seq, slot});
+    const Ticket ticket{t, seq, slot};
+    // Near tickets (inside the cursor's level-0 slot) go straight to the
+    // heap; everything else is staged in the wheel.
+    if (!wheel_enabled_ || !wheel_place(ticket, 1)) {
+        heap_push(ticket);
+    }
     ++live_;
     return id;
 }
@@ -94,8 +244,9 @@ Simulation::cancel(EventId id)
     if (id == 0 || slot >= slots_.size() || slots_[slot].id != id) {
         return false;  // Never scheduled, already fired, or already cancelled.
     }
-    // The queue ticket becomes a tombstone, discarded lazily when it
-    // surfaces; the slot is immediately reusable.
+    // The staged ticket becomes a tombstone — discarded lazily when it
+    // surfaces in the heap or when its wheel slot is flushed; the slot is
+    // immediately reusable.
     release_slot(slot);
     --live_;
     return true;
@@ -104,17 +255,33 @@ Simulation::cancel(EventId id)
 bool
 Simulation::run_one(Time limit)
 {
-    while (!queue_.empty()) {
-        const Ticket ticket = queue_.top();
+    for (;;) {
+        // Cascade until the heap front (if any) is provably the earliest
+        // pending ticket: every wheel ticket's time is >= the cursor's
+        // level-0 slot start.
+        while (wheel_count_ > 0) {
+            const Time wheel_floor = wheel_next_ << kWheelShift;
+            if (!heap_.empty() && heap_.front().time < wheel_floor) {
+                break;
+            }
+            if (wheel_floor > limit) {
+                break;  // Everything still staged is past the limit.
+            }
+            cascade_step();
+        }
+        if (heap_.empty()) {
+            return false;
+        }
+        const Ticket ticket = heap_.front();
         Slot& slot = slots_[ticket.slot];
         if (slot.id != make_id(ticket.seq, ticket.slot)) {
-            queue_.pop();  // Cancelled tombstone.
+            heap_pop();  // Cancelled tombstone.
             continue;
         }
         if (ticket.time > limit) {
             return false;
         }
-        queue_.pop();
+        heap_pop();
         now_ = ticket.time;
         // Move the callback out and free the slot before invoking, so the
         // callback may schedule or cancel events (which mutates the arena).
@@ -125,7 +292,6 @@ Simulation::run_one(Time limit)
         fn();
         return true;
     }
-    return false;
 }
 
 void
@@ -142,6 +308,44 @@ Simulation::run_until(Time t)
     }
     if (now_ < t) {
         now_ = t;
+    }
+}
+
+SimMemoryPool::SimMemoryPool() = default;
+SimMemoryPool::~SimMemoryPool() = default;
+
+SimMemoryPool&
+SimMemoryPool::global()
+{
+    static SimMemoryPool pool;
+    return pool;
+}
+
+std::size_t
+SimMemoryPool::size() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::unique_ptr<Simulation::Memory>
+SimMemoryPool::acquire()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.empty()) {
+        return nullptr;
+    }
+    auto memory = std::move(entries_.back());
+    entries_.pop_back();
+    return memory;
+}
+
+void
+SimMemoryPool::release(std::unique_ptr<Simulation::Memory> memory)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (entries_.size() < kMaxEntries) {
+        entries_.push_back(std::move(memory));
     }
 }
 

@@ -11,7 +11,8 @@
 
 #include <cstdint>
 #include <limits>
-#include <queue>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "sim/event_fn.hpp"
@@ -22,22 +23,46 @@ namespace nbos::sim {
 /** Handle identifying a scheduled event (usable with Simulation::cancel). */
 using EventId = std::uint64_t;
 
+class SimMemoryPool;
+
 /**
  * Deterministic discrete-event scheduler.
  *
  * Events at equal timestamps fire in scheduling order (FIFO), which removes
  * all non-determinism from simultaneous events.
  *
- * Layout: callbacks live in a recycled slot arena; the priority queue holds
+ * Layout: callbacks live in a recycled slot arena; the ready heap holds
  * 24-byte POD tickets (time, sequence, slot), so heap sift operations are
  * plain memmoves instead of type-erased callable moves, and cancellation is
  * an O(1) slot invalidation with no side allocation. This is the engine's
  * hottest code: one ticket per simulated network message.
+ *
+ * Far-future timers (election timeouts, autoscaler ticks, session arrivals)
+ * are staged in a hierarchical timer wheel instead of the heap: insert and
+ * cancel are O(1), and a timer cancelled before its wheel slot is flushed —
+ * the common fate of every election timer under steady heartbeats — never
+ * touches the heap at all. The wheel only defers heap insertion: a ticket is
+ * cascaded into the heap before the clock can reach its slot, and the heap's
+ * (time, seq) total order then fires events in exactly the sequence the
+ * heap-only engine did, so the wheel is invisible to the determinism goldens.
  */
 class Simulation
 {
   public:
-    Simulation() = default;
+    /** Construction knobs (see SimMemoryPool for `recycle`). */
+    struct Options
+    {
+        /** Stage far-future timers in the hierarchical wheel. Off forces
+         *  every ticket through the binary heap (the pre-wheel engine) —
+         *  kept for the wheel-vs-heap equivalence tests. */
+        bool timer_wheel = true;
+        /** Recycle backing buffers through this pool (nullptr: none). */
+        SimMemoryPool* recycle = nullptr;
+    };
+
+    Simulation() : Simulation(Options{}) {}
+    explicit Simulation(const Options& options);
+    ~Simulation();
 
     Simulation(const Simulation&) = delete;
     Simulation& operator=(const Simulation&) = delete;
@@ -84,6 +109,16 @@ class Simulation
     /** Number of events currently pending (cancelled events excluded). */
     std::size_t pending() const { return live_; }
 
+    /** True when far-future timers are staged in the wheel. */
+    bool timer_wheel_enabled() const { return wheel_enabled_; }
+
+    /** Tickets currently staged in the wheel (cancelled ones included
+     *  until their slot is flushed) — introspection for tests/benches. */
+    std::size_t wheel_pending() const { return wheel_count_; }
+
+    /** Opaque recycled backing buffers (defined in simulation.cpp). */
+    struct Memory;
+
   private:
     /** Low bits of an EventId address the slot; high bits carry the
      *  monotonically increasing schedule sequence used for FIFO
@@ -91,6 +126,15 @@ class Simulation
     static constexpr unsigned kSlotBits = 24;
     static constexpr std::uint64_t kSlotMask = (1ULL << kSlotBits) - 1;
     static constexpr std::uint32_t kNoSlot = 0xffffffffU;
+
+    /** Wheel geometry: level-0 granularity is 2^16 us (~65.5 ms); each of
+     *  the four levels has 64 buckets, spanning ~4.2 s / 4.5 min / 4.8 h /
+     *  12.7 days. Anything further out goes straight to the heap. */
+    static constexpr unsigned kWheelShift = 16;
+    static constexpr unsigned kWheelLevelBits = 6;
+    static constexpr std::int64_t kWheelSlots = 1 << kWheelLevelBits;
+    static constexpr std::int64_t kWheelMask = kWheelSlots - 1;
+    static constexpr unsigned kWheelLevels = 4;
 
     struct Ticket
     {
@@ -103,8 +147,9 @@ class Simulation
     {
         bool operator()(const Ticket& a, const Ticket& b) const
         {
-            // priority_queue is a max-heap; invert for earliest-first, and
-            // break timestamp ties by schedule order for determinism.
+            // std::push/pop_heap keep the max at front; invert for
+            // earliest-first, and break timestamp ties by schedule order
+            // for determinism.
             if (a.time != b.time) {
                 return a.time > b.time;
             }
@@ -128,6 +173,29 @@ class Simulation
     std::uint32_t acquire_slot();
     void release_slot(std::uint32_t slot);
 
+    bool is_live(const Ticket& ticket) const
+    {
+        return slots_[ticket.slot].id == make_id(ticket.seq, ticket.slot);
+    }
+
+    void heap_push(const Ticket& ticket);
+    void heap_pop();
+
+    /** Stage @p ticket in the wheel if its level-0 slot is at least
+     *  @p min_delta slots past the cursor and within the top level's
+     *  span. @return false if it belongs in the heap instead. */
+    bool wheel_place(const Ticket& ticket, std::int64_t min_delta);
+
+    /** Pull higher-level buckets down when the cursor sits on their
+     *  window boundary (highest level first, so a level-3 ticket can
+     *  land in the level-1 bucket refilled right after it). */
+    void refill_levels();
+
+    /** Advance the wheel by one step: refill boundaries, then either
+     *  flush the cursor's level-0 bucket into the heap or hop the cursor
+     *  to the next boundary that could produce level-0 work. */
+    void cascade_step();
+
     /** Run the next live event if its time is <= @p limit. */
     bool run_one(Time limit);
 
@@ -137,7 +205,60 @@ class Simulation
     std::size_t live_ = 0;
     std::vector<Slot> slots_;
     std::uint32_t free_head_ = kNoSlot;
-    std::priority_queue<Ticket, std::vector<Ticket>, TicketOrder> queue_;
+    std::vector<Ticket> heap_;
+
+    bool wheel_enabled_ = true;
+    /** kWheelLevels x kWheelSlots buckets, flattened level-major. */
+    std::vector<std::vector<Ticket>> wheel_;
+    /** Next unflushed absolute level-0 slot; every wheel ticket's
+     *  level-0 slot is >= this cursor. */
+    std::int64_t wheel_next_ = 0;
+    /** Tickets physically staged in the wheel (tombstones included). */
+    std::size_t wheel_count_ = 0;
+    std::size_t level_count_[kWheelLevels] = {0, 0, 0, 0};
+    /** Scratch for refill_levels (kept to recycle its capacity). */
+    std::vector<Ticket> refill_scratch_;
+
+    SimMemoryPool* pool_ = nullptr;
+};
+
+/**
+ * Recycles Simulation backing buffers (slot arena, ready heap, wheel
+ * buckets) across engine runs. A sweep constructs one Simulation per
+ * shard per spec; without recycling every run re-faults the same cold
+ * pages the previous run just released. Buffers come back cleared but
+ * with capacity intact, so reuse is invisible to determinism (slot and
+ * sequence numbering always start fresh).
+ *
+ * Thread-safe; shards on different threads may acquire concurrently.
+ */
+class SimMemoryPool
+{
+  public:
+    SimMemoryPool();
+    ~SimMemoryPool();
+
+    SimMemoryPool(const SimMemoryPool&) = delete;
+    SimMemoryPool& operator=(const SimMemoryPool&) = delete;
+
+    /** The process-wide pool shared by the sharded engines. */
+    static SimMemoryPool& global();
+
+    /** Buffer sets currently retained (telemetry/tests). */
+    std::size_t size() const;
+
+  private:
+    friend class Simulation;
+
+    std::unique_ptr<Simulation::Memory> acquire();
+    void release(std::unique_ptr<Simulation::Memory> memory);
+
+    /** Retention cap: a pool entry is a few hundred KB after a big run;
+     *  64 entries bound worst-case retention well under one run's RSS. */
+    static constexpr std::size_t kMaxEntries = 64;
+
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<Simulation::Memory>> entries_;
 };
 
 }  // namespace nbos::sim

@@ -90,29 +90,113 @@ TEST(PolicyFilterTest, UnknownTokensMatchNothing)
                                       "notebookos"));
 }
 
-TEST(BenchSeedsTest, ParsesAndClampsEnvironment)
+TEST(BenchOptionsTest, DefaultsWhenEverythingUnset)
+{
+    BenchOptions options;
+    std::string error;
+    ASSERT_TRUE(parse_bench_options(BenchEnv{}, options, error)) << error;
+    EXPECT_FALSE(options.smoke);
+    EXPECT_TRUE(options.profile.empty());
+    EXPECT_EQ(options.seeds, 1u);
+    EXPECT_EQ(options.shards, 1);
+    EXPECT_EQ(options.routing, sched::RoutingPolicyKind::kStaticHash);
+    EXPECT_TRUE(options.policies.empty());
+}
+
+TEST(BenchOptionsTest, ParsesEveryKnob)
+{
+    BenchEnv env;
+    env.smoke = "1";
+    env.profile = workload::kProfileFlashCrowd;
+    env.seeds = "8";
+    env.shards = "4";
+    env.routing = "rebalance";
+    env.policies = "notebookos,batch";
+    BenchOptions options;
+    std::string error;
+    ASSERT_TRUE(parse_bench_options(env, options, error)) << error;
+    EXPECT_TRUE(options.smoke);
+    EXPECT_EQ(options.profile, workload::kProfileFlashCrowd);
+    EXPECT_EQ(options.seeds, 8u);
+    EXPECT_EQ(options.shards, 4);
+    EXPECT_EQ(options.routing, sched::RoutingPolicyKind::kRebalance);
+    EXPECT_EQ(options.policies, "notebookos,batch");
+}
+
+TEST(BenchOptionsTest, EmptyValuesMeanUnset)
+{
+    BenchEnv env;
+    env.smoke = "";
+    env.profile = "";
+    env.seeds = "";
+    env.shards = "";
+    env.routing = "";
+    BenchOptions options;
+    std::string error;
+    ASSERT_TRUE(parse_bench_options(env, options, error)) << error;
+    EXPECT_FALSE(options.smoke);
+    EXPECT_EQ(options.seeds, 1u);
+    EXPECT_EQ(options.shards, 1);
+}
+
+TEST(BenchOptionsTest, MalformedCountsAreRejectedWithTheVariableNamed)
+{
+    // Historically a bad NBOS_BENCH_SHARDS silently atoi'd to 1 and a bad
+    // seed count fell back to single-seed; both are hard errors now.
+    for (const char* bad : {"0", "-3", "abc", "8x", "9999"}) {
+        BenchEnv env;
+        env.shards = bad;
+        BenchOptions options;
+        std::string error;
+        EXPECT_FALSE(parse_bench_options(env, options, error))
+            << "value '" << bad << "'";
+        EXPECT_NE(error.find("NBOS_BENCH_SHARDS"), std::string::npos)
+            << error;
+        EXPECT_NE(error.find(bad), std::string::npos) << error;
+    }
+    BenchEnv env;
+    env.seeds = "65";
+    BenchOptions options;
+    std::string error;
+    EXPECT_FALSE(parse_bench_options(env, options, error));
+    EXPECT_NE(error.find("NBOS_BENCH_SEEDS"), std::string::npos) << error;
+}
+
+TEST(BenchOptionsTest, UnknownProfileAndRoutingAreRejected)
 {
     {
-        const ScopedEnv env("NBOS_BENCH_SEEDS", nullptr);
-        EXPECT_EQ(bench_seeds(), 1u);
+        BenchEnv env;
+        env.profile = "no-such-profile";
+        BenchOptions options;
+        std::string error;
+        EXPECT_FALSE(parse_bench_options(env, options, error));
+        EXPECT_NE(error.find("NBOS_BENCH_PROFILE"), std::string::npos)
+            << error;
+        // The error lists the registered names, so the fix is in the
+        // message.
+        EXPECT_NE(error.find(workload::kProfileFlashCrowd),
+                  std::string::npos)
+            << error;
     }
     {
-        const ScopedEnv env("NBOS_BENCH_SEEDS", "8");
-        EXPECT_EQ(bench_seeds(), 8u);
+        BenchEnv env;
+        env.routing = "round-robin";
+        BenchOptions options;
+        std::string error;
+        EXPECT_FALSE(parse_bench_options(env, options, error));
+        EXPECT_NE(error.find("NBOS_BENCH_ROUTING"), std::string::npos)
+            << error;
     }
-    {
-        const ScopedEnv env("NBOS_BENCH_SEEDS", "1");
-        EXPECT_EQ(bench_seeds(), 1u);
-    }
-    // Garbage, zero, and negative values fall back to single-seed.
-    for (const char* bad : {"", "0", "-3", "abc", "8x"}) {
-        const ScopedEnv env("NBOS_BENCH_SEEDS", bad);
-        EXPECT_EQ(bench_seeds(), 1u) << "value '" << bad << "'";
-    }
-    {
-        const ScopedEnv env("NBOS_BENCH_SEEDS", "9999");
-        EXPECT_EQ(bench_seeds(), 64u);
-    }
+}
+
+TEST(BenchOptionsTest, HelpersReadTheValidatedOptions)
+{
+    const ScopedEnv seeds("NBOS_BENCH_SEEDS", "8");
+    const ScopedEnv shards("NBOS_BENCH_SHARDS", "4");
+    const ScopedEnv routing("NBOS_BENCH_ROUTING", "least_loaded");
+    EXPECT_EQ(bench_seeds(), 8u);
+    EXPECT_EQ(bench_shards(), 4);
+    EXPECT_EQ(bench_routing(), sched::RoutingPolicyKind::kLeastLoaded);
 }
 
 TEST(RunPoliciesTest, FilteredEnginesAreExplicitlyMarkedSkipped)

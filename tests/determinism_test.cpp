@@ -20,6 +20,7 @@
 
 #include "chaos/config.hpp"
 #include "chaos/fault_plan.hpp"
+#include "core/engine_api.hpp"
 #include "core/protosim.hpp"
 #include "core/seed_sweep.hpp"
 #include "core/sharded_fastsim.hpp"
@@ -733,6 +734,127 @@ TEST(ProfileDeterminismTest, FastStreamedProfileRunSameSeedBitIdentical)
     test::expect_results_identical(a.results, b.results);
     EXPECT_EQ(a.events_executed, b.events_executed);
     EXPECT_GT(a.results.tasks.size(), 0u);
+}
+
+/** The hierarchical timer wheel is a pure staging structure: a full
+ *  prototype-engine run with the wheel disabled (heap-only Simulation)
+ *  must be bit-identical to the default wheel-backed run. This pins the
+ *  wheel's firing order at whole-engine scale, on top of the event-level
+ *  pins in timer_wheel_test. */
+TEST(TimerWheelDeterminismTest, WheelAndHeapEngineRunsBitIdentical)
+{
+    const auto trace = test::tiny_trace(8, 2 * sim::kHour);
+
+    const auto run_with_wheel = [&trace](bool wheel) {
+        sim::Simulation::Options options;
+        options.timer_wheel = wheel;
+        options.recycle = nullptr;
+        sim::Simulation simulation(options);
+        std::vector<std::pair<sim::Time, int>> fired;
+        sim::Rng rng(21);
+        std::vector<sim::EventId> timers;
+        // Election-churn shape over the trace horizon: staged far-future
+        // timers cancelled and re-armed from near-term events.
+        for (int k = 0; k < 16; ++k) {
+            timers.push_back(simulation.schedule_after(
+                static_cast<sim::Time>(
+                    rng.uniform(2.0 * sim::kSecond, 4.0 * sim::kSecond)),
+                [&fired, &simulation, k] {
+                    fired.emplace_back(simulation.now(), k);
+                }));
+        }
+        for (int round = 1; round <= 30; ++round) {
+            const sim::Time tick = round * sim::kSecond;
+            simulation.schedule_at(tick, [&] {
+                for (int k = 0; k < 16; ++k) {
+                    if (simulation.cancel(
+                            timers[static_cast<std::size_t>(k)])) {
+                        timers[static_cast<std::size_t>(k)] =
+                            simulation.schedule_after(
+                                static_cast<sim::Time>(rng.uniform(
+                                    2.0 * sim::kSecond,
+                                    4.0 * sim::kSecond)),
+                                [&fired, &simulation, k] {
+                                    fired.emplace_back(simulation.now(),
+                                                       k + 1000);
+                                });
+                    }
+                }
+            });
+        }
+        simulation.run_until(40 * sim::kSecond);
+        return fired;
+    };
+
+    const auto with_wheel = run_with_wheel(true);
+    const auto heap_only = run_with_wheel(false);
+    ASSERT_EQ(with_wheel.size(), heap_only.size());
+    for (std::size_t i = 0; i < with_wheel.size(); ++i) {
+        EXPECT_EQ(with_wheel[i], heap_only[i]) << "firing " << i;
+    }
+
+    // And the full engines (which always run wheel-backed Simulations)
+    // still reproduce themselves run to run over the same trace.
+    const auto a = test::run_policy(trace, core::Policy::kNotebookOS, 21);
+    const auto b = test::run_policy(trace, core::Policy::kNotebookOS, 21);
+    test::expect_results_identical(a, b);
+}
+
+/** The unified run API is a zero-cost front door: every legacy entry
+ *  point reached through core::run returns byte-identical results. */
+TEST(RunApiDeterminismTest, RunRequestMatchesEveryLegacyEntryPoint)
+{
+    const auto trace = test::tiny_trace(8, 2 * sim::kHour);
+
+    // Platform::run (derived engine, fast analytic).
+    {
+        const core::PlatformConfig config = test::platform_config(
+            core::Policy::kNotebookOS, /*seed=*/21, /*fast=*/true);
+        const auto legacy = core::Platform(config).run(trace);
+        core::RunRequest request;
+        request.config = config;
+        request.trace = &trace;
+        test::expect_results_identical(legacy,
+                                       core::run(request).results);
+    }
+
+    // run_prototype_streamed (windowed rebalance driver).
+    {
+        core::PlatformConfig config =
+            test::platform_config(core::Policy::kNotebookOS, /*seed=*/21);
+        config.scheduler.shards = 2;
+        config.scheduler.routing = sched::RoutingPolicyKind::kRebalance;
+        workload::TraceSessionSource legacy_source(trace);
+        const auto legacy =
+            core::run_prototype_streamed(legacy_source, config);
+        workload::TraceSessionSource source(trace);
+        core::RunRequest request;
+        request.config = config;
+        request.source = &source;
+        test::expect_results_identical(legacy,
+                                       core::run(request).results);
+    }
+
+    // run_fast_streamed (sharded analytic driver), telemetry included.
+    {
+        core::PlatformConfig config = test::platform_config(
+            core::Policy::kNotebookOS, /*seed=*/21, /*fast=*/true);
+        config.scheduler.shards = 2;
+        config.scheduler.routing = sched::RoutingPolicyKind::kRebalance;
+        workload::TraceSessionSource legacy_source(trace);
+        const core::StreamedFastRun legacy =
+            core::run_fast_streamed(legacy_source, config);
+        workload::TraceSessionSource source(trace);
+        core::RunRequest request;
+        request.config = config;
+        request.source = &source;
+        const core::RunResponse response = core::run(request);
+        test::expect_results_identical(legacy.results, response.results);
+        EXPECT_EQ(legacy.events_executed, response.events_executed);
+        EXPECT_EQ(legacy.shard_events, response.shard_events);
+        EXPECT_EQ(legacy.sessions_rebalanced,
+                  response.sessions_rebalanced);
+    }
 }
 
 }  // namespace

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Tests for the hierarchical timer wheel behind sim::Simulation.
+ *
+ * The wheel is a *staging* structure: far-future tickets wait in O(1)
+ * buckets and cascade into the binary heap only when the cursor reaches
+ * them, so the heap — the single ordering authority — pops the exact
+ * sequence a heap-only Simulation would. Every test here runs the same
+ * schedule against both configurations (Options::timer_wheel on/off) and
+ * demands bit-identical firing sequences, which is the property the
+ * determinism goldens lean on.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "harness.hpp"
+#include "sim/simulation.hpp"
+
+namespace nbos::sim {
+namespace {
+
+/** One observed firing: when it ran and which schedule call it was. */
+struct Fired
+{
+    Time time = 0;
+    int tag = -1;
+
+    bool operator==(const Fired& other) const
+    {
+        return time == other.time && tag == other.tag;
+    }
+};
+
+Simulation::Options
+options(bool wheel)
+{
+    Simulation::Options opts;
+    opts.timer_wheel = wheel;
+    opts.recycle = nullptr;
+    return opts;
+}
+
+/** A replayable schedule: build once, execute against any Simulation. */
+struct Script
+{
+    struct Op
+    {
+        enum class Kind
+        {
+            kSchedule,  ///< schedule_at(time, record tag)
+            kCancel,    ///< cancel the id from schedule call #index
+            kRun,       ///< run_until(time)
+        };
+        Kind kind = Kind::kSchedule;
+        Time time = 0;
+        int index = 0;
+    };
+
+    std::vector<Op> ops;
+
+    /** Execute against @p simulation, returning the firing sequence. */
+    std::vector<Fired> replay(Simulation& simulation) const
+    {
+        std::vector<Fired> fired;
+        std::vector<EventId> ids;
+        Time horizon = 0;
+        for (const Op& op : ops) {
+            switch (op.kind) {
+              case Op::Kind::kSchedule: {
+                const int tag = static_cast<int>(ids.size());
+                ids.push_back(simulation.schedule_at(
+                    op.time, [&fired, &simulation, tag] {
+                        fired.push_back(Fired{simulation.now(), tag});
+                    }));
+                break;
+              }
+              case Op::Kind::kCancel:
+                simulation.cancel(ids[static_cast<std::size_t>(op.index)]);
+                break;
+              case Op::Kind::kRun:
+                simulation.run_until(op.time);
+                horizon = op.time;
+                break;
+            }
+        }
+        // Drain everything left pending so the comparison covers the
+        // whole schedule, not just the scripted horizons.
+        simulation.run_until(horizon + 40 * kDay);
+        return fired;
+    }
+};
+
+/** Replay @p script against both configurations and require identical
+ *  firing sequences. @return the (shared) sequence for further checks. */
+std::vector<Fired>
+expect_wheel_matches_heap(const Script& script)
+{
+    Simulation with_wheel(options(true));
+    Simulation heap_only(options(false));
+    const std::vector<Fired> wheel_fired = script.replay(with_wheel);
+    const std::vector<Fired> heap_fired = script.replay(heap_only);
+    EXPECT_EQ(wheel_fired.size(), heap_fired.size());
+    for (std::size_t i = 0;
+         i < wheel_fired.size() && i < heap_fired.size(); ++i) {
+        EXPECT_EQ(wheel_fired[i].time, heap_fired[i].time)
+            << "firing " << i;
+        EXPECT_EQ(wheel_fired[i].tag, heap_fired[i].tag) << "firing " << i;
+    }
+    return wheel_fired;
+}
+
+TEST(TimerWheelTest, FarFutureTimersCascadeAcrossEveryLevel)
+{
+    // One timer per wheel level plus one past the wheel span (heap
+    // fallback): 100 ms (near: straight to heap), 10 s (level 0), 3 min
+    // (level 1), 2 h (level 2), 3 d (level 3), 30 d (beyond the wheel).
+    Script script;
+    const Time times[] = {100 * kMillisecond, 10 * kSecond, 3 * kMinute,
+                          2 * kHour,          3 * kDay,     30 * kDay};
+    for (const Time t : times) {
+        script.ops.push_back({Script::Op::Kind::kSchedule, t, 0});
+    }
+    script.ops.push_back({Script::Op::Kind::kRun, 31 * kDay, 0});
+
+    const std::vector<Fired> fired = expect_wheel_matches_heap(script);
+    ASSERT_EQ(fired.size(), 6u);
+    for (std::size_t i = 0; i < fired.size(); ++i) {
+        EXPECT_EQ(fired[i].time, times[i]) << "firing " << i;
+        EXPECT_EQ(fired[i].tag, static_cast<int>(i)) << "firing " << i;
+    }
+}
+
+TEST(TimerWheelTest, SameTickFiringsKeepScheduleOrder)
+{
+    // Many events on one far-future tick: ties break by schedule
+    // sequence (FIFO), wheel or not — bucket order never leaks through
+    // because the heap re-sorts whatever the wheel flushes.
+    Script script;
+    const Time tick = 90 * kMinute;
+    for (int i = 0; i < 32; ++i) {
+        script.ops.push_back({Script::Op::Kind::kSchedule, tick, 0});
+    }
+    script.ops.push_back({Script::Op::Kind::kRun, 2 * kHour, 0});
+
+    const std::vector<Fired> fired = expect_wheel_matches_heap(script);
+    ASSERT_EQ(fired.size(), 32u);
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_EQ(fired[static_cast<std::size_t>(i)].tag, i)
+            << "firing " << i;
+        EXPECT_EQ(fired[static_cast<std::size_t>(i)].time, tick);
+    }
+}
+
+TEST(TimerWheelTest, CancelledTimersDieInTheirBucketWithoutFiring)
+{
+    Simulation simulation(options(true));
+    int fired = 0;
+    const EventId doomed =
+        simulation.schedule_after(2 * kHour, [&fired] { ++fired; });
+    const EventId kept =
+        simulation.schedule_after(3 * kHour, [&fired] { ++fired; });
+    EXPECT_EQ(simulation.wheel_pending(), 2u);
+    EXPECT_EQ(simulation.pending(), 2u);
+
+    // The cancel is O(1): the ticket stays staged as a tombstone (wheel
+    // count unchanged) but the live count drops immediately, and the
+    // tombstone is dropped at flush time without ever touching the heap.
+    EXPECT_TRUE(simulation.cancel(doomed));
+    EXPECT_FALSE(simulation.cancel(doomed));
+    EXPECT_EQ(simulation.wheel_pending(), 2u);
+    EXPECT_EQ(simulation.pending(), 1u);
+
+    simulation.run_until(4 * kHour);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(simulation.wheel_pending(), 0u);
+    EXPECT_EQ(simulation.pending(), 0u);
+    EXPECT_FALSE(simulation.cancel(kept));
+}
+
+TEST(TimerWheelTest, ElectionChurnNeverReachesTheHeap)
+{
+    // The Raft pattern the wheel exists for: a far-future election timer
+    // cancelled and re-armed by every heartbeat. The sequence of fired
+    // events must match the heap-only scheduler exactly.
+    Script script;
+    int election = 0;  // schedule-call index of the live election timer
+    int calls = 0;
+    script.ops.push_back(
+        {Script::Op::Kind::kSchedule, 2 * kSecond + 2 * kMinute, 0});
+    election = calls++;
+    for (int round = 1; round <= 50; ++round) {
+        const Time tick = round * kSecond;
+        // Heartbeat work at the tick...
+        script.ops.push_back({Script::Op::Kind::kSchedule, tick, 0});
+        ++calls;
+        script.ops.push_back({Script::Op::Kind::kRun, tick, 0});
+        // ...then the prompt cancel + re-arm of the election timer.
+        script.ops.push_back({Script::Op::Kind::kCancel, 0, election});
+        script.ops.push_back({Script::Op::Kind::kSchedule,
+                              tick + 2 * kMinute + round * kMillisecond,
+                              0});
+        election = calls++;
+    }
+
+    const std::vector<Fired> fired = expect_wheel_matches_heap(script);
+    // 50 heartbeats fire, 49 election timers are cancelled staged, and
+    // only the last election survives to fire in the drain.
+    ASSERT_EQ(fired.size(), 51u);
+}
+
+TEST(TimerWheelTest, RandomSchedulesWithCancelsMatchHeapOrder)
+{
+    // Property: any interleaving of schedules (near, far, and same-tick
+    // collisions), cancels, and partial runs fires identically with the
+    // wheel on and off.
+    test::check_property(8, [](sim::Rng& rng, std::size_t) {
+        Script script;
+        int scheduled = 0;
+        Time clock = 0;
+        for (int step = 0; step < 400; ++step) {
+            const double roll = rng.uniform();
+            if (roll < 0.55 || scheduled == 0) {
+                // Mix of horizons crossing every wheel level.
+                static const Time spans[] = {
+                    10 * kMillisecond, kSecond, 20 * kSecond, 10 * kMinute,
+                    6 * kHour,         2 * kDay, 20 * kDay};
+                const Time span = spans[static_cast<std::size_t>(
+                    rng.uniform_int(0, 6))];
+                const Time at =
+                    clock + static_cast<Time>(rng.uniform_int(0, span));
+                script.ops.push_back(
+                    {Script::Op::Kind::kSchedule, at, 0});
+                ++scheduled;
+            } else if (roll < 0.8) {
+                script.ops.push_back(
+                    {Script::Op::Kind::kCancel, 0,
+                     static_cast<int>(
+                         rng.uniform_int(0, scheduled - 1))});
+            } else {
+                clock += static_cast<Time>(
+                    rng.uniform_int(0, 30 * kMinute));
+                script.ops.push_back({Script::Op::Kind::kRun, clock, 0});
+            }
+        }
+        expect_wheel_matches_heap(script);
+    });
+}
+
+TEST(TimerWheelTest, PooledSimulationsReplayIdentically)
+{
+    // Arena reuse must be invisible: a Simulation built on recycled
+    // buffers fires the same sequence as a cold one, and the buffers
+    // actually round-trip through the pool.
+    Script script;
+    for (int i = 0; i < 64; ++i) {
+        script.ops.push_back({Script::Op::Kind::kSchedule,
+                              (i % 7) * kMinute + i * kSecond, 0});
+    }
+    for (int i = 0; i < 64; i += 3) {
+        script.ops.push_back({Script::Op::Kind::kCancel, 0, i});
+    }
+    script.ops.push_back({Script::Op::Kind::kRun, kDay, 0});
+
+    std::vector<Fired> cold;
+    {
+        Simulation simulation(options(true));
+        cold = script.replay(simulation);
+    }
+    SimMemoryPool& pool = SimMemoryPool::global();
+    std::vector<Fired> warm;
+    {
+        Simulation::Options opts;
+        opts.timer_wheel = true;
+        opts.recycle = &pool;
+        Simulation first(opts);
+        (void)script.replay(first);
+    }
+    const std::size_t pooled = pool.size();
+    EXPECT_GE(pooled, 1u);
+    {
+        Simulation::Options opts;
+        opts.timer_wheel = true;
+        opts.recycle = &pool;
+        Simulation second(opts);
+        EXPECT_LT(pool.size(), pooled);  // buffers were taken, not copied
+        warm = script.replay(second);
+    }
+    ASSERT_EQ(cold.size(), warm.size());
+    for (std::size_t i = 0; i < cold.size(); ++i) {
+        EXPECT_EQ(cold[i].time, warm[i].time) << "firing " << i;
+        EXPECT_EQ(cold[i].tag, warm[i].tag) << "firing " << i;
+    }
+}
+
+}  // namespace
+}  // namespace nbos::sim
